@@ -1,0 +1,541 @@
+//! Label-based program builder ("assembler") and the assembled [`Program`].
+
+use crate::cond::Cond;
+use crate::inst::{Addr, AluOp, Inst, Src, UNRESOLVED};
+use crate::reg::Reg;
+
+/// An opaque, builder-scoped branch-target label.
+///
+/// Obtain one with [`Asm::fresh_label`], reference it in jumps/calls, and
+/// place it with [`Asm::bind`]. Labels may be referenced before or after
+/// they are bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleError {
+    /// A label was referenced but never bound.
+    UnboundLabel {
+        /// Index of the instruction that references the label.
+        at: usize,
+    },
+    /// The program is empty.
+    Empty,
+}
+
+impl std::fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssembleError::UnboundLabel { at } => {
+                write!(
+                    f,
+                    "instruction {at} references a label that was never bound"
+                )
+            }
+            AssembleError::Empty => f.write_str("program contains no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+/// An assembled, immutable program: a sequence of instructions with all
+/// branch targets resolved to instruction indices.
+///
+/// # Examples
+///
+/// ```
+/// use tet_isa::{Asm, Reg};
+///
+/// # fn main() -> Result<(), tet_isa::AssembleError> {
+/// let mut a = Asm::new();
+/// a.mov_imm(Reg::Rax, 1).halt();
+/// let prog = a.assemble()?;
+/// assert_eq!(prog.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// The instruction at `pc`, or `None` past the end.
+    #[inline]
+    pub fn fetch(&self, pc: usize) -> Option<Inst> {
+        self.insts.get(pc).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// All instructions in order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+}
+
+impl std::fmt::Display for Program {
+    /// Renders a simple disassembly listing, one instruction per line.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{i:4}: {inst:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The program builder.
+///
+/// All emit methods return `&mut Self` so gadgets read like assembly
+/// listings. See the [crate docs](crate) for a full example.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    /// Bound position of each label (by label id), `None` until bound.
+    labels: Vec<Option<usize>>,
+    /// `(instruction index, label id)` pairs awaiting resolution.
+    patches: Vec<(usize, usize)>,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn fresh_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the *next* emitted instruction's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (each label is bound once).
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len());
+        self
+    }
+
+    /// Index the next emitted instruction will occupy.
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Emits a raw instruction (escape hatch for unusual encodings).
+    pub fn raw(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn emit_target(&mut self, make: impl FnOnce(usize) -> Inst, label: Label) -> &mut Self {
+        let at = self.insts.len();
+        self.insts.push(make(UNRESOLVED));
+        self.patches.push((at, label.0));
+        self
+    }
+
+    // ----- straight-line instructions ------------------------------------
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.raw(Inst::Nop)
+    }
+
+    /// Emits `count` consecutive `nop`s.
+    pub fn nops(&mut self, count: usize) -> &mut Self {
+        for _ in 0..count {
+            self.nop();
+        }
+        self
+    }
+
+    /// Emits `mov dst, imm`.
+    pub fn mov_imm(&mut self, dst: Reg, imm: u64) -> &mut Self {
+        self.raw(Inst::MovImm { dst, imm })
+    }
+
+    /// Emits `mov dst, src`.
+    pub fn mov_reg(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.raw(Inst::MovReg { dst, src })
+    }
+
+    /// Emits an 8-byte load `mov dst, disp(base)`.
+    pub fn load(&mut self, dst: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.raw(Inst::Load {
+            dst,
+            addr: Addr::base_disp(base, disp),
+        })
+    }
+
+    /// Emits an 8-byte load from an absolute address.
+    pub fn load_abs(&mut self, dst: Reg, addr: u64) -> &mut Self {
+        self.raw(Inst::Load {
+            dst,
+            addr: Addr::abs(addr),
+        })
+    }
+
+    /// Emits an 8-byte load with a full memory operand.
+    pub fn load_addr(&mut self, dst: Reg, addr: Addr) -> &mut Self {
+        self.raw(Inst::Load { dst, addr })
+    }
+
+    /// Emits a zero-extending byte load `movzx dst, byte disp(base)`.
+    pub fn load_byte(&mut self, dst: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.raw(Inst::LoadByte {
+            dst,
+            addr: Addr::base_disp(base, disp),
+        })
+    }
+
+    /// Emits a zero-extending byte load from an absolute address.
+    pub fn load_byte_abs(&mut self, dst: Reg, addr: u64) -> &mut Self {
+        self.raw(Inst::LoadByte {
+            dst,
+            addr: Addr::abs(addr),
+        })
+    }
+
+    /// Emits an 8-byte store `mov disp(base), src`.
+    pub fn store(&mut self, src: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.raw(Inst::Store {
+            src,
+            addr: Addr::base_disp(base, disp),
+        })
+    }
+
+    /// Emits an 8-byte store to an absolute address.
+    pub fn store_abs(&mut self, src: Reg, addr: u64) -> &mut Self {
+        self.raw(Inst::Store {
+            src,
+            addr: Addr::abs(addr),
+        })
+    }
+
+    /// Emits a 1-byte store to an absolute address.
+    pub fn store_byte_abs(&mut self, src: Reg, addr: u64) -> &mut Self {
+        self.raw(Inst::StoreByte {
+            src,
+            addr: Addr::abs(addr),
+        })
+    }
+
+    /// Emits `lea dst, addr`.
+    pub fn lea(&mut self, dst: Reg, addr: Addr) -> &mut Self {
+        self.raw(Inst::Lea { dst, addr })
+    }
+
+    /// Emits `add dst, src`.
+    pub fn add(&mut self, dst: Reg, src: impl Into<Src>) -> &mut Self {
+        self.raw(Inst::Alu {
+            op: AluOp::Add,
+            dst,
+            src: src.into(),
+        })
+    }
+
+    /// Emits `sub dst, src`.
+    pub fn sub(&mut self, dst: Reg, src: impl Into<Src>) -> &mut Self {
+        self.raw(Inst::Alu {
+            op: AluOp::Sub,
+            dst,
+            src: src.into(),
+        })
+    }
+
+    /// Emits `and dst, src`.
+    pub fn and(&mut self, dst: Reg, src: impl Into<Src>) -> &mut Self {
+        self.raw(Inst::Alu {
+            op: AluOp::And,
+            dst,
+            src: src.into(),
+        })
+    }
+
+    /// Emits `or dst, src`.
+    pub fn or(&mut self, dst: Reg, src: impl Into<Src>) -> &mut Self {
+        self.raw(Inst::Alu {
+            op: AluOp::Or,
+            dst,
+            src: src.into(),
+        })
+    }
+
+    /// Emits `xor dst, src`.
+    pub fn xor(&mut self, dst: Reg, src: impl Into<Src>) -> &mut Self {
+        self.raw(Inst::Alu {
+            op: AluOp::Xor,
+            dst,
+            src: src.into(),
+        })
+    }
+
+    /// Emits `shl dst, src`.
+    pub fn shl(&mut self, dst: Reg, src: impl Into<Src>) -> &mut Self {
+        self.raw(Inst::Alu {
+            op: AluOp::Shl,
+            dst,
+            src: src.into(),
+        })
+    }
+
+    /// Emits `cmp a, b` with a register second operand.
+    pub fn cmp(&mut self, a: Reg, b: Reg) -> &mut Self {
+        self.raw(Inst::Cmp { a, b: Src::Reg(b) })
+    }
+
+    /// Emits `cmp a, imm`.
+    pub fn cmp_imm(&mut self, a: Reg, imm: u64) -> &mut Self {
+        self.raw(Inst::Cmp {
+            a,
+            b: Src::Imm(imm),
+        })
+    }
+
+    /// Emits `test a, b`.
+    pub fn test(&mut self, a: Reg, b: impl Into<Src>) -> &mut Self {
+        self.raw(Inst::Test { a, b: b.into() })
+    }
+
+    // ----- control flow ---------------------------------------------------
+
+    /// Emits a conditional jump to `label`.
+    pub fn jcc(&mut self, cond: Cond, label: Label) -> &mut Self {
+        self.emit_target(|target| Inst::Jcc { cond, target }, label)
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.emit_target(|target| Inst::Jmp { target }, label)
+    }
+
+    /// Emits an indirect jump through `reg`.
+    pub fn jmp_reg(&mut self, reg: Reg) -> &mut Self {
+        self.raw(Inst::JmpReg { reg })
+    }
+
+    /// Emits `call label`.
+    pub fn call(&mut self, label: Label) -> &mut Self {
+        self.emit_target(|target| Inst::Call { target }, label)
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.raw(Inst::Ret)
+    }
+
+    /// Emits `push src`.
+    pub fn push(&mut self, src: Reg) -> &mut Self {
+        self.raw(Inst::Push { src })
+    }
+
+    /// Emits `pop dst`.
+    pub fn pop(&mut self, dst: Reg) -> &mut Self {
+        self.raw(Inst::Pop { dst })
+    }
+
+    // ----- system / timing -------------------------------------------------
+
+    /// Emits `clflush disp(base)`.
+    pub fn clflush(&mut self, base: Reg, disp: i64) -> &mut Self {
+        self.raw(Inst::Clflush {
+            addr: Addr::base_disp(base, disp),
+        })
+    }
+
+    /// Emits `clflush` of an absolute address.
+    pub fn clflush_abs(&mut self, addr: u64) -> &mut Self {
+        self.raw(Inst::Clflush {
+            addr: Addr::abs(addr),
+        })
+    }
+
+    /// Emits a software prefetch of an absolute address.
+    pub fn prefetch_abs(&mut self, addr: u64) -> &mut Self {
+        self.raw(Inst::Prefetch {
+            addr: Addr::abs(addr),
+        })
+    }
+
+    /// Emits `lfence`.
+    pub fn lfence(&mut self) -> &mut Self {
+        self.raw(Inst::Lfence)
+    }
+
+    /// Emits `mfence`.
+    pub fn mfence(&mut self) -> &mut Self {
+        self.raw(Inst::Mfence)
+    }
+
+    /// Emits `sfence`.
+    pub fn sfence(&mut self) -> &mut Self {
+        self.raw(Inst::Sfence)
+    }
+
+    /// Emits `rdtsc` (result in `rax`).
+    pub fn rdtsc(&mut self) -> &mut Self {
+        self.raw(Inst::Rdtsc)
+    }
+
+    /// Emits `xbegin` with `abort` as the fallback target.
+    pub fn xbegin(&mut self, abort: Label) -> &mut Self {
+        self.emit_target(|abort_target| Inst::XBegin { abort_target }, abort)
+    }
+
+    /// Emits `xend`.
+    pub fn xend(&mut self) -> &mut Self {
+        self.raw(Inst::XEnd)
+    }
+
+    /// Emits `syscall`.
+    pub fn syscall(&mut self) -> &mut Self {
+        self.raw(Inst::Syscall)
+    }
+
+    /// Emits `hlt` (ends the simulation).
+    pub fn halt(&mut self) -> &mut Self {
+        self.raw(Inst::Halt)
+    }
+
+    // ----- assembly ---------------------------------------------------------
+
+    /// Resolves all labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssembleError::UnboundLabel`] if any referenced label was
+    /// never [`bind`](Asm::bind)-ed, and [`AssembleError::Empty`] for an
+    /// empty program.
+    pub fn assemble(&self) -> Result<Program, AssembleError> {
+        if self.insts.is_empty() {
+            return Err(AssembleError::Empty);
+        }
+        let mut insts = self.insts.clone();
+        for &(at, label_id) in &self.patches {
+            let target = self.labels[label_id].ok_or(AssembleError::UnboundLabel { at })?;
+            match &mut insts[at] {
+                Inst::Jcc { target: t, .. }
+                | Inst::Jmp { target: t }
+                | Inst::Call { target: t }
+                | Inst::XBegin { abort_target: t } => *t = target,
+                other => unreachable!("patch recorded for non-target instruction {other:?}"),
+            }
+        }
+        Ok(Program { insts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let top = a.fresh_label();
+        let out = a.fresh_label();
+        a.bind(top)
+            .nop()
+            .jcc(Cond::E, out) // forward
+            .jmp(top) // backward
+            .bind(out)
+            .halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            p.fetch(1),
+            Some(Inst::Jcc {
+                cond: Cond::E,
+                target: 3
+            })
+        );
+        assert_eq!(p.fetch(2), Some(Inst::Jmp { target: 0 }));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.fresh_label();
+        a.jmp(l);
+        assert_eq!(a.assemble(), Err(AssembleError::UnboundLabel { at: 0 }));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(Asm::new().assemble(), Err(AssembleError::Empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.fresh_label();
+        a.bind(l).nop().bind(l);
+    }
+
+    #[test]
+    fn xbegin_targets_resolve() {
+        let mut a = Asm::new();
+        let abort = a.fresh_label();
+        a.xbegin(abort).nop().xend().bind(abort).halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(0), Some(Inst::XBegin { abort_target: 3 }));
+    }
+
+    #[test]
+    fn here_tracks_next_index() {
+        let mut a = Asm::new();
+        assert_eq!(a.here(), 0);
+        a.nop().nop();
+        assert_eq!(a.here(), 2);
+    }
+
+    #[test]
+    fn nops_emits_n() {
+        let mut a = Asm::new();
+        a.nops(5).halt();
+        assert_eq!(a.assemble().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn fetch_past_end_is_none() {
+        let mut a = Asm::new();
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(1), None);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, 7).halt();
+        let p = a.assemble().unwrap();
+        let listing = p.to_string();
+        assert!(listing.contains("MovImm"));
+        assert!(listing.contains("Halt"));
+    }
+
+    #[test]
+    fn assemble_is_repeatable() {
+        let mut a = Asm::new();
+        let l = a.fresh_label();
+        a.jmp(l).bind(l).halt();
+        let p1 = a.assemble().unwrap();
+        let p2 = a.assemble().unwrap();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,277 @@
+//! Condition codes and the arithmetic flags they test.
+
+/// The arithmetic status flags set by `cmp`/`test`/ALU instructions.
+///
+/// # Examples
+///
+/// ```
+/// use tet_isa::Flags;
+///
+/// let f = Flags::from_sub(5, 5);
+/// assert!(f.zf);
+/// assert!(!f.cf);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Flags {
+    /// Zero flag: result was zero.
+    pub zf: bool,
+    /// Carry flag: unsigned borrow/carry occurred.
+    pub cf: bool,
+    /// Sign flag: result's most significant bit.
+    pub sf: bool,
+    /// Overflow flag: signed overflow occurred.
+    pub of: bool,
+}
+
+impl Flags {
+    /// Flags produced by `a - b` (the semantics of `cmp a, b`).
+    pub fn from_sub(a: u64, b: u64) -> Flags {
+        let (res, borrow) = a.overflowing_sub(b);
+        let sa = (a as i64) < 0;
+        let sb = (b as i64) < 0;
+        let sr = (res as i64) < 0;
+        Flags {
+            zf: res == 0,
+            cf: borrow,
+            sf: sr,
+            of: (sa != sb) && (sr != sa),
+        }
+    }
+
+    /// Flags produced by `a & b` (the semantics of `test a, b`).
+    pub fn from_and(a: u64, b: u64) -> Flags {
+        let res = a & b;
+        Flags {
+            zf: res == 0,
+            cf: false,
+            sf: (res as i64) < 0,
+            of: false,
+        }
+    }
+
+    /// Flags produced by a logical result (and/or/xor write-back forms).
+    pub fn from_logic(res: u64) -> Flags {
+        Flags {
+            zf: res == 0,
+            cf: false,
+            sf: (res as i64) < 0,
+            of: false,
+        }
+    }
+
+    /// Flags produced by `a + b`.
+    pub fn from_add(a: u64, b: u64) -> Flags {
+        let (res, carry) = a.overflowing_add(b);
+        let sa = (a as i64) < 0;
+        let sb = (b as i64) < 0;
+        let sr = (res as i64) < 0;
+        Flags {
+            zf: res == 0,
+            cf: carry,
+            sf: sr,
+            of: (sa == sb) && (sr != sa),
+        }
+    }
+}
+
+/// An x86 condition code, as tested by `Jcc` instructions.
+///
+/// The paper verifies that at least `JE/JZ`, `JNE/JNZ` and `JC` leak
+/// through the TET channel and conjectures all conditional jumps do; the
+/// full set is provided so the ablation experiment can sweep them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cond {
+    /// `JE`/`JZ`: zero flag set.
+    E,
+    /// `JNE`/`JNZ`: zero flag clear.
+    Ne,
+    /// `JC`/`JB`: carry flag set.
+    C,
+    /// `JNC`/`JAE`: carry flag clear.
+    Nc,
+    /// `JS`: sign flag set.
+    S,
+    /// `JNS`: sign flag clear.
+    Ns,
+    /// `JO`: overflow flag set.
+    O,
+    /// `JNO`: overflow flag clear.
+    No,
+    /// `JL`: signed less (`SF != OF`).
+    L,
+    /// `JGE`: signed greater-or-equal (`SF == OF`).
+    Ge,
+    /// `JLE`: signed less-or-equal (`ZF || SF != OF`).
+    Le,
+    /// `JG`: signed greater (`!ZF && SF == OF`).
+    G,
+    /// `JA`: unsigned above (`!CF && !ZF`).
+    A,
+    /// `JBE`: unsigned below-or-equal (`CF || ZF`).
+    Be,
+}
+
+impl Cond {
+    /// All condition codes.
+    pub const ALL: &'static [Cond] = &[
+        Cond::E,
+        Cond::Ne,
+        Cond::C,
+        Cond::Nc,
+        Cond::S,
+        Cond::Ns,
+        Cond::O,
+        Cond::No,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+        Cond::A,
+        Cond::Be,
+    ];
+
+    /// Evaluates the condition against a set of flags.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tet_isa::{Cond, Flags};
+    ///
+    /// let eq = Flags::from_sub(7, 7);
+    /// assert!(Cond::E.eval(eq));
+    /// assert!(!Cond::Ne.eval(eq));
+    /// ```
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::E => f.zf,
+            Cond::Ne => !f.zf,
+            Cond::C => f.cf,
+            Cond::Nc => !f.cf,
+            Cond::S => f.sf,
+            Cond::Ns => !f.sf,
+            Cond::O => f.of,
+            Cond::No => !f.of,
+            Cond::L => f.sf != f.of,
+            Cond::Ge => f.sf == f.of,
+            Cond::Le => f.zf || f.sf != f.of,
+            Cond::G => !f.zf && f.sf == f.of,
+            Cond::A => !f.cf && !f.zf,
+            Cond::Be => f.cf || f.zf,
+        }
+    }
+
+    /// The condition's logical inverse (`E` ↔ `Ne`, `C` ↔ `Nc`, …).
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::C => Cond::Nc,
+            Cond::Nc => Cond::C,
+            Cond::S => Cond::Ns,
+            Cond::Ns => Cond::S,
+            Cond::O => Cond::No,
+            Cond::No => Cond::O,
+            Cond::L => Cond::Ge,
+            Cond::Ge => Cond::L,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+            Cond::A => Cond::Be,
+            Cond::Be => Cond::A,
+        }
+    }
+
+    /// The conventional mnemonic, e.g. `"je"`.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::E => "je",
+            Cond::Ne => "jne",
+            Cond::C => "jc",
+            Cond::Nc => "jnc",
+            Cond::S => "js",
+            Cond::Ns => "jns",
+            Cond::O => "jo",
+            Cond::No => "jno",
+            Cond::L => "jl",
+            Cond::Ge => "jge",
+            Cond::Le => "jle",
+            Cond::G => "jg",
+            Cond::A => "ja",
+            Cond::Be => "jbe",
+        }
+    }
+}
+
+impl std::fmt::Display for Cond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_flags_equality() {
+        let f = Flags::from_sub(42, 42);
+        assert!(f.zf && !f.cf && !f.sf && !f.of);
+    }
+
+    #[test]
+    fn sub_flags_borrow() {
+        let f = Flags::from_sub(1, 2);
+        assert!(!f.zf && f.cf && f.sf);
+    }
+
+    #[test]
+    fn sub_flags_signed_overflow() {
+        // i64::MIN - 1 overflows signed.
+        let f = Flags::from_sub(i64::MIN as u64, 1);
+        assert!(f.of);
+    }
+
+    #[test]
+    fn add_flags_carry_and_overflow() {
+        let f = Flags::from_add(u64::MAX, 1);
+        assert!(f.zf && f.cf && !f.of);
+        let f = Flags::from_add(i64::MAX as u64, 1);
+        assert!(f.of && f.sf);
+    }
+
+    #[test]
+    fn and_flags() {
+        let f = Flags::from_and(0b1010, 0b0101);
+        assert!(f.zf && !f.cf && !f.of);
+    }
+
+    #[test]
+    fn inversion_is_involutive_and_complementary() {
+        let samples = [
+            Flags::from_sub(0, 0),
+            Flags::from_sub(1, 2),
+            Flags::from_sub(2, 1),
+            Flags::from_sub(i64::MIN as u64, 1),
+            Flags::from_add(u64::MAX, 1),
+        ];
+        for c in Cond::ALL {
+            assert_eq!(c.invert().invert(), *c);
+            for f in samples {
+                assert_ne!(c.eval(f), c.invert().eval(f), "{c} on {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_vs_unsigned_comparisons() {
+        // -1 vs 1: signed less, unsigned above.
+        let f = Flags::from_sub(u64::MAX, 1);
+        assert!(Cond::L.eval(f));
+        assert!(Cond::A.eval(f));
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let set: std::collections::HashSet<_> = Cond::ALL.iter().map(|c| c.mnemonic()).collect();
+        assert_eq!(set.len(), Cond::ALL.len());
+    }
+}

@@ -1,0 +1,394 @@
+//! Instruction definitions.
+
+use crate::cond::Cond;
+use crate::reg::Reg;
+
+/// A memory operand: `disp(base, index*scale)` in AT&T terms.
+///
+/// Absolute addresses are expressed with no base register and the address
+/// in `disp` — how the paper's gadgets reference kernel probe addresses.
+///
+/// # Examples
+///
+/// ```
+/// use tet_isa::{Addr, Reg};
+///
+/// let stack_top = Addr::base(Reg::Rsp);
+/// let kernel = Addr::abs(0xffff_ffff_8000_0000);
+/// assert_eq!(kernel.disp, 0xffff_ffff_8000_0000u64 as i64);
+/// assert!(stack_top.base.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register and scale (1, 2, 4 or 8), if any.
+    pub index: Option<(Reg, u8)>,
+    /// Displacement, added to base and scaled index.
+    pub disp: i64,
+}
+
+impl Addr {
+    /// `disp` only — an absolute virtual address.
+    pub const fn abs(addr: u64) -> Addr {
+        Addr {
+            base: None,
+            index: None,
+            disp: addr as i64,
+        }
+    }
+
+    /// `(base)` — register-indirect with no displacement.
+    pub const fn base(base: Reg) -> Addr {
+        Addr {
+            base: Some(base),
+            index: None,
+            disp: 0,
+        }
+    }
+
+    /// `disp(base)` — register-indirect with displacement.
+    pub const fn base_disp(base: Reg, disp: i64) -> Addr {
+        Addr {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+
+    /// `disp(base, index*scale)` — full form.
+    pub const fn base_index(base: Reg, index: Reg, scale: u8, disp: i64) -> Addr {
+        Addr {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+
+    /// Registers this operand reads to form its effective address.
+    pub fn srcs(&self) -> impl Iterator<Item = Reg> {
+        self.base.into_iter().chain(self.index.map(|(r, _)| r))
+    }
+}
+
+/// A source operand: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// A register source.
+    Reg(Reg),
+    /// An immediate source.
+    Imm(u64),
+}
+
+impl From<Reg> for Src {
+    fn from(r: Reg) -> Src {
+        Src::Reg(r)
+    }
+}
+
+impl From<u64> for Src {
+    fn from(v: u64) -> Src {
+        Src::Imm(v)
+    }
+}
+
+/// Flag-setting ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the operations are self-describing
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    /// Logical left shift (count masked to 63, as on x86-64).
+    Shl,
+}
+
+impl AluOp {
+    /// Applies the operation.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a << (b & 63),
+        }
+    }
+}
+
+/// One instruction of the simulated ISA.
+///
+/// Branch targets are *instruction indices* into the owning
+/// [`Program`](crate::Program); the [`Asm`](crate::Asm) builder resolves
+/// labels to indices at assembly time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// No operation.
+    Nop,
+    /// `dst <- imm`.
+    MovImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `dst <- src`.
+    MovReg {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// 8-byte load: `dst <- mem[addr]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Memory operand.
+        addr: Addr,
+    },
+    /// Zero-extending 1-byte load: `dst <- zx(mem8[addr])` — how the
+    /// paper's gadgets read secret bytes.
+    LoadByte {
+        /// Destination register.
+        dst: Reg,
+        /// Memory operand.
+        addr: Addr,
+    },
+    /// 8-byte store: `mem[addr] <- src`.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Memory operand.
+        addr: Addr,
+    },
+    /// 1-byte store: `mem8[addr] <- src & 0xff`.
+    StoreByte {
+        /// Source register.
+        src: Reg,
+        /// Memory operand.
+        addr: Addr,
+    },
+    /// Load effective address: `dst <- &addr` (no memory access).
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Memory operand whose effective address is taken.
+        addr: Addr,
+    },
+    /// Flag-setting ALU op: `dst <- op(dst, src)`.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination (and first source) register.
+        dst: Reg,
+        /// Second source operand.
+        src: Src,
+    },
+    /// Compare: sets flags from `a - b` without writing a register.
+    Cmp {
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Src,
+    },
+    /// Test: sets flags from `a & b` without writing a register.
+    Test {
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Src,
+    },
+    /// Conditional jump to an instruction index.
+    Jcc {
+        /// Condition tested against the flags.
+        cond: Cond,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Indirect jump through a register holding an instruction index.
+    JmpReg {
+        /// Register holding the target instruction index.
+        reg: Reg,
+    },
+    /// Call: pushes the return index on the stack, jumps to `target`.
+    Call {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Return: pops the return index from the stack. Predicted by the RSB.
+    Ret,
+    /// Push a register on the stack (`rsp -= 8; mem[rsp] <- src`).
+    Push {
+        /// Source register.
+        src: Reg,
+    },
+    /// Pop a register from the stack (`dst <- mem[rsp]; rsp += 8`).
+    Pop {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Flush the cache line containing `addr` from the whole hierarchy.
+    Clflush {
+        /// Memory operand whose line is flushed.
+        addr: Addr,
+    },
+    /// Software prefetch of `addr` (never faults; used by the baseline
+    /// EntryBleed-style KASLR probe).
+    Prefetch {
+        /// Memory operand to prefetch.
+        addr: Addr,
+    },
+    /// Load fence: younger instructions wait until all older instructions
+    /// complete. Serialises `rdtsc` measurements like the paper's gadgets.
+    Lfence,
+    /// Full memory fence (same serialising behaviour in this model, plus
+    /// store-buffer drain).
+    Mfence,
+    /// Store fence (drains the store buffer).
+    Sfence,
+    /// Read the time-stamp counter into `rax` (cycle-resolution).
+    Rdtsc,
+    /// Begin a TSX transaction; on any abort, control transfers to
+    /// `abort_target` with no architectural side effects.
+    XBegin {
+        /// Instruction index control resumes at on abort.
+        abort_target: usize,
+    },
+    /// End (commit) the innermost TSX transaction.
+    XEnd,
+    /// Minimal syscall model: enters the kernel through the KPTI
+    /// trampoline (warming its TLB entries) and returns.
+    Syscall,
+    /// Stop the simulation (architecturally retires, then halts).
+    Halt,
+}
+
+/// Placeholder for unresolved branch targets inside [`Asm`](crate::Asm).
+pub(crate) const UNRESOLVED: usize = usize::MAX;
+
+impl Inst {
+    /// Is this a control-flow instruction (jump/call/ret)?
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jcc { .. }
+                | Inst::Jmp { .. }
+                | Inst::JmpReg { .. }
+                | Inst::Call { .. }
+                | Inst::Ret
+        )
+    }
+
+    /// Does this instruction access data memory?
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. }
+                | Inst::LoadByte { .. }
+                | Inst::Store { .. }
+                | Inst::StoreByte { .. }
+                | Inst::Push { .. }
+                | Inst::Pop { .. }
+                | Inst::Call { .. }
+                | Inst::Ret
+                | Inst::Clflush { .. }
+                | Inst::Prefetch { .. }
+        )
+    }
+
+    /// Is this a serialising fence?
+    pub fn is_fence(&self) -> bool {
+        matches!(self, Inst::Lfence | Inst::Mfence | Inst::Sfence)
+    }
+
+    /// The register this instruction architecturally writes, if any
+    /// (`rsp` side effects of push/pop/call/ret are handled separately by
+    /// the pipeline's stack engine).
+    pub fn dest_reg(&self) -> Option<Reg> {
+        match self {
+            Inst::MovImm { dst, .. }
+            | Inst::MovReg { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::LoadByte { dst, .. }
+            | Inst::Lea { dst, .. }
+            | Inst::Alu { dst, .. }
+            | Inst::Pop { dst } => Some(*dst),
+            Inst::Rdtsc => Some(Reg::Rax),
+            _ => None,
+        }
+    }
+
+    /// Does this instruction write the arithmetic flags?
+    pub fn writes_flags(&self) -> bool {
+        matches!(
+            self,
+            Inst::Alu { .. } | Inst::Cmp { .. } | Inst::Test { .. }
+        )
+    }
+
+    /// Does this instruction read the arithmetic flags?
+    pub fn reads_flags(&self) -> bool {
+        matches!(self, Inst::Jcc { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_constructors() {
+        let a = Addr::abs(0x1000);
+        assert_eq!((a.base, a.index, a.disp), (None, None, 0x1000));
+        let b = Addr::base_disp(Reg::Rcx, -8);
+        assert_eq!(b.base, Some(Reg::Rcx));
+        assert_eq!(b.disp, -8);
+        let c = Addr::base_index(Reg::Rbx, Reg::Rdx, 8, 16);
+        assert_eq!(c.index, Some((Reg::Rdx, 8)));
+        let srcs: Vec<_> = c.srcs().collect();
+        assert_eq!(srcs, vec![Reg::Rbx, Reg::Rdx]);
+    }
+
+    #[test]
+    fn alu_ops_apply() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), u64::MAX);
+        assert_eq!(AluOp::And.apply(0b110, 0b011), 0b010);
+        assert_eq!(AluOp::Or.apply(0b100, 0b001), 0b101);
+        assert_eq!(AluOp::Xor.apply(0b110, 0b011), 0b101);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Inst::Ret.is_branch());
+        assert!(Inst::Ret.is_memory());
+        assert!(Inst::Lfence.is_fence());
+        assert!(!Inst::Nop.is_branch());
+        assert!(Inst::Jcc {
+            cond: Cond::E,
+            target: 0
+        }
+        .reads_flags());
+        assert!(Inst::Cmp {
+            a: Reg::Rax,
+            b: Src::Imm(1)
+        }
+        .writes_flags());
+        assert_eq!(Inst::Rdtsc.dest_reg(), Some(Reg::Rax));
+        assert_eq!(Inst::Nop.dest_reg(), None);
+    }
+
+    #[test]
+    fn src_conversions() {
+        assert_eq!(Src::from(Reg::Rbx), Src::Reg(Reg::Rbx));
+        assert_eq!(Src::from(9u64), Src::Imm(9));
+    }
+}

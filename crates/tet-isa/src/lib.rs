@@ -1,0 +1,50 @@
+//! An x86-like instruction set for the Whisper (DAC 2024) reproduction.
+//!
+//! The attacks in the paper are written as short assembly gadgets
+//! (Figure 1a, Listing 1, Listing 2). This crate defines the instruction
+//! set those gadgets need — conditional jumps in several flavours,
+//! loads/stores, `call`/`ret`, fences, `clflush`, `rdtsc`, TSX region
+//! markers — together with registers, flags, and an [`Asm`] builder that
+//! assembles label-based programs into executable [`Program`]s for the
+//! [`tet-uarch`](../tet_uarch/index.html) pipeline simulator.
+//!
+//! Programs are instruction-indexed: each instruction occupies one slot
+//! and "addresses" used by the frontend are instruction indices. Data
+//! addresses are full 64-bit virtual addresses resolved by the simulated
+//! MMU.
+//!
+//! # Examples
+//!
+//! Build the TET gadget core of Figure 1a — compare a test value with a
+//! transiently-obtained secret and conditionally execute a `nop`:
+//!
+//! ```
+//! use tet_isa::{Asm, Cond, Reg};
+//!
+//! # fn main() -> Result<(), tet_isa::AssembleError> {
+//! let mut a = Asm::new();
+//! let skip = a.fresh_label();
+//! a.load(Reg::Rax, Reg::Rcx, 0) // transient load of the secret
+//!     .cmp_imm(Reg::Rax, b'S' as u64)
+//!     .jcc(Cond::Ne, skip)
+//!     .nop()
+//!     .bind(skip)
+//!     .halt();
+//! let prog = a.assemble()?;
+//! assert_eq!(prog.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cond;
+pub mod inst;
+pub mod reg;
+pub mod text;
+
+pub use asm::{Asm, AssembleError, Label, Program};
+pub use cond::{Cond, Flags};
+pub use inst::{Addr, Inst, Src};
+pub use reg::Reg;

@@ -1,0 +1,635 @@
+//! A textual assembly format: parse gadgets written as text, and print
+//! programs back out ([`disassemble`]). The syntax is Intel-flavoured
+//! (`op dst, src`), one instruction per line, `;` or `#` comments,
+//! `label:` definitions.
+//!
+//! # Examples
+//!
+//! The Figure 1a TET block as text:
+//!
+//! ```
+//! use tet_isa::text::parse;
+//!
+//! # fn main() -> Result<(), tet_isa::text::ParseError> {
+//! let prog = parse(
+//!     r#"
+//!     rdtsc
+//!     mov r8, rax
+//!     lfence
+//!     ldb rax, [0xffffffff81000000]   ; faulting transient load
+//!     cmp rax, rbx
+//!     je matched
+//!     nop
+//! matched:
+//!     nop
+//!     rdtsc
+//!     sub rax, r8
+//!     halt
+//!     "#,
+//! )?;
+//! assert_eq!(prog.len(), 11);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::asm::Program;
+use crate::cond::Cond;
+use crate::inst::{Addr, AluOp, Inst, Src};
+use crate::reg::Reg;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    Reg::ALL
+        .iter()
+        .copied()
+        .find(|r| r.name() == tok)
+        .ok_or_else(|| err(line, format!("unknown register `{tok}`")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<u64, ParseError> {
+    let (s, neg) = match tok.strip_prefix('-') {
+        Some(rest) => (rest, true),
+        None => (tok, false),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse::<u64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+fn parse_src(tok: &str, line: usize) -> Result<Src, ParseError> {
+    if let Ok(r) = parse_reg(tok, line) {
+        Ok(Src::Reg(r))
+    } else {
+        Ok(Src::Imm(parse_imm(tok, line)?))
+    }
+}
+
+/// Parses `[base]`, `[base+disp]`, `[base-disp]` or `[abs]`.
+fn parse_mem(tok: &str, line: usize) -> Result<Addr, ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| {
+            err(
+                line,
+                format!("expected memory operand `[...]`, got `{tok}`"),
+            )
+        })?;
+    let inner = inner.trim();
+    // base +/- disp
+    for (i, c) in inner.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            let base = parse_reg(inner[..i].trim(), line)?;
+            let disp = parse_imm(inner[i + 1..].trim(), line)? as i64;
+            return Ok(Addr::base_disp(base, if c == '-' { -disp } else { disp }));
+        }
+    }
+    if let Ok(base) = parse_reg(inner, line) {
+        Ok(Addr::base(base))
+    } else {
+        Ok(Addr::abs(parse_imm(inner, line)?))
+    }
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    rest.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Parses a text program into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for unknown mnemonics/registers, malformed
+/// operands, duplicate or undefined labels, and empty programs.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    // Pass 1: assign instruction indices, record label positions.
+    struct Pending {
+        line: usize,
+        mnemonic: String,
+        operands: Vec<String>,
+    }
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut pending: Vec<Pending> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(i) = text.find([';', '#']) {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break; // not a label — let the mnemonic parser complain
+            }
+            if labels.insert(name.to_string(), pending.len()).is_some() {
+                return Err(err(line, format!("duplicate label `{name}`")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        pending.push(Pending {
+            line,
+            mnemonic: mnemonic.to_lowercase(),
+            operands: split_operands(rest),
+        });
+    }
+
+    // Pass 2: encode.
+    let mut insts = Vec::with_capacity(pending.len());
+    let resolve = |name: &str, line: usize| -> Result<usize, ParseError> {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined label `{name}`")))
+    };
+
+    for p in &pending {
+        let line = p.line;
+        let ops = &p.operands;
+        let n = ops.len();
+        let want = |k: usize| -> Result<(), ParseError> {
+            if n == k {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("`{}` expects {k} operand(s), got {n}", p.mnemonic),
+                ))
+            }
+        };
+        let alu = |op: AluOp| -> Result<Inst, ParseError> {
+            want(2)?;
+            Ok(Inst::Alu {
+                op,
+                dst: parse_reg(&ops[0], line)?,
+                src: parse_src(&ops[1], line)?,
+            })
+        };
+
+        let inst = match p.mnemonic.as_str() {
+            "nop" => {
+                want(0)?;
+                Inst::Nop
+            }
+            "halt" | "hlt" => {
+                want(0)?;
+                Inst::Halt
+            }
+            "mov" => {
+                want(2)?;
+                if ops[0].starts_with('[') {
+                    Inst::Store {
+                        src: parse_reg(&ops[1], line)?,
+                        addr: parse_mem(&ops[0], line)?,
+                    }
+                } else if ops[1].starts_with('[') {
+                    Inst::Load {
+                        dst: parse_reg(&ops[0], line)?,
+                        addr: parse_mem(&ops[1], line)?,
+                    }
+                } else if let Ok(srcreg) = parse_reg(&ops[1], line) {
+                    Inst::MovReg {
+                        dst: parse_reg(&ops[0], line)?,
+                        src: srcreg,
+                    }
+                } else {
+                    Inst::MovImm {
+                        dst: parse_reg(&ops[0], line)?,
+                        imm: parse_imm(&ops[1], line)?,
+                    }
+                }
+            }
+            "ldb" | "movzxb" => {
+                want(2)?;
+                Inst::LoadByte {
+                    dst: parse_reg(&ops[0], line)?,
+                    addr: parse_mem(&ops[1], line)?,
+                }
+            }
+            "stb" => {
+                want(2)?;
+                Inst::StoreByte {
+                    src: parse_reg(&ops[1], line)?,
+                    addr: parse_mem(&ops[0], line)?,
+                }
+            }
+            "lea" => {
+                want(2)?;
+                Inst::Lea {
+                    dst: parse_reg(&ops[0], line)?,
+                    addr: parse_mem(&ops[1], line)?,
+                }
+            }
+            "add" => alu(AluOp::Add)?,
+            "sub" => alu(AluOp::Sub)?,
+            "and" => alu(AluOp::And)?,
+            "or" => alu(AluOp::Or)?,
+            "xor" => alu(AluOp::Xor)?,
+            "shl" => alu(AluOp::Shl)?,
+            "cmp" => {
+                want(2)?;
+                Inst::Cmp {
+                    a: parse_reg(&ops[0], line)?,
+                    b: parse_src(&ops[1], line)?,
+                }
+            }
+            "test" => {
+                want(2)?;
+                Inst::Test {
+                    a: parse_reg(&ops[0], line)?,
+                    b: parse_src(&ops[1], line)?,
+                }
+            }
+            "jmp" => {
+                want(1)?;
+                if let Ok(r) = parse_reg(&ops[0], line) {
+                    Inst::JmpReg { reg: r }
+                } else {
+                    Inst::Jmp {
+                        target: resolve(&ops[0], line)?,
+                    }
+                }
+            }
+            "call" => {
+                want(1)?;
+                Inst::Call {
+                    target: resolve(&ops[0], line)?,
+                }
+            }
+            "ret" => {
+                want(0)?;
+                Inst::Ret
+            }
+            "push" => {
+                want(1)?;
+                Inst::Push {
+                    src: parse_reg(&ops[0], line)?,
+                }
+            }
+            "pop" => {
+                want(1)?;
+                Inst::Pop {
+                    dst: parse_reg(&ops[0], line)?,
+                }
+            }
+            "clflush" => {
+                want(1)?;
+                Inst::Clflush {
+                    addr: parse_mem(&ops[0], line)?,
+                }
+            }
+            "prefetch" => {
+                want(1)?;
+                Inst::Prefetch {
+                    addr: parse_mem(&ops[0], line)?,
+                }
+            }
+            "lfence" => {
+                want(0)?;
+                Inst::Lfence
+            }
+            "mfence" => {
+                want(0)?;
+                Inst::Mfence
+            }
+            "sfence" => {
+                want(0)?;
+                Inst::Sfence
+            }
+            "rdtsc" => {
+                want(0)?;
+                Inst::Rdtsc
+            }
+            "xbegin" => {
+                want(1)?;
+                Inst::XBegin {
+                    abort_target: resolve(&ops[0], line)?,
+                }
+            }
+            "xend" => {
+                want(0)?;
+                Inst::XEnd
+            }
+            "syscall" => {
+                want(0)?;
+                Inst::Syscall
+            }
+            other => {
+                if let Some(cond) = Cond::ALL.iter().find(|c| c.mnemonic() == other) {
+                    want(1)?;
+                    Inst::Jcc {
+                        cond: *cond,
+                        target: resolve(&ops[0], line)?,
+                    }
+                } else {
+                    return Err(err(line, format!("unknown mnemonic `{other}`")));
+                }
+            }
+        };
+        insts.push(inst);
+    }
+
+    // Reuse the builder for the final Program construction (validates
+    // non-emptiness).
+    let mut a = crate::asm::Asm::new();
+    for i in &insts {
+        a.raw(*i);
+    }
+    a.assemble().map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+fn fmt_addr(addr: &Addr) -> String {
+    match (addr.base, addr.index) {
+        (Some(b), None) if addr.disp == 0 => format!("[{b}]"),
+        (Some(b), None) if addr.disp >= 0 => format!("[{b}+{:#x}]", addr.disp),
+        (Some(b), None) => format!("[{b}-{:#x}]", -addr.disp),
+        (None, None) => format!("[{:#x}]", addr.disp as u64),
+        // Scaled-index operands have no textual form yet; print a
+        // readable debug shape (parse() does not accept it back).
+        (b, i) => format!("[{b:?}+{i:?}+{:#x}]", addr.disp),
+    }
+}
+
+fn fmt_src(src: &Src) -> String {
+    match src {
+        Src::Reg(r) => r.to_string(),
+        Src::Imm(v) => format!("{v:#x}"),
+    }
+}
+
+/// Renders one instruction in the textual syntax (branch targets appear
+/// as `Ln` labels; [`disassemble`] emits the matching definitions).
+pub fn fmt_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::Nop => "nop".into(),
+        Inst::Halt => "halt".into(),
+        Inst::MovImm { dst, imm } => format!("mov {dst}, {imm:#x}"),
+        Inst::MovReg { dst, src } => format!("mov {dst}, {src}"),
+        Inst::Load { dst, addr } => format!("mov {dst}, {}", fmt_addr(addr)),
+        Inst::LoadByte { dst, addr } => format!("ldb {dst}, {}", fmt_addr(addr)),
+        Inst::Store { src, addr } => format!("mov {}, {src}", fmt_addr(addr)),
+        Inst::StoreByte { src, addr } => format!("stb {}, {src}", fmt_addr(addr)),
+        Inst::Lea { dst, addr } => format!("lea {dst}, {}", fmt_addr(addr)),
+        Inst::Alu { op, dst, src } => {
+            let m = match op {
+                AluOp::Add => "add",
+                AluOp::Sub => "sub",
+                AluOp::And => "and",
+                AluOp::Or => "or",
+                AluOp::Xor => "xor",
+                AluOp::Shl => "shl",
+            };
+            format!("{m} {dst}, {}", fmt_src(src))
+        }
+        Inst::Cmp { a, b } => format!("cmp {a}, {}", fmt_src(b)),
+        Inst::Test { a, b } => format!("test {a}, {}", fmt_src(b)),
+        Inst::Jcc { cond, target } => format!("{} L{target}", cond.mnemonic()),
+        Inst::Jmp { target } => format!("jmp L{target}"),
+        Inst::JmpReg { reg } => format!("jmp {reg}"),
+        Inst::Call { target } => format!("call L{target}"),
+        Inst::Ret => "ret".into(),
+        Inst::Push { src } => format!("push {src}"),
+        Inst::Pop { dst } => format!("pop {dst}"),
+        Inst::Clflush { addr } => format!("clflush {}", fmt_addr(addr)),
+        Inst::Prefetch { addr } => format!("prefetch {}", fmt_addr(addr)),
+        Inst::Lfence => "lfence".into(),
+        Inst::Mfence => "mfence".into(),
+        Inst::Sfence => "sfence".into(),
+        Inst::Rdtsc => "rdtsc".into(),
+        Inst::XBegin { abort_target } => format!("xbegin L{abort_target}"),
+        Inst::XEnd => "xend".into(),
+        Inst::Syscall => "syscall".into(),
+    }
+}
+
+impl std::fmt::Display for Inst {
+    /// Renders the instruction in the textual assembly syntax.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&fmt_inst(self))
+    }
+}
+
+/// Renders a whole program in parseable textual syntax, emitting `Ln:`
+/// label definitions at branch targets.
+pub fn disassemble(prog: &Program) -> String {
+    use std::collections::BTreeSet;
+    let mut targets = BTreeSet::new();
+    for inst in prog.insts() {
+        match inst {
+            Inst::Jcc { target, .. }
+            | Inst::Jmp { target }
+            | Inst::Call { target }
+            | Inst::XBegin {
+                abort_target: target,
+            } => {
+                targets.insert(*target);
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    for (i, inst) in prog.insts().iter().enumerate() {
+        if targets.contains(&i) {
+            out.push_str(&format!("L{i}:\n"));
+        }
+        out.push_str("    ");
+        out.push_str(&fmt_inst(inst));
+        out.push('\n');
+    }
+    // Labels one past the end (e.g. an abort target after the last inst).
+    if targets.contains(&prog.len()) {
+        out.push_str(&format!("L{}:\n    nop\n", prog.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_fig1_gadget() {
+        let prog = parse(
+            r#"
+            rdtsc
+            mov r8, rax
+            lfence
+            ldb rax, [0xffffffff81000000]
+            cmp rax, rbx
+            je matched
+            nop
+        matched:
+            nop
+            rdtsc
+            sub rax, r8
+            halt
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(prog.len(), 11);
+        assert_eq!(
+            prog.fetch(5),
+            Some(Inst::Jcc {
+                cond: Cond::E,
+                target: 7
+            })
+        );
+        assert_eq!(
+            prog.fetch(3),
+            Some(Inst::LoadByte {
+                dst: Reg::Rax,
+                addr: Addr::abs(0xffff_ffff_8100_0000)
+            })
+        );
+    }
+
+    #[test]
+    fn mov_disambiguates_forms() {
+        let prog = parse("mov rax, 5\nmov rbx, rax\nmov [rsp+8], rbx\nmov rcx, [rsp]\nhalt")
+            .expect("parses");
+        assert!(matches!(prog.fetch(0), Some(Inst::MovImm { .. })));
+        assert!(matches!(prog.fetch(1), Some(Inst::MovReg { .. })));
+        assert!(matches!(prog.fetch(2), Some(Inst::Store { .. })));
+        assert!(matches!(prog.fetch(3), Some(Inst::Load { .. })));
+    }
+
+    #[test]
+    fn negative_displacement_and_comments() {
+        let prog = parse("mov rax, [rbp-0x10] ; load a local\nhalt # done").expect("parses");
+        match prog.fetch(0) {
+            Some(Inst::Load { addr, .. }) => assert_eq!(addr.disp, -0x10),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backward_and_forward_labels() {
+        let prog = parse("top:\nsub rcx, 1\njne top\nje done\nnop\ndone:\nhalt").expect("parses");
+        assert_eq!(
+            prog.fetch(1),
+            Some(Inst::Jcc {
+                cond: Cond::Ne,
+                target: 0
+            })
+        );
+        assert_eq!(
+            prog.fetch(2),
+            Some(Inst::Jcc {
+                cond: Cond::E,
+                target: 4
+            })
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("nop\nbogus rax\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse("jmp nowhere\nhalt").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+
+        let e = parse("x:\nnop\nx:\nhalt").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+
+        let e = parse("mov rax\nhalt").unwrap_err();
+        assert!(e.message.contains("expects 2 operand"));
+    }
+
+    #[test]
+    fn all_jcc_mnemonics_parse() {
+        for c in Cond::ALL {
+            let src = format!("t:\nnop\n{} t\nhalt", c.mnemonic());
+            let prog = parse(&src).expect("parses");
+            assert_eq!(
+                prog.fetch(1),
+                Some(Inst::Jcc {
+                    cond: *c,
+                    target: 0
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn disassemble_round_trips() {
+        let src = r#"
+            rdtsc
+            mov r8, rax
+            lfence
+            ldb rax, [0x1000]
+            cmp rax, rbx
+            je m
+            nop
+        m:
+            push rax
+            pop rbx
+            clflush [rsp]
+            prefetch [0x2000]
+            xbegin a
+            xend
+        a:
+            call f
+            jmp out
+        f:
+            ret
+        out:
+            halt
+        "#;
+        let prog = parse(src).expect("parses");
+        let text = disassemble(&prog);
+        let reparsed = parse(&text).expect("disassembly reparses");
+        assert_eq!(prog, reparsed, "round trip must be exact:\n{text}");
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        assert!(parse("; nothing but comments\n").is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the textual assembly format: disassembling any
+//! representable program and re-parsing it must reproduce the program
+//! exactly, and the flag algebra obeys its involutions.
+
+use proptest::prelude::*;
+use tet_isa::inst::AluOp;
+use tet_isa::text::{disassemble, parse};
+use tet_isa::{Addr, Asm, Cond, Flags, Inst, Reg, Src};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    prop::sample::select(Reg::ALL.to_vec())
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+    ]
+}
+
+/// Addressing modes the textual syntax can represent.
+fn addr() -> impl Strategy<Value = Addr> {
+    prop_oneof![
+        any::<u64>().prop_map(Addr::abs),
+        reg().prop_map(Addr::base),
+        (reg(), -0x1000i64..0x1000).prop_map(|(b, d)| Addr::base_disp(b, d)),
+    ]
+}
+
+fn src() -> impl Strategy<Value = Src> {
+    prop_oneof![reg().prop_map(Src::Reg), any::<u64>().prop_map(Src::Imm)]
+}
+
+/// Straight-line (non-branch) instructions.
+fn straight_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        (reg(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
+        (reg(), reg()).prop_map(|(dst, src)| Inst::MovReg { dst, src }),
+        (reg(), addr()).prop_map(|(dst, addr)| Inst::Load { dst, addr }),
+        (reg(), addr()).prop_map(|(dst, addr)| Inst::LoadByte { dst, addr }),
+        (reg(), addr()).prop_map(|(src, addr)| Inst::Store { src, addr }),
+        (reg(), addr()).prop_map(|(src, addr)| Inst::StoreByte { src, addr }),
+        (reg(), addr()).prop_map(|(dst, addr)| Inst::Lea { dst, addr }),
+        (alu_op(), reg(), src()).prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),
+        (reg(), src()).prop_map(|(a, b)| Inst::Cmp { a, b }),
+        (reg(), src()).prop_map(|(a, b)| Inst::Test { a, b }),
+        reg().prop_map(|src| Inst::Push { src }),
+        reg().prop_map(|dst| Inst::Pop { dst }),
+        addr().prop_map(|addr| Inst::Clflush { addr }),
+        addr().prop_map(|addr| Inst::Prefetch { addr }),
+        Just(Inst::Lfence),
+        Just(Inst::Mfence),
+        Just(Inst::Sfence),
+        Just(Inst::Rdtsc),
+        Just(Inst::XEnd),
+        Just(Inst::Syscall),
+        Just(Inst::Ret),
+        reg().prop_map(|reg| Inst::JmpReg { reg }),
+    ]
+}
+
+proptest! {
+    /// disassemble ∘ parse = identity on representable programs.
+    #[test]
+    fn text_round_trip(
+        body in prop::collection::vec(straight_inst(), 1..40),
+        branches in prop::collection::vec((cond(), 0usize..40), 0..6),
+    ) {
+        let mut a = Asm::new();
+        for inst in &body {
+            a.raw(*inst);
+        }
+        // Add branches with targets inside the body.
+        for (c, t) in &branches {
+            a.raw(Inst::Jcc {
+                cond: *c,
+                target: *t % body.len(),
+            });
+        }
+        a.raw(Inst::Halt);
+        let prog = a.assemble().expect("assembles");
+
+        let text = disassemble(&prog);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(prog, reparsed);
+    }
+
+    /// Condition inversion is an involution and exactly complements
+    /// evaluation for arbitrary operand pairs.
+    #[test]
+    fn cond_inversion_complements(a in any::<u64>(), b in any::<u64>()) {
+        for c in Cond::ALL {
+            let f = Flags::from_sub(a, b);
+            prop_assert_eq!(c.invert().invert(), *c);
+            prop_assert_ne!(c.eval(f), c.invert().eval(f));
+        }
+    }
+
+    /// Flags algebra sanity for arbitrary operands.
+    #[test]
+    fn flags_match_wide_arithmetic(a in any::<u64>(), b in any::<u64>()) {
+        let sub = Flags::from_sub(a, b);
+        prop_assert_eq!(sub.zf, a == b);
+        prop_assert_eq!(sub.cf, a < b);
+        prop_assert_eq!(sub.sf, (a.wrapping_sub(b) as i64) < 0);
+        prop_assert_eq!(sub.of, (a as i64).checked_sub(b as i64).is_none());
+
+        let add = Flags::from_add(a, b);
+        prop_assert_eq!(add.cf, a.checked_add(b).is_none());
+        prop_assert_eq!(add.of, (a as i64).checked_add(b as i64).is_none());
+
+        // Signed/unsigned comparisons agree with native operators.
+        prop_assert_eq!(Cond::L.eval(sub), (a as i64) < (b as i64));
+        prop_assert_eq!(Cond::A.eval(sub), a > b);
+        prop_assert_eq!(Cond::Be.eval(sub), a <= b);
+        prop_assert_eq!(Cond::Ge.eval(sub), (a as i64) >= (b as i64));
+    }
+
+    /// `AluOp::apply` agrees with the native operators.
+    #[test]
+    fn alu_matches_native(op in alu_op(), a in any::<u64>(), b in any::<u64>()) {
+        let expect = match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a << (b & 63),
+        };
+        prop_assert_eq!(op.apply(a, b), expect);
+    }
+}

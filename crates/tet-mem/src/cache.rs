@@ -1,0 +1,269 @@
+//! Set-associative caches with LRU replacement and `clflush` support.
+
+use crate::{line_addr, LINE_SIZE};
+
+/// Geometry and latency of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use tet_mem::CacheConfig;
+///
+/// let l1 = CacheConfig::new(64, 8, 4); // 32 KiB, 4-cycle
+/// assert_eq!(l1.capacity_bytes(), 32 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Hit latency contribution in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two, or `ways` is zero.
+    pub fn new(sets: usize, ways: usize, latency: u64) -> Self {
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
+        assert!(ways > 0, "ways must be non-zero");
+        CacheConfig {
+            sets,
+            ways,
+            latency,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * LINE_SIZE as usize
+    }
+}
+
+/// One level of set-associative cache, tracking line presence (tags only —
+/// data lives in [`PhysMem`](crate::PhysMem), which is always coherent in
+/// this single-socket model).
+///
+/// `lookup` returns hit/miss and updates LRU; `fill` installs a line.
+///
+/// # Examples
+///
+/// ```
+/// use tet_mem::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::new(2, 2, 4));
+/// assert!(!c.lookup(0x40));
+/// c.fill(0x40);
+/// assert!(c.lookup(0x40));
+/// c.flush_line(0x40);
+/// assert!(!c.lookup(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// Per-set MRU-first list of resident line addresses.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        Cache {
+            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets],
+            cfg,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn set_index(&self, addr: u64) -> usize {
+        ((line_addr(addr) / LINE_SIZE) as usize) & (self.cfg.sets - 1)
+    }
+
+    /// Looks up the line containing `addr`, updating LRU and hit/miss
+    /// statistics. Returns `true` on hit.
+    pub fn lookup(&mut self, addr: u64) -> bool {
+        let line = line_addr(addr);
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.insert(0, l);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Checks for presence without updating LRU or statistics.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = line_addr(addr);
+        self.sets[self.set_index(addr)].contains(&line)
+    }
+
+    /// Installs the line containing `addr`, evicting the LRU way if the
+    /// set is full. Returns the evicted line address, if any.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        let line = line_addr(addr);
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.insert(0, l);
+            return None;
+        }
+        let evicted = if set.len() == self.cfg.ways {
+            set.pop()
+        } else {
+            None
+        };
+        set.insert(0, line);
+        evicted
+    }
+
+    /// Removes the line containing `addr` (the `clflush` primitive).
+    /// Returns whether the line was present.
+    pub fn flush_line(&mut self, addr: u64) -> bool {
+        let line = line_addr(addr);
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties the cache.
+    pub fn flush_all(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of resident lines (stealth experiments diff this across an
+    /// attack to show TET leaves no footprint — Table 1's *stateless*).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// A stable fingerprint of cache contents: the sorted list of resident
+    /// line addresses. Two fingerprints differ iff the cache state differs.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self.sets.iter().flatten().copied().collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// Lifetime `(hits, misses)` counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig::new(2, 2, 1))
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = CacheConfig::new(3, 2, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // All map to set 0 (multiples of 2 lines * 64B = 128).
+        c.fill(0);
+        c.fill(128);
+        // Touch 0 so 128 becomes LRU.
+        assert!(c.lookup(0));
+        let evicted = c.fill(256);
+        assert_eq!(evicted, Some(128));
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn refill_does_not_duplicate() {
+        let mut c = tiny();
+        c.fill(0);
+        c.fill(0);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn sub_line_addresses_share_a_line() {
+        let mut c = tiny();
+        c.fill(0x47);
+        assert!(c.probe(0x40));
+        assert!(c.probe(0x7f));
+        assert!(!c.probe(0x80));
+    }
+
+    #[test]
+    fn flush_line_and_all() {
+        let mut c = tiny();
+        c.fill(0);
+        c.fill(64);
+        assert!(c.flush_line(0));
+        assert!(!c.flush_line(0));
+        c.flush_all();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = tiny();
+        c.lookup(0);
+        c.fill(0);
+        c.lookup(0);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn probe_does_not_perturb_lru() {
+        let mut c = tiny();
+        c.fill(0);
+        c.fill(128);
+        // probe(0) must NOT move 0 to MRU.
+        assert!(c.probe(0));
+        let evicted = c.fill(256);
+        assert_eq!(evicted, Some(0));
+    }
+
+    #[test]
+    fn fingerprint_detects_state_change() {
+        let mut c = tiny();
+        c.fill(0);
+        let f1 = c.fingerprint();
+        c.fill(64);
+        let f2 = c.fingerprint();
+        assert_ne!(f1, f2);
+        assert_eq!(f2, vec![0, 64]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Memory subsystem model for the Whisper (DAC 2024) reproduction.
+//!
+//! The TET-KASLR attack and the Zombieload variant live or die on memory
+//! subsystem details, so this crate models them explicitly:
+//!
+//! * [`phys`] — sparse simulated physical memory.
+//! * [`cache`] — set-associative, LRU caches (L1D/L1I/L2/LLC) with
+//!   `clflush` support.
+//! * [`lfb`] — line fill buffers that retain *stale data* from recent
+//!   fills, the substrate Zombieload samples.
+//! * [`paging`] — 4-level page tables, PTE permission bits (present /
+//!   user / writable / global / **reserved**, the last used by the FLARE
+//!   dummy mappings).
+//! * [`tlb`] — set-associative translation lookaside buffers. Whether a
+//!   TLB entry is installed by a *faulting* access is the root cause of
+//!   TET-KASLR (paper §5.2.4) and is decided by the CPU model, not here.
+//! * [`walker`] — the hardware page walker with per-level costs; walks
+//!   that fail (not-present / reserved-bit) report where they stopped so
+//!   the core can model Intel's walk-retry behaviour
+//!   (`DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK = 2` in Table 3).
+//! * [`hierarchy`] — the assembled [`MemorySystem`] with latency
+//!   accounting and a seeded DRAM jitter model (the noise the paper's
+//!   argmax analysis has to average away).
+//!
+//! Everything is deterministic given a seed; the only randomness is the
+//! explicitly seeded DRAM jitter.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hierarchy;
+pub mod lfb;
+pub mod paging;
+pub mod phys;
+pub mod tlb;
+pub mod walker;
+
+pub use cache::{Cache, CacheConfig};
+pub use hierarchy::{DataAccess, HitLevel, MemoryConfig, MemorySystem};
+pub use lfb::LineFillBuffer;
+pub use paging::{AddressSpace, FrameAlloc, Pte, WalkOutcome};
+pub use phys::PhysMem;
+pub use tlb::{Tlb, TlbConfig, TlbEntry};
+pub use walker::{PageWalker, WalkConfig, WalkResult};
+
+/// Bytes per page (4 KiB, the paper's probing granularity).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Bytes per cache line.
+pub const LINE_SIZE: u64 = 64;
+
+/// Returns the virtual page number of an address.
+#[inline]
+pub fn vpn(vaddr: u64) -> u64 {
+    vaddr >> 12
+}
+
+/// Returns the cache-line address (line-aligned) of an address.
+#[inline]
+pub fn line_addr(addr: u64) -> u64 {
+    addr & !(LINE_SIZE - 1)
+}

@@ -1,0 +1,123 @@
+//! Sparse simulated physical memory.
+
+use std::collections::HashMap;
+
+use crate::PAGE_SIZE;
+
+/// Sparse physical memory, allocated page-by-page on first write.
+///
+/// Reads of never-written memory return zero, like freshly-zeroed DRAM.
+///
+/// # Examples
+///
+/// ```
+/// use tet_mem::PhysMem;
+///
+/// let mut m = PhysMem::new();
+/// m.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u8(0x9_0000), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhysMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl PhysMem {
+    /// Creates empty (all-zero) physical memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page(&self, pa: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.pages.get(&(pa / PAGE_SIZE)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, pa: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(pa / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, pa: u64) -> u8 {
+        self.page(pa)
+            .map(|p| p[(pa % PAGE_SIZE) as usize])
+            .unwrap_or(0)
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, pa: u64, v: u8) {
+        let off = (pa % PAGE_SIZE) as usize;
+        self.page_mut(pa)[off] = v;
+    }
+
+    /// Reads an 8-byte little-endian value (may cross a page boundary).
+    pub fn read_u64(&self, pa: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(pa + i as u64);
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes an 8-byte little-endian value (may cross a page boundary).
+    pub fn write_u64(&mut self, pa: u64, v: u64) {
+        for (i, b) in v.to_le_bytes().iter().enumerate() {
+            self.write_u8(pa + i as u64, *b);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `pa`.
+    pub fn write_bytes(&mut self, pa: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(pa + i as u64, *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `pa`.
+    pub fn read_bytes(&self, pa: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(pa + i as u64)).collect()
+    }
+
+    /// Number of physical pages that have been touched by a write.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = PhysMem::new();
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.read_u64(0xffff_0000), 0);
+    }
+
+    #[test]
+    fn u64_round_trip_little_endian() {
+        let mut m = PhysMem::new();
+        m.write_u64(0x2000, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u8(0x2000), 0x08);
+        assert_eq!(m.read_u8(0x2007), 0x01);
+        assert_eq!(m.read_u64(0x2000), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn cross_page_u64_access() {
+        let mut m = PhysMem::new();
+        m.write_u64(0x1ffc, u64::MAX);
+        assert_eq!(m.read_u64(0x1ffc), u64::MAX);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn write_bytes_round_trip() {
+        let mut m = PhysMem::new();
+        m.write_bytes(0x3000, b"whisper");
+        assert_eq!(m.read_bytes(0x3000, 7), b"whisper");
+    }
+}

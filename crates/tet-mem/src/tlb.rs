@@ -1,0 +1,253 @@
+//! Translation lookaside buffers.
+//!
+//! Whether a *faulting* access installs a TLB entry is the root cause of
+//! TET-KASLR: the paper observes (§4.5, Table 3) that Intel cores load
+//! TLB entries for mapped kernel addresses even when the access lacks
+//! permission, while unmapped addresses obviously cannot fill the TLB.
+//! The fill policy lives in the CPU model; this module only provides the
+//! structure.
+
+use crate::{vpn, Pte};
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+}
+
+impl TlbConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two, or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
+        assert!(ways > 0, "ways must be non-zero");
+        TlbConfig { sets, ways }
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+/// One cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page number.
+    pub vpn: u64,
+    /// The cached leaf PTE (permissions are re-checked on every use).
+    pub pte: Pte,
+}
+
+/// A set-associative TLB with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use tet_mem::{Pte, Tlb, TlbConfig};
+///
+/// let mut tlb = Tlb::new(TlbConfig::new(16, 4));
+/// assert!(tlb.lookup(0xffff_ffff_8000_0000).is_none());
+/// tlb.fill(0xffff_ffff_8000_0000, Pte::kernel(7));
+/// assert!(tlb.lookup(0xffff_ffff_8000_0abc).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    /// Per-set MRU-first entries.
+    sets: Vec<Vec<TlbEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(cfg: TlbConfig) -> Self {
+        Tlb {
+            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets],
+            cfg,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> TlbConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn set_index(&self, page: u64) -> usize {
+        (page as usize) & (self.cfg.sets - 1)
+    }
+
+    /// Looks up the translation for `vaddr`, updating LRU and statistics.
+    pub fn lookup(&mut self, vaddr: u64) -> Option<TlbEntry> {
+        let page = vpn(vaddr);
+        let idx = self.set_index(page);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|e| e.vpn == page) {
+            let e = set.remove(pos);
+            set.insert(0, e);
+            self.hits += 1;
+            Some(e)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Checks for presence without updating LRU or statistics.
+    pub fn probe(&self, vaddr: u64) -> bool {
+        let page = vpn(vaddr);
+        self.sets[self.set_index(page)]
+            .iter()
+            .any(|e| e.vpn == page)
+    }
+
+    /// Installs a translation, evicting the set's LRU entry when full.
+    pub fn fill(&mut self, vaddr: u64, pte: Pte) {
+        let page = vpn(vaddr);
+        let idx = self.set_index(page);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|e| e.vpn == page) {
+            set.remove(pos);
+        } else if set.len() == self.cfg.ways {
+            set.pop();
+        }
+        set.insert(0, TlbEntry { vpn: page, pte });
+    }
+
+    /// Invalidates the entry for `vaddr` (the `invlpg` primitive).
+    pub fn flush_page(&mut self, vaddr: u64) -> bool {
+        let page = vpn(vaddr);
+        let idx = self.set_index(page);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|e| e.vpn == page) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Full flush, optionally preserving global (kernel) entries — the
+    /// semantics of a CR3 write without/with PCID-style global protection.
+    pub fn flush_all(&mut self, keep_global: bool) {
+        for set in &mut self.sets {
+            if keep_global {
+                set.retain(|e| e.pte.global);
+            } else {
+                set.clear();
+            }
+        }
+    }
+
+    /// Number of live entries.
+    pub fn resident_entries(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Sorted VPNs of live entries (stealth fingerprinting).
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.sets.iter().flatten().map(|e| e.vpn).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Lifetime `(hits, misses)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb4() -> Tlb {
+        Tlb::new(TlbConfig::new(1, 4))
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = tlb4();
+        assert!(t.lookup(0x1000).is_none());
+        t.fill(0x1000, Pte::user_data(1));
+        assert_eq!(t.lookup(0x1fff).unwrap().pte.frame, 1);
+        assert_eq!(t.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tlb4();
+        for p in 0..4u64 {
+            t.fill(p * 4096, Pte::user_data(p));
+        }
+        // Touch page 0 → page 1 is now LRU.
+        t.lookup(0);
+        t.fill(4 * 4096, Pte::user_data(4));
+        assert!(t.probe(0));
+        assert!(!t.probe(4096));
+    }
+
+    #[test]
+    fn refill_updates_pte() {
+        let mut t = tlb4();
+        t.fill(0x1000, Pte::user_data(1));
+        t.fill(0x1000, Pte::user_data(2));
+        assert_eq!(t.resident_entries(), 1);
+        assert_eq!(t.lookup(0x1000).unwrap().pte.frame, 2);
+    }
+
+    #[test]
+    fn flush_page_only_hits_target() {
+        let mut t = tlb4();
+        t.fill(0x1000, Pte::user_data(1));
+        t.fill(0x2000, Pte::user_data(2));
+        assert!(t.flush_page(0x1000));
+        assert!(!t.flush_page(0x1000));
+        assert!(t.probe(0x2000));
+    }
+
+    #[test]
+    fn flush_all_keep_global_retains_kernel_entries() {
+        let mut t = tlb4();
+        t.fill(0x1000, Pte::user_data(1));
+        t.fill(0xffff_ffff_8000_0000, Pte::kernel(2));
+        t.flush_all(true);
+        assert!(!t.probe(0x1000));
+        assert!(t.probe(0xffff_ffff_8000_0000));
+        t.flush_all(false);
+        assert_eq!(t.resident_entries(), 0);
+    }
+
+    #[test]
+    fn sets_partition_pages() {
+        let mut t = Tlb::new(TlbConfig::new(2, 1));
+        t.fill(0x0000, Pte::user_data(0)); // even page → set 0
+        t.fill(0x1000, Pte::user_data(1)); // odd page → set 1
+        assert_eq!(t.resident_entries(), 2);
+        // A second even page evicts only the set-0 entry.
+        t.fill(0x2000, Pte::user_data(2));
+        assert!(!t.probe(0x0000));
+        assert!(t.probe(0x1000));
+    }
+
+    #[test]
+    fn fingerprint_sorted() {
+        let mut t = tlb4();
+        t.fill(0x3000, Pte::user_data(3));
+        t.fill(0x1000, Pte::user_data(1));
+        assert_eq!(t.fingerprint(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,192 @@
+//! The hardware page-table walker and its timing model.
+//!
+//! Two policies here carry the whole TET-KASLR signal (paper §4.5 / §5.2.4):
+//!
+//! * **Retry on failure** (Intel): a walk that finds no translation is
+//!   retried, so a probe of an *unmapped* address performs
+//!   `1 + fail_retries` walks (Table 3 reports
+//!   `DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK = 2`) and accumulates a long
+//!   `WALK_ACTIVE` time, while a *mapped* address walks once.
+//! * **Early abort** (the modelled AMD behaviour): failing walks stop at a
+//!   fixed small cost without retries, which removes the timing
+//!   differential and makes TET-KASLR fail on Zen 3 (Table 2).
+
+use crate::paging::{AddressSpace, WalkOutcome};
+
+/// Timing/policy knobs for the walker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkConfig {
+    /// Cycles per page-table level touched (one cached PTE read each).
+    pub level_cost: u64,
+    /// Extra whole walks performed when a walk finds no translation
+    /// (Intel cores retry; Table 3 shows two walks per unmapped probe).
+    pub fail_retries: u32,
+    /// If set, failing walks abort immediately at `abort_cost` instead of
+    /// walking + retrying (the modelled AMD behaviour).
+    pub abort_early_on_fail: bool,
+    /// Cost of an early-aborted walk.
+    pub abort_cost: u64,
+}
+
+impl WalkConfig {
+    /// The Intel-like default used by the Core presets.
+    pub fn intel() -> Self {
+        WalkConfig {
+            level_cost: 15,
+            fail_retries: 1,
+            abort_early_on_fail: false,
+            abort_cost: 10,
+        }
+    }
+
+    /// The AMD-like default used by the Zen 3 preset.
+    pub fn amd() -> Self {
+        WalkConfig {
+            level_cost: 15,
+            fail_retries: 0,
+            abort_early_on_fail: true,
+            abort_cost: 12,
+        }
+    }
+}
+
+/// The outcome of one walker invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkResult {
+    /// What the tables said.
+    pub outcome: WalkOutcome,
+    /// Total cycles the walker was active (all retries included) —
+    /// feeds `DTLB_LOAD_MISSES.WALK_ACTIVE` / `ITLB_MISSES.WALK_ACTIVE`.
+    pub cycles: u64,
+    /// Number of walks performed — feeds
+    /// `DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK`.
+    pub walks: u32,
+    /// Page-table levels touched by the final walk.
+    pub levels: u8,
+}
+
+/// The hardware page walker.
+///
+/// # Examples
+///
+/// ```
+/// use tet_mem::{AddressSpace, PageWalker, Pte, WalkConfig};
+///
+/// let mut aspace = AddressSpace::new();
+/// aspace.map_page(0xffff_ffff_8000_0000, Pte::kernel(9));
+/// let walker = PageWalker::new(WalkConfig::intel());
+///
+/// let mapped = walker.walk(&aspace, 0xffff_ffff_8000_0000);
+/// let unmapped = walker.walk(&aspace, 0xffff_ffff_9000_0000);
+/// assert!(mapped.outcome.is_mapped());
+/// // Unmapped probes walk twice and take longer — the TET-KASLR signal.
+/// assert_eq!(unmapped.walks, 2);
+/// assert!(unmapped.cycles > mapped.cycles);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageWalker {
+    cfg: WalkConfig,
+}
+
+impl PageWalker {
+    /// Creates a walker with the given policy.
+    pub fn new(cfg: WalkConfig) -> Self {
+        PageWalker { cfg }
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> WalkConfig {
+        self.cfg
+    }
+
+    /// Performs a walk (with retries per policy) for `vaddr`.
+    pub fn walk(&self, aspace: &AddressSpace, vaddr: u64) -> WalkResult {
+        let (outcome, levels) = aspace.walk(vaddr);
+        let failed = !outcome.is_mapped();
+
+        if failed && self.cfg.abort_early_on_fail {
+            return WalkResult {
+                outcome,
+                cycles: self.cfg.abort_cost,
+                walks: 1,
+                levels,
+            };
+        }
+
+        let single = levels as u64 * self.cfg.level_cost;
+        let walks = if failed { 1 + self.cfg.fail_retries } else { 1 };
+        WalkResult {
+            outcome,
+            cycles: single * walks as u64,
+            walks,
+            levels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paging::Pte;
+
+    fn aspace_with_kernel() -> AddressSpace {
+        let mut a = AddressSpace::new();
+        a.map_page(0xffff_ffff_8000_0000, Pte::kernel(1));
+        a.map_page(0xffff_ffff_9000_0000, Pte::flare_dummy());
+        a
+    }
+
+    #[test]
+    fn mapped_walk_single_pass_full_depth() {
+        let w = PageWalker::new(WalkConfig::intel());
+        let r = w.walk(&aspace_with_kernel(), 0xffff_ffff_8000_0000);
+        assert!(r.outcome.is_mapped());
+        assert_eq!(r.walks, 1);
+        assert_eq!(r.levels, 4);
+        assert_eq!(r.cycles, 4 * 15);
+    }
+
+    #[test]
+    fn unmapped_walk_retries_and_costs_more() {
+        let w = PageWalker::new(WalkConfig::intel());
+        let a = aspace_with_kernel();
+        let mapped = w.walk(&a, 0xffff_ffff_8000_0000);
+        let unmapped = w.walk(&a, 0xffff_ffff_a000_0000);
+        assert!(!unmapped.outcome.is_mapped());
+        assert_eq!(unmapped.walks, 2);
+        assert!(unmapped.cycles > mapped.cycles);
+    }
+
+    #[test]
+    fn reserved_bit_counts_as_failure() {
+        let w = PageWalker::new(WalkConfig::intel());
+        let r = w.walk(&aspace_with_kernel(), 0xffff_ffff_9000_0000);
+        assert_eq!(r.outcome, WalkOutcome::ReservedBit);
+        assert_eq!(r.walks, 2, "reserved-bit walks are retried like unmapped");
+    }
+
+    #[test]
+    fn amd_aborts_early_and_flattens_the_differential() {
+        let w = PageWalker::new(WalkConfig::amd());
+        let a = aspace_with_kernel();
+        let unmapped = w.walk(&a, 0xffff_ffff_a000_0000);
+        assert_eq!(unmapped.cycles, WalkConfig::amd().abort_cost);
+        assert_eq!(unmapped.walks, 1);
+        // Mapped still walks normally.
+        let mapped = w.walk(&a, 0xffff_ffff_8000_0000);
+        assert!(mapped.outcome.is_mapped());
+        assert_eq!(mapped.cycles, 4 * 15);
+    }
+
+    #[test]
+    fn shallow_failures_cost_less_than_deep_failures() {
+        let w = PageWalker::new(WalkConfig::intel());
+        let mut a = AddressSpace::new();
+        a.map_page(0x1000, Pte::user_data(1));
+        let shallow = w.walk(&a, 0xffff_ffff_8000_0000); // fails at PML4
+        let deep = w.walk(&a, 0x2000); // fails at PT (same subtree)
+        assert!(shallow.cycles < deep.cycles);
+        assert_eq!(shallow.levels, 1);
+        assert_eq!(deep.levels, 4);
+    }
+}

@@ -1,0 +1,168 @@
+//! Model-based property tests: the set-associative cache and TLB are
+//! checked against naive reference models over arbitrary operation
+//! sequences, and the paging radix tree against a flat map.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use tet_mem::{AddressSpace, Cache, CacheConfig, Pte, Tlb, TlbConfig};
+
+// ---------------------------------------------------------------------
+// Cache vs a reference model (per-set LRU lists).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Lookup(u64),
+    Fill(u64),
+    FlushLine(u64),
+    FlushAll,
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    let addr = (0u64..64).prop_map(|l| l * 64 + (l % 7));
+    prop_oneof![
+        4 => addr.clone().prop_map(CacheOp::Lookup),
+        4 => addr.clone().prop_map(CacheOp::Fill),
+        1 => addr.prop_map(CacheOp::FlushLine),
+        1 => Just(CacheOp::FlushAll),
+    ]
+}
+
+/// Reference: same semantics, written as the obvious per-set LRU lists.
+#[derive(Debug, Default)]
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); sets],
+            ways,
+        }
+    }
+    fn idx(&self, addr: u64) -> usize {
+        ((addr / 64) as usize) % self.sets.len()
+    }
+    fn lookup(&mut self, addr: u64) -> bool {
+        let line = addr & !63;
+        let i = self.idx(addr);
+        if let Some(p) = self.sets[i].iter().position(|&l| l == line) {
+            let l = self.sets[i].remove(p);
+            self.sets[i].insert(0, l);
+            true
+        } else {
+            false
+        }
+    }
+    fn fill(&mut self, addr: u64) {
+        let line = addr & !63;
+        let i = self.idx(addr);
+        if let Some(p) = self.sets[i].iter().position(|&l| l == line) {
+            self.sets[i].remove(p);
+        } else if self.sets[i].len() == self.ways {
+            self.sets[i].pop();
+        }
+        self.sets[i].insert(0, line);
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_reference_model(ops in prop::collection::vec(cache_op(), 1..200)) {
+        let cfg = CacheConfig::new(4, 2, 1);
+        let mut dut = Cache::new(cfg);
+        let mut reference = RefCache::new(4, 2);
+        for op in &ops {
+            match op {
+                CacheOp::Lookup(a) => {
+                    prop_assert_eq!(dut.lookup(*a), reference.lookup(*a), "lookup({:#x})", a);
+                }
+                CacheOp::Fill(a) => {
+                    dut.fill(*a);
+                    reference.fill(*a);
+                }
+                CacheOp::FlushLine(a) => {
+                    dut.flush_line(*a);
+                    let line = *a & !63;
+                    let i = reference.idx(*a);
+                    reference.sets[i].retain(|&l| l != line);
+                }
+                CacheOp::FlushAll => {
+                    dut.flush_all();
+                    for s in &mut reference.sets {
+                        s.clear();
+                    }
+                }
+            }
+            // Invariants: capacity respected, fingerprint matches.
+            prop_assert!(dut.resident_lines() <= 8);
+            let mut expect: Vec<u64> = reference.sets.iter().flatten().copied().collect();
+            expect.sort_unstable();
+            prop_assert_eq!(dut.fingerprint(), expect);
+        }
+    }
+
+    #[test]
+    fn tlb_capacity_and_presence(pages in prop::collection::vec(0u64..32, 1..100)) {
+        let mut tlb = Tlb::new(TlbConfig::new(2, 2));
+        let mut last_fill: HashMap<u64, usize> = HashMap::new();
+        for (i, p) in pages.iter().enumerate() {
+            tlb.fill(p * 4096, Pte::user_data(*p));
+            last_fill.insert(*p, i);
+            prop_assert!(tlb.resident_entries() <= 4);
+            // The just-filled page is always present (MRU).
+            prop_assert!(tlb.probe(p * 4096));
+        }
+        // Every resident entry maps to the right frame.
+        for p in 0..32u64 {
+            if tlb.probe(p * 4096) {
+                prop_assert_eq!(tlb.lookup(p * 4096).unwrap().pte.frame, p);
+            }
+        }
+    }
+
+    #[test]
+    fn paging_matches_flat_map(
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..100)
+    ) {
+        // Random map/unmap of pages scattered across the radix levels.
+        let mut aspace = AddressSpace::new();
+        let mut flat: HashMap<u64, u64> = HashMap::new();
+        for (i, (slot, map)) in ops.iter().enumerate() {
+            // Spread slots across PML4/PDPT/PD/PT indices.
+            let vaddr = (slot % 4) << 39 | (slot % 8) << 30 | (slot % 16) << 21 | slot << 12;
+            if *map {
+                aspace.map_page(vaddr, Pte::user_data(i as u64 + 1));
+                flat.insert(vaddr >> 12, i as u64 + 1);
+            } else {
+                aspace.unmap_page(vaddr);
+                flat.remove(&(vaddr >> 12));
+            }
+            prop_assert_eq!(aspace.mapped_pages(), flat.len());
+        }
+        for (vpn, frame) in &flat {
+            prop_assert_eq!(aspace.translate(vpn << 12), Some(frame * 4096));
+        }
+    }
+
+    #[test]
+    fn walk_levels_bounded_and_consistent(slots in prop::collection::vec(0u64..64, 1..32)) {
+        let mut aspace = AddressSpace::new();
+        for s in &slots {
+            aspace.map_page(0x4000_0000 + s * 4096, Pte::user_data(*s + 1));
+        }
+        for probe in 0..128u64 {
+            let vaddr = 0x4000_0000 + probe * 4096;
+            let (outcome, levels) = aspace.walk(vaddr);
+            prop_assert!((1..=4).contains(&levels));
+            prop_assert_eq!(outcome.is_mapped(), slots.contains(&probe));
+            // A mapped walk always touches all four levels.
+            if outcome.is_mapped() {
+                prop_assert_eq!(levels, 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Container (Docker) environments — §4.5's virtualization experiment.
+//!
+//! The paper demonstrates TET-KASLR inside Docker 24.0.1 (runc). A
+//! container shares the host kernel, so the kernel image mappings visible
+//! to a containerized process are identical to the host's; what changes
+//! is which *auxiliary* probe primitives remain available. TET-KASLR
+//! needs only faulting user loads and `rdtsc`, neither of which default
+//! seccomp profiles block — which is why the attack carries over.
+
+/// A container runtime environment description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerEnv {
+    /// Runtime name, e.g. `"runc"`.
+    pub runtime: &'static str,
+    /// Engine version string.
+    pub version: &'static str,
+    /// Whether the seccomp profile permits `perf`-style PMU access
+    /// (default Docker: no — attacks must not depend on the PMU).
+    pub pmu_access: bool,
+    /// Whether unprivileged `rdtsc` is available (x86 containers: yes).
+    pub rdtsc_access: bool,
+    /// Whether arbitrary faulting loads are possible (always: SIGSEGV
+    /// handling is plain userspace).
+    pub faulting_loads: bool,
+}
+
+impl ContainerEnv {
+    /// The Docker environment evaluated in the paper
+    /// (Docker 24.0.1, build 6802122, runc).
+    pub fn docker_24() -> Self {
+        ContainerEnv {
+            runtime: "runc",
+            version: "24.0.1",
+            pmu_access: false,
+            rdtsc_access: true,
+            faulting_loads: true,
+        }
+    }
+
+    /// Bare-metal (no container) — everything available.
+    pub fn bare_metal() -> Self {
+        ContainerEnv {
+            runtime: "none",
+            version: "-",
+            pmu_access: true,
+            rdtsc_access: true,
+            faulting_loads: true,
+        }
+    }
+
+    /// Whether the TET-KASLR probe sequence (faulting load + `rdtsc`)
+    /// can run in this environment.
+    pub fn supports_tet_probe(&self) -> bool {
+        self.rdtsc_access && self.faulting_loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn docker_supports_tet_but_not_pmu() {
+        let d = ContainerEnv::docker_24();
+        assert!(d.supports_tet_probe());
+        assert!(!d.pmu_access);
+    }
+
+    #[test]
+    fn bare_metal_supports_everything() {
+        let b = ContainerEnv::bare_metal();
+        assert!(b.supports_tet_probe());
+        assert!(b.pmu_access);
+    }
+}

@@ -1,0 +1,250 @@
+//! Building a randomized kernel image into an address space, with KPTI
+//! and FLARE.
+
+use tet_mem::{AddressSpace, FrameAlloc, Pte};
+
+use crate::layout::{slot_base, KaslrSlot, KPTI_TRAMPOLINE_OFFSET, NUM_SLOTS, SLOT_SIZE};
+
+/// Configuration for [`Kernel::install`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// KASLR seed.
+    pub seed: u64,
+    /// Image size in 2 MiB slots (Linux images span tens of MiB; the
+    /// default of 16 slots = 32 MiB).
+    pub image_slots: u64,
+    /// Kernel page-table isolation: the user-visible tables retain only
+    /// the entry trampoline at the fixed `+0xe00000` offset.
+    pub kpti: bool,
+    /// FLARE: dummy mappings across every unused slot so that
+    /// presence-based probes (prefetch/EntryBleed-style) see uniform
+    /// behaviour over the whole region.
+    pub flare: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            seed: 0,
+            image_slots: 16,
+            kpti: false,
+            flare: false,
+        }
+    }
+}
+
+/// A kernel image installed into an attacker-visible address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kernel {
+    /// Randomized image base (the value KASLR hides).
+    pub base: u64,
+    /// The KASLR slot index of the base.
+    pub slot: u64,
+    /// Image size in slots.
+    pub image_slots: u64,
+    /// Virtual address of the KPTI entry trampoline
+    /// (`base + 0xe00000`; note `0xe00000 == 7 * SLOT_SIZE`, so the
+    /// trampoline is itself slot-aligned).
+    pub trampoline: u64,
+    /// Whether KPTI is active.
+    pub kpti: bool,
+    /// Whether FLARE is active.
+    pub flare: bool,
+    /// Virtual address of the page holding the simulated kernel secret
+    /// (for TET-Meltdown) — the first image page.
+    pub secret_va: u64,
+}
+
+impl Kernel {
+    /// Randomizes a placement and installs the kernel mappings into the
+    /// attacker-visible address space `aspace`.
+    ///
+    /// * Without KPTI: the base page of every image slot is mapped
+    ///   supervisor-only (user access faults on permissions but the
+    ///   *translation exists* — the TET-KASLR substrate).
+    /// * With KPTI: only the trampoline page is mapped.
+    /// * With FLARE: every unmapped slot base in the region receives a
+    ///   reserved-bit dummy PTE.
+    pub fn install(
+        cfg: &KernelConfig,
+        aspace: &mut AddressSpace,
+        frames: &mut FrameAlloc,
+    ) -> Kernel {
+        assert!(
+            cfg.image_slots > KPTI_TRAMPOLINE_OFFSET / SLOT_SIZE,
+            "image must span past the trampoline offset"
+        );
+        let placement = KaslrSlot::randomize(cfg.seed, cfg.image_slots);
+        let base = placement.base;
+        let trampoline = base + KPTI_TRAMPOLINE_OFFSET;
+
+        if cfg.kpti {
+            // User-visible tables: only the trampoline survives.
+            aspace.map_page(trampoline, Pte::kernel(frames.alloc()));
+        } else {
+            for s in 0..cfg.image_slots {
+                aspace.map_page(base + s * SLOT_SIZE, Pte::kernel(frames.alloc()));
+            }
+        }
+
+        if cfg.flare {
+            for slot in 0..NUM_SLOTS {
+                let va = slot_base(slot);
+                if !aspace.walk(va).0.is_mapped() {
+                    aspace.map_page(va, Pte::flare_dummy());
+                }
+            }
+        }
+
+        Kernel {
+            base,
+            slot: placement.slot,
+            image_slots: cfg.image_slots,
+            trampoline,
+            kpti: cfg.kpti,
+            flare: cfg.flare,
+            secret_va: base,
+        }
+    }
+
+    /// The virtual base address of image slot `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= image_slots`.
+    pub fn image_slot_base(&self, i: u64) -> u64 {
+        assert!(i < self.image_slots, "image slot out of range");
+        self.base + i * SLOT_SIZE
+    }
+
+    /// Whether `vaddr` falls inside the image span.
+    pub fn contains(&self, vaddr: u64) -> bool {
+        (self.base..self.base + self.image_slots * SLOT_SIZE).contains(&vaddr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::KERNEL_REGION_START;
+    use tet_mem::WalkOutcome;
+
+    fn install(cfg: &KernelConfig) -> (Kernel, AddressSpace) {
+        let mut aspace = AddressSpace::new();
+        let mut frames = FrameAlloc::starting_at(0x500);
+        let k = Kernel::install(cfg, &mut aspace, &mut frames);
+        (k, aspace)
+    }
+
+    #[test]
+    fn plain_kernel_maps_every_image_slot_supervisor() {
+        let (k, aspace) = install(&KernelConfig {
+            seed: 3,
+            ..KernelConfig::default()
+        });
+        for s in 0..k.image_slots {
+            match aspace.walk(k.image_slot_base(s)).0 {
+                WalkOutcome::Mapped(pte) => {
+                    assert!(!pte.user, "kernel pages are supervisor-only");
+                    assert!(pte.global);
+                }
+                other => panic!("image slot {s} not mapped: {other:?}"),
+            }
+        }
+        // A non-image slot is unmapped.
+        let probe = if k.slot > 0 {
+            slot_base(k.slot - 1)
+        } else {
+            slot_base(k.slot + k.image_slots)
+        };
+        assert!(!aspace.walk(probe).0.is_mapped());
+    }
+
+    #[test]
+    fn kpti_exposes_only_the_trampoline() {
+        let (k, aspace) = install(&KernelConfig {
+            seed: 5,
+            kpti: true,
+            ..KernelConfig::default()
+        });
+        assert!(aspace.walk(k.trampoline).0.is_mapped());
+        assert!(!aspace.walk(k.base).0.is_mapped());
+        assert_eq!(aspace.mapped_pages(), 1);
+        assert_eq!(k.trampoline, k.base + 0xe0_0000);
+    }
+
+    #[test]
+    fn flare_covers_every_unused_slot_with_reserved_dummies() {
+        let (k, aspace) = install(&KernelConfig {
+            seed: 9,
+            flare: true,
+            ..KernelConfig::default()
+        });
+        let mut real = 0;
+        let mut dummy = 0;
+        for slot in 0..NUM_SLOTS {
+            match aspace.walk(slot_base(slot)).0 {
+                WalkOutcome::Mapped(_) => real += 1,
+                WalkOutcome::ReservedBit => dummy += 1,
+                WalkOutcome::NotPresent { .. } => panic!("slot {slot} left uncovered"),
+            }
+        }
+        assert_eq!(real, k.image_slots);
+        assert_eq!(dummy, NUM_SLOTS - k.image_slots);
+    }
+
+    #[test]
+    fn kpti_plus_flare_hides_everything_but_the_trampoline() {
+        let (k, aspace) = install(&KernelConfig {
+            seed: 11,
+            kpti: true,
+            flare: true,
+            ..KernelConfig::default()
+        });
+        let mapped: Vec<u64> = (0..NUM_SLOTS)
+            .map(slot_base)
+            .filter(|&va| aspace.walk(va).0.is_mapped())
+            .collect();
+        assert_eq!(mapped, vec![k.trampoline]);
+    }
+
+    #[test]
+    fn placement_is_seed_deterministic() {
+        let (a, _) = install(&KernelConfig {
+            seed: 42,
+            ..KernelConfig::default()
+        });
+        let (b, _) = install(&KernelConfig {
+            seed: 42,
+            ..KernelConfig::default()
+        });
+        assert_eq!(a.base, b.base);
+        assert!(a.base >= KERNEL_REGION_START);
+    }
+
+    #[test]
+    fn contains_spans_the_image() {
+        let (k, _) = install(&KernelConfig {
+            seed: 1,
+            ..KernelConfig::default()
+        });
+        assert!(k.contains(k.base));
+        assert!(k.contains(k.base + 16 * SLOT_SIZE - 1));
+        assert!(!k.contains(k.base + 16 * SLOT_SIZE));
+    }
+
+    #[test]
+    #[should_panic(expected = "trampoline offset")]
+    fn tiny_image_rejected() {
+        let mut aspace = AddressSpace::new();
+        let mut frames = FrameAlloc::starting_at(1);
+        let _ = Kernel::install(
+            &KernelConfig {
+                image_slots: 4,
+                ..KernelConfig::default()
+            },
+            &mut aspace,
+            &mut frames,
+        );
+    }
+}

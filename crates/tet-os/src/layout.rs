@@ -1,0 +1,138 @@
+//! The kernel image region and its KASLR slots.
+//!
+//! Linux places the kernel image inside the fixed interval
+//! `0xffffffff80000000 – 0xffffffffc0000000` (paper §4.5, citing the AVX
+//! Timing work). KASLR chooses a 2 MiB-aligned base inside it, giving
+//! 512 candidate slots — the number the paper traverses to break KASLR
+//! under KPTI "within 1 s".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lowest possible kernel image base.
+pub const KERNEL_REGION_START: u64 = 0xffff_ffff_8000_0000;
+
+/// One-past-the-highest kernel image address.
+pub const KERNEL_REGION_END: u64 = 0xffff_ffff_c000_0000;
+
+/// KASLR slot granularity (2 MiB).
+pub const SLOT_SIZE: u64 = 0x20_0000;
+
+/// Number of candidate KASLR slots (512).
+pub const NUM_SLOTS: u64 = (KERNEL_REGION_END - KERNEL_REGION_START) / SLOT_SIZE;
+
+/// Fixed offset of the KPTI entry trampoline from the kernel base
+/// (paper §4.5: "this remnant trampoline at fixed offset 0xe00000").
+pub const KPTI_TRAMPOLINE_OFFSET: u64 = 0xe0_0000;
+
+/// The base virtual address of KASLR slot `slot`.
+///
+/// # Panics
+///
+/// Panics if `slot >= NUM_SLOTS`.
+///
+/// # Examples
+///
+/// ```
+/// use tet_os::layout::{slot_base, KERNEL_REGION_START, SLOT_SIZE};
+/// assert_eq!(slot_base(0), KERNEL_REGION_START);
+/// assert_eq!(slot_base(1), KERNEL_REGION_START + SLOT_SIZE);
+/// ```
+pub fn slot_base(slot: u64) -> u64 {
+    assert!(slot < NUM_SLOTS, "slot {slot} out of range");
+    KERNEL_REGION_START + slot * SLOT_SIZE
+}
+
+/// The KASLR slot containing `vaddr`, or `None` outside the region.
+pub fn slot_of(vaddr: u64) -> Option<u64> {
+    if (KERNEL_REGION_START..KERNEL_REGION_END).contains(&vaddr) {
+        Some((vaddr - KERNEL_REGION_START) / SLOT_SIZE)
+    } else {
+        None
+    }
+}
+
+/// A randomized KASLR placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KaslrSlot {
+    /// Chosen slot index.
+    pub slot: u64,
+    /// Kernel image base address (`slot_base(slot)`).
+    pub base: u64,
+}
+
+impl KaslrSlot {
+    /// Draws a placement from a seeded RNG, leaving room for an image of
+    /// `image_slots` slots at the top of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image_slots` is zero or exceeds [`NUM_SLOTS`].
+    pub fn randomize(seed: u64, image_slots: u64) -> KaslrSlot {
+        assert!(
+            image_slots > 0 && image_slots <= NUM_SLOTS,
+            "image must fit the region"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slot = rng.gen_range(0..=(NUM_SLOTS - image_slots));
+        KaslrSlot {
+            slot,
+            base: slot_base(slot),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_has_512_slots() {
+        assert_eq!(NUM_SLOTS, 512);
+    }
+
+    #[test]
+    fn slot_base_round_trips_with_slot_of() {
+        for slot in [0, 1, 17, 255, 511] {
+            assert_eq!(slot_of(slot_base(slot)), Some(slot));
+            assert_eq!(slot_of(slot_base(slot) + SLOT_SIZE - 1), Some(slot));
+        }
+        assert_eq!(slot_of(KERNEL_REGION_START - 1), None);
+        assert_eq!(slot_of(KERNEL_REGION_END), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_base_rejects_out_of_range() {
+        let _ = slot_base(NUM_SLOTS);
+    }
+
+    #[test]
+    fn randomize_is_deterministic_and_in_range() {
+        let a = KaslrSlot::randomize(7, 16);
+        let b = KaslrSlot::randomize(7, 16);
+        assert_eq!(a, b);
+        assert!(a.slot <= NUM_SLOTS - 16);
+        assert_eq!(a.base, slot_base(a.slot));
+    }
+
+    #[test]
+    fn different_seeds_spread_across_slots() {
+        let slots: std::collections::HashSet<u64> =
+            (0..64).map(|s| KaslrSlot::randomize(s, 16).slot).collect();
+        assert!(slots.len() > 16, "seeds should hit many distinct slots");
+    }
+
+    #[test]
+    fn trampoline_offset_within_image_span() {
+        // The trampoline offset (0xe00000) lies within an 8-slot image,
+        // and is itself slot-aligned (the KPTI probe sweep relies on it).
+        let offset_slots = KPTI_TRAMPOLINE_OFFSET / SLOT_SIZE;
+        assert!(offset_slots < 8);
+        assert_eq!(KPTI_TRAMPOLINE_OFFSET % SLOT_SIZE, 0);
+        assert_eq!(
+            slot_base(offset_slots) - KERNEL_REGION_START,
+            KPTI_TRAMPOLINE_OFFSET
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! OS model for the Whisper (DAC 2024) reproduction.
+//!
+//! Models the pieces of Linux that TET-KASLR (paper §4.5) interacts with:
+//!
+//! * [`layout`] — the fixed kernel image region
+//!   `0xffffffff80000000..0xffffffffc0000000` and its 512 possible
+//!   2 MiB-aligned KASLR slots;
+//! * [`kernel`] — building a randomized kernel image into an address
+//!   space, with optional **KPTI** (user-visible tables retain only the
+//!   entry trampoline at the fixed `+0xe00000` offset) and **FLARE**
+//!   (dummy mappings covering the unused region so presence probes see
+//!   uniform behaviour);
+//! * [`container`] — the Docker-style environment of §4.5 (namespaced
+//!   userland, same kernel mappings — which is exactly why TET-KASLR
+//!   still works inside it).
+//!
+//! # Examples
+//!
+//! ```
+//! use tet_mem::{AddressSpace, FrameAlloc};
+//! use tet_os::{Kernel, KernelConfig};
+//!
+//! let mut aspace = AddressSpace::new();
+//! let mut frames = FrameAlloc::starting_at(0x100);
+//! let kernel = Kernel::install(
+//!     &KernelConfig { seed: 42, ..KernelConfig::default() },
+//!     &mut aspace,
+//!     &mut frames,
+//! );
+//! assert!(kernel.base >= tet_os::layout::KERNEL_REGION_START);
+//! assert!(aspace.walk(kernel.base).0.is_mapped());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod container;
+pub mod fgkaslr;
+pub mod kernel;
+pub mod layout;
+
+pub use container::ContainerEnv;
+pub use fgkaslr::{FunctionLayout, KernelFunction};
+pub use kernel::{Kernel, KernelConfig};
+pub use layout::{slot_base, slot_of, KaslrSlot, KERNEL_REGION_START, NUM_SLOTS, SLOT_SIZE};

@@ -1,0 +1,400 @@
+//! The performance-event catalog.
+//!
+//! Covers every event that appears in Table 3 of the paper — both the
+//! Intel names (`BR_MISP_EXEC.INDIRECT`, `IDQ.DSB_UOPS`,
+//! `DTLB_LOAD_MISSES.WALK_ACTIVE`, …) and the AMD Zen 3 names
+//! (`bp_l1_btb_correct`, `de_dis_dispatch_token_stalls2.retire_token_stall`,
+//! …) — plus a set of general pipeline, branch, cache and TLB events so the
+//! differential toolset of Figure 2 has a realistic catalog to filter.
+
+/// Which vendor catalog an event comes from.
+///
+/// The simulated core increments both vendors' counters (it is one machine
+/// model); the [`Vendor`] tag is used by reports to show the event names a
+/// given CPU preset would expose, mirroring how the paper lists Intel
+/// events for the Core i7 results and AMD events for the Ryzen results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vendor {
+    /// Intel Perfmon event naming.
+    Intel,
+    /// AMD PPR event naming.
+    Amd,
+    /// Synthetic event present in both models (e.g. raw cycle count).
+    Common,
+}
+
+impl std::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Vendor::Intel => f.write_str("Intel"),
+            Vendor::Amd => f.write_str("AMD"),
+            Vendor::Common => f.write_str("Common"),
+        }
+    }
+}
+
+/// The microarchitectural unit an event observes.
+///
+/// The paper's analysis is organised around exactly these units: RQ1
+/// (frontend), RQ2 (backend/pipeline), RQ3 (memory subsystem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Unit {
+    /// Instruction fetch, decode, DSB/MITE/IDQ, branch prediction.
+    Frontend,
+    /// Rename, reservation stations, execution ports, retirement.
+    Backend,
+    /// Caches, fill buffers, TLBs, page walker.
+    Memory,
+    /// Whole-core events (cycles, instructions, machine clears).
+    Core,
+}
+
+impl std::fmt::Display for Unit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unit::Frontend => f.write_str("frontend"),
+            Unit::Backend => f.write_str("backend"),
+            Unit::Memory => f.write_str("memory"),
+            Unit::Core => f.write_str("core"),
+        }
+    }
+}
+
+/// Static metadata describing one performance event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventDesc {
+    /// The vendor catalog name, e.g. `"BR_MISP_EXEC.ALL_BRANCHES"`.
+    pub name: &'static str,
+    /// Which vendor catalog defines the event.
+    pub vendor: Vendor,
+    /// Which microarchitectural unit the event observes.
+    pub unit: Unit,
+    /// One-line human description.
+    pub doc: &'static str,
+}
+
+macro_rules! events {
+    ($( $(#[$meta:meta])* $variant:ident => ($name:literal, $vendor:ident, $unit:ident, $doc:literal); )+) => {
+        /// A performance event the simulated PMU can count.
+        ///
+        /// The discriminant doubles as a dense index into counter banks.
+        /// See [`Event::ALL`] for the complete catalog and
+        /// [`Event::desc`] for per-event metadata.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(usize)]
+        pub enum Event {
+            $( $(#[$meta])* $variant, )+
+        }
+
+        impl Event {
+            /// Every event in the catalog, in index order.
+            pub const ALL: &'static [Event] = &[ $(Event::$variant,)+ ];
+
+            /// Returns the static metadata for this event.
+            pub const fn desc(self) -> EventDesc {
+                match self {
+                    $( Event::$variant => EventDesc {
+                        name: $name,
+                        vendor: Vendor::$vendor,
+                        unit: Unit::$unit,
+                        doc: $doc,
+                    }, )+
+                }
+            }
+
+            /// Returns the vendor catalog name, e.g. `"IDQ.DSB_UOPS"`.
+            pub const fn name(self) -> &'static str {
+                self.desc().name
+            }
+
+            /// Looks an event up by its vendor catalog name.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// use tet_pmu::Event;
+            /// assert_eq!(
+            ///     Event::from_name("BR_MISP_EXEC.INDIRECT"),
+            ///     Some(Event::BrMispExecIndirect),
+            /// );
+            /// assert_eq!(Event::from_name("NOT_AN_EVENT"), None);
+            /// ```
+            pub fn from_name(name: &str) -> Option<Event> {
+                match name {
+                    $( $name => Some(Event::$variant), )+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+events! {
+    // ----- Common / whole-core ------------------------------------------
+    /// Unhalted core clock cycles.
+    CpuClkUnhalted => ("CPU_CLK_UNHALTED.THREAD", Common, Core,
+        "unhalted core cycles on this logical thread");
+    /// Architecturally retired instructions.
+    InstRetiredAny => ("INST_RETIRED.ANY", Common, Core,
+        "instructions retired (architectural)");
+    /// Machine clears of any flavour (memory ordering, assists, faults).
+    MachineClearsCount => ("MACHINE_CLEARS.COUNT", Intel, Core,
+        "number of machine clears (pipeline flushed and restarted)");
+    /// `clflush` instructions executed — the tell-tale of Flush+Reload
+    /// style attacks that cache-based detectors key on (Table 1).
+    ClflushExecuted => ("CLFLUSH.EXECUTED", Common, Memory,
+        "cache-line flush instructions executed");
+
+    // ----- Frontend: branch prediction ----------------------------------
+    /// Mispredicted indirect branches *executed* (incl. transient) —
+    /// undocumented Skylake event used in Table 3.
+    BrMispExecIndirect => ("BR_MISP_EXEC.INDIRECT", Intel, Frontend,
+        "mispredicted indirect/return branches executed, speculative included");
+    /// All mispredicted branches *executed* (incl. transient) —
+    /// undocumented Skylake event used in Table 3.
+    BrMispExecAllBranches => ("BR_MISP_EXEC.ALL_BRANCHES", Intel, Frontend,
+        "all mispredicted branches executed, speculative included");
+    /// Branches retired (architectural only; transient branches excluded).
+    BrInstRetiredAll => ("BR_INST_RETIRED.ALL_BRANCHES", Intel, Frontend,
+        "branch instructions retired");
+    /// Branches *executed*, speculative included — compare against
+    /// `BR_INST_RETIRED` to count wrong-path branches.
+    BrInstExecAll => ("BR_INST_EXEC.ALL_BRANCHES", Intel, Frontend,
+        "branch instructions executed, speculative included");
+    /// Mispredicted branches retired (architectural only).
+    BrMispRetiredAll => ("BR_MISP_RETIRED.ALL_BRANCHES", Intel, Frontend,
+        "mispredicted branch instructions retired");
+    /// Conditional-predictor lookups that hit in the BTB.
+    BtbHits => ("BACLEARS.ANY_BTB_HIT", Intel, Frontend,
+        "branch target buffer lookups that hit");
+
+    // ----- Frontend: fetch / decode / IDQ --------------------------------
+    /// Uops delivered from the decoded stream buffer (uop cache).
+    IdqDsbUops => ("IDQ.DSB_UOPS", Intel, Frontend,
+        "uops delivered to IDQ from the DSB (uop cache)");
+    /// Cycles the microcode sequencer delivered uops initiated by a DSB hit.
+    IdqMsDsbCycles => ("IDQ.MS_DSB_CYCLES", Intel, Frontend,
+        "cycles MS delivered uops after a DSB-initiated entry");
+    /// Cycles the DSB delivered its optimal uop bandwidth.
+    IdqDsbCyclesOk => ("IDQ.DSB_CYCLES_OK", Intel, Frontend,
+        "cycles DSB delivered full bandwidth");
+    /// Cycles the DSB delivered at least one uop.
+    IdqDsbCyclesAny => ("IDQ.DSB_CYCLES_ANY", Intel, Frontend,
+        "cycles DSB delivered any uop");
+    /// Uops delivered by the microcode sequencer after a MITE entry.
+    IdqMsMiteUops => ("IDQ.MS_MITE_UOPS", Intel, Frontend,
+        "uops delivered from MITE (legacy decode) via MS");
+    /// Cycles MITE delivered at least one uop.
+    IdqAllMiteCyclesAnyUops => ("IDQ.ALL_MITE_CYCLES_ANY_UOPS", Intel, Frontend,
+        "cycles MITE delivered any uop");
+    /// Total microcode-sequencer uops.
+    IdqMsUops => ("IDQ.MS_UOPS", Intel, Frontend,
+        "uops delivered by the microcode sequencer");
+    /// Cycles instruction fetch stalled for L1I data.
+    Icache16bIfdataStall => ("ICACHE_16B.IFDATA_STALL", Intel, Frontend,
+        "cycles fetch stalled waiting for instruction bytes");
+    /// DSB-to-MITE delivery switches (the frontend handoff the resteer
+    /// analysis of Figure 3 keys on).
+    Dsb2MiteSwitches => ("DSB2MITE_SWITCHES.COUNT", Intel, Frontend,
+        "transitions from DSB delivery to legacy-decode delivery");
+    /// Cycles the IDQ was empty (frontend starved the backend).
+    IdqEmptyCycles => ("IDQ_UOPS_NOT_DELIVERED.CYCLES_0_UOPS_DELIV", Intel, Frontend,
+        "cycles zero uops were delivered from IDQ to rename");
+
+    // ----- Backend: issue / execute / retire -----------------------------
+    /// Uops issued (renamed), transient included.
+    UopsIssuedAny => ("UOPS_ISSUED.ANY", Intel, Backend,
+        "uops issued by rename, speculative included");
+    /// Cycles rename issued zero uops.
+    UopsIssuedStallCycles => ("UOPS_ISSUED.STALL_CYCLES", Intel, Backend,
+        "cycles with zero uops issued");
+    /// Uops executed on any port, transient included.
+    UopsExecutedAny => ("UOPS_EXECUTED.THREAD", Intel, Backend,
+        "uops executed, speculative included");
+    /// Cycles with zero uops executed.
+    UopsExecutedStallCycles => ("UOPS_EXECUTED.STALL_CYCLES", Intel, Backend,
+        "cycles with zero uops executed");
+    /// Cycles with zero uops executed on the whole core.
+    UopsExecutedCoreCyclesNone => ("UOPS_EXECUTED.CORE_CYCLES_NONE", Intel, Backend,
+        "core cycles with no uop executed on any port");
+    /// Cycles allocation stalled for a backend resource (ROB/RS/SB full).
+    ResourceStallsAny => ("RESOURCE_STALLS.ANY", Intel, Backend,
+        "cycles allocation stalled on any backend resource");
+    /// Total execution stall cycles.
+    CycleActivityStallsTotal => ("CYCLE_ACTIVITY.STALLS_TOTAL", Intel, Backend,
+        "cycles with no uops executed and backend not idle");
+    /// Cycles with at least one in-flight demand load (memory-bound proxy).
+    CycleActivityCyclesMemAny => ("CYCLE_ACTIVITY.CYCLES_MEM_ANY", Intel, Memory,
+        "cycles with an outstanding memory load");
+    /// Cycles the reservation station was empty.
+    RsEventsEmptyCycles => ("RS_EVENTS.EMPTY_CYCLES", Intel, Backend,
+        "cycles the reservation station was empty");
+    /// Uops retired.
+    UopsRetiredAll => ("UOPS_RETIRED.ALL", Intel, Backend,
+        "uops retired (architectural)");
+
+    // ----- Backend: recovery / resteer -----------------------------------
+    /// Cycles rename was stalled by a branch-misprediction recovery.
+    IntMiscRecoveryCycles => ("INT_MISC.RECOVERY_CYCLES", Intel, Backend,
+        "cycles allocation stalled due to recovery from earlier clear");
+    /// Recovery cycles summed across SMT threads.
+    IntMiscRecoveryCyclesAny => ("INT_MISC.RECOVERY_CYCLES_ANY", Intel, Backend,
+        "recovery cycles, any thread of the core");
+    /// Cycles the frontend was resteered after a clear.
+    IntMiscClearResteerCycles => ("INT_MISC.CLEAR_RESTEER_CYCLES", Intel, Frontend,
+        "cycles from machine clear/mispredict until new uops arrive");
+
+    // ----- Memory subsystem: caches --------------------------------------
+    /// Demand loads that hit L1D.
+    MemLoadRetiredL1Hit => ("MEM_LOAD_RETIRED.L1_HIT", Intel, Memory,
+        "retired loads that hit the L1 data cache");
+    /// Demand loads that missed L1D.
+    MemLoadRetiredL1Miss => ("MEM_LOAD_RETIRED.L1_MISS", Intel, Memory,
+        "retired loads that missed the L1 data cache");
+    /// Demand loads that hit L2.
+    MemLoadRetiredL2Hit => ("MEM_LOAD_RETIRED.L2_HIT", Intel, Memory,
+        "retired loads that hit L2");
+    /// Demand loads that hit LLC.
+    MemLoadRetiredL3Hit => ("MEM_LOAD_RETIRED.L3_HIT", Intel, Memory,
+        "retired loads that hit the last-level cache");
+    /// Demand loads served from DRAM.
+    MemLoadRetiredL3Miss => ("MEM_LOAD_RETIRED.L3_MISS", Intel, Memory,
+        "retired loads that missed the last-level cache");
+    /// Line-fill-buffer allocations.
+    L1dPendMissFbFull => ("L1D_PEND_MISS.FB_FULL", Intel, Memory,
+        "cycles a demand request stalled because all fill buffers were busy");
+    /// Loads blocked because they could not forward from an in-flight
+    /// store (partial overlap or a flushed line) — the Listing 1 `ret`
+    /// slow-down shows up here.
+    LdBlocksStoreForward => ("LD_BLOCKS.STORE_FORWARD", Intel, Memory,
+        "loads blocked on an unforwardable in-flight store");
+
+    // ----- Memory subsystem: TLB / page walks -----------------------------
+    /// DTLB load misses that started a page walk.
+    DtlbLoadMissesMissCausesAWalk => ("DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK", Intel, Memory,
+        "load DTLB misses that caused a page walk");
+    /// Cycles a DTLB-load page walk was active.
+    DtlbLoadMissesWalkActive => ("DTLB_LOAD_MISSES.WALK_ACTIVE", Intel, Memory,
+        "cycles at least one load page walk was active");
+    /// DTLB load walks that completed with a translation.
+    DtlbLoadMissesWalkCompleted => ("DTLB_LOAD_MISSES.WALK_COMPLETED", Intel, Memory,
+        "load page walks that completed successfully");
+    /// ITLB misses that started a page walk.
+    ItlbMissesMissCausesAWalk => ("ITLB_MISSES.MISS_CAUSES_A_WALK", Intel, Memory,
+        "instruction TLB misses that caused a page walk");
+    /// Cycles an ITLB page walk was active.
+    ItlbMissesWalkActive => ("ITLB_MISSES.WALK_ACTIVE", Intel, Memory,
+        "cycles at least one instruction page walk was active");
+    /// DTLB fills (translations installed), including fills on faulting
+    /// accesses — the mechanism behind TET-KASLR.
+    DtlbFills => ("DTLB_FILLS.ANY", Intel, Memory,
+        "translations installed into the load DTLB");
+
+    // ----- AMD Zen 3 (Table 3 Ryzen rows) ---------------------------------
+    /// L1 BTB corrections (paper: `bp_l1_btb_correct`).
+    BpL1BtbCorrect => ("bp_l1_btb_correct", Amd, Frontend,
+        "L1 BTB corrections of the branch fetch target");
+    /// L1 TLB fetch hits (paper: `bp_l1_tlb_fetch_hit`).
+    BpL1TlbFetchHit => ("bp_l1_tlb_fetch_hit", Amd, Frontend,
+        "instruction fetches that hit the L1 ITLB");
+    /// Cycles dispatch slot 0 had an empty uop queue
+    /// (paper: `de_dis_uop_queue_empty_di0`).
+    DeDisUopQueueEmptyDi0 => ("de_dis_uop_queue_empty_di0", Amd, Frontend,
+        "cycles the uop queue was empty at dispatch slot 0");
+    /// Dispatch stalled on retire tokens
+    /// (paper: `de_dis_dispatch_token_stalls2.retire_token_stall`).
+    DeDisDispatchTokenStalls2RetireTokenStall =>
+        ("de_dis_dispatch_token_stalls2.retire_token_stall", Amd, Backend,
+        "dispatch stall cycles due to exhausted retire-queue tokens");
+    /// 32-byte instruction-cache fetch windows (paper: `ic_fw32`).
+    IcFw32 => ("ic_fw32", Amd, Frontend,
+        "32-byte instruction fetch windows read from the I-cache");
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(*e as usize, i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<_> = Event::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), Event::ALL.len());
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for e in Event::ALL {
+            assert_eq!(Event::from_name(e.name()), Some(*e));
+        }
+    }
+
+    #[test]
+    fn table3_events_are_present() {
+        // Every event name that appears in Table 3 of the paper.
+        for name in [
+            "BR_MISP_EXEC.INDIRECT",
+            "BR_MISP_EXEC.ALL_BRANCHES",
+            "RESOURCE_STALLS.ANY",
+            "IDQ.DSB_UOPS",
+            "IDQ.MS_DSB_CYCLES",
+            "IDQ.DSB_CYCLES_OK",
+            "IDQ.DSB_CYCLES_ANY",
+            "IDQ.MS_MITE_UOPS",
+            "IDQ.ALL_MITE_CYCLES_ANY_UOPS",
+            "IDQ.MS_UOPS",
+            "UOPS_EXECUTED.CORE_CYCLES_NONE",
+            "CYCLE_ACTIVITY.STALLS_TOTAL",
+            "UOPS_EXECUTED.STALL_CYCLES",
+            "CYCLE_ACTIVITY.CYCLES_MEM_ANY",
+            "INT_MISC.RECOVERY_CYCLES_ANY",
+            "INT_MISC.CLEAR_RESTEER_CYCLES",
+            "UOPS_ISSUED.ANY",
+            "UOPS_ISSUED.STALL_CYCLES",
+            "RS_EVENTS.EMPTY_CYCLES",
+            "bp_l1_btb_correct",
+            "bp_l1_tlb_fetch_hit",
+            "de_dis_uop_queue_empty_di0",
+            "de_dis_dispatch_token_stalls2.retire_token_stall",
+            "ic_fw32",
+            "INT_MISC.RECOVERY_CYCLES",
+            "ICACHE_16B.IFDATA_STALL",
+            "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK",
+            "DTLB_LOAD_MISSES.WALK_ACTIVE",
+            "ITLB_MISSES.WALK_ACTIVE",
+        ] {
+            assert!(
+                Event::from_name(name).is_some(),
+                "Table 3 event missing from catalog: {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn vendor_partition_is_sane() {
+        assert!(Event::ALL.iter().any(|e| e.desc().vendor == Vendor::Intel));
+        assert!(Event::ALL.iter().any(|e| e.desc().vendor == Vendor::Amd));
+        assert!(Event::ALL.iter().any(|e| e.desc().vendor == Vendor::Common));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(
+            Event::DtlbLoadMissesWalkActive.to_string(),
+            "DTLB_LOAD_MISSES.WALK_ACTIVE"
+        );
+    }
+}

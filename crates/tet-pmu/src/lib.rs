@@ -1,0 +1,218 @@
+//! Performance monitor unit (PMU) model for the Whisper reproduction.
+//!
+//! The paper analyses the root cause of the TET side channel with an
+//! automated PMU toolset (Figure 2): a *preparation* stage builds the list
+//! of candidate events from the vendor catalogs, an *online collection*
+//! stage records counter values while a scenario runs, and an *offline
+//! analysis* stage differentially filters the events that react to the
+//! scenario knob (e.g. "Jcc triggered" vs "Jcc not triggered").
+//!
+//! This crate provides all three pieces for the simulated CPU:
+//!
+//! * [`Event`] — the event catalog, covering every event in Table 3 of the
+//!   paper (Intel Skylake/Kaby Lake/Comet Lake names and the AMD Zen 3
+//!   names) plus a set of general pipeline/memory events, each with a
+//!   vendor, a [`Unit`] (frontend / backend / memory / core) and a
+//!   human-readable description.
+//! * [`Pmu`] — the live counter bank the simulator increments, and
+//!   [`PmuSnapshot`] — an immutable copy taken around a region of interest.
+//! * [`toolset`] — the Figure 2 pipeline: multi-run collection, averaging,
+//!   and differential filtering.
+//!
+//! # Examples
+//!
+//! ```
+//! use tet_pmu::{Event, Pmu};
+//!
+//! let mut pmu = Pmu::new();
+//! pmu.bump(Event::UopsIssuedAny, 4);
+//! pmu.bump(Event::BrMispExecAllBranches, 1);
+//! let snap = pmu.snapshot();
+//! assert_eq!(snap.count(Event::UopsIssuedAny), 4);
+//! assert_eq!(snap.count(Event::BrMispExecAllBranches), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod toolset;
+
+pub use event::{Event, EventDesc, Unit, Vendor};
+pub use toolset::{Collector, DifferentialReport, EventDelta};
+
+/// A live bank of performance counters.
+///
+/// The simulator owns one `Pmu` per logical thread and increments it from
+/// every pipeline stage. Attack and analysis code never mutates a `Pmu`;
+/// it works on [`PmuSnapshot`]s taken before/after a region of interest.
+///
+/// # Examples
+///
+/// ```
+/// use tet_pmu::{Event, Pmu};
+///
+/// let mut pmu = Pmu::new();
+/// let before = pmu.snapshot();
+/// pmu.bump(Event::ResourceStallsAny, 21);
+/// let after = pmu.snapshot();
+/// assert_eq!(after.delta(&before).count(Event::ResourceStallsAny), 21);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pmu {
+    counts: Vec<u64>,
+}
+
+impl Pmu {
+    /// Creates a counter bank with every event zeroed.
+    pub fn new() -> Self {
+        Pmu {
+            counts: vec![0; Event::ALL.len()],
+        }
+    }
+
+    /// Increments `event` by `n`.
+    #[inline]
+    pub fn bump(&mut self, event: Event, n: u64) {
+        self.counts[event as usize] += n;
+    }
+
+    /// Returns the current value of `event`.
+    #[inline]
+    pub fn count(&self, event: Event) -> u64 {
+        self.counts[event as usize]
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        for c in &mut self.counts {
+            *c = 0;
+        }
+    }
+
+    /// Takes an immutable copy of all counters.
+    pub fn snapshot(&self) -> PmuSnapshot {
+        PmuSnapshot {
+            counts: self.counts.clone(),
+        }
+    }
+}
+
+impl Default for Pmu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An immutable copy of all counter values at one instant.
+///
+/// Snapshots support subtraction via [`PmuSnapshot::delta`], which is how
+/// per-region counts are obtained (mirroring `perf`'s grouped reads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PmuSnapshot {
+    counts: Vec<u64>,
+}
+
+impl PmuSnapshot {
+    /// A snapshot with every counter zero; useful as a subtraction base.
+    pub fn zero() -> Self {
+        PmuSnapshot {
+            counts: vec![0; Event::ALL.len()],
+        }
+    }
+
+    /// Returns the recorded value of `event`.
+    #[inline]
+    pub fn count(&self, event: Event) -> u64 {
+        self.counts[event as usize]
+    }
+
+    /// Returns `self - earlier`, saturating at zero per counter.
+    ///
+    /// Saturation (rather than panicking) keeps the toolset robust when a
+    /// caller accidentally swaps the operands; counters are monotonic in
+    /// normal use so the result is exact.
+    pub fn delta(&self, earlier: &PmuSnapshot) -> PmuSnapshot {
+        let counts = self
+            .counts
+            .iter()
+            .zip(&earlier.counts)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        PmuSnapshot { counts }
+    }
+
+    /// Iterates over `(event, value)` pairs for all events.
+    pub fn iter(&self) -> impl Iterator<Item = (Event, u64)> + '_ {
+        Event::ALL
+            .iter()
+            .copied()
+            .map(move |e| (e, self.counts[e as usize]))
+    }
+
+    /// Iterates over `(event, value)` pairs with non-zero values.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Event, u64)> + '_ {
+        self.iter().filter(|&(_, v)| v != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_pmu_is_all_zero() {
+        let pmu = Pmu::new();
+        for e in Event::ALL {
+            assert_eq!(pmu.count(*e), 0, "{e:?} should start at zero");
+        }
+    }
+
+    #[test]
+    fn bump_accumulates() {
+        let mut pmu = Pmu::new();
+        pmu.bump(Event::UopsIssuedAny, 3);
+        pmu.bump(Event::UopsIssuedAny, 4);
+        assert_eq!(pmu.count(Event::UopsIssuedAny), 7);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut pmu = Pmu::new();
+        pmu.bump(Event::IdqDsbUops, 10);
+        pmu.bump(Event::ItlbMissesWalkActive, 19);
+        pmu.reset();
+        assert_eq!(pmu.count(Event::IdqDsbUops), 0);
+        assert_eq!(pmu.count(Event::ItlbMissesWalkActive), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_is_per_event() {
+        let mut pmu = Pmu::new();
+        pmu.bump(Event::DtlbLoadMissesWalkActive, 62);
+        let before = pmu.snapshot();
+        pmu.bump(Event::DtlbLoadMissesWalkActive, 8);
+        pmu.bump(Event::MachineClearsCount, 1);
+        let after = pmu.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.count(Event::DtlbLoadMissesWalkActive), 8);
+        assert_eq!(d.count(Event::MachineClearsCount), 1);
+        assert_eq!(d.count(Event::UopsIssuedAny), 0);
+    }
+
+    #[test]
+    fn delta_saturates_when_operands_swapped() {
+        let mut pmu = Pmu::new();
+        let before = pmu.snapshot();
+        pmu.bump(Event::RsEventsEmptyCycles, 5);
+        let after = pmu.snapshot();
+        assert_eq!(before.delta(&after).count(Event::RsEventsEmptyCycles), 0);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeroes() {
+        let mut pmu = Pmu::new();
+        pmu.bump(Event::IcFw32, 661);
+        let nz: Vec<_> = pmu.snapshot().iter_nonzero().collect();
+        assert_eq!(nz, vec![(Event::IcFw32, 661)]);
+    }
+}

@@ -1,0 +1,356 @@
+//! The branch prediction unit: BTB, gshare conditional predictor and the
+//! return stack buffer (RSB).
+//!
+//! Two properties of this unit carry the paper's attacks:
+//!
+//! * A conditional branch that has never been *taken* predicts
+//!   not-taken (it is absent from the BTB), so a transient Jcc whose
+//!   condition is met **mispredicts** — the stall that the TET channel
+//!   times (paper §3.2).
+//! * `ret` is predicted from the RSB. When the architectural return
+//!   address has been redirected (Listing 1), the stale RSB entry
+//!   transiently "returns" into attacker-chosen code — Spectre-RSB.
+
+use std::collections::VecDeque;
+
+/// Branch predictor geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpuConfig {
+    /// log2 of the gshare pattern-history-table size.
+    pub pht_bits: u32,
+    /// Global-history length in branches.
+    pub ghr_bits: u32,
+    /// BTB capacity in entries.
+    pub btb_entries: usize,
+    /// Return stack buffer depth.
+    pub rsb_entries: usize,
+}
+
+impl Default for BpuConfig {
+    fn default() -> Self {
+        BpuConfig {
+            pht_bits: 12,
+            ghr_bits: 12,
+            btb_entries: 512,
+            rsb_entries: 16,
+        }
+    }
+}
+
+/// The outcome of a fetch-time prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted next instruction index.
+    pub next_pc: usize,
+    /// Whether the branch was predicted taken (always `true` for
+    /// unconditional control flow).
+    pub taken: bool,
+    /// Whether the BTB supplied the target (feeds `bp_l1_btb_correct`).
+    pub from_btb: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BtbEntry {
+    pc: usize,
+    target: usize,
+}
+
+/// The branch prediction unit of one logical thread.
+///
+/// # Examples
+///
+/// A never-taken conditional predicts not-taken; after enough taken
+/// resolutions it flips:
+///
+/// ```
+/// use tet_uarch::{Bpu, BpuConfig};
+///
+/// let mut bpu = Bpu::new(BpuConfig::default());
+/// assert!(!bpu.predict_cond(10, 11, 42).taken);
+/// for _ in 0..16 {
+///     // Training shifts the global history, so saturate it.
+///     bpu.resolve_cond(10, true, 42);
+/// }
+/// assert!(bpu.predict_cond(10, 11, 42).taken);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bpu {
+    cfg: BpuConfig,
+    /// 2-bit saturating counters (0..=3; >=2 predicts taken).
+    pht: Vec<u8>,
+    ghr: u64,
+    /// MRU-first BTB.
+    btb: VecDeque<BtbEntry>,
+    rsb: Vec<usize>,
+}
+
+impl Bpu {
+    /// Creates a predictor initialised to strongly-not-taken.
+    pub fn new(cfg: BpuConfig) -> Self {
+        Bpu {
+            pht: vec![0; 1 << cfg.pht_bits],
+            ghr: 0,
+            btb: VecDeque::with_capacity(cfg.btb_entries),
+            rsb: Vec::with_capacity(cfg.rsb_entries),
+            cfg,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> BpuConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn pht_index(&self, pc: usize) -> usize {
+        let mask = (1usize << self.cfg.pht_bits) - 1;
+        (pc ^ (self.ghr as usize & ((1 << self.cfg.ghr_bits) - 1))) & mask
+    }
+
+    fn btb_lookup(&mut self, pc: usize) -> Option<usize> {
+        if let Some(i) = self.btb.iter().position(|e| e.pc == pc) {
+            let e = self.btb.remove(i).expect("position was valid");
+            self.btb.push_front(e);
+            Some(e.target)
+        } else {
+            None
+        }
+    }
+
+    fn btb_insert(&mut self, pc: usize, target: usize) {
+        if let Some(i) = self.btb.iter().position(|e| e.pc == pc) {
+            self.btb.remove(i);
+        } else if self.btb.len() == self.cfg.btb_entries {
+            self.btb.pop_back();
+        }
+        self.btb.push_front(BtbEntry { pc, target });
+    }
+
+    /// Whether the BTB currently holds an entry for `pc` (non-perturbing;
+    /// used by stealth fingerprinting).
+    pub fn btb_probe(&self, pc: usize) -> bool {
+        self.btb.iter().any(|e| e.pc == pc)
+    }
+
+    /// Sorted BTB fingerprint (pc, target) pairs, for Table 1's
+    /// stateless-channel measurements.
+    pub fn btb_fingerprint(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<_> = self.btb.iter().map(|e| (e.pc, e.target)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    // ----- fetch-time predictions ----------------------------------------
+
+    /// Predicts a conditional branch at `pc` with the given fall-through
+    /// and taken targets.
+    pub fn predict_cond(&mut self, pc: usize, fallthrough: usize, target: usize) -> Prediction {
+        let from_btb = self.btb_lookup(pc).is_some();
+        let counter = self.pht[self.pht_index(pc)];
+        let taken = from_btb && counter >= 2;
+        Prediction {
+            next_pc: if taken { target } else { fallthrough },
+            taken,
+            from_btb,
+        }
+    }
+
+    /// Predicts an indirect jump at `pc` (BTB target or fall-through).
+    pub fn predict_indirect(&mut self, pc: usize, fallthrough: usize) -> Prediction {
+        match self.btb_lookup(pc) {
+            Some(target) => Prediction {
+                next_pc: target,
+                taken: true,
+                from_btb: true,
+            },
+            None => Prediction {
+                next_pc: fallthrough,
+                taken: false,
+                from_btb: false,
+            },
+        }
+    }
+
+    /// Handles a `call` at fetch: pushes the return address on the RSB
+    /// and redirects to the callee.
+    pub fn predict_call(&mut self, target: usize, return_pc: usize) -> Prediction {
+        if self.rsb.len() == self.cfg.rsb_entries {
+            self.rsb.remove(0);
+        }
+        self.rsb.push(return_pc);
+        Prediction {
+            next_pc: target,
+            taken: true,
+            from_btb: false,
+        }
+    }
+
+    /// Predicts a `ret` at fetch from the RSB top; an empty RSB falls
+    /// through (which will almost certainly resteer at resolution).
+    pub fn predict_ret(&mut self, fallthrough: usize) -> Prediction {
+        match self.rsb.pop() {
+            Some(target) => Prediction {
+                next_pc: target,
+                taken: true,
+                from_btb: true,
+            },
+            None => Prediction {
+                next_pc: fallthrough,
+                taken: false,
+                from_btb: false,
+            },
+        }
+    }
+
+    /// Current RSB depth.
+    pub fn rsb_depth(&self) -> usize {
+        self.rsb.len()
+    }
+
+    // ----- resolution-time updates ----------------------------------------
+    //
+    // Updates happen at branch *resolution*, i.e. transient branches train
+    // the structures too — matching real cores, and required for the BTB
+    // to ever learn the in-window Jcc of the TET gadget.
+
+    /// Updates predictor state after a conditional branch resolves.
+    pub fn resolve_cond(&mut self, pc: usize, taken: bool, target: usize) {
+        let idx = self.pht_index(pc);
+        let c = &mut self.pht[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+            self.btb_insert(pc, target);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.ghr = (self.ghr << 1) | u64::from(taken);
+    }
+
+    /// Updates the BTB after an indirect branch or `ret` resolves.
+    pub fn resolve_indirect(&mut self, pc: usize, target: usize) {
+        self.btb_insert(pc, target);
+        self.ghr = (self.ghr << 1) | 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bpu() -> Bpu {
+        Bpu::new(BpuConfig::default())
+    }
+
+    #[test]
+    fn cold_conditional_predicts_not_taken() {
+        let mut b = bpu();
+        let p = b.predict_cond(100, 101, 200);
+        assert!(!p.taken);
+        assert_eq!(p.next_pc, 101);
+        assert!(!p.from_btb);
+    }
+
+    #[test]
+    fn one_transient_taken_does_not_flip_prediction() {
+        // The TET gadget relies on this: the rare in-window taken
+        // resolution must not teach the predictor to predict taken.
+        let mut b = bpu();
+        b.resolve_cond(100, true, 200);
+        let p = b.predict_cond(100, 101, 200);
+        assert!(
+            !p.taken,
+            "single taken resolution must not flip a 2-bit counter"
+        );
+        assert!(p.from_btb, "but the BTB learns the target");
+    }
+
+    #[test]
+    fn repeated_taken_trains_taken() {
+        let mut b = bpu();
+        for _ in 0..3 {
+            b.resolve_cond(100, true, 200);
+        }
+        // GHR changed, so reset history influence by resolving with the
+        // same history: predict directly.
+        let p = b.predict_cond(100, 101, 200);
+        // The counter at the *current* ghr index may differ; train across
+        // histories to be sure.
+        if !p.taken {
+            for _ in 0..16 {
+                b.resolve_cond(100, true, 200);
+            }
+            assert!(b.predict_cond(100, 101, 200).taken);
+        }
+    }
+
+    #[test]
+    fn not_taken_resolutions_decay() {
+        let mut b = bpu();
+        for _ in 0..8 {
+            b.resolve_cond(100, true, 200);
+        }
+        for _ in 0..32 {
+            b.resolve_cond(100, false, 200);
+        }
+        assert!(!b.predict_cond(100, 101, 200).taken);
+    }
+
+    #[test]
+    fn rsb_predicts_last_call_site() {
+        let mut b = bpu();
+        b.predict_call(50, 11);
+        b.predict_call(60, 21);
+        assert_eq!(b.predict_ret(0).next_pc, 21);
+        assert_eq!(b.predict_ret(0).next_pc, 11);
+        // Underflow: fall through.
+        let p = b.predict_ret(77);
+        assert_eq!(p.next_pc, 77);
+        assert!(!p.from_btb);
+    }
+
+    #[test]
+    fn rsb_overflow_drops_oldest() {
+        let mut b = Bpu::new(BpuConfig {
+            rsb_entries: 2,
+            ..BpuConfig::default()
+        });
+        b.predict_call(0, 1);
+        b.predict_call(0, 2);
+        b.predict_call(0, 3);
+        assert_eq!(b.rsb_depth(), 2);
+        assert_eq!(b.predict_ret(0).next_pc, 3);
+        assert_eq!(b.predict_ret(0).next_pc, 2);
+        assert_eq!(b.predict_ret(99).next_pc, 99);
+    }
+
+    #[test]
+    fn indirect_uses_btb_after_resolution() {
+        let mut b = bpu();
+        assert_eq!(b.predict_indirect(5, 6).next_pc, 6);
+        b.resolve_indirect(5, 123);
+        let p = b.predict_indirect(5, 6);
+        assert_eq!(p.next_pc, 123);
+        assert!(p.from_btb);
+    }
+
+    #[test]
+    fn btb_capacity_evicts_lru() {
+        let mut b = Bpu::new(BpuConfig {
+            btb_entries: 2,
+            ..BpuConfig::default()
+        });
+        b.resolve_indirect(1, 10);
+        b.resolve_indirect(2, 20);
+        b.resolve_indirect(3, 30);
+        assert!(!b.btb_probe(1));
+        assert!(b.btb_probe(2) && b.btb_probe(3));
+    }
+
+    #[test]
+    fn fingerprint_is_sorted_and_complete() {
+        let mut b = bpu();
+        b.resolve_indirect(9, 90);
+        b.resolve_indirect(3, 30);
+        assert_eq!(b.btb_fingerprint(), vec![(3, 30), (9, 90)]);
+    }
+}

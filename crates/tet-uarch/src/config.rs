@@ -1,0 +1,355 @@
+//! CPU configuration and the per-model presets of Table 2.
+
+use tet_mem::{MemoryConfig, TlbConfig, WalkConfig};
+
+use crate::bpu::BpuConfig;
+
+/// What value a Meltdown-style permission-faulting load forwards to its
+/// transient dependents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardPolicy {
+    /// Forward the real data (Meltdown-vulnerable cores: Skylake,
+    /// Kaby Lake).
+    Data,
+    /// Forward zero (silicon-fixed cores: Comet Lake, Raptor Lake,
+    /// Zen 3).
+    Zero,
+}
+
+/// The per-model vulnerability profile — the knobs that decide which
+/// attacks succeed in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VulnProfile {
+    /// Data forwarded by permission-faulting loads (Meltdown).
+    pub meltdown_forward: ForwardPolicy,
+    /// Whether microcode-assisted faulting loads forward stale line-fill
+    /// buffer data (Zombieload / MDS).
+    pub lfb_forward: bool,
+    /// Whether a successful page walk installs a TLB entry even when the
+    /// access itself faults on permissions — the Intel behaviour behind
+    /// TET-KASLR (paper §4.5).
+    pub tlb_fill_on_fault: bool,
+    /// Whether faulting user accesses abort early, before the walk
+    /// completes and without forwarding — the modelled AMD behaviour that
+    /// removes the TET-KASLR differential on Zen 3.
+    pub early_fault_abort: bool,
+    /// Whether TSX (`xbegin`/`xend`) is available for fault suppression.
+    pub has_tsx: bool,
+}
+
+/// Pipeline timing constants.
+///
+/// Three of these implement the calibrated mechanisms of DESIGN.md §1:
+/// `recovery_cycles` (mechanism 1, exception-entry serialization),
+/// `clear_cost_per_uop` (mechanism 2, occupancy-proportional squash), and
+/// the walker's retry policy in [`CpuConfig::walk`] (mechanism 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Frontend refill delay after a mispredict resteer.
+    pub resteer_cycles: u64,
+    /// Allocation-stall window after a branch misprediction
+    /// (`INT_MISC.RECOVERY_CYCLES`); fault delivery serialises behind it.
+    /// It must exceed `fault_confirm_cycles` for the in-window Jcc of the
+    /// TET gadget to delay exception entry (the TET-MD signal).
+    pub recovery_cycles: u64,
+    /// Delay between a faulting load producing (forwarding) its value and
+    /// becoming retirement-eligible — the transient window length.
+    pub fault_confirm_cycles: u64,
+    /// Fixed cost of entering the exception/signal microcode.
+    pub exception_entry_cycles: u64,
+    /// Per-in-flight-µop cost added to exception and TSX-abort squashes.
+    pub fault_squash_cost_per_uop: u64,
+    /// Fixed cost of a machine clear (microcode-assist path).
+    pub machine_clear_base: u64,
+    /// Per-in-flight-µop cost of a machine clear — the mechanism that
+    /// *shortens* ToTE when an inner Jcc has already emptied the window
+    /// (TET-ZBL).
+    pub clear_cost_per_uop: u64,
+    /// Per-flushed-µop cost of a branch-resolution resteer (smaller than
+    /// the machine-clear coefficient; carries the TET-RSB sign).
+    pub resteer_cost_per_uop: u64,
+    /// Fixed cost of a TSX abort.
+    pub txn_abort_cycles: u64,
+    /// Store-to-load forwarding latency.
+    pub store_forward_cycles: u64,
+    /// ALU operation latency.
+    pub alu_latency: u64,
+    /// Extra decode penalty per instruction on the MITE (legacy) path.
+    pub mite_penalty: u64,
+    /// Cost of a minimal `syscall` round trip through the trampoline.
+    pub syscall_cycles: u64,
+    /// OS timer-interrupt period in cycles (`0` disables interrupts).
+    /// Interrupts are the dominant noise source the paper's batched
+    /// argmax analysis has to average away; they fire on the *global*
+    /// cycle counter, so their phase varies across attack iterations.
+    pub interrupt_period: u64,
+    /// Pipeline bubble per timer interrupt.
+    pub interrupt_cost: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            resteer_cycles: 12,
+            recovery_cycles: 60,
+            fault_confirm_cycles: 40,
+            exception_entry_cycles: 60,
+            fault_squash_cost_per_uop: 2,
+            machine_clear_base: 50,
+            clear_cost_per_uop: 3,
+            resteer_cost_per_uop: 1,
+            txn_abort_cycles: 40,
+            store_forward_cycles: 5,
+            alu_latency: 1,
+            mite_penalty: 2,
+            syscall_cycles: 120,
+            interrupt_period: 0,
+            interrupt_cost: 400,
+        }
+    }
+}
+
+/// Full configuration of one simulated CPU model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Marketing name, e.g. `"Intel Core i7-7700"`.
+    pub name: &'static str,
+    /// Microarchitecture name, e.g. `"Kaby Lake"`.
+    pub uarch: &'static str,
+    /// Nominal frequency in GHz (converts cycles to seconds for the
+    /// throughput numbers of §4.1).
+    pub freq_ghz: f64,
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// µops renamed/issued per cycle.
+    pub issue_width: usize,
+    /// µops retired per cycle.
+    pub retire_width: usize,
+    /// Reorder buffer capacity.
+    pub rob_size: usize,
+    /// Reservation station capacity.
+    pub rs_size: usize,
+    /// IDQ capacity.
+    pub idq_size: usize,
+    /// DSB (µop cache) capacity in instructions.
+    pub dsb_capacity: usize,
+    /// Number of (generic) execution ports.
+    pub ports: usize,
+    /// Branch predictor geometry.
+    pub bpu: BpuConfig,
+    /// Data TLB geometry.
+    pub dtlb: TlbConfig,
+    /// Instruction TLB geometry.
+    pub itlb: TlbConfig,
+    /// Page walker policy (mechanism 3 of DESIGN.md).
+    pub walk: WalkConfig,
+    /// Cache hierarchy geometry.
+    pub mem: MemoryConfig,
+    /// Pipeline timing constants.
+    pub timing: TimingConfig,
+    /// Vulnerability profile (decides Table 2's ✓/✗ pattern).
+    pub vuln: VulnProfile,
+}
+
+impl CpuConfig {
+    fn intel_base() -> CpuConfig {
+        CpuConfig {
+            name: "generic",
+            uarch: "generic",
+            freq_ghz: 4.0,
+            fetch_width: 4,
+            issue_width: 4,
+            retire_width: 4,
+            rob_size: 224,
+            rs_size: 97,
+            idq_size: 64,
+            dsb_capacity: 1536,
+            ports: 8,
+            bpu: BpuConfig::default(),
+            dtlb: TlbConfig::new(16, 4),
+            itlb: TlbConfig::new(16, 8),
+            walk: WalkConfig::intel(),
+            mem: MemoryConfig::skylake_class(),
+            timing: TimingConfig::default(),
+            vuln: VulnProfile {
+                meltdown_forward: ForwardPolicy::Data,
+                lfb_forward: true,
+                tlb_fill_on_fault: true,
+                early_fault_abort: false,
+                has_tsx: true,
+            },
+        }
+    }
+
+    /// Intel Core i7-6700 (Skylake): Meltdown- and MDS-vulnerable, TSX.
+    pub fn skylake_i7_6700() -> CpuConfig {
+        CpuConfig {
+            name: "Intel Core i7-6700",
+            uarch: "Skylake",
+            freq_ghz: 3.4,
+            ..Self::intel_base()
+        }
+    }
+
+    /// Intel Core i7-7700 (Kaby Lake): Meltdown- and MDS-vulnerable, TSX.
+    pub fn kaby_lake_i7_7700() -> CpuConfig {
+        CpuConfig {
+            name: "Intel Core i7-7700",
+            uarch: "Kaby Lake",
+            freq_ghz: 3.6,
+            ..Self::intel_base()
+        }
+    }
+
+    /// Intel Core i9-10980XE (Comet Lake / Cascade Lake-X): silicon fixes
+    /// for Meltdown and MDS, but the TLB still fills on faulting walks —
+    /// TET-KASLR works (Table 2).
+    pub fn comet_lake_i9_10980xe() -> CpuConfig {
+        CpuConfig {
+            name: "Intel Core i9-10980XE",
+            uarch: "Comet Lake",
+            freq_ghz: 3.0,
+            rob_size: 352,
+            rs_size: 160,
+            vuln: VulnProfile {
+                meltdown_forward: ForwardPolicy::Zero,
+                lfb_forward: false,
+                tlb_fill_on_fault: true,
+                early_fault_abort: false,
+                has_tsx: true,
+            },
+            ..Self::intel_base()
+        }
+    }
+
+    /// Intel Core i9-13900K (Raptor Lake): Meltdown/MDS fixed, TSX
+    /// removed; Spectre-RSB still works (Table 2).
+    pub fn raptor_lake_i9_13900k() -> CpuConfig {
+        CpuConfig {
+            name: "Intel Core i9-13900K",
+            uarch: "Raptor Lake",
+            freq_ghz: 5.8,
+            fetch_width: 6,
+            issue_width: 6,
+            retire_width: 8,
+            rob_size: 512,
+            rs_size: 200,
+            vuln: VulnProfile {
+                meltdown_forward: ForwardPolicy::Zero,
+                lfb_forward: false,
+                tlb_fill_on_fault: true,
+                early_fault_abort: false,
+                has_tsx: false,
+            },
+            ..Self::intel_base()
+        }
+    }
+
+    /// AMD Ryzen 5 5600G (Zen 3): no Meltdown/MDS forwarding, faulting
+    /// accesses abort early without completing the walk — TET-CC works,
+    /// every data-leak variant and TET-KASLR fail (Table 2).
+    pub fn zen3_ryzen5_5600g() -> CpuConfig {
+        CpuConfig {
+            name: "AMD Ryzen 5 5600G",
+            uarch: "Zen 3",
+            freq_ghz: 3.9,
+            fetch_width: 4,
+            issue_width: 6,
+            retire_width: 8,
+            rob_size: 256,
+            rs_size: 96,
+            walk: WalkConfig::amd(),
+            vuln: VulnProfile {
+                meltdown_forward: ForwardPolicy::Zero,
+                lfb_forward: false,
+                tlb_fill_on_fault: false,
+                early_fault_abort: true,
+                has_tsx: false,
+            },
+            ..Self::intel_base()
+        }
+    }
+
+    /// AMD Ryzen 9 5900 (Zen 3) — the paper's Table 2 row covers the
+    /// 5600G and the 5900 together; same vulnerability profile, bigger
+    /// core.
+    pub fn zen3_ryzen9_5900() -> CpuConfig {
+        CpuConfig {
+            name: "AMD Ryzen 9 5900",
+            freq_ghz: 4.7,
+            ..Self::zen3_ryzen5_5600g()
+        }
+    }
+
+    /// All five presets evaluated in Table 2 of the paper (the Zen 3 row
+    /// is represented by the 5600G; `zen3_ryzen9_5900` shares its
+    /// profile).
+    pub fn table2_presets() -> Vec<CpuConfig> {
+        vec![
+            Self::skylake_i7_6700(),
+            Self::kaby_lake_i7_7700(),
+            Self::comet_lake_i9_10980xe(),
+            Self::raptor_lake_i9_13900k(),
+            Self::zen3_ryzen5_5600g(),
+        ]
+    }
+
+    /// Converts a cycle count to seconds at this model's frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_names() {
+        let presets = CpuConfig::table2_presets();
+        let names: std::collections::HashSet<_> = presets.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), presets.len());
+    }
+
+    #[test]
+    fn vulnerability_pattern_matches_table2() {
+        let p = CpuConfig::table2_presets();
+        // Meltdown data forwarding only on Skylake/Kaby Lake.
+        assert_eq!(p[0].vuln.meltdown_forward, ForwardPolicy::Data);
+        assert_eq!(p[1].vuln.meltdown_forward, ForwardPolicy::Data);
+        assert_eq!(p[2].vuln.meltdown_forward, ForwardPolicy::Zero);
+        assert_eq!(p[3].vuln.meltdown_forward, ForwardPolicy::Zero);
+        assert_eq!(p[4].vuln.meltdown_forward, ForwardPolicy::Zero);
+        // LFB forwarding mirrors Meltdown here.
+        assert!(p[0].vuln.lfb_forward && p[1].vuln.lfb_forward);
+        assert!(!p[2].vuln.lfb_forward && !p[3].vuln.lfb_forward && !p[4].vuln.lfb_forward);
+        // TLB-fill-on-fault on all Intel models, not on Zen 3.
+        assert!(p[..4].iter().all(|c| c.vuln.tlb_fill_on_fault));
+        assert!(!p[4].vuln.tlb_fill_on_fault);
+        assert!(p[4].vuln.early_fault_abort);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_frequency() {
+        let c = CpuConfig::kaby_lake_i7_7700();
+        assert!((c.cycles_to_seconds(3_600_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_zen3_parts_share_the_vulnerability_profile() {
+        let a = CpuConfig::zen3_ryzen5_5600g();
+        let b = CpuConfig::zen3_ryzen9_5900();
+        assert_eq!(a.vuln, b.vuln);
+        assert_eq!(a.walk, b.walk);
+        assert_ne!(a.name, b.name);
+    }
+
+    #[test]
+    fn amd_uses_early_abort_walker() {
+        let c = CpuConfig::zen3_ryzen5_5600g();
+        assert!(c.walk.abort_early_on_fail);
+        let i = CpuConfig::skylake_i7_6700();
+        assert!(!i.walk.abort_early_on_fail);
+        assert_eq!(i.walk.fail_retries, 1);
+    }
+}

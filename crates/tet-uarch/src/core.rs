@@ -1,0 +1,1648 @@
+//! The out-of-order core: fetch → rename → schedule/execute → resolve →
+//! retire, with full speculative squash and delayed fault handling.
+//!
+//! The cycle loop implements the three calibrated mechanisms of
+//! DESIGN.md §1:
+//!
+//! 1. **Exception-entry serialization** — retirement delays delivery of
+//!    a permission fault until any in-progress branch-recovery window
+//!    ends, so an in-window mispredicted Jcc *lengthens* the measured
+//!    transient time (TET-Meltdown).
+//! 2. **Occupancy-proportional squash** — machine clears and branch
+//!    resteers pay `clear_cost_per_uop` per in-flight µop, so an inner
+//!    squash that already emptied the window makes the terminal squash
+//!    cheaper and *shortens* the measured time (TET-ZBL, TET-RSB).
+//! 3. **Walk-retry on failing translations** — failing page walks retried
+//!    per [`tet_mem::WalkConfig`] make unmapped probes slower than mapped
+//!    ones (TET-KASLR).
+
+use std::collections::VecDeque;
+
+use tet_isa::reg::RegFile;
+use tet_isa::{Flags, Inst, Program, Reg};
+use tet_mem::{AddressSpace, HitLevel, MemorySystem, PageWalker, PhysMem, Pte, Tlb, WalkOutcome};
+use tet_pmu::{Event, Pmu};
+
+use crate::config::{CpuConfig, ForwardPolicy};
+use crate::frontend::{Dsb, FetchedUop, FrontendTraceEntry};
+use crate::uop::FaultRoute;
+use crate::uop::{
+    dest_regs, src_regs, Dep, DepKind, Fault, FaultKind, RobEntry, SquashReason, StoreInfo,
+    UopFate, UopTrace,
+};
+use crate::{code_vaddr, Bpu};
+
+/// Borrowed environment a core steps against (shared by both SMT threads).
+#[derive(Debug)]
+pub struct Env<'a> {
+    /// The (core-shared) cache hierarchy and fill buffers.
+    pub mem: &'a mut MemorySystem,
+    /// Physical memory contents.
+    pub phys: &'a mut PhysMem,
+    /// The active address space of this thread.
+    pub aspace: &'a AddressSpace,
+}
+
+/// How a program run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// A `Halt` instruction retired.
+    Halted,
+    /// The cycle budget was exhausted.
+    CycleLimit,
+    /// A fault was raised with no signal handler and no transaction.
+    UnhandledFault(ExceptionRecord),
+    /// Control flow ran past the last instruction.
+    RanOffEnd,
+}
+
+/// One delivered fault (exception, machine clear, or TSX abort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExceptionRecord {
+    /// Instruction index of the faulting µop.
+    pub pc: usize,
+    /// Faulting virtual address.
+    pub vaddr: u64,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Delivery route.
+    pub route: FaultRoute,
+    /// Cycle the fault reached retirement.
+    pub detected_at: u64,
+    /// Cycle architectural execution resumed (handler / abort target).
+    pub delivered_at: u64,
+}
+
+/// Per-step notifications for the SMT wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepEvents {
+    /// Set when this thread initiated a whole-pipeline flush
+    /// (exception / machine clear / TSX abort) lasting until the given
+    /// cycle — the sibling thread observes the bubble (§4.4).
+    pub flush_until: Option<u64>,
+}
+
+struct LoadResult {
+    latency: u64,
+    value: u64,
+    fault: Option<Fault>,
+}
+
+/// One logical thread of the simulated core.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    cfg: CpuConfig,
+    /// Performance counters (public so callers can snapshot around
+    /// regions of interest).
+    pub pmu: Pmu,
+
+    // ----- frontend -----
+    bpu: Bpu,
+    dsb: Dsb,
+    idq: VecDeque<FetchedUop>,
+    fetch_pc: usize,
+    fetch_stall_until: u64,
+    fetch_enabled: bool,
+    last_fetch_page: Option<u64>,
+    /// Whether the previous delivered fetch group came from the DSB
+    /// (drives `DSB2MITE_SWITCHES.COUNT`).
+    last_fetch_from_dsb: bool,
+    itlb: Tlb,
+
+    // ----- backend -----
+    rob: VecDeque<RobEntry>,
+    next_uop_id: u64,
+    rat: [Option<u64>; 16],
+    flags_rat: Option<u64>,
+    regs: RegFile,
+    flags: Flags,
+    ports_busy: Vec<u64>,
+    recovery_busy_until: u64,
+    pipeline_flush_until: u64,
+    /// Stall imposed by the sibling SMT thread's flushes.
+    external_stall_until: u64,
+    txn_stack: Vec<usize>,
+
+    // ----- memory -----
+    dtlb: Tlb,
+    walker: PageWalker,
+    /// TLB entries a `syscall` warms (set from the OS model: the KPTI
+    /// trampoline pages).
+    syscall_pages: Vec<u64>,
+
+    // ----- TSX architectural checkpoint -----
+    /// Committed register/flag state at the retirement of the outermost
+    /// `xbegin`; restored on abort.
+    txn_checkpoint: Option<(RegFile, Flags)>,
+    /// Undo log of committed stores inside the transaction
+    /// (`(pa, old_value, was_byte)`), applied in reverse on abort.
+    txn_undo: Vec<(u64, u64, bool)>,
+    /// Committed transaction nesting depth (checkpoint covers the
+    /// outermost transaction).
+    txn_depth: usize,
+
+    // ----- run state -----
+    cycle: u64,
+    /// Monotonic across runs; drives the timer-interrupt phase so noise
+    /// varies between attack iterations.
+    global_cycle: u64,
+    /// Global cycle of the next timer interrupt.
+    next_interrupt: u64,
+    /// xorshift state for interrupt phase jitter (deterministic).
+    interrupt_rng: u64,
+    halted: bool,
+    retired_insts: u64,
+    handler_pc: Option<usize>,
+    exceptions: Vec<ExceptionRecord>,
+    unhandled: Option<ExceptionRecord>,
+    trace: Option<Vec<FrontendTraceEntry>>,
+    /// Per-µop lifecycle records, when requested; indexed by
+    /// `id - uop_trace_base`.
+    uop_trace: Option<Vec<UopTrace>>,
+    uop_trace_base: u64,
+}
+
+impl Cpu {
+    /// Creates a core in reset state.
+    pub fn new(cfg: CpuConfig) -> Self {
+        let ports = cfg.ports;
+        Cpu {
+            pmu: Pmu::new(),
+            bpu: Bpu::new(cfg.bpu),
+            dsb: Dsb::new(cfg.dsb_capacity),
+            idq: VecDeque::new(),
+            fetch_pc: 0,
+            fetch_stall_until: 0,
+            fetch_enabled: true,
+            last_fetch_page: None,
+            last_fetch_from_dsb: false,
+            itlb: Tlb::new(cfg.itlb),
+            rob: VecDeque::new(),
+            next_uop_id: 0,
+            rat: [None; 16],
+            flags_rat: None,
+            regs: RegFile::new(),
+            flags: Flags::default(),
+            ports_busy: vec![0; ports],
+            recovery_busy_until: 0,
+            pipeline_flush_until: 0,
+            external_stall_until: 0,
+            txn_stack: Vec::new(),
+            dtlb: Tlb::new(cfg.dtlb),
+            walker: PageWalker::new(cfg.walk),
+            syscall_pages: Vec::new(),
+            txn_checkpoint: None,
+            txn_undo: Vec::new(),
+            txn_depth: 0,
+            cycle: 0,
+            global_cycle: 0,
+            next_interrupt: cfg.timing.interrupt_period,
+            interrupt_rng: 0x9e37_79b9_7f4a_7c15,
+            halted: false,
+            retired_insts: 0,
+            handler_pc: None,
+            exceptions: Vec::new(),
+            unhandled: None,
+            trace: None,
+            uop_trace: None,
+            uop_trace_base: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this core was built with.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Resets per-run state (pipeline, registers, cycle counter) while
+    /// keeping the *persistent* microarchitectural state: BPU, DSB, TLBs
+    /// and the PMU — exactly the state the paper's attacks train and
+    /// probe across iterations.
+    pub fn reset_run(
+        &mut self,
+        init_regs: &[(Reg, u64)],
+        handler_pc: Option<usize>,
+        trace_frontend: bool,
+        trace_uops: bool,
+    ) {
+        self.idq.clear();
+        self.rob.clear();
+        self.rat = [None; 16];
+        self.flags_rat = None;
+        self.regs = RegFile::new();
+        for &(r, v) in init_regs {
+            self.regs.set(r, v);
+        }
+        self.flags = Flags::default();
+        for p in &mut self.ports_busy {
+            *p = 0;
+        }
+        self.recovery_busy_until = 0;
+        self.pipeline_flush_until = 0;
+        self.external_stall_until = 0;
+        self.txn_stack.clear();
+        self.txn_checkpoint = None;
+        self.txn_undo.clear();
+        self.txn_depth = 0;
+        self.fetch_pc = 0;
+        self.fetch_stall_until = 0;
+        self.fetch_enabled = true;
+        self.last_fetch_page = None;
+        self.cycle = 0;
+        self.halted = false;
+        self.retired_insts = 0;
+        self.handler_pc = handler_pc;
+        self.exceptions.clear();
+        self.unhandled = None;
+        self.trace = trace_frontend.then(Vec::new);
+        self.uop_trace = trace_uops.then(Vec::new);
+        self.uop_trace_base = self.next_uop_id;
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether a `Halt` retired or an unhandled fault ended the run.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Committed architectural registers.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Committed architectural flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Instructions retired in the current run.
+    pub fn retired_insts(&self) -> u64 {
+        self.retired_insts
+    }
+
+    /// Delivered faults of the current run.
+    pub fn exceptions(&self) -> &[ExceptionRecord] {
+        &self.exceptions
+    }
+
+    /// The unhandled fault that terminated the run, if any.
+    pub fn unhandled_fault(&self) -> Option<&ExceptionRecord> {
+        self.unhandled.as_ref()
+    }
+
+    /// The frontend delivery trace, if tracing was requested.
+    pub fn take_trace(&mut self) -> Option<Vec<FrontendTraceEntry>> {
+        self.trace.take()
+    }
+
+    /// The per-µop lifecycle trace, if requested.
+    pub fn take_uop_trace(&mut self) -> Option<Vec<UopTrace>> {
+        self.uop_trace.take()
+    }
+
+    fn trace_uop(&mut self, id: u64, f: impl FnOnce(&mut UopTrace)) {
+        let base = self.uop_trace_base;
+        if let Some(trace) = &mut self.uop_trace {
+            if let Some(entry) = trace.get_mut((id - base) as usize) {
+                f(entry);
+            }
+        }
+    }
+
+    fn trace_squash(&mut self, ids: Vec<u64>, at: u64, reason: SquashReason) {
+        for id in ids {
+            self.trace_uop(id, |t| {
+                if matches!(t.fate, UopFate::InFlight) {
+                    t.fate = UopFate::Squashed { at, reason };
+                }
+            });
+        }
+    }
+
+    /// The branch prediction unit (for stealth fingerprinting).
+    pub fn bpu(&self) -> &Bpu {
+        &self.bpu
+    }
+
+    /// The data TLB (for stealth fingerprinting and eviction).
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// Flushes both TLBs, optionally keeping global entries — the
+    /// attacker-controlled TLB eviction step of TET-KASLR.
+    pub fn flush_tlbs(&mut self, keep_global: bool) {
+        self.dtlb.flush_all(keep_global);
+        self.itlb.flush_all(keep_global);
+    }
+
+    /// Sets the pages a `syscall` warms in the DTLB (the KPTI trampoline).
+    pub fn set_syscall_pages(&mut self, pages: Vec<u64>) {
+        self.syscall_pages = pages;
+    }
+
+    /// Imposes a stall from the sibling SMT thread until `cycle`.
+    pub fn impose_external_stall(&mut self, until: u64) {
+        self.external_stall_until = self.external_stall_until.max(until);
+    }
+
+    /// Whether every pipeline structure is drained.
+    pub fn pipeline_empty(&self) -> bool {
+        self.rob.is_empty() && self.idq.is_empty()
+    }
+
+    /// Whether the frontend has run past the end of the program with an
+    /// empty pipeline (no `Halt` will ever retire).
+    pub fn ran_off_end(&self, program: &Program) -> bool {
+        self.pipeline_empty() && self.fetch_pc >= program.len() && !self.halted
+    }
+
+    // =====================================================================
+    // The cycle loop
+    // =====================================================================
+
+    /// Advances the core by one cycle.
+    pub fn step(&mut self, program: &Program, env: &mut Env<'_>) -> StepEvents {
+        let mut events = StepEvents::default();
+        let now = self.cycle;
+        self.pmu.bump(Event::CpuClkUnhalted, 1);
+
+        // OS timer interrupt: a whole-pipeline bubble. The schedule runs
+        // on the global (never-reset) cycle counter with deterministic
+        // phase jitter, so the noise decorrelates across attack
+        // iterations like real timer ticks do.
+        let t = self.cfg.timing;
+        if t.interrupt_period > 0 && self.global_cycle >= self.next_interrupt {
+            self.external_stall_until = self.external_stall_until.max(now + t.interrupt_cost);
+            self.fetch_stall_until = self.fetch_stall_until.max(now + t.interrupt_cost);
+            // xorshift64 jitter: the gap varies in [period/2, 3*period/2).
+            let mut x = self.interrupt_rng;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.interrupt_rng = x;
+            self.next_interrupt =
+                self.global_cycle + t.interrupt_period / 2 + x % t.interrupt_period.max(1);
+        }
+        self.global_cycle += 1;
+
+        self.resolve_branches(now);
+        if let Some(flush) = self.retire_cycle(now, env) {
+            events.flush_until = Some(flush);
+        }
+        let exec_started = self.schedule_cycle(now, env);
+        let issued = self.rename_cycle(now);
+        let (dsb_uops, mite_uops, fetch_stalled) = self.fetch_cycle(now, program, env);
+
+        self.account_cycle(
+            now,
+            exec_started,
+            issued,
+            dsb_uops,
+            mite_uops,
+            fetch_stalled,
+        );
+        self.cycle += 1;
+        events
+    }
+
+    // ----- per-cycle accounting -------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn account_cycle(
+        &mut self,
+        now: u64,
+        exec_started: usize,
+        issued: usize,
+        dsb_uops: usize,
+        mite_uops: usize,
+        fetch_stalled: bool,
+    ) {
+        let in_flight_exec = self.rob.iter().any(|e| e.started && !e.retire_ready(now));
+        let mem_in_flight = self
+            .rob
+            .iter()
+            .any(|e| e.is_memory && e.started && !e.retire_ready(now));
+        let rs_occupied = self.rob.iter().any(|e| !e.started);
+
+        if exec_started == 0 {
+            self.pmu.bump(Event::UopsExecutedStallCycles, 1);
+            if !in_flight_exec {
+                self.pmu.bump(Event::UopsExecutedCoreCyclesNone, 1);
+                if !self.rob.is_empty() {
+                    self.pmu.bump(Event::CycleActivityStallsTotal, 1);
+                }
+            }
+        }
+        if mem_in_flight {
+            self.pmu.bump(Event::CycleActivityCyclesMemAny, 1);
+        }
+        if !rs_occupied {
+            self.pmu.bump(Event::RsEventsEmptyCycles, 1);
+        }
+        if issued == 0 {
+            self.pmu.bump(Event::UopsIssuedStallCycles, 1);
+        }
+        if self.idq.is_empty() {
+            self.pmu.bump(Event::IdqEmptyCycles, 1);
+            self.pmu.bump(Event::DeDisUopQueueEmptyDi0, 1);
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(FrontendTraceEntry {
+                cycle: now,
+                dsb_uops,
+                mite_uops,
+                stalled: fetch_stalled,
+            });
+        }
+    }
+
+    // ----- branch resolution ----------------------------------------------
+
+    fn resolve_branches(&mut self, now: u64) {
+        // Resolve in age order; stop after the first mispredict (it
+        // squashes everything younger).
+        let mut mispredict_at: Option<usize> = None;
+        for i in 0..self.rob.len() {
+            let e = &self.rob[i];
+            if !e.inst.is_branch() || e.resolved || !e.retire_ready(now) {
+                continue;
+            }
+            let actual = e
+                .actual_next
+                .expect("executed branch must have a resolved target");
+            let pc = e.pc;
+            let inst = e.inst;
+            let pred_next = e.pred_next;
+
+            // Train the predictor at resolution (transient included).
+            match inst {
+                Inst::Jcc { target, .. } => {
+                    self.bpu.resolve_cond(pc, actual == target, target);
+                }
+                Inst::Ret | Inst::JmpReg { .. } => self.bpu.resolve_indirect(pc, actual),
+                _ => {}
+            }
+
+            self.pmu.bump(Event::BrInstExecAll, 1);
+            let entry = &mut self.rob[i];
+            entry.resolved = true;
+            if actual != pred_next {
+                entry.mispredicted = true;
+                mispredict_at = Some(i);
+                break;
+            }
+        }
+
+        if let Some(i) = mispredict_at {
+            let inst = self.rob[i].inst;
+            let actual = self.rob[i].actual_next.expect("resolved");
+            self.pmu.bump(Event::BrMispExecAllBranches, 1);
+            if matches!(inst, Inst::Ret | Inst::JmpReg { .. }) {
+                self.pmu.bump(Event::BrMispExecIndirect, 1);
+            }
+            self.pmu.bump(Event::BpL1BtbCorrect, 1);
+
+            let flushed = self.rob.len() - (i + 1);
+            let squashed = self.squash_younger_than(i);
+            self.trace_squash(squashed, now, SquashReason::BranchMispredict);
+            self.idq.clear();
+
+            // Mechanism 2: the resteer penalty scales with the number of
+            // in-flight µops the squash had to clear.
+            let stall = self.cfg.timing.resteer_cycles
+                + self.cfg.timing.resteer_cost_per_uop * flushed as u64;
+            self.fetch_pc = actual;
+            self.fetch_enabled = true;
+            self.last_fetch_page = None;
+            self.fetch_stall_until = self.fetch_stall_until.max(now + stall);
+            self.pmu.bump(Event::IntMiscClearResteerCycles, stall);
+
+            // Mechanism 1: open a recovery window that exception entry
+            // must serialise behind.
+            self.recovery_busy_until = self
+                .recovery_busy_until
+                .max(now + self.cfg.timing.recovery_cycles);
+        }
+    }
+
+    /// Removes all ROB entries younger than index `keep` and rebuilds the
+    /// rename state from the survivors. Returns the squashed µop ids.
+    fn squash_younger_than(&mut self, keep: usize) -> Vec<u64> {
+        let ids = self.rob.iter().skip(keep + 1).map(|e| e.id).collect();
+        self.rob.truncate(keep + 1);
+        self.rebuild_rename_state();
+        ids
+    }
+
+    fn rebuild_rename_state(&mut self) {
+        self.rat = [None; 16];
+        self.flags_rat = None;
+        self.txn_stack = self
+            .rob
+            .back()
+            .map(|e| e.txn_snapshot.clone())
+            .unwrap_or_default();
+        let dests: Vec<(u64, Vec<Reg>, bool)> = self
+            .rob
+            .iter()
+            .map(|e| (e.id, dest_regs(&e.inst), e.inst.writes_flags()))
+            .collect();
+        for (id, regs, wf) in dests {
+            for r in regs {
+                self.rat[r as usize] = Some(id);
+            }
+            if wf {
+                self.flags_rat = Some(id);
+            }
+        }
+    }
+
+    // ----- retirement -----------------------------------------------------
+
+    /// Retires up to `retire_width` µops; returns a flush horizon when a
+    /// fault was delivered this cycle.
+    fn retire_cycle(&mut self, now: u64, env: &mut Env<'_>) -> Option<u64> {
+        if now < self.pipeline_flush_until || now < self.external_stall_until || self.halted {
+            return None;
+        }
+        let mut flush = None;
+        for _ in 0..self.cfg.retire_width {
+            let Some(front) = self.rob.front() else { break };
+            if !front.retire_ready(now) {
+                break;
+            }
+            if front.fault.is_some() {
+                flush = Some(self.deliver_fault(now, env));
+                break;
+            }
+            let entry = self.rob.pop_front().expect("front exists");
+            self.commit(entry, env, now);
+            if self.halted {
+                break;
+            }
+        }
+        flush
+    }
+
+    fn commit(&mut self, entry: RobEntry, env: &mut Env<'_>, _now_retire: u64) {
+        for (r, v) in &entry.results {
+            self.regs.set(*r, *v);
+        }
+        if let Some(f) = entry.flags_out {
+            self.flags = f;
+        }
+        if let Some(store) = entry.store {
+            if let Some(pa) = store.pa {
+                // The architectural write happens at commit; inside a
+                // transaction the old value is logged for abort undo.
+                if self.txn_checkpoint.is_some() {
+                    let old = if store.byte {
+                        env.phys.read_u8(pa) as u64
+                    } else {
+                        env.phys.read_u64(pa)
+                    };
+                    self.txn_undo.push((pa, old, store.byte));
+                }
+                if store.byte {
+                    env.phys.write_u8(pa, store.value as u8);
+                } else {
+                    env.phys.write_u64(pa, store.value);
+                }
+            }
+        }
+        // TSX boundaries: checkpoint at the outermost xbegin's
+        // retirement, release at the matching xend's.
+        match entry.inst {
+            Inst::XBegin { .. } if self.cfg.vuln.has_tsx => {
+                if self.txn_depth == 0 {
+                    self.txn_checkpoint = Some((self.regs, self.flags));
+                    self.txn_undo.clear();
+                }
+                self.txn_depth += 1;
+            }
+            Inst::XEnd => {
+                self.txn_depth = self.txn_depth.saturating_sub(1);
+                if self.txn_depth == 0 {
+                    self.txn_checkpoint = None;
+                    self.txn_undo.clear();
+                }
+            }
+            _ => {}
+        }
+        // Free the RAT mapping if this µop was still the newest producer.
+        for r in dest_regs(&entry.inst) {
+            if self.rat[r as usize] == Some(entry.id) {
+                self.rat[r as usize] = None;
+            }
+        }
+        if self.flags_rat == Some(entry.id) {
+            self.flags_rat = None;
+        }
+
+        self.trace_uop(entry.id, |t| t.fate = UopFate::Retired { at: _now_retire });
+        self.retired_insts += 1;
+        self.pmu.bump(Event::InstRetiredAny, 1);
+        self.pmu.bump(Event::UopsRetiredAll, 1);
+        if entry.inst.is_branch() {
+            self.pmu.bump(Event::BrInstRetiredAll, 1);
+            if entry.mispredicted {
+                self.pmu.bump(Event::BrMispRetiredAll, 1);
+            }
+        }
+        if matches!(entry.inst, Inst::Halt) {
+            self.halted = true;
+        }
+    }
+
+    fn deliver_fault(&mut self, now: u64, env: &mut Env<'_>) -> u64 {
+        let entry = self.rob.front().expect("caller checked").clone();
+        let fault = entry.fault.expect("caller checked");
+        let occupancy = self.rob.len() as u64;
+        let t = &self.cfg.timing;
+
+        // Mechanism 1: fault delivery serialises behind an in-progress
+        // branch-misprediction recovery window on every route, so an
+        // in-window triggered Jcc delays delivery and lengthens ToTE.
+        let start = now.max(self.recovery_busy_until);
+
+        // Route selection. Non-present / reserved-bit faults go through a
+        // microcode assist (machine clear) on the Intel models; the AMD
+        // model detected the fault early and raises a plain exception for
+        // every kind, which is what removes the mapped/unmapped timing
+        // differential of TET-KASLR on Zen 3.
+        let assist = !self.cfg.vuln.early_fault_abort
+            && matches!(fault.kind, FaultKind::NotPresent | FaultKind::ReservedBit)
+            && entry.txn_abort.is_none();
+
+        // Mechanism 2: squash cost scales with in-flight occupancy — an
+        // inner squash that already emptied the transient window makes
+        // this terminal flush cheaper.
+        let (route, cost, target) = if let Some(abort_target) = entry.txn_abort {
+            (
+                FaultRoute::TxnAbort,
+                t.txn_abort_cycles + t.fault_squash_cost_per_uop * occupancy,
+                Some(abort_target),
+            )
+        } else if assist {
+            self.pmu.bump(Event::MachineClearsCount, 1);
+            (
+                FaultRoute::MachineClear,
+                t.machine_clear_base + t.clear_cost_per_uop * occupancy,
+                self.handler_pc,
+            )
+        } else {
+            (
+                FaultRoute::Exception,
+                t.exception_entry_cycles + t.fault_squash_cost_per_uop * occupancy,
+                self.handler_pc,
+            )
+        };
+        let delivered_at = start + cost;
+
+        let Some(target) = target else {
+            let record = ExceptionRecord {
+                pc: entry.pc,
+                vaddr: fault.vaddr,
+                kind: fault.kind,
+                route,
+                detected_at: now,
+                delivered_at,
+            };
+            self.unhandled = Some(record);
+            self.halted = true;
+            return delivered_at;
+        };
+
+        self.exceptions.push(ExceptionRecord {
+            pc: entry.pc,
+            vaddr: fault.vaddr,
+            kind: fault.kind,
+            route,
+            detected_at: now,
+            delivered_at,
+        });
+
+        // A transaction abort rolls architectural state back to the
+        // xbegin checkpoint: registers, flags, and committed stores.
+        if route == FaultRoute::TxnAbort {
+            if let Some((regs, flags)) = self.txn_checkpoint.take() {
+                self.regs = regs;
+                self.flags = flags;
+                for (pa, old, byte) in self.txn_undo.drain(..).rev() {
+                    if byte {
+                        env.phys.write_u8(pa, old as u8);
+                    } else {
+                        env.phys.write_u64(pa, old);
+                    }
+                }
+            }
+            self.txn_depth = 0;
+        }
+
+        // Full pipeline flush; architectural state stays at the last
+        // commit (the faulting µop and everything younger vanish).
+        let squashed: Vec<u64> = self.rob.iter().map(|e| e.id).collect();
+        let squash_reason = match route {
+            FaultRoute::TxnAbort => SquashReason::TxnAbort,
+            _ => SquashReason::Fault,
+        };
+        self.trace_squash(squashed, now, squash_reason);
+        self.rob.clear();
+        self.idq.clear();
+        self.rebuild_rename_state();
+        self.txn_stack.clear();
+        self.fetch_pc = target;
+        self.fetch_enabled = true;
+        self.last_fetch_page = None;
+        self.fetch_stall_until = delivered_at;
+        self.pipeline_flush_until = delivered_at;
+        self.recovery_busy_until = self.recovery_busy_until.max(delivered_at);
+        delivered_at
+    }
+
+    // ----- scheduling / execution -----------------------------------------
+
+    fn schedule_cycle(&mut self, now: u64, env: &mut Env<'_>) -> usize {
+        if now < self.pipeline_flush_until {
+            return 0;
+        }
+        let mut started = 0usize;
+        let mut i = 0usize;
+        while i < self.rob.len() {
+            if self.rob[i].started {
+                // A not-yet-done fence blocks all younger execution.
+                if self.rob[i].inst.is_fence() && !self.rob[i].retire_ready(now) {
+                    break;
+                }
+                i += 1;
+                continue;
+            }
+            // Fences wait until all older µops are done, then "execute"
+            // instantly; they block everything younger meanwhile.
+            if self.rob[i].inst.is_fence() {
+                let older_done = self.rob.iter().take(i).all(|e| e.retire_ready(now));
+                if older_done {
+                    let e = &mut self.rob[i];
+                    e.started = true;
+                    e.forward_at = Some(now);
+                    e.done_at = Some(now);
+                    let id = e.id;
+                    self.trace_uop(id, |t| {
+                        t.started_at = Some(now);
+                        t.done_at = Some(now);
+                    });
+                    i += 1;
+                    continue;
+                }
+                break;
+            }
+            if self.deps_ready(&self.rob[i], now) && self.mem_order_ready(i) {
+                if let Some(port) = self.free_port(now) {
+                    self.ports_busy[port] = now + 1;
+                    self.execute_uop(i, now, env);
+                    started += 1;
+                    self.pmu.bump(Event::UopsExecutedAny, 1);
+                }
+            }
+            i += 1;
+        }
+        started
+    }
+
+    fn free_port(&self, now: u64) -> Option<usize> {
+        self.ports_busy.iter().position(|&b| b <= now)
+    }
+
+    fn producer(&self, id: u64) -> Option<&RobEntry> {
+        self.rob.iter().find(|e| e.id == id)
+    }
+
+    fn deps_ready(&self, entry: &RobEntry, now: u64) -> bool {
+        entry.deps.iter().all(|d| match d.producer {
+            None => true,
+            Some(id) => match self.producer(id) {
+                Some(p) => p.forward_ready(now),
+                None => true, // retired → committed state is current
+            },
+        })
+    }
+
+    /// Loads must wait for older stores with unknown addresses, and for
+    /// forwarding-blocked stores (clflush between store and load) to
+    /// retire. Stores and non-memory µops are always order-ready.
+    fn mem_order_ready(&self, i: usize) -> bool {
+        let inst = self.rob[i].inst;
+        let is_load = matches!(
+            inst,
+            Inst::Load { .. } | Inst::LoadByte { .. } | Inst::Pop { .. } | Inst::Ret
+        );
+        if !is_load {
+            return true;
+        }
+        for j in (0..i).rev() {
+            let e = &self.rob[j];
+            let is_store = matches!(
+                e.inst,
+                Inst::Store { .. } | Inst::StoreByte { .. } | Inst::Push { .. } | Inst::Call { .. }
+            );
+            if is_store && !e.started {
+                return false; // unknown older store address
+            }
+        }
+        true
+    }
+
+    fn dep_reg_value(&self, entry: &RobEntry, r: Reg) -> u64 {
+        for d in &entry.deps {
+            if let DepKind::Reg(reg) = d.kind {
+                if reg == r {
+                    if let Some(id) = d.producer {
+                        if let Some(p) = self.producer(id) {
+                            if let Some(v) = p.result_for(r) {
+                                return v;
+                            }
+                        }
+                    }
+                    return self.regs.get(r);
+                }
+            }
+        }
+        self.regs.get(r)
+    }
+
+    fn dep_flags_value(&self, entry: &RobEntry) -> Flags {
+        for d in &entry.deps {
+            if matches!(d.kind, DepKind::Flags) {
+                if let Some(id) = d.producer {
+                    if let Some(p) = self.producer(id) {
+                        if let Some(f) = p.flags_out {
+                            return f;
+                        }
+                    }
+                }
+                return self.flags;
+            }
+        }
+        self.flags
+    }
+
+    fn eff_addr(&self, entry: &RobEntry, addr: &tet_isa::Addr) -> u64 {
+        let mut a = addr.disp as u64;
+        if let Some(b) = addr.base {
+            a = a.wrapping_add(self.dep_reg_value(entry, b));
+        }
+        if let Some((idx, scale)) = addr.index {
+            a = a.wrapping_add(self.dep_reg_value(entry, idx).wrapping_mul(scale as u64));
+        }
+        a
+    }
+
+    fn src_value(&self, entry: &RobEntry, s: &tet_isa::Src) -> u64 {
+        match s {
+            tet_isa::Src::Reg(r) => self.dep_reg_value(entry, *r),
+            tet_isa::Src::Imm(v) => *v,
+        }
+    }
+
+    /// Store-to-load forwarding scan for a load of width `byte_load`.
+    /// Returns:
+    /// * `Some(Ok(value))` — forward from an older in-flight store;
+    /// * `Some(Err(()))` — forwarding blocked (partial overlap, or an
+    ///   intervening `clflush`): the load must wait until the store
+    ///   drains and read memory;
+    /// * `None` — no older in-flight store overlapping this address.
+    fn forwarding(&self, i: usize, vaddr: u64, byte_load: bool) -> Option<Result<u64, ()>> {
+        let load_len: u64 = if byte_load { 1 } else { 8 };
+        for j in (0..i).rev() {
+            let e = &self.rob[j];
+            if let Some(store) = &e.store {
+                let store_len: u64 = if store.byte { 1 } else { 8 };
+                let overlap = store.vaddr < vaddr + load_len && vaddr < store.vaddr + store_len;
+                if !overlap {
+                    continue;
+                }
+                // Loads fully contained in the store can forward; partial
+                // overlaps stall until the store drains (real store
+                // buffers behave the same way).
+                let contained = vaddr >= store.vaddr && vaddr + load_len <= store.vaddr + store_len;
+                if !contained {
+                    return Some(Err(()));
+                }
+                // clflush of the same line between store and load blocks
+                // forwarding (the Listing 1 trick that slows `ret`).
+                let line = tet_mem::line_addr(vaddr);
+                let blocked = self.rob.iter().take(i).skip(j + 1).any(|c| {
+                    matches!(c.inst, Inst::Clflush { .. }) && c.started && {
+                        if let Inst::Clflush { addr } = &c.inst {
+                            tet_mem::line_addr(self.eff_addr(c, addr)) == line
+                        } else {
+                            false
+                        }
+                    }
+                });
+                if blocked {
+                    return Some(Err(()));
+                }
+                let shift = 8 * (vaddr - store.vaddr);
+                let value = if byte_load {
+                    (store.value >> shift) & 0xff
+                } else {
+                    store.value
+                };
+                return Some(Ok(value));
+            }
+        }
+        None
+    }
+
+    // ----- the execute step -------------------------------------------------
+
+    fn execute_uop(&mut self, i: usize, now: u64, env: &mut Env<'_>) {
+        let inst = self.rob[i].inst;
+        let t = self.cfg.timing;
+        let mut latency = t.alu_latency;
+        let mut results: Vec<(Reg, u64)> = Vec::new();
+        let mut flags_out: Option<Flags> = None;
+        let mut fault: Option<Fault> = None;
+        let mut store: Option<StoreInfo> = None;
+        let mut actual_next: Option<usize> = None;
+
+        match inst {
+            Inst::Nop | Inst::Halt | Inst::XEnd => {}
+            Inst::XBegin { .. } => {}
+            Inst::MovImm { dst, imm } => results.push((dst, imm)),
+            Inst::MovReg { dst, src } => {
+                let v = self.dep_reg_value(&self.rob[i].clone(), src);
+                results.push((dst, v));
+            }
+            Inst::Lea { dst, addr } => {
+                let entry = self.rob[i].clone();
+                results.push((dst, self.eff_addr(&entry, &addr)));
+            }
+            Inst::Alu { op, dst, src } => {
+                let entry = self.rob[i].clone();
+                let a = self.dep_reg_value(&entry, dst);
+                let b = self.src_value(&entry, &src);
+                let r = op.apply(a, b);
+                results.push((dst, r));
+                flags_out = Some(match op {
+                    tet_isa::inst::AluOp::Add => Flags::from_add(a, b),
+                    tet_isa::inst::AluOp::Sub => Flags::from_sub(a, b),
+                    _ => Flags::from_logic(r),
+                });
+            }
+            Inst::Cmp { a, b } => {
+                let entry = self.rob[i].clone();
+                flags_out = Some(Flags::from_sub(
+                    self.dep_reg_value(&entry, a),
+                    self.src_value(&entry, &b),
+                ));
+            }
+            Inst::Test { a, b } => {
+                let entry = self.rob[i].clone();
+                flags_out = Some(Flags::from_and(
+                    self.dep_reg_value(&entry, a),
+                    self.src_value(&entry, &b),
+                ));
+            }
+            Inst::Rdtsc => results.push((Reg::Rax, now)),
+            Inst::Load { dst, addr } | Inst::LoadByte { dst, addr } => {
+                let byte = matches!(inst, Inst::LoadByte { .. });
+                let entry = self.rob[i].clone();
+                let vaddr = self.eff_addr(&entry, &addr);
+                match self.forwarding(i, vaddr, byte) {
+                    Some(Ok(v)) => {
+                        latency = t.store_forward_cycles;
+                        results.push((dst, if byte { v & 0xff } else { v }));
+                    }
+                    Some(Err(())) => {
+                        // Forwarding blocked: retry next cycle unless the
+                        // store has drained; model as a stalled start.
+                        self.pmu.bump(Event::LdBlocksStoreForward, 1);
+                        self.rob[i].started = false;
+                        return;
+                    }
+                    None => {
+                        let lr = self.do_load(env, vaddr, byte);
+                        latency = lr.latency;
+                        fault = lr.fault;
+                        results.push((dst, lr.value));
+                    }
+                }
+            }
+            Inst::Store { src, addr } | Inst::StoreByte { src, addr } => {
+                let byte = matches!(inst, Inst::StoreByte { .. });
+                let entry = self.rob[i].clone();
+                let vaddr = self.eff_addr(&entry, &addr);
+                let value = self.dep_reg_value(&entry, src);
+                let (lat, pa, f) = self.do_store(env, vaddr);
+                latency = lat;
+                fault = f;
+                store = Some(StoreInfo {
+                    vaddr,
+                    pa,
+                    value,
+                    byte,
+                });
+            }
+            Inst::Push { src } => {
+                let entry = self.rob[i].clone();
+                let rsp = self.dep_reg_value(&entry, Reg::Rsp).wrapping_sub(8);
+                let value = self.dep_reg_value(&entry, src);
+                let (lat, pa, f) = self.do_store(env, rsp);
+                latency = lat;
+                fault = f;
+                results.push((Reg::Rsp, rsp));
+                store = Some(StoreInfo {
+                    vaddr: rsp,
+                    pa,
+                    value,
+                    byte: false,
+                });
+            }
+            Inst::Pop { dst } => {
+                let entry = self.rob[i].clone();
+                let rsp = self.dep_reg_value(&entry, Reg::Rsp);
+                match self.forwarding(i, rsp, false) {
+                    Some(Ok(v)) => {
+                        latency = t.store_forward_cycles;
+                        results.push((dst, v));
+                    }
+                    Some(Err(())) => {
+                        self.pmu.bump(Event::LdBlocksStoreForward, 1);
+                        self.rob[i].started = false;
+                        return;
+                    }
+                    None => {
+                        let lr = self.do_load(env, rsp, false);
+                        latency = lr.latency;
+                        fault = lr.fault;
+                        results.push((dst, lr.value));
+                    }
+                }
+                results.push((Reg::Rsp, rsp.wrapping_add(8)));
+            }
+            Inst::Call { target } => {
+                let entry = self.rob[i].clone();
+                let rsp = self.dep_reg_value(&entry, Reg::Rsp).wrapping_sub(8);
+                let (lat, pa, f) = self.do_store(env, rsp);
+                latency = lat;
+                fault = f;
+                results.push((Reg::Rsp, rsp));
+                store = Some(StoreInfo {
+                    vaddr: rsp,
+                    pa,
+                    value: (self.rob[i].pc + 1) as u64,
+                    byte: false,
+                });
+                actual_next = Some(target);
+            }
+            Inst::Ret => {
+                let entry = self.rob[i].clone();
+                let rsp = self.dep_reg_value(&entry, Reg::Rsp);
+                let ret_target;
+                match self.forwarding(i, rsp, false) {
+                    Some(Ok(v)) => {
+                        latency = t.store_forward_cycles;
+                        ret_target = v;
+                    }
+                    Some(Err(())) => {
+                        self.pmu.bump(Event::LdBlocksStoreForward, 1);
+                        self.rob[i].started = false;
+                        return;
+                    }
+                    None => {
+                        let lr = self.do_load(env, rsp, false);
+                        latency = lr.latency;
+                        fault = lr.fault;
+                        ret_target = lr.value;
+                    }
+                }
+                results.push((Reg::Rsp, rsp.wrapping_add(8)));
+                actual_next = Some(ret_target as usize);
+            }
+            Inst::Jmp { target } => actual_next = Some(target),
+            Inst::JmpReg { reg } => {
+                let entry = self.rob[i].clone();
+                actual_next = Some(self.dep_reg_value(&entry, reg) as usize);
+            }
+            Inst::Jcc { cond, target } => {
+                let entry = self.rob[i].clone();
+                let f = self.dep_flags_value(&entry);
+                let taken = cond.eval(f);
+                actual_next = Some(if taken { target } else { entry.pc + 1 });
+            }
+            Inst::Clflush { addr } => {
+                let entry = self.rob[i].clone();
+                let vaddr = self.eff_addr(&entry, &addr);
+                if let Some(pa) = env.aspace.translate(vaddr) {
+                    env.mem.clflush(pa);
+                }
+                self.pmu.bump(Event::ClflushExecuted, 1);
+                latency = 2;
+            }
+            Inst::Prefetch { addr } => {
+                let entry = self.rob[i].clone();
+                let vaddr = self.eff_addr(&entry, &addr);
+                latency = self.do_prefetch(env, vaddr);
+            }
+            Inst::Lfence | Inst::Mfence | Inst::Sfence => unreachable!("fences handled earlier"),
+            Inst::Syscall => {
+                latency = t.syscall_cycles;
+                let pages = self.syscall_pages.clone();
+                for page in pages {
+                    if let Some(pte) = env.aspace.pte(page) {
+                        if !pte.reserved && pte.present {
+                            self.dtlb.fill(page, pte);
+                            self.itlb.fill(page, pte);
+                            self.pmu.bump(Event::DtlbFills, 1);
+                        }
+                    }
+                }
+            }
+        }
+
+        let e = &mut self.rob[i];
+        e.started = true;
+        let forward_at = now + latency;
+        e.forward_at = Some(forward_at);
+        let done_at = if fault.is_some() {
+            forward_at + t.fault_confirm_cycles
+        } else {
+            forward_at
+        };
+        e.done_at = Some(done_at);
+        e.results = results;
+        e.flags_out = flags_out;
+        e.fault = fault;
+        e.store = store;
+        e.actual_next = actual_next;
+        let id = e.id;
+        self.trace_uop(id, |t| {
+            t.started_at = Some(now);
+            t.done_at = Some(done_at);
+        });
+    }
+
+    // ----- memory access paths ----------------------------------------------
+
+    /// Translates `vaddr` for a demand access: TLB → page walk with the
+    /// configured retry/fill/abort policies. Returns the latency, the
+    /// leaf PTE if the walk succeeded, and the fault, if any.
+    fn mem_translate(&mut self, env: &Env<'_>, vaddr: u64) -> (u64, Option<Pte>, Option<Fault>) {
+        if let Some(e) = self.dtlb.lookup(vaddr) {
+            let pte = e.pte;
+            let fault = (!pte.user).then_some(Fault {
+                kind: FaultKind::Permission,
+                vaddr,
+            });
+            return (1, Some(pte), fault);
+        }
+
+        if self.cfg.vuln.early_fault_abort {
+            // AMD model: accesses that will fault abort before the walk
+            // completes — no forwarding, no TLB fill, flat cost.
+            return match env.aspace.walk(vaddr).0 {
+                WalkOutcome::Mapped(pte) if pte.user => {
+                    let wr = self.walker.walk(env.aspace, vaddr);
+                    self.pmu
+                        .bump(Event::DtlbLoadMissesMissCausesAWalk, wr.walks as u64);
+                    self.pmu.bump(Event::DtlbLoadMissesWalkActive, wr.cycles);
+                    self.pmu.bump(Event::DtlbLoadMissesWalkCompleted, 1);
+                    self.dtlb.fill(vaddr, pte);
+                    self.pmu.bump(Event::DtlbFills, 1);
+                    (wr.cycles, Some(pte), None)
+                }
+                outcome => {
+                    let kind = match outcome {
+                        WalkOutcome::Mapped(_) => FaultKind::Permission,
+                        WalkOutcome::NotPresent { .. } => FaultKind::NotPresent,
+                        WalkOutcome::ReservedBit => FaultKind::ReservedBit,
+                    };
+                    self.pmu.bump(Event::DtlbLoadMissesMissCausesAWalk, 1);
+                    (self.cfg.walk.abort_cost, None, Some(Fault { kind, vaddr }))
+                }
+            };
+        }
+
+        let wr = self.walker.walk(env.aspace, vaddr);
+        self.pmu
+            .bump(Event::DtlbLoadMissesMissCausesAWalk, wr.walks as u64);
+        self.pmu.bump(Event::DtlbLoadMissesWalkActive, wr.cycles);
+        match wr.outcome {
+            WalkOutcome::Mapped(pte) => {
+                self.pmu.bump(Event::DtlbLoadMissesWalkCompleted, 1);
+                // Intel behaviour: the completed walk installs a TLB entry
+                // even when the access itself will fault (TET-KASLR root
+                // cause, paper §4.5 / §6.3).
+                if pte.user || self.cfg.vuln.tlb_fill_on_fault {
+                    self.dtlb.fill(vaddr, pte);
+                    self.pmu.bump(Event::DtlbFills, 1);
+                }
+                let fault = (!pte.user).then_some(Fault {
+                    kind: FaultKind::Permission,
+                    vaddr,
+                });
+                (wr.cycles, Some(pte), fault)
+            }
+            WalkOutcome::NotPresent { .. } => (
+                wr.cycles,
+                None,
+                Some(Fault {
+                    kind: FaultKind::NotPresent,
+                    vaddr,
+                }),
+            ),
+            WalkOutcome::ReservedBit => (
+                wr.cycles,
+                None,
+                Some(Fault {
+                    kind: FaultKind::ReservedBit,
+                    vaddr,
+                }),
+            ),
+        }
+    }
+
+    fn do_load(&mut self, env: &mut Env<'_>, vaddr: u64, byte: bool) -> LoadResult {
+        let (tlat, pte, fault) = self.mem_translate(env, vaddr);
+        match (&fault, pte) {
+            (None, Some(pte)) => {
+                let pa = pte.frame * tet_mem::PAGE_SIZE + (vaddr % tet_mem::PAGE_SIZE);
+                let da = env.mem.data_load(pa, env.phys);
+                self.bump_hit_level(da.level);
+                let value = if byte {
+                    env.phys.read_u8(pa) as u64
+                } else {
+                    env.phys.read_u64(pa)
+                };
+                LoadResult {
+                    latency: tlat + da.latency,
+                    value,
+                    fault: None,
+                }
+            }
+            (Some(f), pte_opt) if f.kind == FaultKind::Permission => {
+                // Meltdown path: data may be transiently forwarded — but
+                // only when the line is already resident in the cache
+                // hierarchy, as on real silicon (the fault microcode has
+                // no time to wait for DRAM). An uncached target forwards
+                // zero; the access still *initiates* a fill, so a later
+                // retry succeeds once the kernel's data is resident.
+                match (self.cfg.vuln.meltdown_forward, pte_opt) {
+                    (ForwardPolicy::Data, Some(pte)) => {
+                        let pa = pte.frame * tet_mem::PAGE_SIZE + (vaddr % tet_mem::PAGE_SIZE);
+                        let cached = env.mem.probe_level(pa).is_some();
+                        let da = env.mem.data_load(pa, env.phys);
+                        if cached {
+                            let value = if byte {
+                                env.phys.read_u8(pa) as u64
+                            } else {
+                                env.phys.read_u64(pa)
+                            };
+                            LoadResult {
+                                latency: tlat + da.latency,
+                                value,
+                                fault,
+                            }
+                        } else {
+                            LoadResult {
+                                latency: tlat + self.cfg.mem.l1d.latency,
+                                value: 0,
+                                fault,
+                            }
+                        }
+                    }
+                    _ => LoadResult {
+                        latency: tlat + self.cfg.mem.l1d.latency,
+                        value: 0,
+                        fault,
+                    },
+                }
+            }
+            (Some(_), _) => {
+                // NotPresent / ReservedBit: the Zombieload path — a
+                // microcode-assisted load may forward stale LFB data.
+                let value = if self.cfg.vuln.lfb_forward {
+                    let off = (vaddr % tet_mem::LINE_SIZE) as usize;
+                    if byte {
+                        env.mem.lfb().stale_byte(off).unwrap_or(0) as u64
+                    } else {
+                        env.mem.lfb().stale_u64(off).unwrap_or(0)
+                    }
+                } else {
+                    0
+                };
+                LoadResult {
+                    latency: tlat + self.cfg.mem.l1d.latency,
+                    value,
+                    fault,
+                }
+            }
+            (None, None) => unreachable!("no fault implies a PTE"),
+        }
+    }
+
+    fn do_store(&mut self, env: &mut Env<'_>, vaddr: u64) -> (u64, Option<u64>, Option<Fault>) {
+        let (tlat, pte, fault) = self.mem_translate(env, vaddr);
+        match (&fault, pte) {
+            (None, Some(pte)) => {
+                let pa = pte.frame * tet_mem::PAGE_SIZE + (vaddr % tet_mem::PAGE_SIZE);
+                // The write-allocate fill proceeds in the background; the
+                // store itself completes into the store buffer without
+                // waiting for it (so fences don't absorb DRAM latency).
+                let _ = env.mem.data_store(pa, env.phys);
+                (tlat + 1, Some(pa), None)
+            }
+            _ => (tlat + 1, None, fault),
+        }
+    }
+
+    fn do_prefetch(&mut self, env: &mut Env<'_>, vaddr: u64) -> u64 {
+        // Prefetches never fault and never retry failing walks: they are
+        // dropped at the first irregularity. That walk-depth-only timing
+        // is what FLARE's dummy mappings flatten (DESIGN.md §1).
+        if let Some(e) = self.dtlb.lookup(vaddr) {
+            if e.pte.user {
+                if let Some(pa) = env.aspace.translate(vaddr) {
+                    let da = env.mem.data_load(pa, env.phys);
+                    return 1 + da.latency;
+                }
+            }
+            return 1;
+        }
+        let (outcome, levels) = env.aspace.walk(vaddr);
+        let walk_cost = levels as u64 * self.cfg.walk.level_cost;
+        self.pmu.bump(Event::DtlbLoadMissesMissCausesAWalk, 1);
+        self.pmu.bump(Event::DtlbLoadMissesWalkActive, walk_cost);
+        match outcome {
+            WalkOutcome::Mapped(pte) if pte.user => {
+                self.dtlb.fill(vaddr, pte);
+                self.pmu.bump(Event::DtlbFills, 1);
+                let pa = pte.frame * tet_mem::PAGE_SIZE + (vaddr % tet_mem::PAGE_SIZE);
+                let da = env.mem.data_load(pa, env.phys);
+                walk_cost + da.latency
+            }
+            _ => walk_cost,
+        }
+    }
+
+    fn bump_hit_level(&mut self, level: HitLevel) {
+        match level {
+            HitLevel::L1 => self.pmu.bump(Event::MemLoadRetiredL1Hit, 1),
+            HitLevel::L2 => {
+                self.pmu.bump(Event::MemLoadRetiredL1Miss, 1);
+                self.pmu.bump(Event::MemLoadRetiredL2Hit, 1);
+            }
+            HitLevel::Llc => {
+                self.pmu.bump(Event::MemLoadRetiredL1Miss, 1);
+                self.pmu.bump(Event::MemLoadRetiredL3Hit, 1);
+            }
+            HitLevel::Dram => {
+                self.pmu.bump(Event::MemLoadRetiredL1Miss, 1);
+                self.pmu.bump(Event::MemLoadRetiredL3Miss, 1);
+            }
+        }
+    }
+
+    // ----- rename / issue -----------------------------------------------------
+
+    fn rename_cycle(&mut self, now: u64) -> usize {
+        if now < self.pipeline_flush_until || now < self.external_stall_until {
+            return 0;
+        }
+        if now < self.recovery_busy_until {
+            self.pmu.bump(Event::IntMiscRecoveryCycles, 1);
+            self.pmu.bump(Event::IntMiscRecoveryCyclesAny, 1);
+            return 0;
+        }
+        let mut issued = 0usize;
+        for _ in 0..self.cfg.issue_width {
+            if self.idq.is_empty() {
+                break;
+            }
+            let rs_occupancy = self.rob.iter().filter(|e| !e.started).count();
+            if self.rob.len() >= self.cfg.rob_size || rs_occupancy >= self.cfg.rs_size {
+                self.pmu.bump(Event::ResourceStallsAny, 1);
+                if self.rob.len() >= self.cfg.rob_size {
+                    self.pmu
+                        .bump(Event::DeDisDispatchTokenStalls2RetireTokenStall, 1);
+                }
+                break;
+            }
+            let f = self.idq.pop_front().expect("checked non-empty");
+
+            // Build dependencies from the RAT.
+            let mut deps = Vec::new();
+            for r in src_regs(&f.inst) {
+                deps.push(Dep {
+                    kind: DepKind::Reg(r),
+                    producer: self.rat[r as usize],
+                });
+            }
+            if f.inst.reads_flags() {
+                deps.push(Dep {
+                    kind: DepKind::Flags,
+                    producer: self.flags_rat,
+                });
+            }
+
+            let txn_abort = self.txn_stack.last().copied();
+            match f.inst {
+                Inst::XBegin { abort_target } if self.cfg.vuln.has_tsx => {
+                    self.txn_stack.push(abort_target);
+                }
+                Inst::XEnd => {
+                    self.txn_stack.pop();
+                }
+                _ => {}
+            }
+
+            let id = self.next_uop_id;
+            self.next_uop_id += 1;
+            for r in dest_regs(&f.inst) {
+                self.rat[r as usize] = Some(id);
+            }
+            if f.inst.writes_flags() {
+                self.flags_rat = Some(id);
+            }
+
+            if let Some(trace) = &mut self.uop_trace {
+                trace.push(UopTrace {
+                    id,
+                    pc: f.pc,
+                    inst: f.inst,
+                    renamed_at: now,
+                    started_at: None,
+                    done_at: None,
+                    fate: UopFate::InFlight,
+                });
+            }
+            self.rob.push_back(RobEntry {
+                id,
+                pc: f.pc,
+                inst: f.inst,
+                pred_next: f.pred_next,
+                pred_taken: f.pred_taken,
+                deps,
+                issued_at: now,
+                started: false,
+                forward_at: None,
+                done_at: None,
+                results: Vec::new(),
+                flags_out: None,
+                fault: None,
+                actual_next: None,
+                resolved: false,
+                mispredicted: false,
+                store: None,
+                txn_abort,
+                txn_snapshot: self.txn_stack.clone(),
+                is_memory: f.inst.is_memory(),
+            });
+            self.pmu.bump(Event::UopsIssuedAny, 1);
+            issued += 1;
+        }
+        issued
+    }
+
+    // ----- fetch ------------------------------------------------------------
+
+    fn fetch_cycle(
+        &mut self,
+        now: u64,
+        program: &Program,
+        env: &mut Env<'_>,
+    ) -> (usize, usize, bool) {
+        if now < self.fetch_stall_until || !self.fetch_enabled {
+            return (0, 0, true);
+        }
+        let mut dsb_uops = 0usize;
+        let mut mite_uops = 0usize;
+        let mut budget = self.cfg.fetch_width;
+
+        while budget > 0 && self.idq.len() < self.cfg.idq_size {
+            let pc = self.fetch_pc;
+            let Some(inst) = program.fetch(pc) else {
+                // Ran past the end: stop fetching until redirected.
+                self.fetch_enabled = false;
+                break;
+            };
+
+            // ITLB check when crossing into a new code page.
+            let page = code_vaddr(pc) / tet_mem::PAGE_SIZE;
+            if self.last_fetch_page != Some(page) {
+                self.last_fetch_page = Some(page);
+                if self.itlb.lookup(code_vaddr(pc)).is_none() {
+                    let wr = self.walker.walk(env.aspace, code_vaddr(pc));
+                    self.pmu
+                        .bump(Event::ItlbMissesMissCausesAWalk, wr.walks as u64);
+                    self.pmu.bump(Event::ItlbMissesWalkActive, wr.cycles);
+                    if let WalkOutcome::Mapped(pte) = wr.outcome {
+                        self.itlb.fill(code_vaddr(pc), pte);
+                    }
+                    self.fetch_stall_until = now + wr.cycles;
+                    break;
+                } else {
+                    self.pmu.bump(Event::BpL1TlbFetchHit, 1);
+                }
+            }
+
+            let from_dsb = self.dsb.lookup(pc);
+            if self.last_fetch_from_dsb && !from_dsb {
+                self.pmu.bump(Event::Dsb2MiteSwitches, 1);
+            }
+            self.last_fetch_from_dsb = from_dsb;
+            if !from_dsb {
+                // Legacy MITE decode: timed I-cache fetch plus decode
+                // penalty; ends this cycle's fetch group.
+                self.pmu.bump(Event::IcFw32, 1);
+                if let Some(pa) = env.aspace.translate(code_vaddr(pc)) {
+                    let da = env.mem.inst_fetch(pa, env.phys);
+                    if da.level != HitLevel::L1 {
+                        let extra = da.latency - self.cfg.mem.l1i.latency;
+                        self.pmu.bump(Event::Icache16bIfdataStall, extra);
+                        self.fetch_stall_until = now + extra;
+                    }
+                }
+                self.fetch_stall_until = self
+                    .fetch_stall_until
+                    .max(now + self.cfg.timing.mite_penalty);
+                self.dsb.insert(pc);
+            }
+
+            // Predict next pc.
+            let (pred_next, pred_taken) = match inst {
+                Inst::Jcc { target, .. } => {
+                    let p = self.bpu.predict_cond(pc, pc + 1, target);
+                    if p.from_btb {
+                        self.pmu.bump(Event::BtbHits, 1);
+                    }
+                    (p.next_pc, p.taken)
+                }
+                Inst::Jmp { target } => (target, true),
+                Inst::JmpReg { .. } => {
+                    let p = self.bpu.predict_indirect(pc, pc + 1);
+                    (p.next_pc, p.taken)
+                }
+                Inst::Call { target } => {
+                    let p = self.bpu.predict_call(target, pc + 1);
+                    (p.next_pc, true)
+                }
+                Inst::Ret => {
+                    let p = self.bpu.predict_ret(pc + 1);
+                    (p.next_pc, p.taken)
+                }
+                _ => (pc + 1, false),
+            };
+
+            self.idq.push_back(FetchedUop {
+                pc,
+                inst,
+                pred_next,
+                pred_taken,
+                from_dsb,
+            });
+            if from_dsb {
+                dsb_uops += 1;
+                self.pmu.bump(Event::IdqDsbUops, 1);
+            } else {
+                mite_uops += 1;
+                self.pmu.bump(Event::IdqMsMiteUops, 1);
+                self.pmu.bump(Event::IdqMsUops, 1);
+            }
+
+            self.fetch_pc = pred_next;
+            budget -= 1;
+
+            if matches!(inst, Inst::Halt) {
+                // Stop fetching past a halt on the predicted path.
+                self.fetch_enabled = false;
+                break;
+            }
+            if !from_dsb {
+                break; // MITE group ends the cycle.
+            }
+        }
+
+        if dsb_uops > 0 {
+            self.pmu.bump(Event::IdqDsbCyclesAny, 1);
+            if dsb_uops == self.cfg.fetch_width {
+                self.pmu.bump(Event::IdqDsbCyclesOk, 1);
+            }
+            if mite_uops > 0 {
+                self.pmu.bump(Event::IdqMsDsbCycles, 1);
+            }
+        }
+        if mite_uops > 0 {
+            self.pmu.bump(Event::IdqAllMiteCyclesAnyUops, 1);
+        }
+        (dsb_uops, mite_uops, false)
+    }
+}

@@ -1,0 +1,133 @@
+//! Frontend data structures: the decoded stream buffer (µop cache), the
+//! fetched-µop record, and the per-cycle delivery trace behind Figure 3.
+
+use std::collections::VecDeque;
+
+use tet_isa::Inst;
+
+/// The decoded stream buffer (DSB, a.k.a. µop cache): an LRU set of
+/// instruction indices whose decoded µops are available without engaging
+/// the legacy MITE decoder.
+///
+/// The paper's frontend analysis (Table 3, Figure 3) shows DSB delivery
+/// dropping and MITE delivery rising when the in-window Jcc triggers a
+/// resteer; this structure plus the fetch logic reproduce that shift.
+#[derive(Debug, Clone)]
+pub struct Dsb {
+    lru: VecDeque<usize>,
+    capacity: usize,
+}
+
+impl Dsb {
+    /// Creates a DSB caching up to `capacity` decoded instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "DSB needs capacity");
+        Dsb {
+            lru: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Looks up a decoded instruction, refreshing LRU on hit.
+    pub fn lookup(&mut self, pc: usize) -> bool {
+        if let Some(i) = self.lru.iter().position(|&p| p == pc) {
+            let p = self.lru.remove(i).expect("position was valid");
+            self.lru.push_front(p);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a freshly decoded instruction.
+    pub fn insert(&mut self, pc: usize) {
+        if let Some(i) = self.lru.iter().position(|&p| p == pc) {
+            self.lru.remove(i);
+        } else if self.lru.len() == self.capacity {
+            self.lru.pop_back();
+        }
+        self.lru.push_front(pc);
+    }
+
+    /// Number of cached decoded instructions.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the DSB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+}
+
+/// A µop sitting in the IDQ, as produced by fetch/decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchedUop {
+    /// Instruction index.
+    pub pc: usize,
+    /// The instruction.
+    pub inst: Inst,
+    /// Predicted next instruction index.
+    pub pred_next: usize,
+    /// Whether the frontend predicted a taken branch.
+    pub pred_taken: bool,
+    /// Whether the µops came from the DSB (vs the MITE legacy path).
+    pub from_dsb: bool,
+}
+
+/// One cycle of frontend delivery, recorded when tracing is enabled —
+/// the raw data behind Figure 3's DSB/MITE switch around a resteer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendTraceEntry {
+    /// Cycle number.
+    pub cycle: u64,
+    /// µops delivered from the DSB this cycle.
+    pub dsb_uops: usize,
+    /// µops delivered from MITE this cycle.
+    pub mite_uops: usize,
+    /// Whether the frontend was stalled (resteer/ICache/ITLB) this cycle.
+    pub stalled: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Dsb::new(0);
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut d = Dsb::new(4);
+        assert!(!d.lookup(10));
+        d.insert(10);
+        assert!(d.lookup(10));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut d = Dsb::new(2);
+        d.insert(1);
+        d.insert(2);
+        assert!(d.lookup(1)); // 2 becomes LRU
+        d.insert(3);
+        assert!(d.lookup(1));
+        assert!(!d.lookup(2));
+        assert!(d.lookup(3));
+    }
+
+    #[test]
+    fn reinsert_does_not_grow() {
+        let mut d = Dsb::new(2);
+        d.insert(1);
+        d.insert(1);
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,480 @@
+//! [`Machine`]: a core plus its memory environment, with a simple run API.
+
+use tet_isa::reg::RegFile;
+use tet_isa::{Flags, Program, Reg};
+use tet_mem::{AddressSpace, FrameAlloc, MemorySystem, PhysMem, Pte, PAGE_SIZE};
+use tet_pmu::PmuSnapshot;
+
+use crate::core::{Cpu, Env, ExceptionRecord, RunExit};
+use crate::frontend::FrontendTraceEntry;
+use crate::uop::UopTrace;
+use crate::{code_vaddr, CpuConfig};
+
+/// Per-run options.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Instruction index control transfers to on a delivered signal
+    /// (`transient_begin`'s signal-handler suppression path). `None`
+    /// means faults terminate the run.
+    pub handler_pc: Option<usize>,
+    /// Cycle budget.
+    pub max_cycles: u64,
+    /// Initial register values.
+    pub init_regs: Vec<(Reg, u64)>,
+    /// Record the per-cycle frontend delivery trace (Figure 3).
+    pub trace_frontend: bool,
+    /// Record per-µop lifecycle traces (fetch → retire/squash) — the
+    /// data for visualising transient execution.
+    pub trace_uops: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            handler_pc: None,
+            max_cycles: 1_000_000,
+            init_regs: Vec::new(),
+            trace_frontend: false,
+            trace_uops: false,
+        }
+    }
+}
+
+/// The outcome of one program run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// How the run ended.
+    pub exit: RunExit,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Final committed registers.
+    pub regs: RegFile,
+    /// Final committed flags.
+    pub flags: Flags,
+    /// Instructions retired.
+    pub retired: u64,
+    /// PMU deltas for this run.
+    pub pmu: PmuSnapshot,
+    /// Faults delivered during the run.
+    pub exceptions: Vec<ExceptionRecord>,
+    /// Frontend delivery trace, when requested.
+    pub frontend_trace: Option<Vec<FrontendTraceEntry>>,
+    /// Per-µop lifecycle trace, when requested.
+    pub uop_trace: Option<Vec<UopTrace>>,
+}
+
+/// A complete single-thread simulated machine: one core, its caches and
+/// TLBs, physical memory and an address space.
+///
+/// Microarchitectural state (BPU, DSB, TLBs, caches, fill buffers)
+/// persists across [`Machine::run`] calls — the paper's attacks rely on
+/// training and probing across iterations.
+///
+/// # Examples
+///
+/// ```
+/// use tet_isa::{Asm, Reg};
+/// use tet_uarch::{CpuConfig, Machine, RunConfig};
+///
+/// # fn main() -> Result<(), tet_isa::AssembleError> {
+/// let mut m = Machine::new(CpuConfig::skylake_i7_6700(), 1);
+/// let mut a = Asm::new();
+/// a.mov_imm(Reg::Rcx, 5).add(Reg::Rcx, 10u64).halt();
+/// let r = m.run(&a.assemble()?, &RunConfig::default());
+/// assert_eq!(r.regs.get(Reg::Rcx), 15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cpu: Cpu,
+    mem: MemorySystem,
+    phys: PhysMem,
+    aspace: AddressSpace,
+    frames: FrameAlloc,
+    code_pages_mapped: usize,
+}
+
+impl Machine {
+    /// Creates a machine; `seed` drives the DRAM jitter stream.
+    pub fn new(cfg: CpuConfig, seed: u64) -> Self {
+        let mem = MemorySystem::new(cfg.mem, seed);
+        Machine {
+            cpu: Cpu::new(cfg),
+            mem,
+            phys: PhysMem::new(),
+            aspace: AddressSpace::new(),
+            frames: FrameAlloc::starting_at(0x1000),
+            code_pages_mapped: 0,
+        }
+    }
+
+    /// The CPU configuration.
+    pub fn config(&self) -> &CpuConfig {
+        self.cpu.config()
+    }
+
+    /// The core (PMU, BPU, TLBs).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable core access.
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Physical memory contents.
+    pub fn phys(&self) -> &PhysMem {
+        &self.phys
+    }
+
+    /// Mutable physical memory.
+    pub fn phys_mut(&mut self) -> &mut PhysMem {
+        &mut self.phys
+    }
+
+    /// The cache hierarchy.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable cache hierarchy (priming fill buffers, flushing lines).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Split borrow of the hierarchy and physical memory — lets callers
+    /// issue timed accesses (e.g. a simulated victim's loads) without
+    /// cloning either.
+    pub fn mem_and_phys_mut(&mut self) -> (&mut MemorySystem, &PhysMem) {
+        (&mut self.mem, &self.phys)
+    }
+
+    /// The active address space.
+    pub fn aspace(&self) -> &AddressSpace {
+        &self.aspace
+    }
+
+    /// Mutable address space (the OS model edits mappings here).
+    pub fn aspace_mut(&mut self) -> &mut AddressSpace {
+        &mut self.aspace
+    }
+
+    /// Allocates a fresh physical frame.
+    pub fn alloc_frame(&mut self) -> u64 {
+        self.frames.alloc()
+    }
+
+    /// Maps a user-accessible data page at `vaddr` (page-aligned) backed
+    /// by a fresh frame; returns the page's physical base address.
+    pub fn map_user_page(&mut self, vaddr: u64) -> u64 {
+        let frame = self.frames.alloc();
+        self.aspace.map_page(vaddr, Pte::user_data(frame));
+        frame * PAGE_SIZE
+    }
+
+    /// Maps a kernel (supervisor-only) page at `vaddr`; returns the
+    /// page's physical base address.
+    pub fn map_kernel_page(&mut self, vaddr: u64) -> u64 {
+        let frame = self.frames.alloc();
+        self.aspace.map_page(vaddr, Pte::kernel(frame));
+        frame * PAGE_SIZE
+    }
+
+    /// Writes bytes at a mapped virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any touched page is unmapped.
+    pub fn write_virt(&mut self, vaddr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            let pa = self
+                .aspace
+                .translate(vaddr + i as u64)
+                .expect("write_virt requires a mapped page");
+            self.phys.write_u8(pa, *b);
+        }
+    }
+
+    /// Writes an 8-byte value at a mapped virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unmapped.
+    pub fn write_virt_u64(&mut self, vaddr: u64, v: u64) {
+        self.write_virt(vaddr, &v.to_le_bytes());
+    }
+
+    /// Reads a byte from a mapped virtual address (0 if unmapped).
+    pub fn read_virt_u8(&self, vaddr: u64) -> u8 {
+        self.aspace
+            .translate(vaddr)
+            .map(|pa| self.phys.read_u8(pa))
+            .unwrap_or(0)
+    }
+
+    /// Flushes both TLBs (the attacker's eviction step).
+    pub fn flush_tlbs(&mut self) {
+        self.cpu.flush_tlbs(false);
+    }
+
+    /// Flushes the cache line holding `vaddr` (user-level `clflush`).
+    pub fn clflush_virt(&mut self, vaddr: u64) {
+        if let Some(pa) = self.aspace.translate(vaddr) {
+            self.mem.clflush(pa);
+        }
+    }
+
+    /// Ensures code pages for an `n`-instruction program are mapped
+    /// (user-executable) so fetch can translate them.
+    fn map_code(&mut self, n: usize) {
+        let pages = (n as u64 * crate::INST_BYTES).div_ceil(PAGE_SIZE) as usize + 1;
+        while self.code_pages_mapped < pages {
+            let vaddr = code_vaddr(0) + self.code_pages_mapped as u64 * PAGE_SIZE;
+            let frame = self.frames.alloc();
+            self.aspace.map_page(vaddr, Pte::user_data(frame));
+            self.code_pages_mapped += 1;
+        }
+    }
+
+    /// Runs `program` to completion (halt, unhandled fault, run-off-end,
+    /// or cycle limit) and reports the result.
+    ///
+    /// Pipeline state and architectural registers reset per run; BPU,
+    /// DSB, TLBs, caches, fill buffers and the PMU persist.
+    pub fn run(&mut self, program: &Program, cfg: &RunConfig) -> RunResult {
+        self.map_code(program.len());
+        self.cpu.reset_run(
+            &cfg.init_regs,
+            cfg.handler_pc,
+            cfg.trace_frontend,
+            cfg.trace_uops,
+        );
+        let pmu_before = self.cpu.pmu.snapshot();
+
+        let mut exit = RunExit::CycleLimit;
+        while self.cpu.cycle() < cfg.max_cycles {
+            if self.cpu.halted() {
+                exit = match self.cpu.unhandled_fault() {
+                    Some(r) => RunExit::UnhandledFault(*r),
+                    None => RunExit::Halted,
+                };
+                break;
+            }
+            if self.cpu.ran_off_end(program) {
+                exit = RunExit::RanOffEnd;
+                break;
+            }
+            let mut env = Env {
+                mem: &mut self.mem,
+                phys: &mut self.phys,
+                aspace: &self.aspace,
+            };
+            self.cpu.step(program, &mut env);
+        }
+
+        RunResult {
+            exit,
+            cycles: self.cpu.cycle(),
+            regs: *self.cpu.regs(),
+            flags: self.cpu.flags(),
+            retired: self.cpu.retired_insts(),
+            pmu: self.cpu.pmu.snapshot().delta(&pmu_before),
+            exceptions: self.cpu.exceptions().to_vec(),
+            frontend_trace: self.cpu.take_trace(),
+            uop_trace: self.cpu.take_uop_trace(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tet_isa::{Asm, Cond};
+
+    fn machine() -> Machine {
+        Machine::new(CpuConfig::kaby_lake_i7_7700(), 7)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, 10)
+            .mov_imm(Reg::Rbx, 32)
+            .add(Reg::Rax, Reg::Rbx)
+            .sub(Reg::Rbx, 2u64)
+            .halt();
+        let r = m.run(&a.assemble().unwrap(), &RunConfig::default());
+        assert_eq!(r.exit, RunExit::Halted);
+        assert_eq!(r.regs.get(Reg::Rax), 42);
+        assert_eq!(r.regs.get(Reg::Rbx), 30);
+        assert_eq!(r.retired, 5);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut m = machine();
+        m.map_user_page(0x20_0000);
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, 0xfeed)
+            .store_abs(Reg::Rax, 0x20_0008)
+            .load_abs(Reg::Rbx, 0x20_0008)
+            .halt();
+        let r = m.run(&a.assemble().unwrap(), &RunConfig::default());
+        assert_eq!(r.exit, RunExit::Halted);
+        assert_eq!(r.regs.get(Reg::Rbx), 0xfeed);
+        // And the value is architecturally visible afterwards.
+        let pa = m.aspace().translate(0x20_0008).unwrap();
+        assert_eq!(m.phys().read_u64(pa), 0xfeed);
+    }
+
+    #[test]
+    fn taken_branch_skips_code() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        let skip = a.fresh_label();
+        a.mov_imm(Reg::Rax, 1)
+            .cmp_imm(Reg::Rax, 1)
+            .jcc(Cond::E, skip)
+            .mov_imm(Reg::Rbx, 99) // must be skipped
+            .bind(skip)
+            .halt();
+        let r = m.run(&a.assemble().unwrap(), &RunConfig::default());
+        assert_eq!(r.exit, RunExit::Halted);
+        assert_eq!(r.regs.get(Reg::Rbx), 0);
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        let top = a.fresh_label();
+        a.mov_imm(Reg::Rcx, 10).mov_imm(Reg::Rax, 0);
+        a.bind(top)
+            .add(Reg::Rax, 3u64)
+            .sub(Reg::Rcx, 1u64)
+            .jcc(Cond::Ne, top)
+            .halt();
+        let r = m.run(&a.assemble().unwrap(), &RunConfig::default());
+        assert_eq!(r.exit, RunExit::Halted);
+        assert_eq!(r.regs.get(Reg::Rax), 30);
+        assert_eq!(r.regs.get(Reg::Rcx), 0);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut m = machine();
+        // Give the program a stack.
+        m.map_user_page(0x30_0000);
+        let mut a = Asm::new();
+        let f = a.fresh_label();
+        let over = a.fresh_label();
+        a.mov_imm(Reg::Rsp, 0x30_0800)
+            .call(f)
+            .add(Reg::Rax, 100u64)
+            .jmp(over);
+        a.bind(f).mov_imm(Reg::Rax, 1).ret();
+        a.bind(over).halt();
+        let r = m.run(&a.assemble().unwrap(), &RunConfig::default());
+        assert_eq!(r.exit, RunExit::Halted);
+        assert_eq!(r.regs.get(Reg::Rax), 101);
+    }
+
+    #[test]
+    fn kernel_access_without_handler_terminates() {
+        let mut m = machine();
+        m.map_kernel_page(0xffff_ffff_8000_0000);
+        let mut a = Asm::new();
+        a.load_abs(Reg::Rax, 0xffff_ffff_8000_0000).halt();
+        let r = m.run(&a.assemble().unwrap(), &RunConfig::default());
+        match r.exit {
+            RunExit::UnhandledFault(rec) => {
+                assert_eq!(rec.kind, crate::FaultKind::Permission);
+                assert_eq!(rec.vaddr, 0xffff_ffff_8000_0000);
+            }
+            other => panic!("expected unhandled fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signal_handler_resumes_after_fault() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        let handler = a.fresh_label();
+        a.load_abs(Reg::Rax, 0xdead_0000) // unmapped → fault
+            .mov_imm(Reg::Rbx, 1) // transient only
+            .bind(handler)
+            .mov_imm(Reg::Rcx, 7)
+            .halt();
+        let prog = a.assemble().unwrap();
+        let r = m.run(
+            &prog,
+            &RunConfig {
+                handler_pc: Some(2),
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(r.exit, RunExit::Halted);
+        assert_eq!(r.regs.get(Reg::Rcx), 7);
+        // The faulting load and its shadow never commit.
+        assert_eq!(r.regs.get(Reg::Rbx), 0);
+        assert_eq!(r.exceptions.len(), 1);
+    }
+
+    #[test]
+    fn rdtsc_monotonic() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        a.rdtsc()
+            .mov_reg(Reg::R8, Reg::Rax)
+            .lfence()
+            .nops(20)
+            .lfence()
+            .rdtsc()
+            .sub(Reg::Rax, Reg::R8)
+            .halt();
+        let r = m.run(&a.assemble().unwrap(), &RunConfig::default());
+        assert_eq!(r.exit, RunExit::Halted);
+        assert!(r.regs.get(Reg::Rax) > 0, "elapsed time must be positive");
+    }
+
+    #[test]
+    fn run_off_end_detected() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        a.nop().nop();
+        let r = m.run(&a.assemble().unwrap(), &RunConfig::default());
+        assert_eq!(r.exit, RunExit::RanOffEnd);
+    }
+
+    #[test]
+    fn init_regs_apply() {
+        let mut m = machine();
+        let mut a = Asm::new();
+        a.add(Reg::Rax, Reg::Rbx).halt();
+        let r = m.run(
+            &a.assemble().unwrap(),
+            &RunConfig {
+                init_regs: vec![(Reg::Rax, 2), (Reg::Rbx, 3)],
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(r.regs.get(Reg::Rax), 5);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_cycles() {
+        let mk = || {
+            let mut m = Machine::new(CpuConfig::kaby_lake_i7_7700(), 99);
+            m.map_user_page(0x20_0000);
+            let mut a = Asm::new();
+            a.load_abs(Reg::Rax, 0x20_0000)
+                .load_abs(Reg::Rbx, 0x20_1000)
+                .halt();
+            m.run(&a.assemble().unwrap(), &RunConfig::default()).cycles
+        };
+        assert_eq!(mk(), mk());
+    }
+}

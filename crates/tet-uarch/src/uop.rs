@@ -1,0 +1,329 @@
+//! µop / reorder-buffer entry definitions and dataflow metadata.
+
+use tet_isa::{Flags, Inst, Reg, Src};
+
+/// Why a memory access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Translation exists but the access mode is not permitted
+    /// (user-mode access to a supervisor page) — the Meltdown path,
+    /// handled by the exception microcode at retirement.
+    Permission,
+    /// No translation — the Zombieload / unmapped-probe path, handled by
+    /// a microcode assist (machine clear) at retirement.
+    NotPresent,
+    /// A reserved-bit PTE terminated the walk (FLARE dummy pages);
+    /// handled like [`FaultKind::NotPresent`].
+    ReservedBit,
+}
+
+/// A fault recorded on a µop during execution, delivered at retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The fault class.
+    pub kind: FaultKind,
+    /// Faulting virtual address.
+    pub vaddr: u64,
+}
+
+/// How a fault left the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultRoute {
+    /// Architectural exception → signal handler (or run termination).
+    Exception,
+    /// Microcode assist / machine clear, then the exception.
+    MachineClear,
+    /// TSX abort → transaction fallback path, no exception.
+    TxnAbort,
+}
+
+/// Why a µop was squashed instead of retiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashReason {
+    /// An older branch resolved against the prediction.
+    BranchMispredict,
+    /// An older µop's fault flushed the pipeline.
+    Fault,
+    /// The enclosing transaction aborted.
+    TxnAbort,
+}
+
+/// How a traced µop left the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopFate {
+    /// Still in flight when the run ended.
+    InFlight,
+    /// Retired architecturally.
+    Retired {
+        /// Retirement cycle.
+        at: u64,
+    },
+    /// Squashed — executed transiently, results discarded.
+    Squashed {
+        /// Squash cycle.
+        at: u64,
+        /// What caused the squash.
+        reason: SquashReason,
+    },
+}
+
+/// One µop's lifecycle record, produced when
+/// [`RunConfig::trace_uops`](crate::RunConfig) is set — the raw data for
+/// visualising transient execution.
+#[derive(Debug, Clone)]
+pub struct UopTrace {
+    /// Monotonic µop id.
+    pub id: u64,
+    /// Instruction index.
+    pub pc: usize,
+    /// The instruction.
+    pub inst: Inst,
+    /// Cycle the µop was renamed into the ROB.
+    pub renamed_at: u64,
+    /// Cycle execution started, if it did.
+    pub started_at: Option<u64>,
+    /// Cycle the result was ready, if execution finished.
+    pub done_at: Option<u64>,
+    /// How the µop ended.
+    pub fate: UopFate,
+}
+
+impl UopTrace {
+    /// Whether this µop executed but never retired — i.e. it was part of
+    /// a transient execution.
+    pub fn transient(&self) -> bool {
+        matches!(self.fate, UopFate::Squashed { .. }) && self.started_at.is_some()
+    }
+}
+
+/// One source operand dependency, resolved at rename time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Depends on an architectural register.
+    Reg(Reg),
+    /// Depends on the arithmetic flags.
+    Flags,
+}
+
+/// A renamed dependency: which operand, and (if in flight at rename time)
+/// the producing µop's id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dep {
+    /// Operand kind.
+    pub kind: DepKind,
+    /// Producing µop id, or `None` if the committed state was current at
+    /// rename time.
+    pub producer: Option<u64>,
+}
+
+/// In-flight store bookkeeping (architectural write happens at retire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// Virtual address.
+    pub vaddr: u64,
+    /// Translated physical address (stores that fault have none).
+    pub pa: Option<u64>,
+    /// Value to write.
+    pub value: u64,
+    /// Whether this is a 1-byte store.
+    pub byte: bool,
+}
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Monotonic µop id (age order).
+    pub id: u64,
+    /// Instruction index this µop came from.
+    pub pc: usize,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Frontend-predicted next instruction index.
+    pub pred_next: usize,
+    /// Whether the frontend predicted taken.
+    pub pred_taken: bool,
+    /// Renamed source dependencies.
+    pub deps: Vec<Dep>,
+    /// Cycle the µop was renamed into the ROB.
+    pub issued_at: u64,
+    /// Whether execution has started.
+    pub started: bool,
+    /// Cycle the result becomes available to dependents.
+    pub forward_at: Option<u64>,
+    /// Cycle the µop becomes retirement-eligible (later than
+    /// `forward_at` for faulting loads — that gap *is* the transient
+    /// window).
+    pub done_at: Option<u64>,
+    /// Register results `(reg, value)` (up to two: e.g. `pop` writes the
+    /// destination and `rsp`).
+    pub results: Vec<(Reg, u64)>,
+    /// Flags result, if the µop writes flags.
+    pub flags_out: Option<Flags>,
+    /// Fault recorded during execution, if any.
+    pub fault: Option<Fault>,
+    /// Resolved next pc (branches only).
+    pub actual_next: Option<usize>,
+    /// Whether branch resolution bookkeeping has run.
+    pub resolved: bool,
+    /// Whether the branch turned out mispredicted.
+    pub mispredicted: bool,
+    /// Pending store data.
+    pub store: Option<StoreInfo>,
+    /// Innermost TSX abort target covering this µop, if any.
+    pub txn_abort: Option<usize>,
+    /// Speculative transaction-stack snapshot *after* this µop renamed
+    /// (used to rebuild rename state on partial squash).
+    pub txn_snapshot: Vec<usize>,
+    /// Whether this µop is a memory access (for stall accounting).
+    pub is_memory: bool,
+}
+
+impl RobEntry {
+    /// Whether the µop has finished executing and may retire at `now`.
+    pub fn retire_ready(&self, now: u64) -> bool {
+        self.done_at.is_some_and(|d| d <= now)
+    }
+
+    /// Whether the result is available to dependents at `now`.
+    pub fn forward_ready(&self, now: u64) -> bool {
+        self.forward_at.is_some_and(|d| d <= now)
+    }
+
+    /// The value this µop produced for register `r`, if any.
+    pub fn result_for(&self, r: Reg) -> Option<u64> {
+        self.results
+            .iter()
+            .find(|(reg, _)| *reg == r)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Architectural destination registers of an instruction (including the
+/// stack-pointer side effects of push/pop/call/ret).
+pub fn dest_regs(inst: &Inst) -> Vec<Reg> {
+    let mut v = Vec::with_capacity(2);
+    if let Some(d) = inst.dest_reg() {
+        v.push(d);
+    }
+    match inst {
+        Inst::Push { .. } | Inst::Call { .. } | Inst::Ret => v.push(Reg::Rsp),
+        Inst::Pop { .. } => v.push(Reg::Rsp),
+        _ => {}
+    }
+    v
+}
+
+/// Architectural source registers of an instruction.
+pub fn src_regs(inst: &Inst) -> Vec<Reg> {
+    let mut v = Vec::with_capacity(3);
+    match inst {
+        Inst::MovReg { src, .. } => v.push(*src),
+        Inst::Load { addr, .. }
+        | Inst::LoadByte { addr, .. }
+        | Inst::Lea { addr, .. }
+        | Inst::Clflush { addr }
+        | Inst::Prefetch { addr } => v.extend(addr.srcs()),
+        Inst::Store { src, addr } | Inst::StoreByte { src, addr } => {
+            v.push(*src);
+            v.extend(addr.srcs());
+        }
+        Inst::Alu { dst, src, .. } => {
+            v.push(*dst);
+            if let Src::Reg(r) = src {
+                v.push(*r);
+            }
+        }
+        Inst::Cmp { a, b } | Inst::Test { a, b } => {
+            v.push(*a);
+            if let Src::Reg(r) = b {
+                v.push(*r);
+            }
+        }
+        Inst::JmpReg { reg } => v.push(*reg),
+        Inst::Push { src } => {
+            v.push(*src);
+            v.push(Reg::Rsp);
+        }
+        Inst::Pop { .. } | Inst::Call { .. } | Inst::Ret => v.push(Reg::Rsp),
+        _ => {}
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tet_isa::{Addr, Cond};
+
+    #[test]
+    fn dest_regs_cover_stack_ops() {
+        assert_eq!(dest_regs(&Inst::Push { src: Reg::Rax }), vec![Reg::Rsp]);
+        assert_eq!(
+            dest_regs(&Inst::Pop { dst: Reg::Rbx }),
+            vec![Reg::Rbx, Reg::Rsp]
+        );
+        assert_eq!(dest_regs(&Inst::Call { target: 3 }), vec![Reg::Rsp]);
+        assert_eq!(dest_regs(&Inst::Ret), vec![Reg::Rsp]);
+        assert_eq!(dest_regs(&Inst::Rdtsc), vec![Reg::Rax]);
+        assert!(dest_regs(&Inst::Nop).is_empty());
+    }
+
+    #[test]
+    fn src_regs_cover_memory_operands() {
+        let addr = Addr::base_index(Reg::Rbx, Reg::Rcx, 8, 0);
+        assert_eq!(
+            src_regs(&Inst::Load {
+                dst: Reg::Rax,
+                addr
+            }),
+            vec![Reg::Rbx, Reg::Rcx]
+        );
+        assert_eq!(
+            src_regs(&Inst::Store {
+                src: Reg::Rdx,
+                addr
+            }),
+            vec![Reg::Rdx, Reg::Rbx, Reg::Rcx]
+        );
+        assert_eq!(src_regs(&Inst::Ret), vec![Reg::Rsp]);
+        assert!(src_regs(&Inst::Jcc {
+            cond: Cond::E,
+            target: 0
+        })
+        .is_empty());
+    }
+
+    #[test]
+    fn retire_and_forward_readiness() {
+        let mut e = RobEntry {
+            id: 0,
+            pc: 0,
+            inst: Inst::Nop,
+            pred_next: 1,
+            pred_taken: false,
+            deps: vec![],
+            issued_at: 0,
+            started: true,
+            forward_at: Some(5),
+            done_at: Some(9),
+            results: vec![(Reg::Rax, 7)],
+            flags_out: None,
+            fault: None,
+            actual_next: None,
+            resolved: false,
+            mispredicted: false,
+            store: None,
+            txn_abort: None,
+            txn_snapshot: vec![],
+            is_memory: false,
+        };
+        assert!(!e.forward_ready(4));
+        assert!(e.forward_ready(5));
+        assert!(!e.retire_ready(8));
+        assert!(e.retire_ready(9));
+        assert_eq!(e.result_for(Reg::Rax), Some(7));
+        assert_eq!(e.result_for(Reg::Rbx), None);
+        e.done_at = None;
+        assert!(!e.retire_ready(100));
+    }
+}

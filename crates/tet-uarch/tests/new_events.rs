@@ -1,0 +1,111 @@
+//! Wiring tests for the extended PMU events: executed-vs-retired branch
+//! counts, DSB→MITE switches, and store-forward blocks.
+
+use tet_isa::{Asm, Cond, Reg};
+use tet_pmu::Event;
+use tet_uarch::{CpuConfig, Machine, RunConfig, RunExit};
+
+fn machine() -> Machine {
+    let mut m = Machine::new(CpuConfig::kaby_lake_i7_7700(), 5);
+    m.map_user_page(0x20_0000);
+    m.map_user_page(0x60_0000);
+    m
+}
+
+#[test]
+fn executed_branches_exceed_retired_on_wrong_paths() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    let top = a.fresh_label();
+    a.mov_imm(Reg::Rcx, 20);
+    a.bind(top)
+        .sub(Reg::Rcx, 1u64)
+        .jcc(Cond::Ne, top) // mispredicts at loop exit
+        .halt();
+    let prog = a.assemble().unwrap();
+    m.run(&prog, &RunConfig::default()); // warm
+    let before = m.cpu().pmu.snapshot();
+    let r = m.run(&prog, &RunConfig::default());
+    assert_eq!(r.exit, RunExit::Halted);
+    let d = m.cpu().pmu.snapshot().delta(&before);
+    let executed = d.count(Event::BrInstExecAll);
+    let retired = d.count(Event::BrInstRetiredAll);
+    assert_eq!(retired, 20, "twenty architectural loop branches");
+    assert!(
+        executed >= retired,
+        "speculative execution can only add branches ({executed} vs {retired})"
+    );
+}
+
+#[test]
+fn dsb2mite_switch_counts_cold_decode_entries() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    a.nops(8).halt();
+    let prog = a.assemble().unwrap();
+    let before = m.cpu().pmu.snapshot();
+    m.run(&prog, &RunConfig::default());
+    let cold = m.cpu().pmu.snapshot().delta(&before);
+    // Cold run: everything decodes via MITE, but a switch needs a prior
+    // DSB delivery; run again and the warm DSB serves everything.
+    let before = m.cpu().pmu.snapshot();
+    m.run(&prog, &RunConfig::default());
+    let warm = m.cpu().pmu.snapshot().delta(&before);
+    assert_eq!(
+        warm.count(Event::Dsb2MiteSwitches),
+        0,
+        "a fully warm run never leaves the DSB"
+    );
+    assert!(warm.count(Event::IdqDsbUops) >= 9);
+    let _ = cold;
+}
+
+#[test]
+fn blocked_forwarding_is_counted() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    // Store, flush the line, then load it back: forwarding is blocked by
+    // the clflush, the load must wait and go to memory (Listing 1's
+    // ret slow-down in miniature).
+    a.mov_imm(Reg::Rax, 7)
+        .store_abs(Reg::Rax, 0x20_0040)
+        .clflush_abs(0x20_0040)
+        .load_abs(Reg::Rbx, 0x20_0040)
+        .halt();
+    let prog = a.assemble().unwrap();
+    m.run(&prog, &RunConfig::default()); // warm code
+    let before = m.cpu().pmu.snapshot();
+    let r = m.run(&prog, &RunConfig::default());
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(r.regs.get(Reg::Rbx), 7, "the value still arrives");
+    let d = m.cpu().pmu.snapshot().delta(&before);
+    assert!(
+        d.count(Event::LdBlocksStoreForward) > 0,
+        "the blocked load must be counted"
+    );
+}
+
+#[test]
+fn partial_overlap_also_blocks() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    a.mov_imm(Reg::Rax, 0x1111_2222_3333_4444)
+        .store_abs(Reg::Rax, 0x20_0080) // 8-byte store
+        .load_byte_abs(Reg::Rbx, 0x20_0083) // contained: forwards
+        .mov_imm(Reg::Rcx, 0xff)
+        .store_byte_abs(Reg::Rcx, 0x20_00c2) // byte store
+        .load_abs(Reg::Rdx, 0x20_00c0) // partial overlap: blocks
+        .halt();
+    let prog = a.assemble().unwrap();
+    m.run(&prog, &RunConfig::default());
+    let before = m.cpu().pmu.snapshot();
+    let r = m.run(&prog, &RunConfig::default());
+    assert_eq!(r.exit, RunExit::Halted);
+    // Contained byte load forwarded the right slice (little-endian
+    // byte 3 of 0x1111_2222_3333_4444).
+    assert_eq!(r.regs.get(Reg::Rbx), 0x33);
+    // Partial overlap read memory after the byte store drained.
+    assert_eq!(r.regs.get(Reg::Rdx) >> 16 & 0xff, 0xff);
+    let d = m.cpu().pmu.snapshot().delta(&before);
+    assert!(d.count(Event::LdBlocksStoreForward) > 0);
+}

@@ -1,0 +1,351 @@
+//! Microbehaviour tests of the pipeline: store-to-load forwarding,
+//! fence ordering, TSX semantics, stack discipline, indirect jumps, and
+//! the speculative side effects that the attacks build on.
+
+use tet_isa::{Asm, Cond, Reg};
+use tet_uarch::{CpuConfig, FaultKind, Machine, RunConfig, RunExit};
+
+fn machine() -> Machine {
+    let mut m = Machine::new(CpuConfig::kaby_lake_i7_7700(), 5);
+    m.map_user_page(0x20_0000); // data
+    m.map_user_page(0x60_0000); // stack
+    m
+}
+
+fn run(m: &mut Machine, a: &Asm) -> tet_uarch::RunResult {
+    m.run(&a.assemble().expect("assembles"), &RunConfig::default())
+}
+
+#[test]
+fn store_to_load_forwarding_returns_the_stored_value() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    a.mov_imm(Reg::Rax, 0xabcd)
+        .store_abs(Reg::Rax, 0x20_0010)
+        .load_abs(Reg::Rbx, 0x20_0010) // forwarded, not from memory
+        .halt();
+    let r = run(&mut m, &a);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(r.regs.get(Reg::Rbx), 0xabcd);
+}
+
+#[test]
+fn forwarding_is_faster_than_memory() {
+    // Forwarded load (store in flight) vs a cold load from DRAM.
+    let mut m = machine();
+    let mut a = Asm::new();
+    a.rdtsc()
+        .mov_reg(Reg::R8, Reg::Rax)
+        .lfence()
+        .mov_imm(Reg::Rcx, 7)
+        .store_abs(Reg::Rcx, 0x20_0100)
+        .load_abs(Reg::Rbx, 0x20_0100)
+        .lfence()
+        .rdtsc()
+        .sub(Reg::Rax, Reg::R8)
+        .halt();
+    let forwarded = run(&mut m, &a).regs.get(Reg::Rax);
+
+    let mut m2 = machine();
+    let mut b = Asm::new();
+    b.rdtsc()
+        .mov_reg(Reg::R8, Reg::Rax)
+        .lfence()
+        .mov_imm(Reg::Rcx, 7)
+        .load_abs(Reg::Rbx, 0x20_0200) // cold: DRAM
+        .lfence()
+        .rdtsc()
+        .sub(Reg::Rax, Reg::R8)
+        .halt();
+    let cold = run(&mut m2, &b).regs.get(Reg::Rax);
+    assert!(
+        forwarded + 50 < cold,
+        "forwarding {forwarded} must beat DRAM {cold}"
+    );
+}
+
+#[test]
+fn lfence_orders_rdtsc_after_slow_loads() {
+    // Without the fence, rdtsc executes out of order and undercounts.
+    let build = |fenced: bool| {
+        let mut a = Asm::new();
+        a.rdtsc().mov_reg(Reg::R8, Reg::Rax).lfence();
+        a.load_abs(Reg::Rbx, 0x20_0300); // cold load
+        if fenced {
+            a.lfence();
+        }
+        a.rdtsc().sub(Reg::Rax, Reg::R8).halt();
+        a
+    };
+    let mut m = machine();
+    let fenced = run(&mut m, &build(true)).regs.get(Reg::Rax);
+    let mut m = machine();
+    let unfenced = run(&mut m, &build(false)).regs.get(Reg::Rax);
+    assert!(
+        fenced > unfenced + 100,
+        "the fence must expose the load latency ({fenced} vs {unfenced})"
+    );
+}
+
+#[test]
+fn committed_tsx_transaction_keeps_its_writes() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    let abort = a.fresh_label();
+    a.mov_imm(Reg::Rax, 0x11)
+        .xbegin(abort)
+        .mov_imm(Reg::Rax, 0x22)
+        .store_abs(Reg::Rax, 0x20_0400)
+        .xend()
+        .bind(abort)
+        .halt();
+    let r = run(&mut m, &a);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(r.regs.get(Reg::Rax), 0x22, "committed txn state persists");
+    let pa = m.aspace().translate(0x20_0400).unwrap();
+    assert_eq!(m.phys().read_u64(pa), 0x22);
+}
+
+#[test]
+fn aborted_tsx_transaction_discards_everything() {
+    let mut m = machine();
+    m.map_kernel_page(0xffff_ffff_8000_0000);
+    let mut a = Asm::new();
+    let abort = a.fresh_label();
+    a.mov_imm(Reg::Rax, 0x11)
+        .xbegin(abort)
+        .mov_imm(Reg::Rax, 0x22)
+        .store_abs(Reg::Rax, 0x20_0500)
+        .load_abs(Reg::Rbx, 0xffff_ffff_8000_0000) // faults → abort
+        .mov_imm(Reg::Rcx, 0x33)
+        .xend()
+        .bind(abort)
+        .halt();
+    let r = run(&mut m, &a);
+    assert_eq!(r.exit, RunExit::Halted, "abort is not an error");
+    assert_eq!(r.regs.get(Reg::Rax), 0x11, "txn writes must roll back");
+    assert_eq!(r.regs.get(Reg::Rcx), 0, "post-fault code never commits");
+    let pa = m.aspace().translate(0x20_0500).unwrap();
+    assert_eq!(m.phys().read_u64(pa), 0, "txn stores must not drain");
+    assert_eq!(r.exceptions.len(), 1);
+    assert_eq!(r.exceptions[0].route, tet_uarch::uop::FaultRoute::TxnAbort);
+}
+
+#[test]
+fn nested_call_chains_return_correctly() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    let f = a.fresh_label();
+    let g = a.fresh_label();
+    let end = a.fresh_label();
+    a.mov_imm(Reg::Rsp, 0x60_0800)
+        .call(f)
+        .add(Reg::Rax, 1000u64)
+        .jmp(end);
+    a.bind(f).call(g).add(Reg::Rax, 100u64).ret();
+    a.bind(g).mov_imm(Reg::Rax, 1).ret();
+    a.bind(end).halt();
+    let r = run(&mut m, &a);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(r.regs.get(Reg::Rax), 1101);
+    assert_eq!(r.regs.get(Reg::Rsp), 0x60_0800, "stack must balance");
+}
+
+#[test]
+fn push_pop_reverse_order() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    a.mov_imm(Reg::Rsp, 0x60_0800)
+        .mov_imm(Reg::Rax, 1)
+        .mov_imm(Reg::Rbx, 2)
+        .push(Reg::Rax)
+        .push(Reg::Rbx)
+        .pop(Reg::Rcx)
+        .pop(Reg::Rdx)
+        .halt();
+    let r = run(&mut m, &a);
+    assert_eq!(r.regs.get(Reg::Rcx), 2);
+    assert_eq!(r.regs.get(Reg::Rdx), 1);
+    assert_eq!(r.regs.get(Reg::Rsp), 0x60_0800);
+}
+
+#[test]
+fn indirect_jump_reaches_a_computed_target() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    // Target index 5 computed in a register.
+    a.mov_imm(Reg::Rax, 5)
+        .jmp_reg(Reg::Rax)
+        .mov_imm(Reg::Rbx, 0xbad) // skipped
+        .nop()
+        .nop()
+        .mov_imm(Reg::Rcx, 0x60d) // index 5
+        .halt();
+    let r = run(&mut m, &a);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(r.regs.get(Reg::Rbx), 0);
+    assert_eq!(r.regs.get(Reg::Rcx), 0x60d);
+}
+
+#[test]
+fn speculative_loads_pollute_the_cache_across_squash() {
+    // The Flush+Reload baseline depends on this: a transient load's fill
+    // survives the squash.
+    let mut m = machine();
+    m.map_kernel_page(0xffff_ffff_8000_0000);
+    m.map_user_page(0x30_0000);
+    let target_pa = m.aspace().translate(0x30_0000).unwrap();
+
+    let mut a = Asm::new();
+    a.load_abs(Reg::Rax, 0xffff_ffff_8000_0000) // faults at retire
+        .load_abs(Reg::Rbx, 0x30_0000); // transient shadow
+    let handler = a.here();
+    a.halt();
+    // Warm the code path first: on a cold I-cache the shadow never even
+    // fetches before the fault delivers (attacks warm up for the same
+    // reason).
+    let cfg = RunConfig {
+        handler_pc: Some(handler),
+        ..RunConfig::default()
+    };
+    let prog = a.assemble().unwrap();
+    m.run(&prog, &cfg);
+
+    m.clflush_virt(0x30_0000);
+    assert!(!m.mem().probe_l1d(target_pa));
+    let r = m.run(&prog, &cfg);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(r.regs.get(Reg::Rbx), 0, "shadow never commits");
+    assert!(
+        m.mem().probe_l1d(target_pa),
+        "but its cache fill survives the squash"
+    );
+}
+
+#[test]
+fn fault_kinds_route_correctly() {
+    let mut m = machine();
+    m.map_kernel_page(0xffff_ffff_8000_0000);
+    let cases = [
+        (0xffff_ffff_8000_0000u64, FaultKind::Permission),
+        (0xdead_0000u64, FaultKind::NotPresent),
+    ];
+    for (addr, kind) in cases {
+        let mut a = Asm::new();
+        a.load_abs(Reg::Rax, addr);
+        let handler = a.here();
+        a.halt();
+        let r = m.run(
+            &a.assemble().unwrap(),
+            &RunConfig {
+                handler_pc: Some(handler),
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(r.exit, RunExit::Halted);
+        assert_eq!(r.exceptions.len(), 1);
+        assert_eq!(r.exceptions[0].kind, kind, "addr {addr:#x}");
+        assert_eq!(r.exceptions[0].vaddr, addr);
+    }
+}
+
+#[test]
+fn wrong_path_stores_never_commit() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    let skip = a.fresh_label();
+    a.mov_imm(Reg::Rax, 1)
+        .cmp_imm(Reg::Rax, 1)
+        .jcc(Cond::E, skip) // taken; the fall-through is wrong-path
+        .mov_imm(Reg::Rbx, 0x77)
+        .store_abs(Reg::Rbx, 0x20_0600)
+        .bind(skip)
+        .halt();
+    // Train the branch not-taken first so the wrong path gets fetched.
+    for _ in 0..2 {
+        run(&mut m, &a);
+    }
+    let r = run(&mut m, &a);
+    assert_eq!(r.exit, RunExit::Halted);
+    let pa = m.aspace().translate(0x20_0600).unwrap();
+    assert_eq!(
+        m.phys().read_u64(pa),
+        0,
+        "wrong-path store leaked to memory"
+    );
+}
+
+#[test]
+fn deep_rsb_nesting_survives() {
+    // 8-deep call chain: the RSB (16 entries) predicts every return.
+    let mut m = machine();
+    let mut a = Asm::new();
+    let labels: Vec<_> = (0..8).map(|_| a.fresh_label()).collect();
+    let end = a.fresh_label();
+    a.mov_imm(Reg::Rsp, 0x60_0800).call(labels[0]).jmp(end);
+    for (i, l) in labels.iter().enumerate() {
+        a.bind(*l);
+        a.add(Reg::Rax, 1u64);
+        if i + 1 < labels.len() {
+            a.call(labels[i + 1]);
+        }
+        a.ret();
+    }
+    a.bind(end).halt();
+    let r = run(&mut m, &a);
+    assert_eq!(r.exit, RunExit::Halted);
+    assert_eq!(r.regs.get(Reg::Rax), 8);
+    // With a warm predictor, returns should all be RSB hits (no
+    // mispredicted rets → no indirect mispredicts).
+    let r2 = {
+        let before = m.cpu().pmu.snapshot();
+        let r2 = run(&mut m, &a);
+        let d = m.cpu().pmu.snapshot().delta(&before);
+        assert_eq!(
+            d.count(tet_pmu::Event::BrMispExecIndirect),
+            0,
+            "warm RSB must predict all returns"
+        );
+        r2
+    };
+    assert_eq!(r2.regs.get(Reg::Rax), 8);
+}
+
+#[test]
+fn byte_stores_do_not_clobber_neighbours() {
+    let mut m = machine();
+    let mut a = Asm::new();
+    a.mov_imm(Reg::Rax, 0x1122_3344_5566_7788)
+        .store_abs(Reg::Rax, 0x20_0700)
+        .mov_imm(Reg::Rbx, 0xff)
+        .store_byte_abs(Reg::Rbx, 0x20_0702)
+        .load_abs(Reg::Rcx, 0x20_0700)
+        .halt();
+    let r = run(&mut m, &a);
+    assert_eq!(r.regs.get(Reg::Rcx), 0x1122_3344_55ff_7788);
+}
+
+#[test]
+fn smaller_rob_is_slower_on_parallel_loads() {
+    // A structural check: halving the ROB throttles memory parallelism.
+    let build = |rob: usize| {
+        let mut cfg = CpuConfig::kaby_lake_i7_7700();
+        cfg.rob_size = rob;
+        let mut m = Machine::new(cfg, 9);
+        for i in 0..24u64 {
+            m.map_user_page(0x40_0000 + i * 4096);
+        }
+        let mut a = Asm::new();
+        for i in 0..24u64 {
+            a.load_abs(Reg::Rax, 0x40_0000 + i * 4096);
+        }
+        a.halt();
+        m.run(&a.assemble().unwrap(), &RunConfig::default()).cycles
+    };
+    let big = build(224);
+    let tiny = build(4);
+    assert!(
+        tiny > big,
+        "a 4-entry ROB must serialise the loads ({tiny} vs {big})"
+    );
+}

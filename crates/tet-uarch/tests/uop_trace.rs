@@ -1,0 +1,146 @@
+//! Tests of the per-µop lifecycle trace: retired vs squashed fates, and
+//! the visibility of transient execution.
+
+use tet_isa::{Asm, Cond, Reg};
+use tet_uarch::{CpuConfig, Machine, RunConfig, RunExit, SquashReason, UopFate};
+
+fn traced_run(m: &mut Machine, a: &Asm, handler: Option<usize>) -> tet_uarch::RunResult {
+    m.run(
+        &a.assemble().expect("assembles"),
+        &RunConfig {
+            handler_pc: handler,
+            trace_uops: true,
+            ..RunConfig::default()
+        },
+    )
+}
+
+#[test]
+fn straight_line_uops_all_retire_in_order() {
+    let mut m = Machine::new(CpuConfig::kaby_lake_i7_7700(), 3);
+    let mut a = Asm::new();
+    a.mov_imm(Reg::Rax, 1).add(Reg::Rax, 2u64).nop().halt();
+    let r = traced_run(&mut m, &a, None);
+    assert_eq!(r.exit, RunExit::Halted);
+    let trace = r.uop_trace.expect("requested");
+    assert_eq!(trace.len(), 4);
+    let mut last_retire = 0;
+    for t in &trace {
+        match t.fate {
+            UopFate::Retired { at } => {
+                assert!(at >= last_retire, "in-order retirement");
+                last_retire = at;
+            }
+            other => panic!("{:?} did not retire: {other:?}", t.inst),
+        }
+        assert!(t.started_at.is_some());
+        assert!(t.done_at.unwrap() >= t.started_at.unwrap());
+        assert!(t.renamed_at <= t.started_at.unwrap());
+        assert!(!t.transient());
+    }
+}
+
+#[test]
+fn transient_uops_are_visible_in_the_trace() {
+    let mut m = Machine::new(CpuConfig::kaby_lake_i7_7700(), 3);
+    m.map_kernel_page(0xffff_ffff_8000_0000);
+    let mut a = Asm::new();
+    a.load_abs(Reg::Rax, 0xffff_ffff_8000_0000) // faults at retire
+        .add(Reg::Rax, 1u64) // transient dependents
+        .add(Reg::Rax, 2u64);
+    let handler = a.here();
+    a.halt();
+    // Warm the code path so the shadow µops get fetched in the window.
+    traced_run(&mut m, &a, Some(handler));
+    let r = traced_run(&mut m, &a, Some(handler));
+    assert_eq!(r.exit, RunExit::Halted);
+    let trace = r.uop_trace.expect("requested");
+
+    let transient: Vec<_> = trace.iter().filter(|t| t.transient()).collect();
+    assert!(
+        transient.len() >= 2,
+        "the dependent adds must show as transient: {trace:#?}"
+    );
+    for t in &transient {
+        assert_eq!(
+            t.fate,
+            match t.fate {
+                UopFate::Squashed { at, .. } => UopFate::Squashed {
+                    at,
+                    reason: SquashReason::Fault
+                },
+                other => other,
+            },
+            "fault squash reason"
+        );
+    }
+    // The halt retired architecturally.
+    assert!(trace.iter().any(
+        |t| matches!(t.fate, UopFate::Retired { .. }) && matches!(t.inst, tet_isa::Inst::Halt)
+    ));
+}
+
+#[test]
+fn mispredict_squashes_carry_the_branch_reason() {
+    let mut m = Machine::new(CpuConfig::kaby_lake_i7_7700(), 3);
+    m.map_user_page(0x20_0000);
+    let mut a = Asm::new();
+    let skip = a.fresh_label();
+    // The branch depends on a cold DRAM load, so it resolves long after
+    // the wrong path has been fetched and renamed.
+    a.load_abs(Reg::Rax, 0x20_0000) // 0 from fresh memory
+        .cmp_imm(Reg::Rax, 0)
+        .jcc(Cond::E, skip) // taken, predicted not-taken when cold
+        .mov_imm(Reg::Rbx, 0xbad) // wrong path
+        .mov_imm(Reg::Rcx, 0xbad)
+        .bind(skip)
+        .halt();
+    let r = traced_run(&mut m, &a, None);
+    assert_eq!(r.exit, RunExit::Halted);
+    let trace = r.uop_trace.expect("requested");
+    let squashed: Vec<_> = trace
+        .iter()
+        .filter(|t| {
+            matches!(
+                t.fate,
+                UopFate::Squashed {
+                    reason: SquashReason::BranchMispredict,
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert!(
+        !squashed.is_empty(),
+        "the wrong path must be traced as mispredict-squashed"
+    );
+    assert!(squashed.iter().all(|t| matches!(
+        t.inst,
+        tet_isa::Inst::MovImm { imm: 0xbad, .. } | tet_isa::Inst::Halt
+    )));
+}
+
+#[test]
+fn tsx_abort_reason_is_recorded() {
+    let mut m = Machine::new(CpuConfig::skylake_i7_6700(), 3);
+    m.map_kernel_page(0xffff_ffff_8000_0000);
+    let mut a = Asm::new();
+    let abort = a.fresh_label();
+    a.xbegin(abort)
+        .load_abs(Reg::Rax, 0xffff_ffff_8000_0000)
+        .xend()
+        .bind(abort)
+        .halt();
+    // Warm then trace.
+    traced_run(&mut m, &a, None);
+    let r = traced_run(&mut m, &a, None);
+    assert_eq!(r.exit, RunExit::Halted);
+    let trace = r.uop_trace.expect("requested");
+    assert!(trace.iter().any(|t| matches!(
+        t.fate,
+        UopFate::Squashed {
+            reason: SquashReason::TxnAbort,
+            ..
+        }
+    )));
+}

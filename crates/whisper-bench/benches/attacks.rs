@@ -1,0 +1,76 @@
+//! Criterion benches: wall-clock cost of each attack primitive on the
+//! host — how expensive the reproduction itself is to run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tet_uarch::CpuConfig;
+use whisper::attacks::{TetKaslr, TetMeltdown, TetSpectreRsb, TetZombieload};
+use whisper::channel::TetCovertChannel;
+use whisper::gadget::{TetGadget, TetGadgetSpec};
+use whisper::scenario::{Scenario, ScenarioOptions};
+
+fn bench_tote_probe(c: &mut Criterion) {
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let mut sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+    let gadget = TetGadget::build(TetGadgetSpec::meltdown(sc.kernel_secret_va, &cfg));
+    gadget.measure(&mut sc.machine, 0);
+    c.bench_function("tote_probe_single", |b| {
+        b.iter(|| gadget.measure(&mut sc.machine, 0x42))
+    });
+}
+
+fn bench_leak_byte(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leak_byte");
+    group.sample_size(10);
+
+    group.bench_function("tet_meltdown", |b| {
+        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        let attack = TetMeltdown::default();
+        b.iter(|| attack.leak_byte(&mut sc.machine, sc.kernel_secret_va))
+    });
+
+    group.bench_function("tet_zombieload", |b| {
+        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        let attack = TetZombieload::default();
+        b.iter(|| attack.sample_byte(&mut sc, 0))
+    });
+
+    group.bench_function("tet_rsb", |b| {
+        let mut sc = Scenario::new(
+            CpuConfig::raptor_lake_i9_13900k(),
+            &ScenarioOptions::default(),
+        );
+        let attack = TetSpectreRsb::default();
+        b.iter(|| attack.leak_byte(&mut sc.machine, sc.user_secret_va))
+    });
+
+    group.bench_function("tet_cc_byte", |b| {
+        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        sc.sender_write(0x77);
+        let ch = TetCovertChannel::default();
+        b.iter(|| ch.receive_byte(&mut sc))
+    });
+
+    group.finish();
+}
+
+fn bench_kaslr_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kaslr");
+    group.sample_size(10);
+    group.bench_function("tet_kaslr_512_slots", |b| {
+        let mut sc = Scenario::new(
+            CpuConfig::comet_lake_i9_10980xe(),
+            &ScenarioOptions::default(),
+        );
+        let attack = TetKaslr::default();
+        b.iter(|| attack.break_kaslr(&mut sc.machine, &sc.kernel))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tote_probe,
+    bench_leak_byte,
+    bench_kaslr_sweep
+);
+criterion_main!(benches);

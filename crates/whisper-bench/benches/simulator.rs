@@ -1,0 +1,65 @@
+//! Criterion benches: raw simulator throughput (instructions and cycles
+//! per host-second) — the substrate cost every experiment pays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tet_isa::{Asm, Cond, Reg};
+use tet_uarch::{CpuConfig, Machine, RunConfig};
+
+fn bench_straight_line(c: &mut Criterion) {
+    let mut m = Machine::new(CpuConfig::kaby_lake_i7_7700(), 1);
+    let mut a = Asm::new();
+    for i in 0..500 {
+        a.mov_imm(Reg::Rax, i).add(Reg::Rbx, Reg::Rax);
+    }
+    a.halt();
+    let prog = a.assemble().expect("program is closed");
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(prog.len() as u64));
+    group.bench_function("straight_line_1k_insts", |b| {
+        b.iter(|| m.run(&prog, &RunConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_branchy_loop(c: &mut Criterion) {
+    let mut m = Machine::new(CpuConfig::kaby_lake_i7_7700(), 1);
+    let mut a = Asm::new();
+    let top = a.fresh_label();
+    a.mov_imm(Reg::Rcx, 200);
+    a.bind(top)
+        .nops(4)
+        .sub(Reg::Rcx, 1u64)
+        .jcc(Cond::Ne, top)
+        .halt();
+    let prog = a.assemble().expect("program is closed");
+    c.bench_function("branchy_loop_200_iters", |b| {
+        b.iter(|| m.run(&prog, &RunConfig::default()))
+    });
+}
+
+fn bench_memory_walks(c: &mut Criterion) {
+    let mut m = Machine::new(CpuConfig::kaby_lake_i7_7700(), 1);
+    for i in 0..16u64 {
+        m.map_user_page(0x100_0000 + i * 4096);
+    }
+    let mut a = Asm::new();
+    for i in 0..16u64 {
+        a.load_abs(Reg::Rax, 0x100_0000 + i * 4096);
+    }
+    a.halt();
+    let prog = a.assemble().expect("program is closed");
+    c.bench_function("tlb_miss_loads_16_pages", |b| {
+        b.iter(|| {
+            m.flush_tlbs();
+            m.run(&prog, &RunConfig::default())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_straight_line,
+    bench_branchy_loop,
+    bench_memory_walks
+);
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! Ablation A4 — the paper's §6 defense discussion, quantified:
+//!
+//! * **FGKASLR (§6.2)** does not stop the base leak, but makes the
+//!   leaked base useless for code reuse — and costs real cycles from
+//!   destroyed code locality (the paper's "high performance overhead").
+//! * **Buffer clearing** (the deployed MDS microcode mitigation) stops
+//!   TET-ZBL by scrubbing the fill buffers on privilege transitions.
+//!
+//! Run: `cargo run --release -p whisper-bench --bin ablation_defenses`
+
+use tet_isa::{Asm, Reg};
+use tet_os::fgkaslr::{FunctionLayout, WELL_KNOWN_FUNCTIONS};
+use tet_uarch::{CpuConfig, Machine, RunConfig, RunExit};
+use whisper::attacks::{TetKaslr, TetZombieload};
+use whisper::scenario::{Scenario, ScenarioOptions};
+use whisper_bench::{section, tick, Table};
+
+/// Builds a synthetic kernel hot path: a dispatcher calling every
+/// function once (in semantic order), with bodies placed according to
+/// `layout`. Scattered layouts put consecutive calls on distant code
+/// pages.
+fn workload(layout: &FunctionLayout) -> tet_isa::Program {
+    // Instruction-index base of each function body: its byte offset
+    // scaled down (2 bytes -> 1 instruction slot spreads bodies over
+    // several pages and cache lines, like a real image).
+    let header_len = WELL_KNOWN_FUNCTIONS.len() + 2;
+    let body_base = |name: &str| -> usize {
+        header_len + (layout.offset_of(name).expect("known symbol") / 2) as usize
+    };
+
+    let mut a = Asm::new();
+    // The dispatcher calls in *semantic* order (the order the kernel's
+    // logic needs), independent of where FGKASLR put the bodies.
+    let mut labels = std::collections::HashMap::new();
+    for f in WELL_KNOWN_FUNCTIONS {
+        let l = a.fresh_label();
+        labels.insert(f.name, l);
+    }
+    a.mov_imm(Reg::Rsp, 0x60_0800);
+    for f in WELL_KNOWN_FUNCTIONS {
+        a.call(labels[f.name]);
+    }
+    a.halt();
+    assert_eq!(a.here(), header_len);
+
+    // Emit bodies at their layout positions (pad the gaps with nops).
+    let mut placed: Vec<(&str, usize)> = WELL_KNOWN_FUNCTIONS
+        .iter()
+        .map(|f| (f.name, body_base(f.name)))
+        .collect();
+    placed.sort_by_key(|&(_, at)| at);
+    for (name, at) in placed {
+        assert!(a.here() <= at, "bodies must not overlap");
+        while a.here() < at {
+            a.nop();
+        }
+        a.bind(labels[name]);
+        a.nops(6).ret();
+    }
+    a.assemble().expect("workload assembles")
+}
+
+fn run_workload(layout: &FunctionLayout) -> (u64, u64) {
+    // Cold microarchitectural state: the overhead FGKASLR costs on every
+    // context-switch-heavy path comes from refetching fragmented code —
+    // link-order packs bodies into shared I-cache lines, a shuffled
+    // layout burns a line (and page-walk) per body.
+    let prog = workload(layout);
+    let mut m = Machine::new(CpuConfig::comet_lake_i9_10980xe(), 3);
+    m.map_user_page(0x60_0000);
+    let before = m.cpu().pmu.snapshot();
+    let r = m.run(&prog, &RunConfig::default());
+    assert_eq!(r.exit, RunExit::Halted);
+    let delta = m.cpu().pmu.snapshot().delta(&before);
+    let icache_stall = delta.count(tet_pmu::Event::Icache16bIfdataStall);
+    (r.cycles, icache_stall)
+}
+
+fn main() {
+    section("FGKASLR vs TET-KASLR: the base still leaks...");
+    let mut sc = Scenario::new(
+        CpuConfig::comet_lake_i9_10980xe(),
+        &ScenarioOptions {
+            seed: 77,
+            ..ScenarioOptions::default()
+        },
+    );
+    let result = TetKaslr::default().break_kaslr(&mut sc.machine, &sc.kernel);
+    assert!(result.success, "FGKASLR does not hide the image base");
+    let base = result.found_base.expect("found");
+    println!("  TET-KASLR recovered the base: {base:#x} (correct)");
+
+    println!("\n...but the attacker's offset table no longer resolves functions:");
+    let attacker_table = FunctionLayout::standard(WELL_KNOWN_FUNCTIONS);
+    let mut t = Table::new(&[
+        "boot",
+        "layout",
+        "attacker hit rate",
+        "commit_creds @ base+0?",
+    ]);
+    for boot in 0..4u64 {
+        let truth = if boot == 0 {
+            FunctionLayout::standard(WELL_KNOWN_FUNCTIONS)
+        } else {
+            FunctionLayout::fgkaslr(WELL_KNOWN_FUNCTIONS, boot)
+        };
+        let rate = truth.attacker_hit_rate(&attacker_table);
+        let cc_where_expected =
+            truth.offset_of("commit_creds") == attacker_table.offset_of("commit_creds");
+        t.row_owned(vec![
+            if boot == 0 {
+                "plain KASLR".into()
+            } else {
+                format!("FGKASLR #{boot}")
+            },
+            if truth.is_fgkaslr() {
+                "shuffled"
+            } else {
+                "link order"
+            }
+            .into(),
+            format!("{:.0} %", rate * 100.0),
+            tick(cc_where_expected).into(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    section("FGKASLR's cost: destroyed code locality (the paper's overhead claim)");
+    let (plain_cycles, plain_stall) = run_workload(&FunctionLayout::standard(WELL_KNOWN_FUNCTIONS));
+    let mut worst = (plain_cycles, plain_stall);
+    for boot in 1..=4u64 {
+        let (c, s) = run_workload(&FunctionLayout::fgkaslr(WELL_KNOWN_FUNCTIONS, boot));
+        if c > worst.0 {
+            worst = (c, s);
+        }
+    }
+    println!(
+        "  link-order layout: {} cycles, {} icache stall cycles",
+        plain_cycles, plain_stall
+    );
+    println!(
+        "  worst FGKASLR boot: {} cycles, {} icache stall cycles ({:+.1} % cycles)",
+        worst.0,
+        worst.1,
+        (worst.0 as f64 / plain_cycles as f64 - 1.0) * 100.0
+    );
+    assert!(
+        worst.0 > plain_cycles,
+        "scattering code must not be free on this workload"
+    );
+
+    section("Buffer clearing vs TET-ZBL (the deployed MDS mitigation)");
+    {
+        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        sc.set_victim_byte(0, b'Z');
+        let leak = TetZombieload::default().sample_byte(&mut sc, 0);
+        println!(
+            "  unmitigated: sampled {:#04x} (victim byte is 0x5a)",
+            leak.value
+        );
+        assert_eq!(leak.value, b'Z');
+
+        // Mitigated: the OS scrubs the fill buffers on every privilege
+        // transition, i.e. after each victim access and before the
+        // attacker's probes run.
+        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        sc.set_victim_byte(0, b'Z');
+        sc.victim_touch(0);
+        sc.machine.mem_mut().lfb_mut().clear(); // verw on the boundary
+        use whisper::gadget::{TetGadget, TetGadgetSpec};
+        let cfg = sc.machine.config().clone();
+        let g = TetGadget::build(TetGadgetSpec::zombieload(0x7f00_dead_0000, &cfg));
+        use whisper::analysis::{ArgmaxDecoder, Polarity};
+        let out = ArgmaxDecoder::new(3, Polarity::MinWins).decode(|test, _| {
+            sc.victim_touch(0);
+            sc.machine.mem_mut().lfb_mut().clear(); // scrub per transition
+            g.measure(&mut sc.machine, test as u64)
+        });
+        println!(
+            "  with buffer clearing: sampled {:#04x} (garbage)",
+            out.value
+        );
+        assert_ne!(out.value, b'Z', "scrubbed buffers must not leak");
+    }
+
+    println!("\nreproduced: FGKASLR blunts the *consequences* of the base leak at a real");
+    println!("locality cost, and buffer scrubbing kills the ZBL variant — while nothing");
+    println!("in this section stops the TET channel itself (see ablation_mechanism).");
+}

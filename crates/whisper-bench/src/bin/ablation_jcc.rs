@@ -1,0 +1,100 @@
+//! Ablation A3 — Jcc flavours: the paper verifies JE/JZ, JNE/JNZ and JC
+//! all carry the TET channel and conjectures every conditional jump
+//! does (§1). We sweep all fourteen condition codes.
+//!
+//! The channel keys on *mispredicted* in-window branches, i.e. on the
+//! test values where the condition's outcome differs from its trained
+//! prediction. For every non-degenerate flavour that edge sits at the
+//! secret byte, so the ToTE maximum lands within ±1 of it. Flavours with
+//! no outcome edge over the byte sweep (JO/JNO never/always fire on
+//! byte-range operands) carry no signal — also worth demonstrating.
+//!
+//! Run: `cargo run -p whisper-bench --bin ablation_jcc`
+
+use tet_isa::{Cond, Flags};
+use tet_uarch::CpuConfig;
+use whisper::analysis::{ArgmaxDecoder, Polarity};
+use whisper::gadget::{TetGadget, TetGadgetSpec, TransientBegin};
+use whisper::scenario::{Scenario, ScenarioOptions};
+use whisper_bench::{section, tick, Table};
+
+fn main() {
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let secret = 0x53u8; // 'S'
+    let mut table = Table::new(&[
+        "cond",
+        "paper",
+        "taken for N test values",
+        "expected",
+        "recovered",
+        "leaks",
+    ]);
+    let mut all_ok = true;
+
+    for &cond in Cond::ALL {
+        // The gadget's flags come from `cmp secret, test`.
+        let taken_count = (0..=255u8)
+            .filter(|&t| cond.eval(Flags::from_sub(secret as u64, t as u64)))
+            .count();
+        let degenerate = taken_count == 0 || taken_count == 256;
+
+        let mut sc = Scenario::new(
+            cfg.clone(),
+            &ScenarioOptions {
+                kernel_secret: vec![secret],
+                ..ScenarioOptions::default()
+            },
+        );
+        let gadget = TetGadget::build(TetGadgetSpec {
+            jcc: cond,
+            begin: TransientBegin::SignalHandler,
+            ..TetGadgetSpec::meltdown(sc.kernel_secret_va, &cfg)
+        });
+        // Train towards the common outcome with a spread of test values.
+        for warm in [0u64, 64, 128, 192, 255, 0, 64, 128] {
+            gadget.measure(&mut sc.machine, warm);
+        }
+        let out = ArgmaxDecoder::new(5, Polarity::MaxWins)
+            .decode(|test, _| gadget.measure(&mut sc.machine, test as u64));
+
+        // The decoder's min-reduced extreme sits on the condition's
+        // outcome edge, i.e. at the secret (for ordered flavours the
+        // per-batch winners straddle the edge, so votes spread — the
+        // reduced extreme is the robust signal).
+        let near_secret = (out.value as i16 - secret as i16).unsigned_abs() <= 1;
+        let winner_votes = out.votes[out.value as usize];
+        let ok = if degenerate {
+            !near_secret
+        } else {
+            near_secret
+        };
+        all_ok &= ok;
+
+        let verified = matches!(cond, Cond::E | Cond::Ne | Cond::C);
+        table.row_owned(vec![
+            cond.mnemonic().to_string(),
+            if verified { "verified" } else { "conjectured" }.to_string(),
+            taken_count.to_string(),
+            if degenerate {
+                "no edge -> no leak"
+            } else {
+                "leak at secret +/-1"
+            }
+            .to_string(),
+            format!("{:#04x} ({} votes)", out.value, winner_votes),
+            tick(ok).to_string(),
+        ]);
+    }
+
+    section("Jcc flavour sweep (secret = 0x53)");
+    print!("{}", table.render());
+    assert!(
+        all_ok,
+        "every flavour must behave as its edge structure predicts"
+    );
+    println!(
+        "\nreproduced: all non-degenerate condition codes leak (the paper's conjecture), and\n\
+         the edge-free flavours (jo/jno on byte operands) carry no signal — the channel is\n\
+         driven by misprediction, not by any particular instruction."
+    );
+}

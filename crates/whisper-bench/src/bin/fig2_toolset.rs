@@ -1,0 +1,121 @@
+//! Figure 2 — the automated PMU analysis toolset: preparation (event
+//! catalog), online collection (repeated runs), offline analysis
+//! (differential filtering). This binary runs the whole pipeline against
+//! the TET gadget and prints the surviving events grouped by the unit
+//! they observe — answering the paper's RQ1 (frontend), RQ2 (backend)
+//! and RQ3 (memory subsystem).
+//!
+//! Run: `cargo run -p whisper-bench --bin fig2_toolset`
+
+use tet_pmu::{Collector, DifferentialReport, Event, Unit};
+use tet_uarch::CpuConfig;
+use whisper::gadget::{TetGadget, TetGadgetSpec};
+use whisper::scenario::{Scenario, ScenarioOptions};
+use whisper_bench::section;
+
+fn main() {
+    // ---- Stage 1: preparation -------------------------------------------
+    section("Stage 1: preparation — candidate events from the catalogs");
+    println!(
+        "catalog: {} events ({} Intel, {} AMD, {} common)",
+        Event::ALL.len(),
+        Event::ALL
+            .iter()
+            .filter(|e| e.desc().vendor == tet_pmu::Vendor::Intel)
+            .count(),
+        Event::ALL
+            .iter()
+            .filter(|e| e.desc().vendor == tet_pmu::Vendor::Amd)
+            .count(),
+        Event::ALL
+            .iter()
+            .filter(|e| e.desc().vendor == tet_pmu::Vendor::Common)
+            .count(),
+    );
+
+    // ---- Stage 2: online collection --------------------------------------
+    section("Stage 2: online collection — 32 runs per scenario knob");
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let mut sc = Scenario::new(
+        cfg.clone(),
+        &ScenarioOptions {
+            kernel_secret: b"S".to_vec(),
+            ..ScenarioOptions::default()
+        },
+    );
+    let gadget = TetGadget::build(TetGadgetSpec::meltdown(sc.kernel_secret_va, &cfg));
+    for _ in 0..4 {
+        gadget.measure(&mut sc.machine, 0);
+    }
+    let collector = Collector::new(32);
+    let not_triggered = collector.collect(|_| {
+        let before = sc.machine.cpu().pmu.snapshot();
+        gadget.measure(&mut sc.machine, 0);
+        sc.machine.cpu().pmu.snapshot().delta(&before)
+    });
+    let triggered = collector.collect(|run| {
+        // De-train between triggered samples, as the real 0..=255 sweep
+        // does implicitly (one hit per 256 probes). The de-train count
+        // varies per run so the gshare history context never repeats —
+        // a fixed period would let the predictor learn the pattern.
+        for d in 0..(3 + run as u64 % 7) {
+            gadget.measure(&mut sc.machine, (run as u64 * 3 + d) % 64);
+        }
+        let before = sc.machine.cpu().pmu.snapshot();
+        gadget.measure(&mut sc.machine, b'S' as u64);
+        sc.machine.cpu().pmu.snapshot().delta(&before)
+    });
+    println!("collected 2 x 32 runs on {}", cfg.name);
+
+    // ---- Stage 3: offline analysis ----------------------------------------
+    section("Stage 3: offline analysis — differential filtering (|delta| >= 0.5)");
+    let report = DifferentialReport::compare(&not_triggered, &triggered, 0.5);
+    print!("{}", report.to_table("not trigger", "trigger"));
+    println!(
+        "{} of {} events reacted to the Jcc-trigger knob",
+        report.deltas().len(),
+        Event::ALL.len()
+    );
+
+    for (unit, rq) in [
+        (Unit::Frontend, "RQ1 (frontend)"),
+        (Unit::Backend, "RQ2 (backend/pipeline)"),
+        (Unit::Memory, "RQ3 (memory subsystem)"),
+    ] {
+        section(rq);
+        let mut any = false;
+        for d in report.deltas_for_unit(unit) {
+            any = true;
+            println!(
+                "  {:<48} {:>9.1} -> {:>9.1}",
+                d.event.name(),
+                d.baseline,
+                d.variant
+            );
+        }
+        if !any {
+            println!("  (no reactive events in this unit)");
+        }
+    }
+
+    // The paper's key conclusions from this analysis:
+    let misp = report
+        .deltas()
+        .iter()
+        .find(|d| d.event == Event::BrMispExecAllBranches)
+        .expect("BR_MISP_EXEC.ALL_BRANCHES must react");
+    assert!(
+        misp.variant > misp.baseline,
+        "trigger adds an executed mispredict"
+    );
+    let resteer = report
+        .deltas()
+        .iter()
+        .find(|d| d.event == Event::IntMiscClearResteerCycles)
+        .expect("CLEAR_RESTEER must react");
+    assert!(
+        resteer.variant > resteer.baseline,
+        "trigger adds resteer cycles"
+    );
+    println!("\nanswers reproduced: BPU resteer (RQ1) + recovery stall (RQ2) drive the TET delta");
+}

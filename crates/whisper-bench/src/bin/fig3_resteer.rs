@@ -1,0 +1,96 @@
+//! Figure 3 — frontend-issued resteer within transient execution: the
+//! per-cycle DSB/MITE µop delivery trace around the in-window mispredict.
+//!
+//! The paper's Figure 3 shows the frontend switching away from the DSB
+//! and stalling when the triggered Jcc resteers it. We print the
+//! delivery trace of a triggered and a non-triggered run side by side.
+//!
+//! Run: `cargo run -p whisper-bench --bin fig3_resteer`
+
+use tet_isa::Reg;
+use tet_uarch::{CpuConfig, RunConfig};
+use whisper::gadget::{TetGadget, TetGadgetSpec, TransientBegin};
+use whisper::scenario::{Scenario, ScenarioOptions};
+use whisper_bench::section;
+
+fn trace(sc: &mut Scenario, gadget: &TetGadget, test: u64) -> Vec<tet_uarch::FrontendTraceEntry> {
+    let r = sc.machine.run(
+        &gadget.program,
+        &RunConfig {
+            handler_pc: Some(gadget.handler_pc),
+            init_regs: vec![(Reg::Rbx, test)],
+            trace_frontend: true,
+            ..RunConfig::default()
+        },
+    );
+    r.frontend_trace.expect("tracing was requested")
+}
+
+fn render(trace: &[tet_uarch::FrontendTraceEntry]) -> String {
+    // One character per cycle: D = DSB delivery, M = MITE delivery,
+    // . = stalled, space = idle.
+    trace
+        .iter()
+        .map(|e| {
+            if e.mite_uops > 0 {
+                'M'
+            } else if e.dsb_uops > 0 {
+                'D'
+            } else if e.stalled {
+                '.'
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let mut sc = Scenario::new(
+        cfg.clone(),
+        &ScenarioOptions {
+            kernel_secret: b"S".to_vec(),
+            ..ScenarioOptions::default()
+        },
+    );
+    let gadget = TetGadget::build(TetGadgetSpec {
+        begin: TransientBegin::SignalHandler,
+        ..TetGadgetSpec::meltdown(sc.kernel_secret_va, &cfg)
+    });
+    // Steady state first.
+    for _ in 0..4 {
+        gadget.measure(&mut sc.machine, 0);
+        gadget.measure(&mut sc.machine, b'S' as u64);
+    }
+
+    section("Figure 3: frontend delivery per cycle (D=DSB, M=MITE, .=stall, _=idle)");
+    let quiet = trace(&mut sc, &gadget, 0);
+    let triggered = trace(&mut sc, &gadget, b'S' as u64);
+    println!("Jcc not triggered ({} cycles):", quiet.len());
+    println!("  {}", render(&quiet));
+    println!("Jcc triggered    ({} cycles):", triggered.len());
+    println!("  {}", render(&triggered));
+
+    let stall = |t: &[tet_uarch::FrontendTraceEntry]| t.iter().filter(|e| e.stalled).count();
+    let dsb = |t: &[tet_uarch::FrontendTraceEntry]| t.iter().map(|e| e.dsb_uops).sum::<usize>();
+    println!(
+        "\nstall cycles: not-triggered {}, triggered {}",
+        stall(&quiet),
+        stall(&triggered)
+    );
+    println!(
+        "DSB uops:     not-triggered {}, triggered {}",
+        dsb(&quiet),
+        dsb(&triggered)
+    );
+    assert!(
+        stall(&triggered) > stall(&quiet),
+        "the resteer must add frontend stall cycles"
+    );
+    assert!(
+        triggered.len() > quiet.len(),
+        "the triggered run must take longer overall"
+    );
+    println!("\nreproduced: the in-window resteer stalls the frontend and stretches the run");
+}

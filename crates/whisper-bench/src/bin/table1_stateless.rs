@@ -1,0 +1,79 @@
+//! Table 1 — comparison of side-channel attacks: quantitative evidence
+//! for classifying the TET attacks as *stateless* and *transient-only*.
+//!
+//! We measure, for one steady-state leak iteration of each channel:
+//! the persistent µarch state it changed (cache/BTB/DTLB fingerprint
+//! diffs), the `clflush`es it needed, and whether a cache-anomaly
+//! detector (the defense assumed deployed in §4.2) flags it.
+//!
+//! Run: `cargo run -p whisper-bench --bin table1_stateless`
+
+use tet_uarch::CpuConfig;
+use whisper::attacks::TetMeltdown;
+use whisper::baseline::{CacheAttackDetector, FlushReloadMeltdown};
+use whisper::scenario::{Scenario, ScenarioOptions};
+use whisper::stealth::measure_footprint;
+use whisper_bench::{section, tick, Table};
+
+fn main() {
+    let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+    FlushReloadMeltdown::prepare(&mut sc.machine);
+    let secret = sc.kernel_secret_va;
+
+    // Reach steady state for both attacks.
+    let _ = TetMeltdown::default().leak_byte(&mut sc.machine, secret);
+    let _ = FlushReloadMeltdown::default().leak_byte(&mut sc.machine, secret);
+    let _ = TetMeltdown::default().leak_byte(&mut sc.machine, secret);
+    let _ = FlushReloadMeltdown::default().leak_byte(&mut sc.machine, secret);
+
+    let detector = CacheAttackDetector::default();
+
+    let before = sc.machine.cpu().pmu.snapshot();
+    let tet_fp = measure_footprint(&mut sc.machine, |m| {
+        let _ = TetMeltdown::default().leak_byte(m, secret);
+    });
+    let tet_delta = sc.machine.cpu().pmu.snapshot().delta(&before);
+    let tet_verdict = detector.inspect(&tet_delta);
+
+    let before = sc.machine.cpu().pmu.snapshot();
+    let fr_fp = measure_footprint(&mut sc.machine, |m| {
+        let _ = FlushReloadMeltdown::default().leak_byte(m, secret);
+    });
+    let fr_delta = sc.machine.cpu().pmu.snapshot().delta(&before);
+    let fr_verdict = detector.inspect(&fr_delta);
+
+    section("Table 1 evidence: per-byte footprint and detectability");
+    let mut table = Table::new(&[
+        "channel",
+        "type (Table 1)",
+        "clflush/byte",
+        "L1 misses/byte",
+        "state entries changed",
+        "detector flags it",
+    ]);
+    table.row_owned(vec![
+        "Flush+Reload MD".into(),
+        "direct, stateful".into(),
+        fr_verdict.clflushes.to_string(),
+        fr_verdict.l1_misses.to_string(),
+        fr_fp.total_state_changes().to_string(),
+        tick(fr_verdict.flagged).into(),
+    ]);
+    table.row_owned(vec![
+        "TET-MD (Whisper)".into(),
+        "direct, stateless, transient-only".into(),
+        tet_verdict.clflushes.to_string(),
+        tet_verdict.l1_misses.to_string(),
+        tet_fp.total_state_changes().to_string(),
+        tick(tet_verdict.flagged).into(),
+    ]);
+    print!("{}", table.render());
+
+    assert!(fr_verdict.flagged, "the detector must flag Flush+Reload");
+    assert!(!tet_verdict.flagged, "the detector must miss TET");
+    assert_eq!(tet_fp.clflushes, 0);
+    println!(
+        "\nreproduced: TET transmits through squash timing alone — no probe array, no flushes,\n\
+         near-zero persistent state — and sails past the cache-anomaly detector."
+    );
+}

@@ -1,0 +1,57 @@
+//! Table 2 — environment and experiments: the attack success matrix over
+//! the five evaluated CPU models, compared cell-by-cell against the
+//! paper's reported results.
+//!
+//! Run: `cargo run -p whisper-bench --bin table2_matrix`
+
+use tet_uarch::CpuConfig;
+use whisper::eval::{paper_table2_row, run_table2_row, AttackStatus};
+use whisper_bench::{section, Table};
+
+fn cell(ours: AttackStatus, paper: Option<AttackStatus>) -> String {
+    let o = match ours {
+        AttackStatus::Success => "Y",
+        AttackStatus::Fail => "x",
+    };
+    match paper {
+        None => format!("{o} (paper ?)"),
+        Some(p) if p == ours => format!("{o} (= paper)"),
+        Some(_) => format!("{o} (DIFFERS)"),
+    }
+}
+
+fn main() {
+    section("Table 2: attack matrix (ours vs paper)");
+    let mut table = Table::new(&[
+        "CPU",
+        "uarch",
+        "TET-CC",
+        "TET-MD",
+        "TET-ZBL",
+        "TET-RSB",
+        "TET-KASLR",
+    ]);
+    let mut all_match = true;
+    for cfg in CpuConfig::table2_presets() {
+        let row = run_table2_row(&cfg, 42);
+        let paper = paper_table2_row(cfg.name);
+        let cells = row.cells();
+        table.row_owned(vec![
+            row.cpu.to_string(),
+            row.uarch.to_string(),
+            cell(cells[0], paper[0]),
+            cell(cells[1], paper[1]),
+            cell(cells[2], paper[2]),
+            cell(cells[3], paper[3]),
+            cell(cells[4], paper[4]),
+        ]);
+        all_match &= row.matches_paper();
+        eprintln!("  finished {}", row.cpu);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nAll paper-verified cells match: {}",
+        whisper_bench::tick(all_match)
+    );
+    assert!(all_match, "Table 2 reproduction must match the paper");
+}

@@ -1,0 +1,247 @@
+//! Table 3 — key performance monitor counter values: the per-event
+//! deltas between the Jcc-triggered and not-triggered runs of the TET
+//! gadget (and mapped vs unmapped for TET-KASLR).
+//!
+//! The comparison target is the *direction* of each counter's movement;
+//! absolute values are testbed-specific.
+//!
+//! Run: `cargo run -p whisper-bench --bin table3_pmu`
+
+use tet_pmu::{Collector, Event};
+use tet_uarch::CpuConfig;
+use whisper::gadget::{TetGadget, TetGadgetSpec};
+use whisper::scenario::{Scenario, ScenarioOptions};
+use whisper_bench::{section, Table};
+
+/// Collects averaged per-run counters for the gadget at one test value.
+/// Between samples the gadget runs a few de-training probes (as the real
+/// 0..=255 sweep does implicitly), so the predictor never trains taken on
+/// the in-window Jcc.
+fn collect(
+    sc: &mut Scenario,
+    gadget: &TetGadget,
+    test: u64,
+    runs: usize,
+) -> tet_pmu::toolset::AveragedCounts {
+    Collector::new(runs).collect(|run| {
+        // The de-train count varies per run so the gshare history context
+        // never repeats (a fixed period would train the predictor).
+        for d in 0..(3 + run as u64 % 7) {
+            let detrain = (run as u64 * 3 + d) % 64;
+            if detrain != test {
+                gadget.measure(&mut sc.machine, detrain);
+            }
+        }
+        let before = sc.machine.cpu().pmu.snapshot();
+        gadget.measure(&mut sc.machine, test);
+        sc.machine.cpu().pmu.snapshot().delta(&before)
+    })
+}
+
+fn print_rows(
+    table: &mut Table,
+    scene: &str,
+    base: &tet_pmu::toolset::AveragedCounts,
+    var: &tet_pmu::toolset::AveragedCounts,
+    events: &[Event],
+) {
+    for e in events {
+        table.row_owned(vec![
+            scene.to_string(),
+            e.name().to_string(),
+            format!("{:.1}", base.mean(*e)),
+            format!("{:.1}", var.mean(*e)),
+            if var.mean(*e) > base.mean(*e) {
+                "up".into()
+            } else if var.mean(*e) < base.mean(*e) {
+                "down".into()
+            } else {
+                "flat".into()
+            },
+        ]);
+    }
+}
+
+fn main() {
+    let runs = 16;
+    let mut table = Table::new(&[
+        "scene",
+        "event",
+        "Jcc not trigger",
+        "Jcc trigger",
+        "direction",
+    ]);
+
+    section("Core i7-6700 / TET-CC");
+    {
+        let cfg = CpuConfig::skylake_i7_6700();
+        let mut sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+        sc.sender_write(b'S');
+        let gadget = TetGadget::build(TetGadgetSpec::covert_channel(sc.shared_page(), &cfg));
+        for _ in 0..4 {
+            gadget.measure(&mut sc.machine, 0);
+        }
+        let base = collect(&mut sc, &gadget, 0, runs);
+        let var = collect(&mut sc, &gadget, b'S' as u64, runs);
+        print_rows(
+            &mut table,
+            "i7-6700 TET-CC",
+            &base,
+            &var,
+            &[
+                Event::BrMispExecIndirect,
+                Event::BrMispExecAllBranches,
+                Event::ResourceStallsAny,
+            ],
+        );
+    }
+
+    section("Core i7-7700 / TET-CC (frontend rows)");
+    {
+        let cfg = CpuConfig::kaby_lake_i7_7700();
+        let mut sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+        sc.sender_write(b'S');
+        let gadget = TetGadget::build(TetGadgetSpec::covert_channel(sc.shared_page(), &cfg));
+        for _ in 0..4 {
+            gadget.measure(&mut sc.machine, 0);
+        }
+        let base = collect(&mut sc, &gadget, 0, runs);
+        let var = collect(&mut sc, &gadget, b'S' as u64, runs);
+        print_rows(
+            &mut table,
+            "i7-7700 TET-CC",
+            &base,
+            &var,
+            &[
+                Event::BrMispExecIndirect,
+                Event::BrMispExecAllBranches,
+                Event::IdqDsbUops,
+                Event::IdqMsDsbCycles,
+                Event::IdqDsbCyclesOk,
+                Event::IdqDsbCyclesAny,
+                Event::IdqMsMiteUops,
+                Event::IdqAllMiteCyclesAnyUops,
+                Event::UopsExecutedCoreCyclesNone,
+            ],
+        );
+    }
+
+    section("Core i7-7700 / TET-MD (backend rows)");
+    {
+        let cfg = CpuConfig::kaby_lake_i7_7700();
+        let mut sc = Scenario::new(
+            cfg.clone(),
+            &ScenarioOptions {
+                kernel_secret: b"S".to_vec(),
+                ..ScenarioOptions::default()
+            },
+        );
+        let gadget = TetGadget::build(TetGadgetSpec::meltdown(sc.kernel_secret_va, &cfg));
+        for _ in 0..4 {
+            gadget.measure(&mut sc.machine, 0);
+        }
+        let base = collect(&mut sc, &gadget, 0, runs);
+        let var = collect(&mut sc, &gadget, b'S' as u64, runs);
+        print_rows(
+            &mut table,
+            "i7-7700 TET-MD",
+            &base,
+            &var,
+            &[
+                Event::ResourceStallsAny,
+                Event::CycleActivityStallsTotal,
+                Event::UopsExecutedStallCycles,
+                Event::CycleActivityCyclesMemAny,
+                Event::IntMiscRecoveryCyclesAny,
+                Event::IntMiscClearResteerCycles,
+                Event::UopsIssuedAny,
+                Event::UopsIssuedStallCycles,
+                Event::RsEventsEmptyCycles,
+            ],
+        );
+    }
+
+    section("Ryzen 5 5600G / TET-CC (AMD event names)");
+    {
+        let cfg = CpuConfig::zen3_ryzen5_5600g();
+        let mut sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+        sc.sender_write(b'S');
+        let gadget = TetGadget::build(TetGadgetSpec::covert_channel(sc.shared_page(), &cfg));
+        for _ in 0..4 {
+            gadget.measure(&mut sc.machine, 0);
+        }
+        let base = collect(&mut sc, &gadget, 0, runs);
+        let var = collect(&mut sc, &gadget, b'S' as u64, runs);
+        print_rows(
+            &mut table,
+            "Zen3 TET-CC",
+            &base,
+            &var,
+            &[
+                Event::BpL1BtbCorrect,
+                Event::BpL1TlbFetchHit,
+                Event::DeDisUopQueueEmptyDi0,
+                Event::DeDisDispatchTokenStalls2RetireTokenStall,
+                Event::IcFw32,
+            ],
+        );
+    }
+
+    print!("{}", table.render());
+
+    section("Core i9-10980XE / TET-KASLR (mapped vs unmapped)");
+    {
+        let cfg = CpuConfig::comet_lake_i9_10980xe();
+        let mut sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+        let mapped = TetGadget::build(TetGadgetSpec::kaslr_probe(sc.kernel.base));
+        let unmapped = TetGadget::build(TetGadgetSpec::kaslr_probe(tet_os::layout::slot_base(
+            (sc.kernel.slot + sc.kernel.image_slots) % 512,
+        )));
+        let runs = 8;
+        let base = Collector::new(runs).collect(|_| {
+            sc.machine.flush_tlbs();
+            let before = sc.machine.cpu().pmu.snapshot();
+            unmapped.measure(&mut sc.machine, 0);
+            sc.machine.cpu().pmu.snapshot().delta(&before)
+        });
+        let var = Collector::new(runs).collect(|_| {
+            sc.machine.flush_tlbs();
+            let before = sc.machine.cpu().pmu.snapshot();
+            mapped.measure(&mut sc.machine, 0);
+            sc.machine.cpu().pmu.snapshot().delta(&before)
+        });
+        let mut t2 = Table::new(&[
+            "event",
+            "unmapped",
+            "mapped",
+            "paper unmapped",
+            "paper mapped",
+        ]);
+        let paper: [(&str, Event, &str, &str); 3] = [
+            (
+                "DTLB walks",
+                Event::DtlbLoadMissesMissCausesAWalk,
+                "2",
+                "0*",
+            ),
+            (
+                "DTLB walk active",
+                Event::DtlbLoadMissesWalkActive,
+                "62",
+                "0*",
+            ),
+            ("ITLB walk active", Event::ItlbMissesWalkActive, "19", "0*"),
+        ];
+        for (_, e, pu, pm) in paper {
+            t2.row_owned(vec![
+                e.name().to_string(),
+                format!("{:.1}", base.mean(e)),
+                format!("{:.1}", var.mean(e)),
+                pu.into(),
+                pm.into(),
+            ]);
+        }
+        print!("{}", t2.render());
+        println!("(* the paper's mapped counts are ~0 because the TLB entry persists; our probe\n   flushes the TLB every sample, so 'mapped' shows one non-retried walk instead)");
+    }
+}

@@ -1,0 +1,10 @@
+//! Baseline attacks and the defense they trip — the comparison points of
+//! Tables 1 and 2.
+
+mod detector;
+mod flush_reload;
+mod prefetch_kaslr;
+
+pub use detector::{CacheAttackDetector, DetectorVerdict};
+pub use flush_reload::FlushReloadMeltdown;
+pub use prefetch_kaslr::{EntryBleedProbe, PrefetchKaslr};

@@ -1,0 +1,186 @@
+//! TET-CC: the transient-execution-timing covert channel (§4.1).
+//!
+//! The sender writes a byte into a shared page; the receiver sweeps the
+//! test value through the Figure 1a gadget (null-pointer window, Jcc on
+//! the shared byte) and decodes by batched argmax. The paper reports
+//! 500 B/s at < 5 % error on the i7-7700 for 1 KiB of random payload.
+
+use crate::analysis::{bytes_per_second, error_rate, ArgmaxDecoder, Polarity};
+use crate::gadget::{TetGadget, TetGadgetSpec};
+use crate::scenario::Scenario;
+
+/// Quality/throughput report of a covert-channel transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelReport {
+    /// Bytes the receiver decoded.
+    pub received: Vec<u8>,
+    /// Fraction of wrong bytes.
+    pub error_rate: f64,
+    /// Total simulated cycles spent receiving.
+    pub cycles: u64,
+    /// Wall-clock seconds at the model's frequency.
+    pub seconds: f64,
+    /// Decoded throughput.
+    pub bytes_per_sec: f64,
+}
+
+/// The TET covert channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TetCovertChannel {
+    /// Argmax batches per byte (more batches: slower, more accurate).
+    pub batches: u32,
+}
+
+impl Default for TetCovertChannel {
+    fn default() -> Self {
+        TetCovertChannel { batches: 3 }
+    }
+}
+
+impl TetCovertChannel {
+    /// Creates a channel with the given batch count.
+    pub fn new(batches: u32) -> Self {
+        TetCovertChannel { batches }
+    }
+
+    /// Receives one byte (the sender must have written it already).
+    pub fn receive_byte(&self, sc: &mut Scenario) -> (u8, u64) {
+        let cfg = sc.machine.config().clone();
+        let gadget = TetGadget::build(TetGadgetSpec::covert_channel(sc.shared_page(), &cfg));
+        // Warm up the gadget's code and structures once.
+        gadget.measure(&mut sc.machine, 0);
+        let mut cycles = 0u64;
+        let decoder = ArgmaxDecoder::new(self.batches, Polarity::MaxWins);
+        let out = decoder.decode(|test, _| {
+            let (tote, c) = gadget.measure_detailed(&mut sc.machine, test as u64)?;
+            cycles += c;
+            Some(tote)
+        });
+        (out.value, cycles)
+    }
+
+    /// Transmits `payload` through the channel and reports quality.
+    pub fn transmit(&self, sc: &mut Scenario, payload: &[u8]) -> ChannelReport {
+        let freq = sc.machine.config().freq_ghz;
+        let mut received = Vec::with_capacity(payload.len());
+        let mut cycles = 0u64;
+        for &b in payload {
+            sc.sender_write(b);
+            let (got, c) = self.receive_byte(sc);
+            received.push(got);
+            cycles += c;
+        }
+        let err = error_rate(payload, &received);
+        ChannelReport {
+            error_rate: err,
+            cycles,
+            seconds: cycles as f64 / (freq * 1e9),
+            bytes_per_sec: bytes_per_second(received.len(), cycles, freq),
+            received,
+        }
+    }
+
+    /// Transmits with `repeats`-fold repetition coding: each byte is sent
+    /// multiple times and decoded by majority — the accuracy/throughput
+    /// trade the paper's §4.4 leaves to future work ("speed up with high
+    /// accuracy"), applied to TET-CC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats` is zero.
+    pub fn transmit_with_redundancy(
+        &self,
+        sc: &mut Scenario,
+        payload: &[u8],
+        repeats: u32,
+    ) -> ChannelReport {
+        assert!(repeats > 0, "need at least one repeat");
+        let freq = sc.machine.config().freq_ghz;
+        let mut received = Vec::with_capacity(payload.len());
+        let mut cycles = 0u64;
+        for &b in payload {
+            sc.sender_write(b);
+            let mut counts = [0u32; 256];
+            for _ in 0..repeats {
+                let (got, c) = self.receive_byte(sc);
+                counts[got as usize] += 1;
+                cycles += c;
+            }
+            let winner = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(v, _)| v as u8)
+                .unwrap_or(0);
+            received.push(winner);
+        }
+        let err = error_rate(payload, &received);
+        ChannelReport {
+            error_rate: err,
+            cycles,
+            seconds: cycles as f64 / (freq * 1e9),
+            bytes_per_sec: bytes_per_second(received.len(), cycles, freq),
+            received,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioOptions;
+    use tet_uarch::CpuConfig;
+
+    #[test]
+    fn channel_moves_one_byte() {
+        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        sc.sender_write(0xc3);
+        let (got, cycles) = TetCovertChannel::default().receive_byte(&mut sc);
+        assert_eq!(got, 0xc3);
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn channel_moves_a_short_payload_error_free_without_noise() {
+        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        let payload = b"TET";
+        let report = TetCovertChannel::new(2).transmit(&mut sc, payload);
+        assert_eq!(report.received, payload);
+        assert_eq!(report.error_rate, 0.0);
+        assert!(report.bytes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn redundancy_beats_single_shot_under_heavy_noise() {
+        let mk = || {
+            Scenario::new(
+                CpuConfig::kaby_lake_i7_7700(),
+                &ScenarioOptions {
+                    interrupt_period: 601, // heavy: most probes disturbed
+                    ..ScenarioOptions::default()
+                },
+            )
+        };
+        let payload: Vec<u8> = (0..12).map(|i| i * 19 + 3).collect();
+        let single = TetCovertChannel::new(1).transmit(&mut mk(), &payload);
+        let coded = TetCovertChannel::new(1).transmit_with_redundancy(&mut mk(), &payload, 5);
+        assert!(
+            coded.error_rate <= single.error_rate,
+            "repetition coding must not hurt ({} vs {})",
+            coded.error_rate,
+            single.error_rate
+        );
+        assert!(coded.cycles > single.cycles, "redundancy costs time");
+    }
+
+    #[test]
+    fn channel_works_on_every_table2_model() {
+        // TET-CC is the one attack that succeeds on all five CPUs.
+        for cfg in CpuConfig::table2_presets() {
+            let mut sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+            sc.sender_write(b'W');
+            let (got, _) = TetCovertChannel::new(2).receive_byte(&mut sc);
+            assert_eq!(got, b'W', "TET-CC must work on {}", cfg.name);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared evaluation harness: the Table 2 attack matrix.
+//!
+//! Runs each of the five attacks against one CPU preset with fresh
+//! scenarios and reports ✓/✗, so the benchmark binaries and the
+//! integration tests agree on what "the attack works" means:
+//! a majority of the secret bytes recovered (leaks), a decoded bit
+//! pattern (covert channels), or the exact base found (KASLR).
+
+use tet_uarch::CpuConfig;
+
+use crate::attacks::{TetKaslr, TetMeltdown, TetSpectreRsb, TetZombieload};
+use crate::channel::TetCovertChannel;
+use crate::scenario::{Scenario, ScenarioOptions};
+
+/// One attack's outcome on one CPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackStatus {
+    /// The attack recovered the secret (✓ in Table 2).
+    Success,
+    /// The attack ran but recovered garbage (✗ in Table 2).
+    Fail,
+}
+
+impl std::fmt::Display for AttackStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackStatus::Success => f.write_str("ok"),
+            AttackStatus::Fail => f.write_str("FAIL"),
+        }
+    }
+}
+
+/// The five per-attack outcomes for one CPU model (one Table 2 row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    /// CPU marketing name.
+    pub cpu: &'static str,
+    /// Microarchitecture.
+    pub uarch: &'static str,
+    /// TET covert channel.
+    pub cc: AttackStatus,
+    /// TET-Meltdown.
+    pub md: AttackStatus,
+    /// TET-Zombieload.
+    pub zbl: AttackStatus,
+    /// TET-Spectre-RSB.
+    pub rsb: AttackStatus,
+    /// TET-KASLR.
+    pub kaslr: AttackStatus,
+}
+
+fn status(ok: bool) -> AttackStatus {
+    if ok {
+        AttackStatus::Success
+    } else {
+        AttackStatus::Fail
+    }
+}
+
+/// Runs all five attacks on one preset and returns the row.
+///
+/// `seed` controls KASLR placement and jitter; the secrets are fixed
+/// short strings so a row completes in a few seconds of host time.
+pub fn run_table2_row(cfg: &CpuConfig, seed: u64) -> Table2Row {
+    let opts = ScenarioOptions {
+        seed,
+        ..ScenarioOptions::default()
+    };
+
+    // TET-CC: one byte through the covert channel.
+    let cc = {
+        let mut sc = Scenario::new(cfg.clone(), &opts);
+        sc.sender_write(0xa5);
+        let (got, _) = TetCovertChannel::new(2).receive_byte(&mut sc);
+        status(got == 0xa5)
+    };
+
+    // TET-MD: four kernel bytes.
+    let md = {
+        let mut sc = Scenario::new(cfg.clone(), &opts);
+        let r = TetMeltdown::default().leak(&mut sc.machine, sc.kernel_secret_va, 4);
+        status(r.recovered == b"WHIS")
+    };
+
+    // TET-ZBL: four victim bytes through the fill buffers.
+    let zbl = {
+        let mut sc = Scenario::new(cfg.clone(), &opts);
+        for (i, b) in b"LFB!".iter().enumerate() {
+            sc.set_victim_byte(i as u64, *b);
+        }
+        let r = TetZombieload::default().sample(&mut sc, 4);
+        status(r.recovered == b"LFB!")
+    };
+
+    // TET-RSB: two in-process bytes through the return stack buffer.
+    let rsb = {
+        let mut sc = Scenario::new(cfg.clone(), &opts);
+        let r = TetSpectreRsb::default().leak(&mut sc.machine, sc.user_secret_va, 2);
+        status(r.recovered == b"rs")
+    };
+
+    // TET-KASLR: recover the randomized base.
+    let kaslr = {
+        let mut sc = Scenario::new(cfg.clone(), &opts);
+        let r = TetKaslr::default().break_kaslr(&mut sc.machine, &sc.kernel);
+        status(r.success)
+    };
+
+    Table2Row {
+        cpu: cfg.name,
+        uarch: cfg.uarch,
+        cc,
+        md,
+        zbl,
+        rsb,
+        kaslr,
+    }
+}
+
+/// The paper's reported Table 2 row for a preset (`None` marks the
+/// paper's "?" = not verified; those cells are not compared).
+pub fn paper_table2_row(cpu: &str) -> [Option<AttackStatus>; 5] {
+    use AttackStatus::{Fail, Success};
+    match cpu {
+        "Intel Core i7-6700" | "Intel Core i7-7700" => [
+            Some(Success),
+            Some(Success),
+            Some(Success),
+            Some(Success),
+            Some(Success),
+        ],
+        "Intel Core i9-10980XE" => [Some(Success), Some(Fail), Some(Fail), None, Some(Success)],
+        "Intel Core i9-13900K" => [Some(Success), Some(Fail), Some(Fail), Some(Success), None],
+        "AMD Ryzen 5 5600G" => [Some(Success), Some(Fail), Some(Fail), None, Some(Fail)],
+        _ => [None; 5],
+    }
+}
+
+impl Table2Row {
+    /// This row's outcomes in Table 2 column order
+    /// (CC, MD, ZBL, RSB, KASLR).
+    pub fn cells(&self) -> [AttackStatus; 5] {
+        [self.cc, self.md, self.zbl, self.rsb, self.kaslr]
+    }
+
+    /// Whether every cell the paper *verified* matches ours.
+    pub fn matches_paper(&self) -> bool {
+        self.cells()
+            .iter()
+            .zip(paper_table2_row(self.cpu))
+            .all(|(ours, paper)| paper.is_none_or(|p| p == *ours))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full-matrix comparison lives in `tests/table2.rs` (it is the
+    // headline reproduction result); here we only check the harness
+    // plumbing on the cheapest preset.
+    #[test]
+    fn row_reports_all_cells() {
+        let row = run_table2_row(&CpuConfig::kaby_lake_i7_7700(), 3);
+        assert_eq!(row.cpu, "Intel Core i7-7700");
+        assert_eq!(row.cells().len(), 5);
+    }
+
+    #[test]
+    fn paper_rows_cover_all_presets() {
+        for cfg in CpuConfig::table2_presets() {
+            assert!(
+                paper_table2_row(cfg.name).iter().any(|c| c.is_some()),
+                "no paper ground truth for {}",
+                cfg.name
+            );
+        }
+    }
+}

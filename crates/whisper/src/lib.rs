@@ -1,0 +1,68 @@
+//! # Whisper — the transient execution timing (TET) side channel
+//!
+//! A faithful reproduction of *"Whisper: Timing the Transient Execution
+//! to Leak Secrets and Break KASLR"* (DAC 2024) on the deterministic
+//! cycle-level CPU simulator of the companion `tet-*` crates.
+//!
+//! The paper's observation: when a conditional jump **inside a transient
+//! execution window** mispredicts, the resulting pipeline stall changes
+//! the *total time of the transient execution* (ToTE) — which an attacker
+//! measures architecturally with two `rdtsc` reads around the window. No
+//! cache probing, no contention setup: the timing of the squash itself is
+//! the covert channel.
+//!
+//! This crate provides:
+//!
+//! * [`gadget`] — builders for the paper's gadgets: the Figure 1a TET
+//!   block (TSX or signal-handler suppression), the Listing 1
+//!   Spectre-RSB gadget and the Listing 2 KASLR probe;
+//! * [`analysis`] — the ToTE frequency histogram and batched argmax
+//!   decoder of Figure 1b;
+//! * [`channel`] — TET-CC, the covert channel (§4.1);
+//! * [`attacks`] — TET-Meltdown, TET-Zombieload, TET-Spectre-RSB and
+//!   TET-KASLR (incl. KPTI, FLARE, and container environments);
+//! * [`smt`] — the SMT pipeline-flush covert channel (§4.4);
+//! * [`baseline`] — Flush+Reload Meltdown and prefetch/EntryBleed KASLR
+//!   probes, for the comparisons in Tables 1 and 2;
+//! * [`stealth`] — the persistent-µarch-state measurements behind
+//!   Table 1's *stateless / transient-only* claims, plus a cache-attack
+//!   detector that flags Flush+Reload but not TET;
+//! * [`scenario`] — one-call environment setup (CPU preset + kernel +
+//!   secrets).
+//!
+//! # Quickstart
+//!
+//! Leak a kernel byte through the TET channel on the simulated i7-7700:
+//!
+//! ```
+//! use whisper::attacks::TetMeltdown;
+//! use whisper::scenario::{Scenario, ScenarioOptions};
+//! use tet_uarch::CpuConfig;
+//!
+//! let mut sc = Scenario::new(
+//!     CpuConfig::kaby_lake_i7_7700(),
+//!     &ScenarioOptions {
+//!         kernel_secret: b"S".to_vec(),
+//!         ..ScenarioOptions::default()
+//!     },
+//! );
+//! let attack = TetMeltdown::default();
+//! let leaked = attack.leak_byte(&mut sc.machine, sc.kernel_secret_va);
+//! assert_eq!(leaked.value, b'S');
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod attacks;
+pub mod baseline;
+pub mod channel;
+pub mod eval;
+pub mod gadget;
+pub mod scenario;
+pub mod smt;
+pub mod stealth;
+
+pub use analysis::{ArgmaxDecoder, Histogram, Polarity};
+pub use gadget::{CompareSource, TetGadget, TetGadgetSpec, TransientBegin};
+pub use scenario::{Scenario, ScenarioOptions};

@@ -1,0 +1,200 @@
+//! The SMT covert channel of §4.4.
+//!
+//! The sender (trojan) encodes a `1` by triggering a page fault it
+//! suppresses with its signal handler — the fault's pipeline flush stalls
+//! the whole physical core. The receiver (spy) times a `nop` loop on the
+//! sibling thread; slow windows decode as `1`. The paper's prototype
+//! reaches 1 B/s below 5 % error, and 268 KB/s at 28 % error with the
+//! SecSMT-style evaluation settings.
+
+use tet_isa::{Asm, Cond, Program, Reg};
+use tet_uarch::{CpuConfig, RunConfig, SmtMachine};
+
+use crate::analysis::error_rate;
+
+/// Quality report of an SMT transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmtChannelReport {
+    /// Decoded bits.
+    pub received: Vec<u8>,
+    /// Bit error rate.
+    pub bit_error_rate: f64,
+    /// Total simulated cycles (max over the two threads, summed over
+    /// bits).
+    pub cycles: u64,
+    /// Seconds at the model's frequency.
+    pub seconds: f64,
+    /// Effective throughput in bits per second.
+    pub bits_per_sec: f64,
+}
+
+/// The SMT pipeline-flush covert channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmtTetChannel {
+    /// Spy `nop`-loop iterations per bit window. Large windows (the
+    /// paper's 1 B/s prototype) are nearly error-free; small windows
+    /// (the SecSMT-style fast mode) trade accuracy for speed.
+    pub spy_iters: u64,
+    /// Trojan faults per `1` bit.
+    pub faults_per_bit: u64,
+}
+
+impl Default for SmtTetChannel {
+    fn default() -> Self {
+        SmtTetChannel {
+            spy_iters: 256,
+            faults_per_bit: 16,
+        }
+    }
+}
+
+impl SmtTetChannel {
+    /// The slow, low-error prototype configuration.
+    pub fn prototype() -> Self {
+        Self::default()
+    }
+
+    /// The SecSMT-style fast configuration: tiny windows, high error.
+    pub fn fast() -> Self {
+        SmtTetChannel {
+            spy_iters: 8,
+            faults_per_bit: 1,
+        }
+    }
+
+    fn spy_program(&self) -> Program {
+        let mut a = Asm::new();
+        let top = a.fresh_label();
+        a.mov_imm(Reg::Rcx, self.spy_iters);
+        a.bind(top)
+            .nops(8)
+            .sub(Reg::Rcx, 1u64)
+            .jcc(Cond::Ne, top)
+            .halt();
+        a.assemble().expect("spy loop is closed")
+    }
+
+    /// Trojan program sending one bit, and the handler pc for fault
+    /// suppression.
+    fn trojan_program(&self, bit: bool) -> (Program, Option<usize>) {
+        let mut a = Asm::new();
+        let top = a.fresh_label();
+        a.mov_imm(Reg::Rcx, self.faults_per_bit);
+        a.bind(top);
+        if bit {
+            a.load_abs(Reg::Rax, 0xdead_0000); // fault, suppressed
+        } else {
+            a.mov_imm(Reg::Rax, 0); // quiet filler
+        }
+        let resume = a.here();
+        a.sub(Reg::Rcx, 1u64).jcc(Cond::Ne, top).halt();
+        (
+            a.assemble().expect("trojan loop is closed"),
+            bit.then_some(resume),
+        )
+    }
+
+    /// Measures the spy window length with the trojan sending `bit`.
+    /// Returns `(spy_cycles, pair_cycles)`.
+    pub fn window(&self, smt: &mut SmtMachine, bit: bool) -> (u64, u64) {
+        let spy = self.spy_program();
+        let (trojan, handler) = self.trojan_program(bit);
+        let r = smt.run(
+            &trojan,
+            &spy,
+            &RunConfig {
+                handler_pc: handler,
+                ..RunConfig::default()
+            },
+            &RunConfig::default(),
+        );
+        let spy_cycles = r.t1.cycles;
+        (spy_cycles, r.t0.cycles.max(r.t1.cycles))
+    }
+
+    /// Calibrates the 0/1 threshold by sounding both symbols several
+    /// times (after discarded warm-up pairs) and splitting the worst-case
+    /// gap: max(quiet) vs min(noisy). Symbol history shifts the window
+    /// length (predictor state persists across windows), so the midpoint
+    /// of single samples is not robust.
+    pub fn calibrate(&self, smt: &mut SmtMachine) -> u64 {
+        for _ in 0..2 {
+            let _ = self.window(smt, false);
+            let _ = self.window(smt, true);
+        }
+        let mut quiet_max = 0u64;
+        let mut noisy_min = u64::MAX;
+        for _ in 0..3 {
+            quiet_max = quiet_max.max(self.window(smt, false).0);
+            noisy_min = noisy_min.min(self.window(smt, true).0);
+        }
+        // Two consecutive noisy windows run faster than noisy-after-quiet;
+        // leave extra headroom below the observed noisy floor.
+        quiet_max + (noisy_min.saturating_sub(quiet_max)) / 4
+    }
+
+    /// Transmits `bits` (as 0/1 bytes) and reports quality.
+    pub fn transmit(&self, cfg: &CpuConfig, seed: u64, bits: &[u8]) -> SmtChannelReport {
+        let mut smt = SmtMachine::new(cfg.clone(), seed);
+        let threshold = self.calibrate(&mut smt);
+        let mut received = Vec::with_capacity(bits.len());
+        let mut cycles = 0u64;
+        for &b in bits {
+            let (spy_cycles, pair) = self.window(&mut smt, b != 0);
+            received.push(u8::from(spy_cycles > threshold));
+            cycles += pair;
+        }
+        let err = error_rate(bits, &received);
+        let seconds = cycles as f64 / (cfg.freq_ghz * 1e9);
+        SmtChannelReport {
+            bit_error_rate: err,
+            cycles,
+            seconds,
+            bits_per_sec: if seconds > 0.0 {
+                received.len() as f64 / seconds
+            } else {
+                0.0
+            },
+            received,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulting_bit_slows_the_spy() {
+        let mut smt = SmtMachine::new(CpuConfig::kaby_lake_i7_7700(), 4);
+        let ch = SmtTetChannel::prototype();
+        let (quiet, _) = ch.window(&mut smt, false);
+        let (noisy, _) = ch.window(&mut smt, true);
+        assert!(
+            noisy > quiet + 10,
+            "trojan faults must stretch the spy window ({noisy} vs {quiet})"
+        );
+    }
+
+    #[test]
+    fn prototype_mode_is_error_free_on_a_short_pattern() {
+        let bits = [1u8, 0, 1, 1, 0, 0, 1, 0];
+        let rep = SmtTetChannel::prototype().transmit(&CpuConfig::kaby_lake_i7_7700(), 4, &bits);
+        assert_eq!(rep.received, bits);
+        assert_eq!(rep.bit_error_rate, 0.0);
+    }
+
+    #[test]
+    fn fast_mode_is_faster_per_bit() {
+        let cfg = CpuConfig::kaby_lake_i7_7700();
+        let bits = [1u8, 0, 1, 0];
+        let slow = SmtTetChannel::prototype().transmit(&cfg, 4, &bits);
+        let fast = SmtTetChannel::fast().transmit(&cfg, 4, &bits);
+        assert!(
+            fast.cycles < slow.cycles,
+            "fast mode must spend fewer cycles ({} vs {})",
+            fast.cycles,
+            slow.cycles
+        );
+    }
+}

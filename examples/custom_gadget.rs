@@ -1,0 +1,80 @@
+//! Write your own TET gadget as plain assembly text and measure it.
+//!
+//! The `tet_isa::text` module parses an Intel-flavoured syntax, so gadget
+//! variants can be explored without touching the builder API. Here we
+//! write the Listing 2 KASLR probe by hand and sweep it over a mapped
+//! and an unmapped kernel address.
+//!
+//! Run: `cargo run -p whisper --example custom_gadget`
+
+use tet_isa::text::{disassemble, parse};
+use tet_uarch::CpuConfig;
+use whisper::gadget::measure_custom;
+use whisper::scenario::{Scenario, ScenarioOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sc = Scenario::new(
+        CpuConfig::comet_lake_i9_10980xe(),
+        &ScenarioOptions {
+            seed: 7,
+            ..ScenarioOptions::default()
+        },
+    );
+    let mapped = sc.kernel.base;
+    let unmapped = tet_os::layout::slot_base((sc.kernel.slot + 100) % 512);
+
+    // The Listing 2 probe, written as text. `{}` is the candidate.
+    let probe_src = |candidate: u64| {
+        format!(
+            r#"
+            rdtsc
+            mov r8, rax
+            lfence
+            ldb rax, [{candidate:#x}]   ; the faulting probe access
+            sub r11, r11                ; zf := 1
+            je matched                  ; always-taken in-window jcc
+            nop
+        matched:
+            nop
+        handler:
+            lfence
+            rdtsc
+            sub rax, r8
+            halt
+            "#
+        )
+    };
+
+    // The handler label's index: parse once and count up to `handler`.
+    // (The text format resolves labels internally; for the run config we
+    // need the numeric index — it is the first `lfence` after `matched`.)
+    let prog = parse(&probe_src(mapped))?;
+    let handler_pc = prog.len() - 4; // lfence rdtsc sub halt
+    println!(
+        "gadget ({} instructions):\n{}",
+        prog.len(),
+        disassemble(&prog)
+    );
+
+    let mut probe = |candidate: u64| -> u64 {
+        let prog = parse(&probe_src(candidate)).expect("template parses");
+        // Warm the code path, then measure with a cold TLB.
+        measure_custom(&mut sc.machine, &prog, Some(handler_pc), 0);
+        sc.machine.flush_tlbs();
+        let (tote, _) = measure_custom(&mut sc.machine, &prog, Some(handler_pc), 0)
+            .expect("suppressed fault completes");
+        tote
+    };
+
+    let t_mapped = probe(mapped);
+    let t_unmapped = probe(unmapped);
+    println!("probe of   mapped candidate {mapped:#x}: ToTE = {t_mapped} cycles");
+    println!("probe of unmapped candidate {unmapped:#x}: ToTE = {t_unmapped} cycles");
+    println!(
+        "\nthe unmapped probe is {} cycles slower — the retried page walk that\n\
+         TET-KASLR keys on, measured from a hand-written text gadget.",
+        t_unmapped.saturating_sub(t_mapped)
+    );
+    assert!(t_unmapped > t_mapped);
+    Ok(())
+}

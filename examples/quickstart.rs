@@ -1,0 +1,59 @@
+//! Quickstart: measure the TET side channel with your own eyes.
+//!
+//! Builds the Figure 1a gadget on a simulated i7-7700, plants a secret
+//! byte behind a kernel page, and shows the transient-execution-timing
+//! difference that carries the whole paper: the in-window Jcc triggered
+//! by the right test value makes the measured ToTE *longer*.
+//!
+//! Run: `cargo run -p whisper --example quickstart`
+
+use tet_uarch::CpuConfig;
+use whisper::gadget::{TetGadget, TetGadgetSpec};
+use whisper::scenario::{Scenario, ScenarioOptions};
+
+fn main() {
+    // A simulated Kaby Lake machine with a KASLR'd kernel whose first
+    // image page holds our secret.
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let mut sc = Scenario::new(
+        cfg.clone(),
+        &ScenarioOptions {
+            kernel_secret: b"S".to_vec(),
+            ..ScenarioOptions::default()
+        },
+    );
+    println!("machine: {} ({})", cfg.name, cfg.uarch);
+    println!("kernel base (hidden by KASLR): {:#x}", sc.kernel.base);
+    println!("secret byte planted at {:#x}\n", sc.kernel_secret_va);
+
+    // The Figure 1a gadget: a faulting kernel load opens the transient
+    // window; `cmp secret, test; je` runs inside it; rdtsc brackets it.
+    let gadget = TetGadget::build(TetGadgetSpec::meltdown(sc.kernel_secret_va, &cfg));
+    for _ in 0..4 {
+        gadget.measure(&mut sc.machine, 0); // warm up
+    }
+
+    println!("test value sweep (every 16th value shown):");
+    let mut best = (0u64, 0u8);
+    for test in 0..=255u8 {
+        let tote = gadget
+            .measure(&mut sc.machine, test as u64)
+            .expect("the suppressed fault always completes");
+        if tote > best.0 {
+            best = (tote, test);
+        }
+        if test % 16 == 0 || test == b'S' {
+            let marker = if test == b'S' { "  <-- the secret" } else { "" };
+            println!(
+                "  test {test:3} ({:?}): ToTE = {tote} cycles{marker}",
+                test as char
+            );
+        }
+    }
+    println!(
+        "\nargmax of ToTE: test value {} ({:?}) — recovered the secret without\n\
+         reading it architecturally, without a probe array, without one clflush.",
+        best.1, best.1 as char
+    );
+    assert_eq!(best.1, b'S');
+}

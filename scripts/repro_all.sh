@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper in sequence.
+# Each binary asserts its own headline claim and exits non-zero on a
+# reproduction failure, so this script doubles as a full repro check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+    fig1_tote
+    table1_stateless
+    table2_matrix
+    table3_pmu
+    fig2_toolset
+    fig3_resteer
+    fig4_flow
+    sec41_throughput
+    sec44_smt
+    sec45_kaslr
+    ablation_noise
+    ablation_mechanism
+    ablation_jcc
+    ablation_defenses
+    ablation_sensitivity
+)
+
+for bin in "${BINS[@]}"; do
+    echo "================================================================"
+    echo ">>> $bin"
+    echo "================================================================"
+    cargo run --release -q -p whisper-bench --bin "$bin"
+done
+
+echo
+echo "All ${#BINS[@]} experiments reproduced."

@@ -1,0 +1,239 @@
+//! Property-based tests over the full stack.
+//!
+//! The central property: the out-of-order, speculating pipeline must be
+//! *architecturally equivalent* to a simple in-order reference
+//! interpreter on arbitrary programs — speculation may only change
+//! timing, never results. Plus distribution-level properties of the
+//! decoder and the covert channel.
+
+use proptest::prelude::*;
+use tet_isa::inst::AluOp;
+use tet_isa::{Asm, Cond, Flags, Reg};
+use tet_uarch::{CpuConfig, Machine, RunConfig, RunExit};
+use whisper::analysis::{ArgmaxDecoder, Polarity};
+
+const DATA_PAGE: u64 = 0x33_0000;
+
+/// One step of the straight-line reference semantics.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    MovImm(usize, u64),
+    MovReg(usize, usize),
+    Alu(AluOp, usize, usize),
+    AluImm(AluOp, usize, u64),
+    Cmp(usize, u64),
+    Store(usize, u64),
+    Load(usize, u64),
+    Nop,
+    /// Conditional skip of the next `n` instructions (forward Jcc).
+    SkipIf(Cond, usize),
+}
+
+/// The registers the generator uses (avoids rsp, which the stack engine
+/// owns).
+const GEN_REGS: [Reg; 6] = [Reg::Rax, Reg::Rbx, Reg::Rcx, Reg::Rdx, Reg::Rsi, Reg::Rdi];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let reg = 0..GEN_REGS.len();
+    let alu = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+    ];
+    prop_oneof![
+        (reg.clone(), any::<u64>()).prop_map(|(r, v)| Op::MovImm(r, v)),
+        (reg.clone(), 0..GEN_REGS.len()).prop_map(|(a, b)| Op::MovReg(a, b)),
+        (alu.clone(), reg.clone(), 0..GEN_REGS.len()).prop_map(|(op, a, b)| Op::Alu(op, a, b)),
+        (alu, reg.clone(), 0..64u64).prop_map(|(op, a, v)| Op::AluImm(op, a, v)),
+        (reg.clone(), any::<u64>()).prop_map(|(a, v)| Op::Cmp(a, v)),
+        (reg.clone(), 0..32u64).prop_map(|(r, o)| Op::Store(r, o * 8)),
+        (reg.clone(), 0..32u64).prop_map(|(r, o)| Op::Load(r, o * 8)),
+        Just(Op::Nop),
+        (
+            prop_oneof![
+                Just(Cond::E),
+                Just(Cond::Ne),
+                Just(Cond::C),
+                Just(Cond::S),
+                Just(Cond::L),
+                Just(Cond::A)
+            ],
+            1..4usize
+        )
+            .prop_map(|(c, n)| Op::SkipIf(c, n)),
+    ]
+}
+
+/// In-order reference execution.
+fn reference(ops: &[Op]) -> ([u64; 6], Vec<u64>) {
+    let mut regs = [0u64; 6];
+    let mut mem = vec![0u64; 32];
+    let mut flags = Flags::default();
+    let mut i = 0;
+    while i < ops.len() {
+        match ops[i] {
+            Op::MovImm(r, v) => regs[r] = v,
+            Op::MovReg(a, b) => regs[a] = regs[b],
+            Op::Alu(op, a, b) => {
+                let (x, y) = (regs[a], regs[b]);
+                regs[a] = op.apply(x, y);
+                flags = alu_flags(op, x, y);
+            }
+            Op::AluImm(op, a, v) => {
+                let x = regs[a];
+                regs[a] = op.apply(x, v);
+                flags = alu_flags(op, x, v);
+            }
+            Op::Cmp(a, v) => flags = Flags::from_sub(regs[a], v),
+            Op::Store(r, o) => mem[(o / 8) as usize] = regs[r],
+            Op::Load(r, o) => regs[r] = mem[(o / 8) as usize],
+            Op::Nop => {}
+            Op::SkipIf(c, n) => {
+                if c.eval(flags) {
+                    i += n; // skip the next n ops
+                }
+            }
+        }
+        i += 1;
+    }
+    (regs, mem)
+}
+
+fn alu_flags(op: AluOp, a: u64, b: u64) -> Flags {
+    match op {
+        AluOp::Add => Flags::from_add(a, b),
+        AluOp::Sub => Flags::from_sub(a, b),
+        _ => Flags::from_logic(op.apply(a, b)),
+    }
+}
+
+/// Assembles the op list for the simulator.
+fn assemble(ops: &[Op]) -> tet_isa::Program {
+    let mut a = Asm::new();
+    // Pre-allocate one label per op position (for skip targets).
+    let mut skip_targets: Vec<Option<tet_isa::Label>> = vec![None; ops.len() + 8];
+    for (i, op) in ops.iter().enumerate() {
+        if let Op::SkipIf(_, n) = op {
+            let t = i + 1 + n;
+            if skip_targets[t.min(ops.len())].is_none() {
+                skip_targets[t.min(ops.len())] = Some(a.fresh_label());
+            }
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(l) = skip_targets[i] {
+            a.bind(l);
+        }
+        match *op {
+            Op::MovImm(r, v) => {
+                a.mov_imm(GEN_REGS[r], v);
+            }
+            Op::MovReg(x, y) => {
+                a.mov_reg(GEN_REGS[x], GEN_REGS[y]);
+            }
+            Op::Alu(op, x, y) => {
+                a.raw(tet_isa::Inst::Alu {
+                    op,
+                    dst: GEN_REGS[x],
+                    src: tet_isa::Src::Reg(GEN_REGS[y]),
+                });
+            }
+            Op::AluImm(op, x, v) => {
+                a.raw(tet_isa::Inst::Alu {
+                    op,
+                    dst: GEN_REGS[x],
+                    src: tet_isa::Src::Imm(v),
+                });
+            }
+            Op::Cmp(x, v) => {
+                a.cmp_imm(GEN_REGS[x], v);
+            }
+            Op::Store(r, o) => {
+                a.store_abs(GEN_REGS[r], DATA_PAGE + o);
+            }
+            Op::Load(r, o) => {
+                a.load_abs(GEN_REGS[r], DATA_PAGE + o);
+            }
+            Op::Nop => {
+                a.nop();
+            }
+            Op::SkipIf(c, n) => {
+                let t = (i + 1 + n).min(ops.len());
+                let l = skip_targets[t].expect("target label was allocated");
+                a.jcc(c, l);
+            }
+        }
+    }
+    if let Some(l) = skip_targets[ops.len()] {
+        a.bind(l);
+    }
+    a.halt();
+    a.assemble().expect("generated program assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Speculation must never change architectural results.
+    #[test]
+    fn pipeline_matches_reference_semantics(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let prog = assemble(&ops);
+        let mut m = Machine::new(CpuConfig::kaby_lake_i7_7700(), 1);
+        m.map_user_page(DATA_PAGE);
+        let r = m.run(&prog, &RunConfig::default());
+        prop_assert_eq!(&r.exit, &RunExit::Halted);
+
+        let (ref_regs, ref_mem) = reference(&ops);
+        for (i, reg) in GEN_REGS.iter().enumerate() {
+            prop_assert_eq!(
+                r.regs.get(*reg),
+                ref_regs[i],
+                "register {} diverged on {:?}",
+                reg,
+                ops
+            );
+        }
+        for (slot, expected) in ref_mem.iter().enumerate() {
+            let pa = m.aspace().translate(DATA_PAGE + slot as u64 * 8).expect("mapped");
+            prop_assert_eq!(m.phys().read_u64(pa), *expected, "mem[{}] diverged", slot);
+        }
+    }
+
+    /// Identical seeds must give identical cycle counts (determinism).
+    #[test]
+    fn pipeline_timing_is_deterministic(ops in prop::collection::vec(op_strategy(), 1..24), seed in any::<u64>()) {
+        let prog = assemble(&ops);
+        let run = |seed| {
+            let mut m = Machine::new(CpuConfig::skylake_i7_6700(), seed);
+            m.map_user_page(DATA_PAGE);
+            m.run(&prog, &RunConfig::default()).cycles
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// The decoder always finds a planted extreme under bounded additive noise.
+    #[test]
+    fn decoder_finds_planted_offset(
+        secret in any::<u8>(),
+        base in 50u64..500,
+        offset in 12u64..100,
+        noise in prop::collection::vec(0u64..10, 256),
+    ) {
+        let d = ArgmaxDecoder::new(3, Polarity::MaxWins);
+        let out = d.decode(|test, batch| {
+            let n = noise[(test as usize + batch as usize * 7) % 256];
+            Some(base + n + if test == secret { offset } else { 0 })
+        });
+        prop_assert_eq!(out.value, secret);
+
+        let d = ArgmaxDecoder::new(3, Polarity::MinWins);
+        let out = d.decode(|test, batch| {
+            let n = noise[(test as usize + batch as usize * 13) % 256];
+            Some(base + n + if test == secret { 0 } else { offset })
+        });
+        prop_assert_eq!(out.value, secret);
+    }
+}

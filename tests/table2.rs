@@ -1,0 +1,55 @@
+//! The headline reproduction result: the full Table 2 attack matrix,
+//! compared cell-by-cell against the paper (the paper's "?" cells are
+//! skipped, as they were not verified there either).
+
+use tet_uarch::CpuConfig;
+use whisper::eval::{paper_table2_row, run_table2_row};
+
+fn check(cfg: CpuConfig, seed: u64) {
+    let row = run_table2_row(&cfg, seed);
+    let paper = paper_table2_row(cfg.name);
+    let labels = ["TET-CC", "TET-MD", "TET-ZBL", "TET-RSB", "TET-KASLR"];
+    for ((ours, expected), label) in row.cells().iter().zip(paper).zip(labels) {
+        if let Some(expected) = expected {
+            assert_eq!(
+                *ours, expected,
+                "{} on {}: ours {:?}, paper {:?}",
+                label, cfg.name, ours, expected
+            );
+        }
+    }
+}
+
+#[test]
+fn skylake_i7_6700_matches_paper() {
+    check(CpuConfig::skylake_i7_6700(), 42);
+}
+
+#[test]
+fn kaby_lake_i7_7700_matches_paper() {
+    check(CpuConfig::kaby_lake_i7_7700(), 42);
+}
+
+#[test]
+fn comet_lake_i9_10980xe_matches_paper() {
+    check(CpuConfig::comet_lake_i9_10980xe(), 42);
+}
+
+#[test]
+fn raptor_lake_i9_13900k_matches_paper() {
+    check(CpuConfig::raptor_lake_i9_13900k(), 42);
+}
+
+#[test]
+fn zen3_ryzen5_5600g_matches_paper() {
+    check(CpuConfig::zen3_ryzen5_5600g(), 42);
+}
+
+#[test]
+fn matrix_is_stable_across_kaslr_seeds() {
+    // The ✓/✗ pattern must not depend on where KASLR landed.
+    for seed in [7, 1000003] {
+        check(CpuConfig::kaby_lake_i7_7700(), seed);
+        check(CpuConfig::zen3_ryzen5_5600g(), seed);
+    }
+}
