@@ -275,6 +275,48 @@ pub enum Inst {
 pub(crate) const UNRESOLVED: usize = usize::MAX;
 
 impl Inst {
+    /// The instruction's mnemonic — a static name used by trace events
+    /// and timeline exports.
+    pub const fn mnemonic(&self) -> &'static str {
+        match self {
+            Inst::Nop => "nop",
+            Inst::MovImm { .. } => "mov_imm",
+            Inst::MovReg { .. } => "mov",
+            Inst::Load { .. } => "load",
+            Inst::LoadByte { .. } => "load_byte",
+            Inst::Store { .. } => "store",
+            Inst::StoreByte { .. } => "store_byte",
+            Inst::Lea { .. } => "lea",
+            Inst::Alu { op, .. } => match op {
+                AluOp::Add => "add",
+                AluOp::Sub => "sub",
+                AluOp::And => "and",
+                AluOp::Or => "or",
+                AluOp::Xor => "xor",
+                AluOp::Shl => "shl",
+            },
+            Inst::Cmp { .. } => "cmp",
+            Inst::Test { .. } => "test",
+            Inst::Jcc { .. } => "jcc",
+            Inst::Jmp { .. } => "jmp",
+            Inst::JmpReg { .. } => "jmp_reg",
+            Inst::Call { .. } => "call",
+            Inst::Ret => "ret",
+            Inst::Push { .. } => "push",
+            Inst::Pop { .. } => "pop",
+            Inst::Clflush { .. } => "clflush",
+            Inst::Prefetch { .. } => "prefetch",
+            Inst::Lfence => "lfence",
+            Inst::Mfence => "mfence",
+            Inst::Sfence => "sfence",
+            Inst::Rdtsc => "rdtsc",
+            Inst::XBegin { .. } => "xbegin",
+            Inst::XEnd => "xend",
+            Inst::Syscall => "syscall",
+            Inst::Halt => "halt",
+        }
+    }
+
     /// Is this a control-flow instruction (jump/call/ret)?
     pub fn is_branch(&self) -> bool {
         matches!(

@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tet_obs::{EventKind, MemLevel, SinkHandle};
 
 use crate::cache::{Cache, CacheConfig};
 use crate::lfb::LineFillBuffer;
@@ -19,6 +20,18 @@ pub enum HitLevel {
     Llc,
     /// Served by DRAM.
     Dram,
+}
+
+impl HitLevel {
+    /// The observability-crate spelling of this level.
+    pub fn to_obs(self) -> MemLevel {
+        match self {
+            HitLevel::L1 => MemLevel::L1,
+            HitLevel::L2 => MemLevel::L2,
+            HitLevel::Llc => MemLevel::Llc,
+            HitLevel::Dram => MemLevel::Dram,
+        }
+    }
 }
 
 /// The result of a timed data access.
@@ -95,6 +108,7 @@ pub struct MemorySystem {
     llc: Cache,
     lfb: LineFillBuffer,
     rng: StdRng,
+    sink: SinkHandle,
 }
 
 impl MemorySystem {
@@ -108,7 +122,15 @@ impl MemorySystem {
             lfb: LineFillBuffer::new(cfg.lfb_entries),
             rng: StdRng::seed_from_u64(seed),
             cfg,
+            sink: SinkHandle::disabled(),
         }
+    }
+
+    /// Attaches (or detaches, with a disabled handle) the trace sink.
+    /// Timestamps come from the handle's shared clock, which the owning
+    /// core advances each cycle.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     /// The configuration this hierarchy was built with.
@@ -122,6 +144,17 @@ impl MemorySystem {
         } else {
             self.cfg.dram_latency + self.rng.gen_range(0..=self.cfg.dram_jitter)
         }
+    }
+
+    /// Stamps the access result and reports it to the trace sink.
+    fn finish(&self, pa: u64, level: HitLevel, latency: u64, fetch: bool) -> DataAccess {
+        self.sink.emit(EventKind::CacheAccess {
+            pa,
+            level: level.to_obs(),
+            latency,
+            fetch,
+        });
+        DataAccess { latency, level }
     }
 
     fn line_data(pa: u64, phys: &PhysMem) -> [u8; LINE_SIZE as usize] {
@@ -139,36 +172,30 @@ impl MemorySystem {
     pub fn data_load(&mut self, pa: u64, phys: &PhysMem) -> DataAccess {
         let l1_lat = self.cfg.l1d.latency;
         if self.l1d.lookup(pa) {
-            return DataAccess {
-                latency: l1_lat,
-                level: HitLevel::L1,
-            };
+            return self.finish(pa, HitLevel::L1, l1_lat, false);
         }
         // Every fill into L1 passes through a fill buffer.
         self.lfb.record_fill(pa, Self::line_data(pa, phys));
+        self.sink.emit(EventKind::LfbFill { pa });
         if self.l2.lookup(pa) {
             self.l1d.fill(pa);
-            return DataAccess {
-                latency: l1_lat + self.cfg.l2.latency,
-                level: HitLevel::L2,
-            };
+            return self.finish(pa, HitLevel::L2, l1_lat + self.cfg.l2.latency, false);
         }
         if self.llc.lookup(pa) {
             self.l2.fill(pa);
             self.l1d.fill(pa);
-            return DataAccess {
-                latency: l1_lat + self.cfg.l2.latency + self.cfg.llc.latency,
-                level: HitLevel::Llc,
-            };
+            return self.finish(
+                pa,
+                HitLevel::Llc,
+                l1_lat + self.cfg.l2.latency + self.cfg.llc.latency,
+                false,
+            );
         }
         let lat = l1_lat + self.cfg.l2.latency + self.cfg.llc.latency + self.dram();
         self.llc.fill(pa);
         self.l2.fill(pa);
         self.l1d.fill(pa);
-        DataAccess {
-            latency: lat,
-            level: HitLevel::Dram,
-        }
+        self.finish(pa, HitLevel::Dram, lat, false)
     }
 
     /// A timed store (write-allocate: same fill path as a load).
@@ -180,35 +207,29 @@ impl MemorySystem {
     pub fn inst_fetch(&mut self, pa: u64, phys: &PhysMem) -> DataAccess {
         let l1_lat = self.cfg.l1i.latency;
         if self.l1i.lookup(pa) {
-            return DataAccess {
-                latency: l1_lat,
-                level: HitLevel::L1,
-            };
+            return self.finish(pa, HitLevel::L1, l1_lat, true);
         }
         self.lfb.record_fill(pa, Self::line_data(pa, phys));
+        self.sink.emit(EventKind::LfbFill { pa });
         if self.l2.lookup(pa) {
             self.l1i.fill(pa);
-            return DataAccess {
-                latency: l1_lat + self.cfg.l2.latency,
-                level: HitLevel::L2,
-            };
+            return self.finish(pa, HitLevel::L2, l1_lat + self.cfg.l2.latency, true);
         }
         if self.llc.lookup(pa) {
             self.l2.fill(pa);
             self.l1i.fill(pa);
-            return DataAccess {
-                latency: l1_lat + self.cfg.l2.latency + self.cfg.llc.latency,
-                level: HitLevel::Llc,
-            };
+            return self.finish(
+                pa,
+                HitLevel::Llc,
+                l1_lat + self.cfg.l2.latency + self.cfg.llc.latency,
+                true,
+            );
         }
         let lat = l1_lat + self.cfg.l2.latency + self.cfg.llc.latency + self.dram();
         self.llc.fill(pa);
         self.l2.fill(pa);
         self.l1i.fill(pa);
-        DataAccess {
-            latency: lat,
-            level: HitLevel::Dram,
-        }
+        self.finish(pa, HitLevel::Dram, lat, true)
     }
 
     /// Flushes the line containing `pa` from every level (`clflush`).
@@ -217,6 +238,7 @@ impl MemorySystem {
         self.l1i.flush_line(pa);
         self.l2.flush_line(pa);
         self.llc.flush_line(pa);
+        self.sink.emit(EventKind::CacheFlush { pa });
     }
 
     /// Probes whether the line containing `pa` is in the L1 data cache,
@@ -359,6 +381,37 @@ mod tests {
         assert_eq!(m.inst_fetch(0x6000, &phys).level, HitLevel::L1);
         // The data side is still cold (L2 now holds it though).
         assert_eq!(m.data_load(0x6000, &phys).level, HitLevel::L2);
+    }
+
+    #[test]
+    fn sink_sees_cache_traffic() {
+        use tet_obs::MemorySink;
+        let (mut m, phys) = mem();
+        let sink = std::sync::Arc::new(MemorySink::new());
+        let handle = SinkHandle::attached(sink.clone());
+        handle.tick(99);
+        m.set_sink(handle);
+        m.data_load(0x1000, &phys); // DRAM miss → access + LFB fill
+        m.data_load(0x1000, &phys); // L1 hit → access only
+        m.clflush(0x1000);
+        let evs = sink.drain();
+        let kinds: Vec<&str> = evs.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            kinds,
+            ["lfb_fill", "cache_access", "cache_access", "cache_flush"]
+        );
+        assert!(
+            evs.iter().all(|e| e.cycle == 99),
+            "stamped from shared clock"
+        );
+        assert!(matches!(
+            evs[2].kind,
+            EventKind::CacheAccess {
+                level: MemLevel::L1,
+                fetch: false,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! The structured trace-event vocabulary.
+//!
+//! Every layer of the simulator (frontend, out-of-order core, SMT arbiter,
+//! memory hierarchy, TLBs, fill buffers) reports what it does by emitting
+//! [`TraceEvent`]s through a [`crate::sink::SinkHandle`]. Events are small,
+//! `Copy`, and carry only primitive payloads so emission is cheap and the
+//! crate depends on nothing else in the workspace — the producing crates
+//! convert their own enums into the neutral ones defined here.
+
+/// Why a window of in-flight µops was squashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SquashCause {
+    /// A branch resolved against its prediction.
+    BranchMispredict,
+    /// An architectural fault reached the head of the ROB.
+    Fault,
+    /// A transactional region aborted (TSX-style suppression).
+    TxnAbort,
+}
+
+impl SquashCause {
+    /// Stable lower-snake label used in exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SquashCause::BranchMispredict => "branch_mispredict",
+            SquashCause::Fault => "fault",
+            SquashCause::TxnAbort => "txn_abort",
+        }
+    }
+}
+
+/// The architectural class of a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Supervisor-only / permission violation (the Meltdown precondition).
+    Permission,
+    /// Page not present.
+    NotPresent,
+    /// Reserved bit set in a PTE.
+    ReservedBit,
+}
+
+impl FaultClass {
+    /// Stable lower-snake label used in exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            FaultClass::Permission => "permission",
+            FaultClass::NotPresent => "not_present",
+            FaultClass::ReservedBit => "reserved_bit",
+        }
+    }
+}
+
+/// How a raised fault is delivered to the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryRoute {
+    /// Architectural exception entry (serializing — the TET signal source).
+    Exception,
+    /// Machine clear with in-place suppression.
+    MachineClear,
+    /// Transactional abort rollback.
+    TxnAbort,
+}
+
+impl DeliveryRoute {
+    /// Stable lower-snake label used in exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DeliveryRoute::Exception => "exception",
+            DeliveryRoute::MachineClear => "machine_clear",
+            DeliveryRoute::TxnAbort => "txn_abort",
+        }
+    }
+}
+
+/// Which level of the memory hierarchy satisfied an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemLevel {
+    /// First-level cache (data or instruction side, per the `fetch` flag).
+    L1,
+    /// Unified second-level cache.
+    L2,
+    /// Shared last-level cache.
+    Llc,
+    /// Main memory.
+    Dram,
+}
+
+impl MemLevel {
+    /// Stable lower-snake label used in exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MemLevel::L1 => "l1",
+            MemLevel::L2 => "l2",
+            MemLevel::Llc => "llc",
+            MemLevel::Dram => "dram",
+        }
+    }
+}
+
+/// Which TLB structure an event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlbKind {
+    /// Data-side TLB.
+    Data,
+    /// Instruction-side TLB.
+    Inst,
+}
+
+impl TlbKind {
+    /// Stable lower-snake label used in exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TlbKind::Data => "dtlb",
+            TlbKind::Inst => "itlb",
+        }
+    }
+}
+
+/// What happened. All payloads are primitives so the event stays `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    // ---- µop lifecycle -------------------------------------------------
+    /// A µop entered the ROB (rename/allocate).
+    UopRenamed {
+        /// Monotonic µop id (unique within a run).
+        id: u64,
+        /// Program counter of the parent instruction.
+        pc: u64,
+        /// Static mnemonic of the parent instruction.
+        op: &'static str,
+    },
+    /// A µop was picked by the scheduler and executed.
+    UopExecuted {
+        /// µop id.
+        id: u64,
+        /// Cycle the µop started executing.
+        started_at: u64,
+        /// Cycle its result becomes architecturally visible.
+        done_at: u64,
+    },
+    /// A µop retired from the head of the ROB.
+    UopRetired {
+        /// µop id.
+        id: u64,
+    },
+    /// A µop was squashed before retirement.
+    UopSquashed {
+        /// µop id.
+        id: u64,
+        /// Why the squash happened.
+        cause: SquashCause,
+    },
+
+    // ---- frontend ------------------------------------------------------
+    /// One cycle of frontend delivery accounting.
+    FrontendCycle {
+        /// µops delivered from the DSB (µop cache) this cycle.
+        dsb_uops: u32,
+        /// µops delivered from the legacy decode (MITE) path this cycle.
+        mite_uops: u32,
+        /// Whether the frontend was stalled this cycle.
+        stalled: bool,
+    },
+    /// The BPU produced a prediction for a branch.
+    BranchPredicted {
+        /// Branch PC.
+        pc: u64,
+        /// Predicted direction.
+        taken: bool,
+    },
+    /// A branch resolved in the backend.
+    BranchResolved {
+        /// Branch PC.
+        pc: u64,
+        /// Whether the earlier prediction was wrong.
+        mispredicted: bool,
+    },
+    /// The frontend was re-steered after a mispredict.
+    Resteer {
+        /// Corrected fetch target.
+        target_pc: u64,
+        /// Number of wrong-path µops flushed.
+        flushed_uops: u32,
+    },
+
+    // ---- faults and interrupts ----------------------------------------
+    /// A fault was raised speculatively (not yet at ROB head).
+    FaultRaised {
+        /// Faulting instruction PC.
+        pc: u64,
+        /// Faulting virtual address.
+        vaddr: u64,
+        /// Fault class.
+        class: FaultClass,
+    },
+    /// A fault reached the ROB head and was delivered.
+    FaultDelivered {
+        /// Faulting instruction PC.
+        pc: u64,
+        /// Fault class.
+        class: FaultClass,
+        /// How it was delivered / suppressed.
+        route: DeliveryRoute,
+        /// Squashed-µop count at delivery (occupancy-proportional cost).
+        squashed_uops: u32,
+    },
+    /// A timer interrupt stole the pipeline.
+    TimerInterrupt {
+        /// Cycle the pipeline resumes.
+        until: u64,
+    },
+
+    // ---- memory hierarchy ----------------------------------------------
+    /// A cache access completed somewhere in the hierarchy.
+    CacheAccess {
+        /// Physical address.
+        pa: u64,
+        /// Level that satisfied the access.
+        level: MemLevel,
+        /// End-to-end latency in cycles.
+        latency: u64,
+        /// `true` for instruction fetch, `false` for data.
+        fetch: bool,
+    },
+    /// A line was flushed (clflush-style) from the whole hierarchy.
+    CacheFlush {
+        /// Physical address.
+        pa: u64,
+    },
+    /// A line fill buffer entry recorded a fill.
+    LfbFill {
+        /// Physical address of the filled line.
+        pa: u64,
+    },
+
+    // ---- TLB / paging --------------------------------------------------
+    /// A TLB lookup.
+    TlbLookup {
+        /// Which TLB.
+        kind: TlbKind,
+        /// Virtual address looked up.
+        vaddr: u64,
+        /// Whether it hit.
+        hit: bool,
+    },
+    /// A translation was installed into a TLB.
+    TlbFill {
+        /// Which TLB.
+        kind: TlbKind,
+        /// Virtual address installed.
+        vaddr: u64,
+    },
+    /// A TLB was flushed (context switch / KPTI transition).
+    TlbFlush {
+        /// Which TLB.
+        kind: TlbKind,
+        /// Whether global entries were kept.
+        kept_global: bool,
+    },
+    /// A hardware page walk completed.
+    PageWalk {
+        /// Virtual address walked.
+        vaddr: u64,
+        /// Walk latency in cycles.
+        cycles: u64,
+        /// Whether a mapping was found.
+        mapped: bool,
+    },
+
+    // ---- SMT -----------------------------------------------------------
+    /// A thread was stalled by its sibling (port / fetch contention).
+    SmtContention {
+        /// Cycle the stalled thread resumes.
+        until: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable lower-snake label naming the event type in exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            EventKind::UopRenamed { .. } => "uop_renamed",
+            EventKind::UopExecuted { .. } => "uop_executed",
+            EventKind::UopRetired { .. } => "uop_retired",
+            EventKind::UopSquashed { .. } => "uop_squashed",
+            EventKind::FrontendCycle { .. } => "frontend_cycle",
+            EventKind::BranchPredicted { .. } => "branch_predicted",
+            EventKind::BranchResolved { .. } => "branch_resolved",
+            EventKind::Resteer { .. } => "resteer",
+            EventKind::FaultRaised { .. } => "fault_raised",
+            EventKind::FaultDelivered { .. } => "fault_delivered",
+            EventKind::TimerInterrupt { .. } => "timer_interrupt",
+            EventKind::CacheAccess { .. } => "cache_access",
+            EventKind::CacheFlush { .. } => "cache_flush",
+            EventKind::LfbFill { .. } => "lfb_fill",
+            EventKind::TlbLookup { .. } => "tlb_lookup",
+            EventKind::TlbFill { .. } => "tlb_fill",
+            EventKind::TlbFlush { .. } => "tlb_flush",
+            EventKind::PageWalk { .. } => "page_walk",
+            EventKind::SmtContention { .. } => "smt_contention",
+        }
+    }
+}
+
+/// One timestamped observation from the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated cycle the event happened at.
+    pub cycle: u64,
+    /// Hardware thread (SMT context) that produced the event.
+    pub thread: u8,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // Emission cost matters: the event must stay register-friendly.
+        assert!(std::mem::size_of::<TraceEvent>() <= 64);
+        let ev = TraceEvent {
+            cycle: 1,
+            thread: 0,
+            kind: EventKind::UopRetired { id: 7 },
+        };
+        let copy = ev; // Copy, not move.
+        assert_eq!(ev, copy);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SquashCause::Fault.label(), "fault");
+        assert_eq!(MemLevel::Llc.label(), "llc");
+        assert_eq!(EventKind::LfbFill { pa: 0 }.label(), "lfb_fill");
+    }
+}

@@ -1,0 +1,38 @@
+//! Observability for the Whisper TET simulator.
+//!
+//! This crate is the simulator's tracing and metrics backbone. It has three
+//! layers, all dependency-free (the build environment is offline):
+//!
+//! 1. **Events** ([`event`]) — a structured, `Copy` vocabulary covering the
+//!    µop lifecycle (rename → execute → retire/squash), frontend delivery,
+//!    branch prediction, fault raise/delivery, cache/TLB/LFB activity, page
+//!    walks, timer interrupts and SMT contention.
+//! 2. **Sinks** ([`sink`]) — the object-safe [`sink::TraceSink`] trait plus
+//!    a lock-free flight-recorder ring ([`sink::RingSink`]), an unbounded
+//!    recorder ([`sink::MemorySink`]) and a tee ([`sink::FanoutSink`]).
+//!    Producers hold a [`sink::SinkHandle`]; a disabled handle costs one
+//!    branch per would-be event.
+//! 3. **Reports and exporters** ([`report`], [`chrome`], [`json`]) — the
+//!    [`report::RunReport`] metrics bag every run can produce (JSON, with
+//!    counters, per-stage cycles and percentile histograms) and a Chrome
+//!    `trace_event` exporter whose output loads in Perfetto.
+//!
+//! The dependency direction is strictly upward: `tet-mem`, `tet-uarch` and
+//! the benches depend on `tet-obs`, never the reverse. Events therefore use
+//! crate-local enums ([`event::SquashCause`], [`event::MemLevel`], ...)
+//! that producers convert into at the emission site.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod progress;
+pub mod report;
+pub mod sink;
+
+pub use chrome::ChromeTrace;
+pub use event::{DeliveryRoute, EventKind, FaultClass, MemLevel, SquashCause, TlbKind, TraceEvent};
+pub use progress::Progress;
+pub use report::{Histogram, HistogramSummary, RunReport, REPORT_SCHEMA_VERSION};
+pub use sink::{FanoutSink, MemorySink, NullSink, RingSink, SinkHandle, TraceSink};

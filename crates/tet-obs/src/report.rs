@@ -1,0 +1,356 @@
+//! Run reports: the metrics layer attached to every simulator run.
+//!
+//! A [`RunReport`] is a named bag of metadata strings, scalar metrics,
+//! integer counters, per-stage cycle accounting, and latency histograms
+//! with percentile summaries. It serializes to deterministic JSON (keys are
+//! `BTreeMap`-sorted) via the crate's own [`crate::json`] layer and parses
+//! back for round-trip tests.
+//!
+//! Every `whisper-bench` binary writes one of these to
+//! `target/reports/<bin>.json` so experiment results are machine-readable
+//! as well as human-readable.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+
+/// Schema version stamped into every report.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// An accumulating latency/value histogram. Keeps raw samples; summaries
+/// are computed on demand.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Collapses the raw samples into a percentile summary.
+    pub fn summarize(&self) -> HistogramSummary {
+        if self.samples.is_empty() {
+            return HistogramSummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let count = sorted.len() as u64;
+        let sum: u64 = sorted.iter().sum();
+        let pct = |p: f64| -> u64 {
+            // Nearest-rank percentile.
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        HistogramSummary {
+            count,
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: sum as f64 / count as f64,
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p99: pct(99.0),
+        }
+    }
+}
+
+/// The serialized form of a histogram: count, extrema, mean, percentiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: u64,
+    /// 90th percentile (nearest rank).
+    pub p90: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    fn to_value(&self) -> Value {
+        let mut o = Value::obj();
+        o.set("count", Value::from(self.count));
+        o.set("min", Value::from(self.min));
+        o.set("max", Value::from(self.max));
+        o.set("mean", Value::Num(self.mean));
+        o.set("p50", Value::from(self.p50));
+        o.set("p90", Value::from(self.p90));
+        o.set("p99", Value::from(self.p99));
+        o
+    }
+
+    fn from_value(v: &Value) -> Result<HistogramSummary, String> {
+        let num = |k: &str| -> Result<u64, String> { field(v, k)?.as_u64().ok_or(bad(k)) };
+        Ok(HistogramSummary {
+            count: num("count")?,
+            min: num("min")?,
+            max: num("max")?,
+            mean: field(v, "mean")?.as_num().ok_or(bad("mean"))?,
+            p50: num("p50")?,
+            p90: num("p90")?,
+            p99: num("p99")?,
+        })
+    }
+}
+
+fn field<'v>(v: &'v Value, k: &str) -> Result<&'v Value, String> {
+    v.get(k).ok_or_else(|| format!("missing field {k:?}"))
+}
+
+fn bad(k: &str) -> String {
+    format!("field {k:?} has the wrong type")
+}
+
+/// Machine-readable summary of one simulator run or experiment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Report name — usually the binary or experiment id (`fig1_tote`).
+    pub name: String,
+    /// Free-form string metadata (CPU preset, scenario, commit, ...).
+    pub meta: BTreeMap<String, String>,
+    /// Floating-point metrics (accuracies, ratios, means).
+    pub scalars: BTreeMap<String, f64>,
+    /// Integer counters (PMU events, event counts).
+    pub counters: BTreeMap<String, u64>,
+    /// Per-pipeline-stage cycle accounting.
+    pub stages: BTreeMap<String, u64>,
+    /// Named latency/value distributions.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl RunReport {
+    /// Creates an empty report with the given name.
+    pub fn new(name: &str) -> RunReport {
+        RunReport {
+            name: name.to_string(),
+            ..RunReport::default()
+        }
+    }
+
+    /// Sets a metadata string.
+    pub fn set_meta(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.meta.insert(key.to_string(), value.into());
+        self
+    }
+
+    /// Sets a scalar metric.
+    pub fn scalar(&mut self, key: &str, value: f64) -> &mut Self {
+        self.scalars.insert(key.to_string(), value);
+        self
+    }
+
+    /// Sets a counter.
+    pub fn counter(&mut self, key: &str, value: u64) -> &mut Self {
+        self.counters.insert(key.to_string(), value);
+        self
+    }
+
+    /// Adds to a counter (creating it at zero).
+    pub fn add_counter(&mut self, key: &str, delta: u64) -> &mut Self {
+        *self.counters.entry(key.to_string()).or_insert(0) += delta;
+        self
+    }
+
+    /// Sets a per-stage cycle total.
+    pub fn stage(&mut self, key: &str, cycles: u64) -> &mut Self {
+        self.stages.insert(key.to_string(), cycles);
+        self
+    }
+
+    /// Attaches a histogram's summary.
+    pub fn histogram(&mut self, key: &str, hist: &Histogram) -> &mut Self {
+        self.histograms.insert(key.to_string(), hist.summarize());
+        self
+    }
+
+    /// Serializes to the JSON value tree.
+    pub fn to_value(&self) -> Value {
+        let mut o = Value::obj();
+        o.set("schema_version", Value::from(REPORT_SCHEMA_VERSION));
+        o.set("name", Value::from(self.name.as_str()));
+        let map_obj = |pairs: Vec<(String, Value)>| Value::Obj(pairs);
+        o.set(
+            "meta",
+            map_obj(
+                self.meta
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from(v.as_str())))
+                    .collect(),
+            ),
+        );
+        o.set(
+            "scalars",
+            map_obj(
+                self.scalars
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                    .collect(),
+            ),
+        );
+        o.set(
+            "counters",
+            map_obj(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from(*v)))
+                    .collect(),
+            ),
+        );
+        o.set(
+            "stages",
+            map_obj(
+                self.stages
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from(*v)))
+                    .collect(),
+            ),
+        );
+        o.set(
+            "histograms",
+            map_obj(
+                self.histograms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_value()))
+                    .collect(),
+            ),
+        );
+        o
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json_pretty()
+    }
+
+    /// Parses a report back from JSON (inverse of [`RunReport::to_json`]).
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let v = json::parse(text)?;
+        let version = field(&v, "schema_version")?
+            .as_u64()
+            .ok_or(bad("schema_version"))?;
+        if version != REPORT_SCHEMA_VERSION {
+            return Err(format!("unsupported schema_version {version}"));
+        }
+        let name = field(&v, "name")?.as_str().ok_or(bad("name"))?.to_string();
+        let obj_pairs = |key: &str| -> Result<Vec<(String, Value)>, String> {
+            match field(&v, key)? {
+                Value::Obj(pairs) => Ok(pairs.clone()),
+                _ => Err(bad(key)),
+            }
+        };
+        let mut report = RunReport::new(&name);
+        for (k, val) in obj_pairs("meta")? {
+            report
+                .meta
+                .insert(k.clone(), val.as_str().ok_or(bad(&k))?.to_string());
+        }
+        for (k, val) in obj_pairs("scalars")? {
+            report
+                .scalars
+                .insert(k.clone(), val.as_num().ok_or(bad(&k))?);
+        }
+        for (k, val) in obj_pairs("counters")? {
+            report
+                .counters
+                .insert(k.clone(), val.as_u64().ok_or(bad(&k))?);
+        }
+        for (k, val) in obj_pairs("stages")? {
+            report
+                .stages
+                .insert(k.clone(), val.as_u64().ok_or(bad(&k))?);
+        }
+        for (k, val) in obj_pairs("histograms")? {
+            report
+                .histograms
+                .insert(k, HistogramSummary::from_value(&val)?);
+        }
+        Ok(report)
+    }
+
+    /// Writes the report to `target/reports/<name>.json`, creating the
+    /// directory if needed. Returns the path written.
+    ///
+    /// The directory can be overridden with the `TET_REPORT_DIR`
+    /// environment variable (used by `scripts/repro_all.sh --json`).
+    pub fn write_default(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var_os("TET_REPORT_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("target/reports"));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.summarize();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeros() {
+        assert_eq!(Histogram::new().summarize(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut h = Histogram::new();
+        for v in [12u64, 44, 44, 300] {
+            h.record(v);
+        }
+        let mut r = RunReport::new("fig1_tote");
+        r.set_meta("cpu", "intel-i7");
+        r.set_meta("scenario", "meltdown");
+        r.scalar("accuracy", 0.96875);
+        r.counter("runs", 256);
+        r.counter("int_misc.recovery_cycles", 4096);
+        r.stage("frontend_stall", 120);
+        r.stage("exec", 800);
+        r.histogram("tote_cycles", &h);
+        let text = r.to_json();
+        let back = RunReport::from_json(&text).expect("round-trips");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        let mut r = RunReport::new("x").to_value();
+        r.set("schema_version", Value::from(99u64));
+        assert!(RunReport::from_json(&r.to_json()).is_err());
+    }
+}

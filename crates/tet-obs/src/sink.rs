@@ -1,0 +1,445 @@
+//! Trace sinks and the handle the simulator emits through.
+//!
+//! The design goal is *zero cost when disabled*: a [`SinkHandle`] is an
+//! `Option<Arc<..>>` plus a thread id, every emit site is `#[inline]`, and
+//! the disabled path is a single branch on `Option::is_some` — no
+//! allocation, no virtual call, no formatting.
+//!
+//! When enabled, events flow through the object-safe [`TraceSink`] trait.
+//! Three implementations cover the common shapes:
+//!
+//! * [`RingSink`] — fixed-capacity lock-free ring that keeps the most
+//!   recent events (flight-recorder style, safe to leave attached for
+//!   millions of cycles);
+//! * [`MemorySink`] — unbounded mutex-guarded vector (the per-run recorder
+//!   `Machine` installs when full traces are requested);
+//! * [`FanoutSink`] — tees one stream into several sinks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Receives structured trace events. Implementations use interior
+/// mutability; `emit` takes `&self` so one sink can be shared by the core,
+/// the memory hierarchy and both SMT threads.
+pub trait TraceSink {
+    /// Accepts one event. Must not panic; dropping events is allowed.
+    fn emit(&self, ev: TraceEvent);
+}
+
+/// A sink that discards everything (useful as an explicit placeholder).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn emit(&self, _ev: TraceEvent) {}
+}
+
+// ---------------------------------------------------------------------------
+// RingSink
+// ---------------------------------------------------------------------------
+
+/// One slot of the ring. The sequence field makes torn reads detectable:
+/// a writer stamps `seq = 0` (in progress), writes the payload, then stamps
+/// `seq = position + 1` with release ordering.
+struct Slot {
+    seq: AtomicU64,
+    ev: std::cell::UnsafeCell<TraceEvent>,
+}
+
+/// A fixed-capacity, lock-free, overwrite-oldest event ring.
+///
+/// Writers never block and never allocate: a slot index is claimed with one
+/// `fetch_add`, the payload is written, and a per-slot sequence number is
+/// published with release ordering. When the ring wraps, the oldest events
+/// are overwritten — the ring always holds the *most recent* window, which
+/// is what you want from a flight recorder attached to a long run.
+///
+/// `drain_recent` is intended to be called after the producing run has
+/// quiesced; if called concurrently with writers it skips slots it observes
+/// mid-write instead of returning torn data.
+pub struct RingSink {
+    mask: u64,
+    head: AtomicU64,
+    dropped: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+// SAFETY: slot payloads are `Copy` plain-old-data; the per-slot sequence
+// protocol (seq=0 while writing, seq=pos+1 once published, checked again
+// after the read) means readers never *return* a torn event, and writers
+// never read payloads at all.
+unsafe impl Send for RingSink {}
+unsafe impl Sync for RingSink {}
+
+impl RingSink {
+    /// Creates a ring holding up to `capacity` events (rounded up to a
+    /// power of two, minimum 64).
+    pub fn with_capacity(capacity: usize) -> RingSink {
+        let cap = capacity.max(64).next_power_of_two() as u64;
+        let slots = (0..cap)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                ev: std::cell::UnsafeCell::new(TraceEvent {
+                    cycle: 0,
+                    thread: 0,
+                    kind: EventKind::UopRetired { id: 0 },
+                }),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        RingSink {
+            mask: cap - 1,
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Number of events ever emitted into this ring.
+    pub fn emitted(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Number of events that have been overwritten (lost to wrap-around).
+    pub fn overwritten(&self) -> u64 {
+        let head = self.head.load(Ordering::Acquire);
+        head.saturating_sub(self.slots.len() as u64) + self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the most recent events, oldest first.
+    ///
+    /// Call after the producer has quiesced; concurrent writes cause the
+    /// affected slots to be skipped, never returned torn.
+    pub fn drain_recent(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for pos in start..head {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let seq_before = slot.seq.load(Ordering::Acquire);
+            if seq_before != pos + 1 {
+                continue; // Overwritten by a newer event, or mid-write.
+            }
+            // SAFETY: payload is Copy POD; a torn copy is discarded below
+            // when the sequence check fails.
+            let ev = unsafe { *slot.ev.get() };
+            if slot.seq.load(Ordering::Acquire) == pos + 1 {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    #[inline]
+    fn emit(&self, ev: TraceEvent) {
+        let pos = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(pos & self.mask) as usize];
+        slot.seq.store(0, Ordering::Release);
+        // SAFETY: we own this slot for the duration between the two seq
+        // stores; a concurrent writer that laps us will restamp seq itself,
+        // and readers reject slots whose seq doesn't match the expected
+        // position.
+        unsafe {
+            *slot.ev.get() = ev;
+        }
+        slot.seq.store(pos + 1, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemorySink
+// ---------------------------------------------------------------------------
+
+/// An unbounded in-memory sink. This is the per-run recorder used when a
+/// caller asks for full traces; it trades a mutex per event for losslessness.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Takes all recorded events, leaving the sink empty.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace sink poisoned"))
+    }
+
+    /// Copies all recorded events without clearing.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    #[inline]
+    fn emit(&self, ev: TraceEvent) {
+        self.events.lock().expect("trace sink poisoned").push(ev);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FanoutSink
+// ---------------------------------------------------------------------------
+
+/// Tees one event stream into several sinks.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink + Send + Sync>>,
+}
+
+impl FanoutSink {
+    /// Builds a fanout over the given sinks.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink + Send + Sync>>) -> FanoutSink {
+        FanoutSink { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    #[inline]
+    fn emit(&self, ev: TraceEvent) {
+        for s in &self.sinks {
+            s.emit(ev);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SinkHandle
+// ---------------------------------------------------------------------------
+
+struct SinkCore {
+    sink: Arc<dyn TraceSink + Send + Sync>,
+    /// Current simulated cycle, shared between the core (which advances it)
+    /// and passive emitters like the memory hierarchy (which only read it).
+    clock: AtomicU64,
+}
+
+/// The cheap, cloneable handle the simulator emits through.
+///
+/// A disabled handle (`SinkHandle::disabled()`, also `Default`) is a `None`
+/// plus a byte; every emit path starts with one branch on that `Option` and
+/// does nothing else. Payload construction happens at the call site, but
+/// since [`EventKind`] is built from values already in registers the
+/// optimizer drops it on the disabled path.
+///
+/// The handle also carries the *trace clock*: the core calls
+/// [`SinkHandle::tick`] once per cycle, and components that have no cycle
+/// counter of their own (caches, TLBs) timestamp their events from the
+/// shared clock.
+#[derive(Clone, Default)]
+pub struct SinkHandle {
+    core: Option<Arc<SinkCore>>,
+    thread: u8,
+}
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkHandle")
+            .field("enabled", &self.core.is_some())
+            .field("thread", &self.thread)
+            .finish()
+    }
+}
+
+impl SinkHandle {
+    /// A handle that drops everything at the cost of one branch.
+    #[inline]
+    pub fn disabled() -> SinkHandle {
+        SinkHandle::default()
+    }
+
+    /// A handle feeding `sink`, timestamping from a fresh shared clock.
+    pub fn attached(sink: Arc<dyn TraceSink + Send + Sync>) -> SinkHandle {
+        SinkHandle {
+            core: Some(Arc::new(SinkCore {
+                sink,
+                clock: AtomicU64::new(0),
+            })),
+            thread: 0,
+        }
+    }
+
+    /// A sibling handle sharing this one's sink and clock but tagging
+    /// events with a different hardware-thread id.
+    pub fn for_thread(&self, thread: u8) -> SinkHandle {
+        SinkHandle {
+            core: self.core.clone(),
+            thread,
+        }
+    }
+
+    /// Whether events will actually be recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// The underlying sink, if attached — used to compose a user-supplied
+    /// sink with an internal recorder via [`FanoutSink`].
+    pub fn sink_arc(&self) -> Option<Arc<dyn TraceSink + Send + Sync>> {
+        self.core.as_ref().map(|c| c.sink.clone())
+    }
+
+    /// Advances the shared trace clock. Called by the core once per cycle.
+    #[inline]
+    pub fn tick(&self, cycle: u64) {
+        if let Some(core) = &self.core {
+            core.clock.store(cycle, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of the shared trace clock.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        match &self.core {
+            Some(core) => core.clock.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Emits an event stamped with the shared clock's current cycle.
+    #[inline]
+    pub fn emit(&self, kind: EventKind) {
+        if let Some(core) = &self.core {
+            core.sink.emit(TraceEvent {
+                cycle: core.clock.load(Ordering::Relaxed),
+                thread: self.thread,
+                kind,
+            });
+        }
+    }
+
+    /// Emits an event with an explicit cycle stamp (for retro-dated events
+    /// such as a squash recorded at resolution time).
+    #[inline]
+    pub fn emit_at(&self, cycle: u64, kind: EventKind) {
+        if let Some(core) = &self.core {
+            core.sink.emit(TraceEvent {
+                cycle,
+                thread: self.thread,
+                kind,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64) -> EventKind {
+        EventKind::UopRetired { id }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = SinkHandle::disabled();
+        assert!(!h.enabled());
+        h.tick(10);
+        h.emit(ev(1));
+        h.emit_at(5, ev(2));
+        assert_eq!(h.now(), 0);
+    }
+
+    #[test]
+    fn memory_sink_records_in_order_with_clock() {
+        let sink = Arc::new(MemorySink::new());
+        let h = SinkHandle::attached(sink.clone());
+        h.tick(3);
+        h.emit(ev(1));
+        h.tick(7);
+        h.emit(ev(2));
+        h.emit_at(5, ev(3));
+        let evs = sink.drain();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].cycle, 3);
+        assert_eq!(evs[1].cycle, 7);
+        assert_eq!(evs[2].cycle, 5);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn sibling_handles_share_clock_but_tag_threads() {
+        let sink = Arc::new(MemorySink::new());
+        let t0 = SinkHandle::attached(sink.clone());
+        let t1 = t0.for_thread(1);
+        t0.tick(42);
+        t1.emit(ev(1));
+        let evs = sink.drain();
+        assert_eq!(evs[0].cycle, 42, "clock is shared");
+        assert_eq!(evs[0].thread, 1, "thread tag differs");
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_window() {
+        let ring = RingSink::with_capacity(64);
+        for i in 0..200u64 {
+            ring.emit(TraceEvent {
+                cycle: i,
+                thread: 0,
+                kind: ev(i),
+            });
+        }
+        let evs = ring.drain_recent();
+        assert_eq!(evs.len(), 64);
+        assert_eq!(evs.first().map(|e| e.cycle), Some(136));
+        assert_eq!(evs.last().map(|e| e.cycle), Some(199));
+        assert_eq!(ring.emitted(), 200);
+        assert_eq!(ring.overwritten(), 136);
+    }
+
+    #[test]
+    fn ring_survives_concurrent_writers() {
+        let ring = Arc::new(RingSink::with_capacity(256));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let r = ring.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    r.emit(TraceEvent {
+                        cycle: i,
+                        thread: t,
+                        kind: ev(i),
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        assert_eq!(ring.emitted(), 4000);
+        let evs = ring.drain_recent();
+        assert!(evs.len() <= 256);
+        assert!(!evs.is_empty());
+    }
+
+    #[test]
+    fn fanout_tees_to_all_sinks() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        let h = SinkHandle::attached(Arc::new(fan));
+        h.emit(ev(9));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Golden-file tests for the exporters: the Chrome trace JSON and the
+//! RunReport JSON are compared byte-for-byte against committed fixtures,
+//! and structurally validated against the trace_event schema.
+//!
+//! Regenerate the fixtures after an intentional format change with:
+//! `UPDATE_GOLDEN=1 cargo test -p tet-obs --test golden`
+
+use std::path::PathBuf;
+
+use tet_obs::{
+    ChromeTrace, EventKind, FaultClass, Histogram, MemLevel, RunReport, SquashCause, TlbKind,
+    TraceEvent,
+};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the committed fixture, or rewrites the
+/// fixture when `UPDATE_GOLDEN=1`.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with UPDATE_GOLDEN=1", name));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its fixture; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// A fixed event stream exercising every exporter arm: µop lifecycle,
+/// frontend delivery, fault raise/delivery, resteer, cache access, page
+/// walk, TLB flush, timer interrupt and SMT contention.
+fn fixture_events() -> Vec<TraceEvent> {
+    let ev = |cycle: u64, kind: EventKind| TraceEvent {
+        cycle,
+        thread: 0,
+        kind,
+    };
+    vec![
+        ev(
+            0,
+            EventKind::FrontendCycle {
+                dsb_uops: 4,
+                mite_uops: 0,
+                stalled: false,
+            },
+        ),
+        ev(
+            1,
+            EventKind::UopRenamed {
+                id: 0,
+                pc: 0x10,
+                op: "load",
+            },
+        ),
+        ev(
+            1,
+            EventKind::UopRenamed {
+                id: 1,
+                pc: 0x11,
+                op: "jcc",
+            },
+        ),
+        ev(
+            2,
+            EventKind::CacheAccess {
+                pa: 0x7f00_0000,
+                level: MemLevel::L2,
+                latency: 12,
+                fetch: false,
+            },
+        ),
+        ev(
+            3,
+            EventKind::PageWalk {
+                vaddr: 0xffff_8000_0000_0000,
+                cycles: 60,
+                mapped: false,
+            },
+        ),
+        ev(
+            4,
+            EventKind::UopExecuted {
+                id: 0,
+                started_at: 2,
+                done_at: 4,
+            },
+        ),
+        ev(
+            4,
+            EventKind::FaultRaised {
+                pc: 0x10,
+                vaddr: 0xffff_8000_0000_0000,
+                class: FaultClass::Permission,
+            },
+        ),
+        ev(
+            5,
+            EventKind::Resteer {
+                target_pc: 0x40,
+                flushed_uops: 1,
+            },
+        ),
+        ev(
+            5,
+            EventKind::UopSquashed {
+                id: 1,
+                cause: SquashCause::BranchMispredict,
+            },
+        ),
+        ev(
+            9,
+            EventKind::FaultDelivered {
+                pc: 0x10,
+                class: FaultClass::Permission,
+                route: tet_obs::DeliveryRoute::Exception,
+                squashed_uops: 1,
+            },
+        ),
+        ev(
+            9,
+            EventKind::UopSquashed {
+                id: 0,
+                cause: SquashCause::Fault,
+            },
+        ),
+        ev(
+            10,
+            EventKind::TlbFlush {
+                kind: TlbKind::Data,
+                kept_global: true,
+            },
+        ),
+        ev(11, EventKind::TimerInterrupt { until: 40 }),
+        ev(12, EventKind::SmtContention { until: 15 }),
+    ]
+}
+
+fn fixture_report() -> RunReport {
+    let mut hist = Histogram::new();
+    for v in [10u64, 12, 12, 14, 90] {
+        hist.record(v);
+    }
+    let mut rep = RunReport::new("golden_fixture");
+    rep.set_meta("cpu", "kaby_lake_i7_7700");
+    rep.scalar("ipc", 2.5);
+    rep.counter("cycles", 1234);
+    rep.add_counter("cycles", 6);
+    rep.stage("rename", 400);
+    rep.histogram("tote", &hist);
+    rep
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let json = ChromeTrace::new("golden", fixture_events()).to_json();
+    assert_golden("chrome_trace.json", &json);
+}
+
+#[test]
+fn run_report_matches_golden() {
+    assert_golden("run_report.json", &fixture_report().to_json());
+}
+
+#[test]
+fn run_report_golden_round_trips() {
+    let rep = fixture_report();
+    let back = RunReport::from_json(&rep.to_json()).expect("parses");
+    assert_eq!(back.to_json(), rep.to_json());
+}
+
+/// Structural schema check: every trace event carries the fields the
+/// Chrome trace_event format requires for its phase.
+#[test]
+fn chrome_trace_is_schema_valid() {
+    use tet_obs::json::Value;
+    let doc = ChromeTrace::new("golden", fixture_events()).to_value();
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array");
+    assert!(events.len() >= fixture_events().len() / 2);
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph");
+        assert!(e.get("name").and_then(Value::as_str).is_some());
+        assert!(e.get("pid").and_then(Value::as_u64).is_some());
+        assert!(e.get("tid").and_then(Value::as_u64).is_some());
+        assert!(e.get("ts").and_then(Value::as_u64).is_some());
+        match ph {
+            "X" => {
+                assert!(e.get("dur").and_then(Value::as_u64).is_some());
+                assert!(e.get("args").is_some());
+            }
+            "i" => assert_eq!(e.get("s").and_then(Value::as_str), Some("t")),
+            "C" => assert!(e.get("args").is_some()),
+            "M" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+}

@@ -21,14 +21,14 @@ use std::collections::VecDeque;
 use tet_isa::reg::RegFile;
 use tet_isa::{Flags, Inst, Program, Reg};
 use tet_mem::{AddressSpace, HitLevel, MemorySystem, PageWalker, PhysMem, Pte, Tlb, WalkOutcome};
+use tet_obs::{EventKind, SinkHandle, TlbKind};
 use tet_pmu::{Event, Pmu};
 
 use crate::config::{CpuConfig, ForwardPolicy};
-use crate::frontend::{Dsb, FetchedUop, FrontendTraceEntry};
+use crate::frontend::{Dsb, FetchedUop};
 use crate::uop::FaultRoute;
 use crate::uop::{
     dest_regs, src_regs, Dep, DepKind, Fault, FaultKind, RobEntry, SquashReason, StoreInfo,
-    UopFate, UopTrace,
 };
 use crate::{code_vaddr, Bpu};
 
@@ -155,11 +155,9 @@ pub struct Cpu {
     handler_pc: Option<usize>,
     exceptions: Vec<ExceptionRecord>,
     unhandled: Option<ExceptionRecord>,
-    trace: Option<Vec<FrontendTraceEntry>>,
-    /// Per-µop lifecycle records, when requested; indexed by
-    /// `id - uop_trace_base`.
-    uop_trace: Option<Vec<UopTrace>>,
-    uop_trace_base: u64,
+    /// Structured-event sink (disabled by default: one branch per event
+    /// site). Installed per run by [`crate::Machine`] / [`crate::SmtMachine`].
+    sink: SinkHandle,
 }
 
 impl Cpu {
@@ -203,9 +201,7 @@ impl Cpu {
             handler_pc: None,
             exceptions: Vec::new(),
             unhandled: None,
-            trace: None,
-            uop_trace: None,
-            uop_trace_base: 0,
+            sink: SinkHandle::disabled(),
             cfg,
         }
     }
@@ -223,8 +219,7 @@ impl Cpu {
         &mut self,
         init_regs: &[(Reg, u64)],
         handler_pc: Option<usize>,
-        trace_frontend: bool,
-        trace_uops: bool,
+        sink: SinkHandle,
     ) {
         self.idq.clear();
         self.rob.clear();
@@ -255,9 +250,7 @@ impl Cpu {
         self.handler_pc = handler_pc;
         self.exceptions.clear();
         self.unhandled = None;
-        self.trace = trace_frontend.then(Vec::new);
-        self.uop_trace = trace_uops.then(Vec::new);
-        self.uop_trace_base = self.next_uop_id;
+        self.sink = sink;
     }
 
     /// Current cycle.
@@ -295,32 +288,19 @@ impl Cpu {
         self.unhandled.as_ref()
     }
 
-    /// The frontend delivery trace, if tracing was requested.
-    pub fn take_trace(&mut self) -> Option<Vec<FrontendTraceEntry>> {
-        self.trace.take()
+    /// The structured-event sink currently installed on this core.
+    pub fn sink(&self) -> &SinkHandle {
+        &self.sink
     }
 
-    /// The per-µop lifecycle trace, if requested.
-    pub fn take_uop_trace(&mut self) -> Option<Vec<UopTrace>> {
-        self.uop_trace.take()
-    }
-
-    fn trace_uop(&mut self, id: u64, f: impl FnOnce(&mut UopTrace)) {
-        let base = self.uop_trace_base;
-        if let Some(trace) = &mut self.uop_trace {
-            if let Some(entry) = trace.get_mut((id - base) as usize) {
-                f(entry);
-            }
+    /// Emits a squash event for every id with the given cause.
+    fn emit_squash(&self, ids: &[u64], at: u64, reason: SquashReason) {
+        if !self.sink.enabled() {
+            return;
         }
-    }
-
-    fn trace_squash(&mut self, ids: Vec<u64>, at: u64, reason: SquashReason) {
-        for id in ids {
-            self.trace_uop(id, |t| {
-                if matches!(t.fate, UopFate::InFlight) {
-                    t.fate = UopFate::Squashed { at, reason };
-                }
-            });
+        let cause = reason.to_obs();
+        for &id in ids {
+            self.sink.emit_at(at, EventKind::UopSquashed { id, cause });
         }
     }
 
@@ -339,6 +319,14 @@ impl Cpu {
     pub fn flush_tlbs(&mut self, keep_global: bool) {
         self.dtlb.flush_all(keep_global);
         self.itlb.flush_all(keep_global);
+        self.sink.emit(EventKind::TlbFlush {
+            kind: TlbKind::Data,
+            kept_global: keep_global,
+        });
+        self.sink.emit(EventKind::TlbFlush {
+            kind: TlbKind::Inst,
+            kept_global: keep_global,
+        });
     }
 
     /// Sets the pages a `syscall` warms in the DTLB (the KPTI trampoline).
@@ -349,6 +337,7 @@ impl Cpu {
     /// Imposes a stall from the sibling SMT thread until `cycle`.
     pub fn impose_external_stall(&mut self, until: u64) {
         self.external_stall_until = self.external_stall_until.max(until);
+        self.sink.emit(EventKind::SmtContention { until });
     }
 
     /// Whether every pipeline structure is drained.
@@ -370,6 +359,7 @@ impl Cpu {
     pub fn step(&mut self, program: &Program, env: &mut Env<'_>) -> StepEvents {
         let mut events = StepEvents::default();
         let now = self.cycle;
+        self.sink.tick(now);
         self.pmu.bump(Event::CpuClkUnhalted, 1);
 
         // OS timer interrupt: a whole-pipeline bubble. The schedule runs
@@ -388,6 +378,12 @@ impl Cpu {
             self.interrupt_rng = x;
             self.next_interrupt =
                 self.global_cycle + t.interrupt_period / 2 + x % t.interrupt_period.max(1);
+            self.sink.emit_at(
+                now,
+                EventKind::TimerInterrupt {
+                    until: now + t.interrupt_cost,
+                },
+            );
         }
         self.global_cycle += 1;
 
@@ -452,14 +448,14 @@ impl Cpu {
             self.pmu.bump(Event::IdqEmptyCycles, 1);
             self.pmu.bump(Event::DeDisUopQueueEmptyDi0, 1);
         }
-        if let Some(trace) = &mut self.trace {
-            trace.push(FrontendTraceEntry {
-                cycle: now,
-                dsb_uops,
-                mite_uops,
+        self.sink.emit_at(
+            now,
+            EventKind::FrontendCycle {
+                dsb_uops: dsb_uops as u32,
+                mite_uops: mite_uops as u32,
                 stalled: fetch_stalled,
-            });
-        }
+            },
+        );
     }
 
     // ----- branch resolution ----------------------------------------------
@@ -490,9 +486,17 @@ impl Cpu {
             }
 
             self.pmu.bump(Event::BrInstExecAll, 1);
+            let mispredicted = actual != pred_next;
+            self.sink.emit_at(
+                now,
+                EventKind::BranchResolved {
+                    pc: pc as u64,
+                    mispredicted,
+                },
+            );
             let entry = &mut self.rob[i];
             entry.resolved = true;
-            if actual != pred_next {
+            if mispredicted {
                 entry.mispredicted = true;
                 mispredict_at = Some(i);
                 break;
@@ -510,7 +514,14 @@ impl Cpu {
 
             let flushed = self.rob.len() - (i + 1);
             let squashed = self.squash_younger_than(i);
-            self.trace_squash(squashed, now, SquashReason::BranchMispredict);
+            self.emit_squash(&squashed, now, SquashReason::BranchMispredict);
+            self.sink.emit_at(
+                now,
+                EventKind::Resteer {
+                    target_pc: actual as u64,
+                    flushed_uops: flushed as u32,
+                },
+            );
             self.idq.clear();
 
             // Mechanism 2: the resteer penalty scales with the number of
@@ -645,7 +656,8 @@ impl Cpu {
             self.flags_rat = None;
         }
 
-        self.trace_uop(entry.id, |t| t.fate = UopFate::Retired { at: _now_retire });
+        self.sink
+            .emit_at(_now_retire, EventKind::UopRetired { id: entry.id });
         self.retired_insts += 1;
         self.pmu.bump(Event::InstRetiredAny, 1);
         self.pmu.bump(Event::UopsRetiredAll, 1);
@@ -716,6 +728,15 @@ impl Cpu {
             };
             self.unhandled = Some(record);
             self.halted = true;
+            self.sink.emit_at(
+                now,
+                EventKind::FaultDelivered {
+                    pc: entry.pc as u64,
+                    class: fault.kind.to_obs(),
+                    route: route.to_obs(),
+                    squashed_uops: occupancy as u32,
+                },
+            );
             return delivered_at;
         };
 
@@ -752,7 +773,16 @@ impl Cpu {
             FaultRoute::TxnAbort => SquashReason::TxnAbort,
             _ => SquashReason::Fault,
         };
-        self.trace_squash(squashed, now, squash_reason);
+        self.emit_squash(&squashed, now, squash_reason);
+        self.sink.emit_at(
+            now,
+            EventKind::FaultDelivered {
+                pc: entry.pc as u64,
+                class: fault.kind.to_obs(),
+                route: route.to_obs(),
+                squashed_uops: occupancy as u32,
+            },
+        );
         self.rob.clear();
         self.idq.clear();
         self.rebuild_rename_state();
@@ -793,10 +823,14 @@ impl Cpu {
                     e.forward_at = Some(now);
                     e.done_at = Some(now);
                     let id = e.id;
-                    self.trace_uop(id, |t| {
-                        t.started_at = Some(now);
-                        t.done_at = Some(now);
-                    });
+                    self.sink.emit_at(
+                        now,
+                        EventKind::UopExecuted {
+                            id,
+                            started_at: now,
+                            done_at: now,
+                        },
+                    );
                     i += 1;
                     continue;
                 }
@@ -1162,12 +1196,17 @@ impl Cpu {
                             self.dtlb.fill(page, pte);
                             self.itlb.fill(page, pte);
                             self.pmu.bump(Event::DtlbFills, 1);
+                            self.sink.emit(EventKind::TlbFill {
+                                kind: TlbKind::Data,
+                                vaddr: page,
+                            });
                         }
                     }
                 }
             }
         }
 
+        let fault_info = fault.as_ref().map(|f| (f.kind, f.vaddr));
         let e = &mut self.rob[i];
         e.started = true;
         let forward_at = now + latency;
@@ -1184,10 +1223,25 @@ impl Cpu {
         e.store = store;
         e.actual_next = actual_next;
         let id = e.id;
-        self.trace_uop(id, |t| {
-            t.started_at = Some(now);
-            t.done_at = Some(done_at);
-        });
+        let pc = e.pc;
+        self.sink.emit_at(
+            now,
+            EventKind::UopExecuted {
+                id,
+                started_at: now,
+                done_at,
+            },
+        );
+        if let Some((kind, vaddr)) = fault_info {
+            self.sink.emit_at(
+                now,
+                EventKind::FaultRaised {
+                    pc: pc as u64,
+                    vaddr,
+                    class: kind.to_obs(),
+                },
+            );
+        }
     }
 
     // ----- memory access paths ----------------------------------------------
@@ -1197,6 +1251,11 @@ impl Cpu {
     /// leaf PTE if the walk succeeded, and the fault, if any.
     fn mem_translate(&mut self, env: &Env<'_>, vaddr: u64) -> (u64, Option<Pte>, Option<Fault>) {
         if let Some(e) = self.dtlb.lookup(vaddr) {
+            self.sink.emit(EventKind::TlbLookup {
+                kind: TlbKind::Data,
+                vaddr,
+                hit: true,
+            });
             let pte = e.pte;
             let fault = (!pte.user).then_some(Fault {
                 kind: FaultKind::Permission,
@@ -1204,6 +1263,11 @@ impl Cpu {
             });
             return (1, Some(pte), fault);
         }
+        self.sink.emit(EventKind::TlbLookup {
+            kind: TlbKind::Data,
+            vaddr,
+            hit: false,
+        });
 
         if self.cfg.vuln.early_fault_abort {
             // AMD model: accesses that will fault abort before the walk
@@ -1215,7 +1279,16 @@ impl Cpu {
                         .bump(Event::DtlbLoadMissesMissCausesAWalk, wr.walks as u64);
                     self.pmu.bump(Event::DtlbLoadMissesWalkActive, wr.cycles);
                     self.pmu.bump(Event::DtlbLoadMissesWalkCompleted, 1);
+                    self.sink.emit(EventKind::PageWalk {
+                        vaddr,
+                        cycles: wr.cycles,
+                        mapped: true,
+                    });
                     self.dtlb.fill(vaddr, pte);
+                    self.sink.emit(EventKind::TlbFill {
+                        kind: TlbKind::Data,
+                        vaddr,
+                    });
                     self.pmu.bump(Event::DtlbFills, 1);
                     (wr.cycles, Some(pte), None)
                 }
@@ -1226,6 +1299,11 @@ impl Cpu {
                         WalkOutcome::ReservedBit => FaultKind::ReservedBit,
                     };
                     self.pmu.bump(Event::DtlbLoadMissesMissCausesAWalk, 1);
+                    self.sink.emit(EventKind::PageWalk {
+                        vaddr,
+                        cycles: self.cfg.walk.abort_cost,
+                        mapped: matches!(outcome, WalkOutcome::Mapped(_)),
+                    });
                     (self.cfg.walk.abort_cost, None, Some(Fault { kind, vaddr }))
                 }
             };
@@ -1235,6 +1313,11 @@ impl Cpu {
         self.pmu
             .bump(Event::DtlbLoadMissesMissCausesAWalk, wr.walks as u64);
         self.pmu.bump(Event::DtlbLoadMissesWalkActive, wr.cycles);
+        self.sink.emit(EventKind::PageWalk {
+            vaddr,
+            cycles: wr.cycles,
+            mapped: matches!(wr.outcome, WalkOutcome::Mapped(_)),
+        });
         match wr.outcome {
             WalkOutcome::Mapped(pte) => {
                 self.pmu.bump(Event::DtlbLoadMissesWalkCompleted, 1);
@@ -1243,6 +1326,10 @@ impl Cpu {
                 // cause, paper §4.5 / §6.3).
                 if pte.user || self.cfg.vuln.tlb_fill_on_fault {
                     self.dtlb.fill(vaddr, pte);
+                    self.sink.emit(EventKind::TlbFill {
+                        kind: TlbKind::Data,
+                        vaddr,
+                    });
                     self.pmu.bump(Event::DtlbFills, 1);
                 }
                 let fault = (!pte.user).then_some(Fault {
@@ -1369,6 +1456,11 @@ impl Cpu {
         // dropped at the first irregularity. That walk-depth-only timing
         // is what FLARE's dummy mappings flatten (DESIGN.md §1).
         if let Some(e) = self.dtlb.lookup(vaddr) {
+            self.sink.emit(EventKind::TlbLookup {
+                kind: TlbKind::Data,
+                vaddr,
+                hit: true,
+            });
             if e.pte.user {
                 if let Some(pa) = env.aspace.translate(vaddr) {
                     let da = env.mem.data_load(pa, env.phys);
@@ -1377,10 +1469,20 @@ impl Cpu {
             }
             return 1;
         }
+        self.sink.emit(EventKind::TlbLookup {
+            kind: TlbKind::Data,
+            vaddr,
+            hit: false,
+        });
         let (outcome, levels) = env.aspace.walk(vaddr);
         let walk_cost = levels as u64 * self.cfg.walk.level_cost;
         self.pmu.bump(Event::DtlbLoadMissesMissCausesAWalk, 1);
         self.pmu.bump(Event::DtlbLoadMissesWalkActive, walk_cost);
+        self.sink.emit(EventKind::PageWalk {
+            vaddr,
+            cycles: walk_cost,
+            mapped: matches!(outcome, WalkOutcome::Mapped(_)),
+        });
         match outcome {
             WalkOutcome::Mapped(pte) if pte.user => {
                 self.dtlb.fill(vaddr, pte);
@@ -1473,17 +1575,14 @@ impl Cpu {
                 self.flags_rat = Some(id);
             }
 
-            if let Some(trace) = &mut self.uop_trace {
-                trace.push(UopTrace {
+            self.sink.emit_at(
+                now,
+                EventKind::UopRenamed {
                     id,
-                    pc: f.pc,
-                    inst: f.inst,
-                    renamed_at: now,
-                    started_at: None,
-                    done_at: None,
-                    fate: UopFate::InFlight,
-                });
-            }
+                    pc: f.pc as u64,
+                    op: f.inst.mnemonic(),
+                },
+            );
             self.rob.push_back(RobEntry {
                 id,
                 pc: f.pc,
@@ -1540,17 +1639,49 @@ impl Cpu {
             if self.last_fetch_page != Some(page) {
                 self.last_fetch_page = Some(page);
                 if self.itlb.lookup(code_vaddr(pc)).is_none() {
+                    self.sink.emit_at(
+                        now,
+                        EventKind::TlbLookup {
+                            kind: TlbKind::Inst,
+                            vaddr: code_vaddr(pc),
+                            hit: false,
+                        },
+                    );
                     let wr = self.walker.walk(env.aspace, code_vaddr(pc));
                     self.pmu
                         .bump(Event::ItlbMissesMissCausesAWalk, wr.walks as u64);
                     self.pmu.bump(Event::ItlbMissesWalkActive, wr.cycles);
+                    let mapped = matches!(wr.outcome, WalkOutcome::Mapped(_));
+                    self.sink.emit_at(
+                        now,
+                        EventKind::PageWalk {
+                            vaddr: code_vaddr(pc),
+                            cycles: wr.cycles,
+                            mapped,
+                        },
+                    );
                     if let WalkOutcome::Mapped(pte) = wr.outcome {
                         self.itlb.fill(code_vaddr(pc), pte);
+                        self.sink.emit_at(
+                            now,
+                            EventKind::TlbFill {
+                                kind: TlbKind::Inst,
+                                vaddr: code_vaddr(pc),
+                            },
+                        );
                     }
                     self.fetch_stall_until = now + wr.cycles;
                     break;
                 } else {
                     self.pmu.bump(Event::BpL1TlbFetchHit, 1);
+                    self.sink.emit_at(
+                        now,
+                        EventKind::TlbLookup {
+                            kind: TlbKind::Inst,
+                            vaddr: code_vaddr(pc),
+                            hit: true,
+                        },
+                    );
                 }
             }
 
@@ -1601,6 +1732,15 @@ impl Cpu {
                 }
                 _ => (pc + 1, false),
             };
+            if inst.is_branch() {
+                self.sink.emit_at(
+                    now,
+                    EventKind::BranchPredicted {
+                        pc: pc as u64,
+                        taken: pred_taken,
+                    },
+                );
+            }
 
             self.idq.push_back(FetchedUop {
                 pc,

@@ -1,13 +1,17 @@
 //! [`Machine`]: a core plus its memory environment, with a simple run API.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use tet_isa::reg::RegFile;
 use tet_isa::{Flags, Program, Reg};
 use tet_mem::{AddressSpace, FrameAlloc, MemorySystem, PhysMem, Pte, PAGE_SIZE};
+use tet_obs::{EventKind, FanoutSink, MemorySink, RunReport, SinkHandle, TraceEvent, TraceSink};
 use tet_pmu::PmuSnapshot;
 
 use crate::core::{Cpu, Env, ExceptionRecord, RunExit};
 use crate::frontend::FrontendTraceEntry;
-use crate::uop::UopTrace;
+use crate::uop::{SquashReason, UopFate, UopTrace};
 use crate::{code_vaddr, CpuConfig};
 
 /// Per-run options.
@@ -26,6 +30,10 @@ pub struct RunConfig {
     /// Record per-µop lifecycle traces (fetch → retire/squash) — the
     /// data for visualising transient execution.
     pub trace_uops: bool,
+    /// Structured-event sink the run emits into (Chrome-trace export,
+    /// flight recorders). Disabled by default; costs one branch per
+    /// event site when disabled.
+    pub sink: SinkHandle,
 }
 
 impl Default for RunConfig {
@@ -36,6 +44,7 @@ impl Default for RunConfig {
             init_regs: Vec::new(),
             trace_frontend: false,
             trace_uops: false,
+            sink: SinkHandle::disabled(),
         }
     }
 }
@@ -61,6 +70,127 @@ pub struct RunResult {
     pub frontend_trace: Option<Vec<FrontendTraceEntry>>,
     /// Per-µop lifecycle trace, when requested.
     pub uop_trace: Option<Vec<UopTrace>>,
+}
+
+impl RunResult {
+    /// Summarizes the run as a [`RunReport`]: exit/cycle/IPC scalars plus
+    /// every non-zero PMU counter.
+    pub fn report(&self, name: &str) -> RunReport {
+        let mut rep = RunReport::new(name);
+        rep.set_meta("exit", format!("{:?}", self.exit));
+        rep.scalar("cycles", self.cycles as f64);
+        rep.scalar("retired", self.retired as f64);
+        if self.cycles > 0 {
+            rep.scalar("ipc", self.retired as f64 / self.cycles as f64);
+        }
+        rep.counter("exceptions", self.exceptions.len() as u64);
+        for (ev, n) in self.pmu.iter_nonzero() {
+            rep.counter(ev.name(), n);
+        }
+        rep
+    }
+}
+
+/// Builds the sink a run actually emits into: the caller's sink (if any)
+/// fanned out with an internal recorder when legacy vector traces were
+/// requested. Returns the handle plus the recorder to drain afterwards.
+pub(crate) fn compose_run_sink(cfg: &RunConfig) -> (SinkHandle, Option<Arc<MemorySink>>) {
+    let recorder = (cfg.trace_frontend || cfg.trace_uops).then(|| Arc::new(MemorySink::new()));
+    let handle = match (cfg.sink.sink_arc(), recorder.clone()) {
+        (None, None) => SinkHandle::disabled(),
+        (Some(user), None) => SinkHandle::attached(user),
+        (None, Some(rec)) => SinkHandle::attached(rec),
+        (Some(user), Some(rec)) => SinkHandle::attached(Arc::new(FanoutSink::new(vec![
+            user,
+            rec as Arc<dyn TraceSink + Send + Sync>,
+        ]))),
+    };
+    (handle, recorder)
+}
+
+/// Rebuilds the legacy `Vec`-based traces from the structured event stream
+/// of one thread — the adapter that keeps [`RunResult::frontend_trace`] and
+/// [`RunResult::uop_trace`] stable while the emission side streams events.
+pub(crate) fn rebuild_traces(
+    program: &Program,
+    events: &[TraceEvent],
+    thread: u8,
+    want_frontend: bool,
+    want_uops: bool,
+) -> (Option<Vec<FrontendTraceEntry>>, Option<Vec<UopTrace>>) {
+    let mut frontend = want_frontend.then(Vec::new);
+    let mut uops: Option<Vec<UopTrace>> = want_uops.then(Vec::new);
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    for ev in events.iter().filter(|e| e.thread == thread) {
+        match ev.kind {
+            EventKind::FrontendCycle {
+                dsb_uops,
+                mite_uops,
+                stalled,
+            } => {
+                if let Some(f) = &mut frontend {
+                    f.push(FrontendTraceEntry {
+                        cycle: ev.cycle,
+                        dsb_uops: dsb_uops as usize,
+                        mite_uops: mite_uops as usize,
+                        stalled,
+                    });
+                }
+            }
+            EventKind::UopRenamed { id, pc, .. } => {
+                if let Some(u) = &mut uops {
+                    let Some(inst) = program.fetch(pc as usize) else {
+                        continue;
+                    };
+                    index.insert(id, u.len());
+                    u.push(UopTrace {
+                        id,
+                        pc: pc as usize,
+                        inst,
+                        renamed_at: ev.cycle,
+                        started_at: None,
+                        done_at: None,
+                        fate: UopFate::InFlight,
+                    });
+                }
+            }
+            EventKind::UopExecuted {
+                id,
+                started_at,
+                done_at,
+            } => {
+                if let Some(u) = &mut uops {
+                    if let Some(&i) = index.get(&id) {
+                        u[i].started_at = Some(started_at);
+                        u[i].done_at = Some(done_at);
+                    }
+                }
+            }
+            EventKind::UopRetired { id } => {
+                if let Some(u) = &mut uops {
+                    if let Some(&i) = index.get(&id) {
+                        if matches!(u[i].fate, UopFate::InFlight) {
+                            u[i].fate = UopFate::Retired { at: ev.cycle };
+                        }
+                    }
+                }
+            }
+            EventKind::UopSquashed { id, cause } => {
+                if let Some(u) = &mut uops {
+                    if let Some(&i) = index.get(&id) {
+                        if matches!(u[i].fate, UopFate::InFlight) {
+                            u[i].fate = UopFate::Squashed {
+                                at: ev.cycle,
+                                reason: SquashReason::from_obs(cause),
+                            };
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (frontend, uops)
 }
 
 /// A complete single-thread simulated machine: one core, its caches and
@@ -245,12 +375,9 @@ impl Machine {
     /// DSB, TLBs, caches, fill buffers and the PMU persist.
     pub fn run(&mut self, program: &Program, cfg: &RunConfig) -> RunResult {
         self.map_code(program.len());
-        self.cpu.reset_run(
-            &cfg.init_regs,
-            cfg.handler_pc,
-            cfg.trace_frontend,
-            cfg.trace_uops,
-        );
+        let (handle, recorder) = compose_run_sink(cfg);
+        self.mem.set_sink(handle.clone());
+        self.cpu.reset_run(&cfg.init_regs, cfg.handler_pc, handle);
         let pmu_before = self.cpu.pmu.snapshot();
 
         let mut exit = RunExit::CycleLimit;
@@ -274,6 +401,12 @@ impl Machine {
             self.cpu.step(program, &mut env);
         }
 
+        let (frontend_trace, uop_trace) = match recorder {
+            Some(rec) => {
+                rebuild_traces(program, &rec.drain(), 0, cfg.trace_frontend, cfg.trace_uops)
+            }
+            None => (None, None),
+        };
         RunResult {
             exit,
             cycles: self.cpu.cycle(),
@@ -282,8 +415,8 @@ impl Machine {
             retired: self.cpu.retired_insts(),
             pmu: self.cpu.pmu.snapshot().delta(&pmu_before),
             exceptions: self.cpu.exceptions().to_vec(),
-            frontend_trace: self.cpu.take_trace(),
-            uop_trace: self.cpu.take_uop_trace(),
+            frontend_trace,
+            uop_trace,
         }
     }
 }

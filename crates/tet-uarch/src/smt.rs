@@ -11,7 +11,7 @@ use tet_isa::Program;
 use tet_mem::{AddressSpace, FrameAlloc, MemorySystem, PhysMem, Pte, PAGE_SIZE};
 
 use crate::core::{Cpu, Env, RunExit};
-use crate::machine::{RunConfig, RunResult};
+use crate::machine::{compose_run_sink, rebuild_traces, RunConfig, RunResult};
 use crate::{code_vaddr, CpuConfig};
 
 /// The outcome of an SMT co-run.
@@ -144,18 +144,18 @@ impl SmtMachine {
     ) -> SmtRunResult {
         self.map_code(0, prog0.len());
         self.map_code(1, prog1.len());
-        self.cpu0.reset_run(
-            &cfg0.init_regs,
-            cfg0.handler_pc,
-            cfg0.trace_frontend,
-            cfg0.trace_uops,
-        );
-        self.cpu1.reset_run(
-            &cfg1.init_regs,
-            cfg1.handler_pc,
-            cfg1.trace_frontend,
-            cfg1.trace_uops,
-        );
+        // Each thread gets its own handle (tagged 0 / 1); the shared
+        // memory hierarchy is re-pointed at the stepping thread's handle
+        // so cache events carry the right thread id.
+        let (h0, rec0) = compose_run_sink(cfg0);
+        let (h1, rec1) = compose_run_sink(cfg1);
+        let h1 = h1.for_thread(1);
+        let trace_mem = h0.enabled() || h1.enabled();
+        self.mem.set_sink(h0.clone());
+        self.cpu0
+            .reset_run(&cfg0.init_regs, cfg0.handler_pc, h0.clone());
+        self.cpu1
+            .reset_run(&cfg1.init_regs, cfg1.handler_pc, h1.clone());
         let pmu0_before = self.cpu0.pmu.snapshot();
         let pmu1_before = self.cpu1.pmu.snapshot();
         let max_cycles = cfg0.max_cycles.max(cfg1.max_cycles);
@@ -170,6 +170,9 @@ impl SmtMachine {
                 break;
             }
             if !done0 {
+                if trace_mem {
+                    self.mem.set_sink(h0.clone());
+                }
                 let mut env = Env {
                     mem: &mut self.mem,
                     phys: &mut self.phys,
@@ -181,6 +184,9 @@ impl SmtMachine {
                 }
             }
             if !done1 {
+                if trace_mem {
+                    self.mem.set_sink(h1.clone());
+                }
                 let mut env = Env {
                     mem: &mut self.mem,
                     phys: &mut self.phys,
@@ -211,6 +217,18 @@ impl SmtMachine {
             exit1 = RunExit::RanOffEnd;
         }
 
+        let (frontend0, uops0) = match rec0 {
+            Some(rec) => {
+                rebuild_traces(prog0, &rec.drain(), 0, cfg0.trace_frontend, cfg0.trace_uops)
+            }
+            None => (None, None),
+        };
+        let (frontend1, uops1) = match rec1 {
+            Some(rec) => {
+                rebuild_traces(prog1, &rec.drain(), 1, cfg1.trace_frontend, cfg1.trace_uops)
+            }
+            None => (None, None),
+        };
         let t0 = RunResult {
             exit: exit0,
             cycles: self.cpu0.cycle(),
@@ -219,8 +237,8 @@ impl SmtMachine {
             retired: self.cpu0.retired_insts(),
             pmu: self.cpu0.pmu.snapshot().delta(&pmu0_before),
             exceptions: self.cpu0.exceptions().to_vec(),
-            frontend_trace: self.cpu0.take_trace(),
-            uop_trace: self.cpu0.take_uop_trace(),
+            frontend_trace: frontend0,
+            uop_trace: uops0,
         };
         let t1 = RunResult {
             exit: exit1,
@@ -230,8 +248,8 @@ impl SmtMachine {
             retired: self.cpu1.retired_insts(),
             pmu: self.cpu1.pmu.snapshot().delta(&pmu1_before),
             exceptions: self.cpu1.exceptions().to_vec(),
-            frontend_trace: self.cpu1.take_trace(),
-            uop_trace: self.cpu1.take_uop_trace(),
+            frontend_trace: frontend1,
+            uop_trace: uops1,
         };
         SmtRunResult { t0, t1 }
     }

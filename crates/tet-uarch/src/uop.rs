@@ -17,6 +17,17 @@ pub enum FaultKind {
     ReservedBit,
 }
 
+impl FaultKind {
+    /// The observability-crate spelling of this fault class.
+    pub fn to_obs(self) -> tet_obs::FaultClass {
+        match self {
+            FaultKind::Permission => tet_obs::FaultClass::Permission,
+            FaultKind::NotPresent => tet_obs::FaultClass::NotPresent,
+            FaultKind::ReservedBit => tet_obs::FaultClass::ReservedBit,
+        }
+    }
+}
+
 /// A fault recorded on a µop during execution, delivered at retirement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fault {
@@ -37,6 +48,17 @@ pub enum FaultRoute {
     TxnAbort,
 }
 
+impl FaultRoute {
+    /// The observability-crate spelling of this delivery route.
+    pub fn to_obs(self) -> tet_obs::DeliveryRoute {
+        match self {
+            FaultRoute::Exception => tet_obs::DeliveryRoute::Exception,
+            FaultRoute::MachineClear => tet_obs::DeliveryRoute::MachineClear,
+            FaultRoute::TxnAbort => tet_obs::DeliveryRoute::TxnAbort,
+        }
+    }
+}
+
 /// Why a µop was squashed instead of retiring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SquashReason {
@@ -46,6 +68,27 @@ pub enum SquashReason {
     Fault,
     /// The enclosing transaction aborted.
     TxnAbort,
+}
+
+impl SquashReason {
+    /// The observability-crate spelling of this squash cause.
+    pub fn to_obs(self) -> tet_obs::SquashCause {
+        match self {
+            SquashReason::BranchMispredict => tet_obs::SquashCause::BranchMispredict,
+            SquashReason::Fault => tet_obs::SquashCause::Fault,
+            SquashReason::TxnAbort => tet_obs::SquashCause::TxnAbort,
+        }
+    }
+
+    /// The inverse of [`SquashReason::to_obs`] (used when rebuilding
+    /// [`UopTrace`] records from a recorded event stream).
+    pub fn from_obs(cause: tet_obs::SquashCause) -> SquashReason {
+        match cause {
+            tet_obs::SquashCause::BranchMispredict => SquashReason::BranchMispredict,
+            tet_obs::SquashCause::Fault => SquashReason::Fault,
+            tet_obs::SquashCause::TxnAbort => SquashReason::TxnAbort,
+        }
+    }
 }
 
 /// How a traced µop left the machine.

@@ -16,7 +16,7 @@ use tet_uarch::CpuConfig;
 use whisper::analysis::{ArgmaxDecoder, Polarity};
 use whisper::gadget::{TetGadget, TetGadgetSpec, TransientBegin};
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::{section, tick, Table};
+use whisper_bench::{section, tick, write_report, RunReport, Table};
 
 fn main() {
     let cfg = CpuConfig::kaby_lake_i7_7700();
@@ -30,6 +30,9 @@ fn main() {
         "leaks",
     ]);
     let mut all_ok = true;
+    let mut rep = RunReport::new("ablation_jcc");
+    rep.set_meta("ablation", "A3");
+    rep.set_meta("cpu", "kaby_lake_i7_7700");
 
     for &cond in Cond::ALL {
         // The gadget's flags come from `cmp secret, test`.
@@ -69,6 +72,10 @@ fn main() {
             near_secret
         };
         all_ok &= ok;
+        rep.scalar(
+            &format!("leaks_as_expected.{}", cond.mnemonic()),
+            f64::from(ok),
+        );
 
         let verified = matches!(cond, Cond::E | Cond::Ne | Cond::C);
         table.row_owned(vec![
@@ -92,6 +99,8 @@ fn main() {
         all_ok,
         "every flavour must behave as its edge structure predicts"
     );
+    rep.scalar("all_ok", f64::from(all_ok));
+    write_report(&rep);
     println!(
         "\nreproduced: all non-degenerate condition codes leak (the paper's conjecture), and\n\
          the edge-free flavours (jo/jno on byte operands) carry no signal — the channel is\n\

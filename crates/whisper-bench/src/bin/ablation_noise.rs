@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use tet_uarch::CpuConfig;
 use whisper::channel::TetCovertChannel;
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::{section, Table};
+use whisper_bench::{section, write_report, RunReport, Table};
 
 fn payload(len: usize) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(99);
@@ -34,6 +34,10 @@ fn run(interrupt_period: u64, batches: u32, bytes: usize) -> f64 {
 
 fn main() {
     let bytes = 24;
+    let mut rep = RunReport::new("ablation_noise");
+    rep.set_meta("ablation", "A1");
+    rep.set_meta("cpu", "kaby_lake_i7_7700");
+    rep.counter("payload_bytes", bytes as u64);
 
     section("Error rate vs timer-interrupt period (batches = 1)");
     let mut t1 = Table::new(&[
@@ -45,6 +49,7 @@ fn main() {
     for period in [0u64, 20011, 5003, 1201, 401] {
         let err = run(period, 1, bytes);
         errs.push(err);
+        rep.scalar(&format!("error_rate.period_{period:05}"), err);
         let per_probe = if period == 0 {
             "0".to_string()
         } else {
@@ -73,6 +78,7 @@ fn main() {
     for batches in [1u32, 3, 5, 9] {
         let err = run(1201, batches, bytes);
         batch_errs.push(err);
+        rep.scalar(&format!("error_rate.batches_{batches}"), err);
         t2.row_owned(vec![batches.to_string(), format!("{:.1} %", err * 100.0)]);
     }
     print!("{}", t2.render());
@@ -80,5 +86,6 @@ fn main() {
         batch_errs.last().copied().unwrap_or(1.0) <= batch_errs[0],
         "more batches must not make decoding worse"
     );
+    write_report(&rep);
     println!("\nreproduced: the batched argmax buys accuracy back from noise, as in Fig 1b");
 }

@@ -13,7 +13,7 @@
 use tet_uarch::CpuConfig;
 use whisper::gadget::{TetGadget, TetGadgetSpec, TransientBegin};
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::{section, Table};
+use whisper_bench::{section, write_report, RunReport, Table};
 
 /// Measures the steady-state MD delta (hit − miss ToTE) for a config.
 fn md_delta(cfg: CpuConfig) -> i64 {
@@ -62,6 +62,9 @@ fn kaslr_gap(cfg: CpuConfig) -> i64 {
 }
 
 fn main() {
+    let mut rep = RunReport::new("ablation_sensitivity");
+    rep.set_meta("ablation", "A5");
+
     section("TET-MD delta vs recovery window (fault confirm fixed at 40)");
     let mut t = Table::new(&["recovery_cycles", "MD delta (cycles)", "signal"]);
     let mut deltas = Vec::new();
@@ -70,6 +73,7 @@ fn main() {
         cfg.timing.recovery_cycles = recovery;
         let d = md_delta(cfg);
         deltas.push((recovery, d));
+        rep.scalar(&format!("md_delta.recovery_{recovery:03}"), d as f64);
         t.row_owned(vec![
             recovery.to_string(),
             format!("{d:+}"),
@@ -99,6 +103,7 @@ fn main() {
         cfg.timing.fault_confirm_cycles = confirm;
         let d = md_delta(cfg);
         deltas.push((confirm, d));
+        rep.scalar(&format!("md_delta.confirm_{confirm:03}"), d as f64);
         t.row_owned(vec![
             confirm.to_string(),
             format!("{d:+}"),
@@ -123,6 +128,7 @@ fn main() {
         cfg.walk.level_cost = level_cost;
         let g = kaslr_gap(cfg);
         gaps.push(g);
+        rep.scalar(&format!("kaslr_gap.level_cost_{level_cost:03}"), g as f64);
         t.row_owned(vec![level_cost.to_string(), format!("{g:+}")]);
     }
     print!("{}", t.render());
@@ -131,6 +137,7 @@ fn main() {
         "the gap must grow monotonically with walk cost: {gaps:?}"
     );
     assert!(gaps.last().expect("swept") > &0);
+    write_report(&rep);
     println!(
         "\nreproduced: the KASLR differential is proportional to the walk cost the\n\
          retry doubles — exactly the paper's root-cause account (§5.2.4)"

@@ -10,7 +10,7 @@ use tet_uarch::CpuConfig;
 use whisper::analysis::{ArgmaxDecoder, Histogram, Polarity};
 use whisper::gadget::{TetGadget, TetGadgetSpec};
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::section;
+use whisper_bench::{section, write_report, RunReport};
 
 fn main() {
     let cfg = CpuConfig::kaby_lake_i7_7700();
@@ -85,4 +85,15 @@ fn main() {
         peak, b'S',
         "the reproduction must recover the planted secret"
     );
+
+    let mut rep = RunReport::new("fig1_tote");
+    rep.set_meta("cpu", "kaby_lake_i7_7700");
+    rep.set_meta("figure", "1b");
+    rep.counter("tote_mode_not_triggered", h_miss.mode().unwrap_or(0));
+    rep.counter("tote_mode_triggered", h_hit.mode().unwrap_or(0));
+    rep.counter("samples_not_triggered", h_miss.samples());
+    rep.counter("samples_triggered", h_hit.samples());
+    rep.counter("decoded_byte", peak as u64);
+    rep.scalar("secret_recovered", f64::from(peak == b'S'));
+    write_report(&rep);
 }

@@ -11,7 +11,7 @@ use tet_pmu::{Collector, DifferentialReport, Event, Unit};
 use tet_uarch::CpuConfig;
 use whisper::gadget::{TetGadget, TetGadgetSpec};
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::section;
+use whisper_bench::{section, write_report, RunReport};
 
 fn main() {
     // ---- Stage 1: preparation -------------------------------------------
@@ -118,4 +118,14 @@ fn main() {
         "trigger adds resteer cycles"
     );
     println!("\nanswers reproduced: BPU resteer (RQ1) + recovery stall (RQ2) drive the TET delta");
+
+    let mut rep = RunReport::new("fig2_toolset");
+    rep.set_meta("cpu", "kaby_lake_i7_7700");
+    rep.set_meta("figure", "2");
+    rep.counter("catalog_events", Event::ALL.len() as u64);
+    rep.counter("reactive_events", report.deltas().len() as u64);
+    for d in report.deltas() {
+        rep.scalar(&format!("delta.{}", d.event.name()), d.variant - d.baseline);
+    }
+    write_report(&rep);
 }

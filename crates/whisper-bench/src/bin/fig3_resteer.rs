@@ -11,7 +11,7 @@ use tet_isa::Reg;
 use tet_uarch::{CpuConfig, RunConfig};
 use whisper::gadget::{TetGadget, TetGadgetSpec, TransientBegin};
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::section;
+use whisper_bench::{section, write_report, RunReport};
 
 fn trace(sc: &mut Scenario, gadget: &TetGadget, test: u64) -> Vec<tet_uarch::FrontendTraceEntry> {
     let r = sc.machine.run(
@@ -93,4 +93,15 @@ fn main() {
         "the triggered run must take longer overall"
     );
     println!("\nreproduced: the in-window resteer stalls the frontend and stretches the run");
+
+    let mut rep = RunReport::new("fig3_resteer");
+    rep.set_meta("cpu", "kaby_lake_i7_7700");
+    rep.set_meta("figure", "3");
+    rep.counter("cycles_not_triggered", quiet.len() as u64);
+    rep.counter("cycles_triggered", triggered.len() as u64);
+    rep.stage("stall_not_triggered", stall(&quiet) as u64);
+    rep.stage("stall_triggered", stall(&triggered) as u64);
+    rep.counter("dsb_uops_not_triggered", dsb(&quiet) as u64);
+    rep.counter("dsb_uops_triggered", dsb(&triggered) as u64);
+    write_report(&rep);
 }

@@ -17,7 +17,7 @@ use tet_isa::{Asm, Cond, Program, Reg};
 use tet_pmu::{Collector, Event};
 use tet_uarch::{CpuConfig, RunConfig, RunExit};
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::{section, Table};
+use whisper_bench::{section, write_report, RunReport, Table};
 
 /// The Figure 4 gadget: fall-through = `nops(pre); mfence; nops(post)`,
 /// taken target = a fence-free `nops(post)` stream.
@@ -133,4 +133,13 @@ fn main() {
         "reproduced: the trigger path issues MORE uops while the fall-through path is\n\
          fence-blocked, and FEWER once the padding keeps the fence out of the window"
     );
+
+    let mut rep = RunReport::new("fig4_flow");
+    rep.set_meta("cpu", "skylake_i7_6700");
+    rep.set_meta("figure", "4");
+    for (pre, delta) in &deltas {
+        rep.scalar(&format!("uops_issued_delta.pre_{pre:03}"), *delta);
+    }
+    rep.scalar("sign_flip", f64::from(first > 0.0 && last < 0.0));
+    write_report(&rep);
 }

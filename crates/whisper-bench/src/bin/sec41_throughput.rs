@@ -16,7 +16,7 @@ use tet_uarch::CpuConfig;
 use whisper::attacks::{TetKaslr, TetMeltdown, TetSpectreRsb};
 use whisper::channel::TetCovertChannel;
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::{section, Table};
+use whisper_bench::{section, write_report, RunReport, Table};
 
 fn random_payload(len: usize, seed: u64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -41,6 +41,9 @@ fn main() {
         "paper throughput",
         "paper error",
     ]);
+    let mut report = RunReport::new("sec41_throughput");
+    report.set_meta("section", "4.1");
+    report.counter("payload_bytes", payload_len as u64);
 
     section("TET-CC (covert channel)");
     {
@@ -63,6 +66,8 @@ fn main() {
             "500 B/s".into(),
             "<5 %".into(),
         ]);
+        report.scalar("tet_cc.bytes_per_sec", rep.bytes_per_sec);
+        report.scalar("tet_cc.error_rate", rep.error_rate);
     }
 
     section("TET-MD (Meltdown through TET)");
@@ -96,6 +101,8 @@ fn main() {
             "50 B/s".into(),
             "<3 %".into(),
         ]);
+        report.scalar("tet_md.bytes_per_sec", rep.bytes_per_sec);
+        report.scalar("tet_md.error_rate", rep.error_against(&expected));
     }
 
     section("TET-RSB (Spectre-RSB through TET)");
@@ -125,6 +132,8 @@ fn main() {
             "21.5 KB/s".into(),
             "<0.1 %".into(),
         ]);
+        report.scalar("tet_rsb.bytes_per_sec", rep.bytes_per_sec);
+        report.scalar("tet_rsb.error_rate", rep.error_against(&secret));
     }
 
     section("TET-KASLR (n=3, like the paper)");
@@ -170,8 +179,11 @@ fn main() {
             "0.8829 s/break".into(),
             "sd 0.0036".into(),
         ]);
+        report.scalar("tet_kaslr.mean_seconds", mean);
+        report.scalar("tet_kaslr.sd_seconds", sd);
     }
 
     section("Summary (paper §4.1)");
     print!("{}", table.render());
+    write_report(&report);
 }

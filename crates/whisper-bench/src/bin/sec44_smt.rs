@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tet_uarch::CpuConfig;
 use whisper::smt::SmtTetChannel;
-use whisper_bench::{section, Table};
+use whisper_bench::{section, write_report, RunReport, Table};
 
 fn main() {
     let nbits: usize = std::env::args()
@@ -97,4 +97,14 @@ fn main() {
         assert_eq!(leak.value, secret, "the fill buffers leak across threads");
         println!("  reproduced: only the shared LFB connects the threads, and it is enough");
     }
+
+    let mut rep = RunReport::new("sec44_smt");
+    rep.set_meta("cpu", "kaby_lake_i7_7700");
+    rep.set_meta("section", "4.4");
+    rep.counter("bits", bits.len() as u64);
+    rep.scalar("prototype.bits_per_sec", rp.bits_per_sec);
+    rep.scalar("prototype.bit_error_rate", rp.bit_error_rate);
+    rep.scalar("fast.bits_per_sec", rf.bits_per_sec);
+    rep.scalar("fast.bit_error_rate", rf.bit_error_rate);
+    write_report(&rep);
 }

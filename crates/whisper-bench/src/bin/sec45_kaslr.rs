@@ -8,7 +8,7 @@ use tet_uarch::CpuConfig;
 use whisper::attacks::TetKaslr;
 use whisper::baseline::{EntryBleedProbe, PrefetchKaslr};
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::{section, tick, Table};
+use whisper_bench::{section, tick, write_report, RunReport, Table};
 
 fn scenario(
     cpu: CpuConfig,
@@ -38,6 +38,8 @@ fn main() {
         "time (sim s)",
         "paper",
     ]);
+    let mut rep = RunReport::new("sec45_kaslr");
+    rep.set_meta("section", "4.5");
 
     section("Plain KASLR (paper: broken on i7-6700, i7-7700, i9-10980XE)");
     for cfg in [
@@ -57,6 +59,8 @@ fn main() {
             "broken".into(),
         ]);
         assert!(r.success, "plain KASLR must fall on {}", cfg.name);
+        rep.scalar(&format!("plain.{}.success", cfg.name), f64::from(r.success));
+        rep.scalar(&format!("plain.{}.seconds", cfg.name), r.seconds);
     }
 
     section("KPTI enabled (paper: trampoline found among 512 offsets within 1 s)");
@@ -85,6 +89,9 @@ fn main() {
             r.seconds < 1.0,
             "the 512-slot sweep must finish within 1 simulated second"
         );
+        rep.scalar("kpti.success", f64::from(r.success));
+        rep.scalar("kpti.seconds", r.seconds);
+        rep.counter("kpti.probes", r.probes);
     }
 
     section("FLARE deployed (paper: state-of-the-art defense, still bypassed)");
@@ -116,6 +123,9 @@ fn main() {
             "broken".into(),
         ]);
         assert!(tet.success, "TET must bypass FLARE");
+        rep.scalar("flare.prefetch_baseline.success", f64::from(pre.success));
+        rep.scalar("flare.tet.success", f64::from(tet.success));
+        rep.scalar("flare.tet.seconds", tet.seconds);
     }
 
     section("EntryBleed baseline under KPTI (for context)");
@@ -132,6 +142,7 @@ fn main() {
             format!("{:.6}", r.seconds),
             "broken (2023)".into(),
         ]);
+        rep.scalar("kpti.entrybleed_baseline.success", f64::from(r.success));
     }
 
     section("Docker container (paper: Docker 24.0.1/runc, still broken)");
@@ -157,8 +168,11 @@ fn main() {
             "broken".into(),
         ]);
         assert!(r.success, "containerisation must not stop TET-KASLR");
+        rep.scalar("docker.success", f64::from(r.success));
+        rep.scalar("docker.seconds", r.seconds);
     }
 
     section("Summary");
     print!("{}", table.render());
+    write_report(&rep);
 }

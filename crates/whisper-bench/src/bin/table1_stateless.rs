@@ -13,7 +13,7 @@ use whisper::attacks::TetMeltdown;
 use whisper::baseline::{CacheAttackDetector, FlushReloadMeltdown};
 use whisper::scenario::{Scenario, ScenarioOptions};
 use whisper::stealth::measure_footprint;
-use whisper_bench::{section, tick, Table};
+use whisper_bench::{section, tick, write_report, RunReport, Table};
 
 fn main() {
     let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
@@ -72,6 +72,23 @@ fn main() {
     assert!(fr_verdict.flagged, "the detector must flag Flush+Reload");
     assert!(!tet_verdict.flagged, "the detector must miss TET");
     assert_eq!(tet_fp.clflushes, 0);
+
+    let mut rep = RunReport::new("table1_stateless");
+    rep.set_meta("cpu", "kaby_lake_i7_7700");
+    rep.set_meta("table", "1");
+    rep.counter("flush_reload.clflushes", fr_verdict.clflushes);
+    rep.counter("flush_reload.l1_misses", fr_verdict.l1_misses);
+    rep.counter(
+        "flush_reload.state_changes",
+        fr_fp.total_state_changes() as u64,
+    );
+    rep.scalar("flush_reload.flagged", f64::from(fr_verdict.flagged));
+    rep.counter("tet.clflushes", tet_verdict.clflushes);
+    rep.counter("tet.l1_misses", tet_verdict.l1_misses);
+    rep.counter("tet.state_changes", tet_fp.total_state_changes() as u64);
+    rep.scalar("tet.flagged", f64::from(tet_verdict.flagged));
+    write_report(&rep);
+
     println!(
         "\nreproduced: TET transmits through squash timing alone — no probe array, no flushes,\n\
          near-zero persistent state — and sails past the cache-anomaly detector."

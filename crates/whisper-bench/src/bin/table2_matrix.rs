@@ -6,7 +6,7 @@
 
 use tet_uarch::CpuConfig;
 use whisper::eval::{paper_table2_row, run_table2_row, AttackStatus};
-use whisper_bench::{section, Table};
+use whisper_bench::{section, write_report, Progress, RunReport, Table};
 
 fn cell(ours: AttackStatus, paper: Option<AttackStatus>) -> String {
     let o = match ours {
@@ -32,7 +32,11 @@ fn main() {
         "TET-KASLR",
     ]);
     let mut all_match = true;
-    for cfg in CpuConfig::table2_presets() {
+    let mut rep = RunReport::new("table2_matrix");
+    let presets = CpuConfig::table2_presets();
+    let total = presets.len();
+    let progress = Progress::new("table2_matrix");
+    for (i, cfg) in presets.into_iter().enumerate() {
         let row = run_table2_row(&cfg, 42);
         let paper = paper_table2_row(cfg.name);
         let cells = row.cells();
@@ -46,12 +50,21 @@ fn main() {
             cell(cells[4], paper[4]),
         ]);
         all_match &= row.matches_paper();
-        eprintln!("  finished {}", row.cpu);
+        let successes = cells
+            .iter()
+            .filter(|s| matches!(s, AttackStatus::Success))
+            .count();
+        rep.counter(&format!("attacks_ok.{}", cfg.name), successes as u64);
+        progress.step(i + 1, total, row.cpu);
     }
+    progress.done();
     print!("{}", table.render());
     println!(
         "\nAll paper-verified cells match: {}",
         whisper_bench::tick(all_match)
     );
+    rep.set_meta("table", "2");
+    rep.scalar("all_match", f64::from(all_match));
+    write_report(&rep);
     assert!(all_match, "Table 2 reproduction must match the paper");
 }

@@ -11,7 +11,7 @@ use tet_pmu::{Collector, Event};
 use tet_uarch::CpuConfig;
 use whisper::gadget::{TetGadget, TetGadgetSpec};
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::{section, Table};
+use whisper_bench::{section, write_report, RunReport, Table};
 
 /// Collects averaged per-run counters for the gadget at one test value.
 /// Between samples the gadget runs a few de-training probes (as the real
@@ -40,12 +40,17 @@ fn collect(
 
 fn print_rows(
     table: &mut Table,
+    rep: &mut RunReport,
     scene: &str,
     base: &tet_pmu::toolset::AveragedCounts,
     var: &tet_pmu::toolset::AveragedCounts,
     events: &[Event],
 ) {
     for e in events {
+        rep.scalar(
+            &format!("delta.{}.{}", scene.replace(' ', "_"), e.name()),
+            var.mean(*e) - base.mean(*e),
+        );
         table.row_owned(vec![
             scene.to_string(),
             e.name().to_string(),
@@ -71,6 +76,8 @@ fn main() {
         "Jcc trigger",
         "direction",
     ]);
+    let mut rep = RunReport::new("table3_pmu");
+    rep.set_meta("table", "3");
 
     section("Core i7-6700 / TET-CC");
     {
@@ -85,6 +92,7 @@ fn main() {
         let var = collect(&mut sc, &gadget, b'S' as u64, runs);
         print_rows(
             &mut table,
+            &mut rep,
             "i7-6700 TET-CC",
             &base,
             &var,
@@ -109,6 +117,7 @@ fn main() {
         let var = collect(&mut sc, &gadget, b'S' as u64, runs);
         print_rows(
             &mut table,
+            &mut rep,
             "i7-7700 TET-CC",
             &base,
             &var,
@@ -144,6 +153,7 @@ fn main() {
         let var = collect(&mut sc, &gadget, b'S' as u64, runs);
         print_rows(
             &mut table,
+            &mut rep,
             "i7-7700 TET-MD",
             &base,
             &var,
@@ -174,6 +184,7 @@ fn main() {
         let var = collect(&mut sc, &gadget, b'S' as u64, runs);
         print_rows(
             &mut table,
+            &mut rep,
             "Zen3 TET-CC",
             &base,
             &var,
@@ -233,6 +244,8 @@ fn main() {
             ("ITLB walk active", Event::ItlbMissesWalkActive, "19", "0*"),
         ];
         for (_, e, pu, pm) in paper {
+            rep.scalar(&format!("kaslr.unmapped.{}", e.name()), base.mean(e));
+            rep.scalar(&format!("kaslr.mapped.{}", e.name()), var.mean(e));
             t2.row_owned(vec![
                 e.name().to_string(),
                 format!("{:.1}", base.mean(e)),
@@ -244,4 +257,6 @@ fn main() {
         print!("{}", t2.render());
         println!("(* the paper's mapped counts are ~0 because the TLB entry persists; our probe\n   flushes the TLB every sample, so 'mapped' shows one non-retried walk instead)");
     }
+
+    write_report(&rep);
 }

@@ -1,11 +1,16 @@
-//! Shared helpers for the experiment binaries: text tables and scenario
-//! shorthand.
+//! Shared helpers for the experiment binaries: text tables, progress
+//! reporting, and machine-readable run reports.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
 //! paper (see `DESIGN.md`'s per-experiment index); run them with
-//! `cargo run -p whisper-bench --bin <name>`.
+//! `cargo run -p whisper-bench --bin <name>`. Besides the human-readable
+//! stdout output, every binary writes a [`RunReport`] JSON file to
+//! `target/reports/<bin>.json` (overridable with `TET_REPORT_DIR`) via
+//! [`write_report`].
 
 #![warn(missing_docs)]
+
+pub use tet_obs::{Progress, RunReport};
 
 /// Renders an aligned text table.
 ///
@@ -93,6 +98,17 @@ pub fn tick(ok: bool) -> &'static str {
 /// Prints a titled section header to stdout.
 pub fn section(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// Writes a run report to `target/reports/<name>.json` (or
+/// `TET_REPORT_DIR`) and notes the path on stderr. IO failure warns
+/// instead of failing the experiment — the report is a byproduct, not the
+/// result.
+pub fn write_report(report: &RunReport) {
+    match report.write_default() {
+        Ok(path) => eprintln!("report: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write report {:?}: {e}", report.name),
+    }
 }
 
 #[cfg(test)]

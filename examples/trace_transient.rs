@@ -5,9 +5,17 @@
 //! executed transiently and were squashed — and how the triggered Jcc's
 //! misprediction reshapes the window.
 //!
+//! It also attaches a structured trace sink and exports the full event
+//! stream (µop slices, faults, resteers, cache/TLB activity) as Chrome
+//! trace JSON — load `target/reports/trace_transient.chrome.json` in
+//! <https://ui.perfetto.dev> to scrub through the transient window.
+//!
 //! Run: `cargo run -p whisper --example trace_transient`
 
+use std::sync::Arc;
+
 use tet_isa::Reg;
+use tet_obs::{ChromeTrace, MemorySink, SinkHandle};
 use tet_uarch::{CpuConfig, RunConfig, SquashReason, UopFate};
 use whisper::gadget::{TetGadget, TetGadgetSpec, TransientBegin};
 use whisper::scenario::{Scenario, ScenarioOptions};
@@ -74,21 +82,37 @@ fn main() {
         gadget.measure(&mut sc.machine, 0); // steady state
     }
 
-    for (label, test) in [
-        ("NOT TRIGGERED (test != secret)", 0u64),
-        ("TRIGGERED (test == 'S')", b'S' as u64),
+    for (label, slug, test) in [
+        ("NOT TRIGGERED (test != secret)", "not_triggered", 0u64),
+        ("TRIGGERED (test == 'S')", "triggered", b'S' as u64),
     ] {
+        let recorder = Arc::new(MemorySink::new());
         let r = sc.machine.run(
             &gadget.program,
             &RunConfig {
                 handler_pc: Some(gadget.handler_pc),
                 init_regs: vec![(Reg::Rbx, test)],
                 trace_uops: true,
+                sink: SinkHandle::attached(recorder.clone()),
                 ..RunConfig::default()
             },
         );
         println!("\n=== {label}: ToTE = {} cycles ===", r.regs.get(Reg::Rax));
         render(&r.uop_trace.expect("requested"), r.cycles);
+
+        let events = recorder.drain();
+        let name = format!("trace_transient ({slug})");
+        let json = ChromeTrace::new(&name, events).to_json();
+        let dir = std::env::var("TET_REPORT_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| std::path::PathBuf::from("target/reports"));
+        std::fs::create_dir_all(&dir).expect("report dir");
+        let path = dir.join(format!("trace_transient.{slug}.chrome.json"));
+        std::fs::write(&path, json).expect("write chrome trace");
+        println!(
+            "chrome trace: {} (load in https://ui.perfetto.dev)",
+            path.display()
+        );
     }
     println!(
         "\nthe triggered run shows the in-window Jcc squashing its own shadow\n\

@@ -2,8 +2,18 @@
 # Regenerates every table and figure of the paper in sequence.
 # Each binary asserts its own headline claim and exits non-zero on a
 # reproduction failure, so this script doubles as a full repro check.
+#
+# With --json, the per-experiment console output is silenced and each
+# binary's structured run report (see EXPERIMENTS.md) is collected into
+# REPORT_DIR (default target/reports), with a one-line summary per bin.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JSON=0
+if [[ "${1:-}" == "--json" ]]; then
+    JSON=1
+    shift
+fi
 
 BINS=(
     fig1_tote
@@ -22,6 +32,29 @@ BINS=(
     ablation_defenses
     ablation_sensitivity
 )
+
+if [[ "$JSON" == 1 ]]; then
+    REPORT_DIR="${TET_REPORT_DIR:-target/reports}"
+    mkdir -p "$REPORT_DIR"
+    for bin in "${BINS[@]}"; do
+        if TET_QUIET=1 TET_REPORT_DIR="$REPORT_DIR" \
+            cargo run --release -q -p whisper-bench --bin "$bin" >/dev/null 2>&1; then
+            status=ok
+        else
+            status=FAILED
+        fi
+        report="$REPORT_DIR/$bin.json"
+        if [[ -f "$report" ]]; then
+            printf '%-22s %-7s %s\n' "$bin" "$status" "$report"
+        else
+            printf '%-22s %-7s %s\n' "$bin" "$status" "(no report written)"
+        fi
+        [[ "$status" == ok ]] || exit 1
+    done
+    echo
+    echo "All ${#BINS[@]} experiments reproduced; reports in $REPORT_DIR/."
+    exit 0
+fi
 
 for bin in "${BINS[@]}"; do
     echo "================================================================"

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the small API surface its benches use: `Criterion`,
+//! `benchmark_group` / `bench_function`, `Bencher::iter`, `Throughput`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: a short warm-up, then timed batches until either
+//! `sample_size` batches or the time budget elapse; reports the median
+//! ns/iter to stdout. No plots, no statistics machinery — just a stable,
+//! dependency-free way to keep `cargo bench` compiling and producing
+//! comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (accepted and echoed, not analysed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Opaque-to-the-optimiser value sink.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The timing loop handed to bench closures.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-batch iteration calibration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+
+        let deadline = Instant::now() + self.budget;
+        while self.samples.len() < self.sample_size && Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / per_batch as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// The bench driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            budget: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.budget,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let ns = b.median_ns();
+        println!(
+            "bench: {name:<40} {:>12.0} ns/iter (median of {})",
+            ns,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timing samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.parent.bench_function(&full, f);
+        if let Some(t) = self.throughput {
+            println!("bench: {full:<40}   throughput annotation: {t:?}");
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            budget: Duration::from_millis(50),
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}
