@@ -15,7 +15,15 @@ use std::collections::BTreeMap;
 use crate::json::{self, Value};
 
 /// Schema version stamped into every report.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 adds three optional throughput fields on top of v1
+/// ([`RunReport::wall_time_ms`], [`RunReport::host_threads`],
+/// [`RunReport::sim_cycles_per_sec`]); every v1 field is unchanged and v1
+/// documents still parse.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`RunReport::from_json`] accepts.
+pub const REPORT_SCHEMA_MIN_VERSION: u64 = 1;
 
 /// An accumulating latency/value histogram. Keeps raw samples; summaries
 /// are computed on demand.
@@ -135,6 +143,14 @@ pub struct RunReport {
     pub stages: BTreeMap<String, u64>,
     /// Named latency/value distributions.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Wall-clock duration of the run in milliseconds (schema v2;
+    /// intentionally excluded from determinism comparisons — see
+    /// [`RunReport::without_timing`]).
+    pub wall_time_ms: Option<f64>,
+    /// Host worker threads the run used (schema v2).
+    pub host_threads: Option<u64>,
+    /// Simulated cycles per wall-clock second (schema v2).
+    pub sim_cycles_per_sec: Option<f64>,
 }
 
 impl RunReport {
@@ -180,6 +196,36 @@ impl RunReport {
     pub fn histogram(&mut self, key: &str, hist: &Histogram) -> &mut Self {
         self.histograms.insert(key.to_string(), hist.summarize());
         self
+    }
+
+    /// Records the schema-v2 throughput fields in one call: wall time,
+    /// host thread count, and — when `sim_cycles` is known — the derived
+    /// simulated-cycles-per-second rate.
+    pub fn set_throughput(
+        &mut self,
+        wall: std::time::Duration,
+        host_threads: usize,
+        sim_cycles: Option<u64>,
+    ) -> &mut Self {
+        let secs = wall.as_secs_f64();
+        self.wall_time_ms = Some(secs * 1e3);
+        self.host_threads = Some(host_threads as u64);
+        self.sim_cycles_per_sec = sim_cycles.filter(|_| secs > 0.0).map(|c| c as f64 / secs);
+        self
+    }
+
+    /// Returns a copy with the host-timing-dependent v2 fields cleared.
+    ///
+    /// Determinism checks compare `a.without_timing() == b.without_timing()`:
+    /// everything the simulation computes must match bit-for-bit across
+    /// thread counts, while wall time and throughput legitimately vary.
+    pub fn without_timing(&self) -> RunReport {
+        RunReport {
+            wall_time_ms: None,
+            host_threads: None,
+            sim_cycles_per_sec: None,
+            ..self.clone()
+        }
     }
 
     /// Serializes to the JSON value tree.
@@ -233,6 +279,15 @@ impl RunReport {
                     .collect(),
             ),
         );
+        if let Some(ms) = self.wall_time_ms {
+            o.set("wall_time_ms", Value::Num(ms));
+        }
+        if let Some(ht) = self.host_threads {
+            o.set("host_threads", Value::from(ht));
+        }
+        if let Some(rate) = self.sim_cycles_per_sec {
+            o.set("sim_cycles_per_sec", Value::Num(rate));
+        }
         o
     }
 
@@ -247,7 +302,7 @@ impl RunReport {
         let version = field(&v, "schema_version")?
             .as_u64()
             .ok_or(bad("schema_version"))?;
-        if version != REPORT_SCHEMA_VERSION {
+        if !(REPORT_SCHEMA_MIN_VERSION..=REPORT_SCHEMA_VERSION).contains(&version) {
             return Err(format!("unsupported schema_version {version}"));
         }
         let name = field(&v, "name")?.as_str().ok_or(bad("name"))?.to_string();
@@ -282,6 +337,16 @@ impl RunReport {
             report
                 .histograms
                 .insert(k, HistogramSummary::from_value(&val)?);
+        }
+        // v2 throughput fields: optional in v2, absent in v1.
+        if let Some(val) = v.get("wall_time_ms") {
+            report.wall_time_ms = Some(val.as_num().ok_or(bad("wall_time_ms"))?);
+        }
+        if let Some(val) = v.get("host_threads") {
+            report.host_threads = Some(val.as_u64().ok_or(bad("host_threads"))?);
+        }
+        if let Some(val) = v.get("sim_cycles_per_sec") {
+            report.sim_cycles_per_sec = Some(val.as_num().ok_or(bad("sim_cycles_per_sec"))?);
         }
         Ok(report)
     }
@@ -352,5 +417,50 @@ mod tests {
         let mut r = RunReport::new("x").to_value();
         r.set("schema_version", Value::from(99u64));
         assert!(RunReport::from_json(&r.to_json()).is_err());
+    }
+
+    #[test]
+    fn v2_throughput_fields_round_trip() {
+        let mut r = RunReport::new("bench");
+        r.set_throughput(std::time::Duration::from_millis(2500), 8, Some(5_000_000));
+        assert_eq!(r.wall_time_ms, Some(2500.0));
+        assert_eq!(r.host_threads, Some(8));
+        assert_eq!(r.sim_cycles_per_sec, Some(2_000_000.0));
+        let back = RunReport::from_json(&r.to_json()).expect("round-trips");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A v1 report has no throughput fields and schema_version 1.
+        let mut v = RunReport::new("legacy").to_value();
+        v.set("schema_version", Value::from(1u64));
+        let r = RunReport::from_json(&v.to_json()).expect("v1 parses");
+        assert_eq!(r.name, "legacy");
+        assert_eq!(r.wall_time_ms, None);
+        assert_eq!(r.host_threads, None);
+        assert_eq!(r.sim_cycles_per_sec, None);
+    }
+
+    #[test]
+    fn without_timing_masks_only_the_v2_fields() {
+        let mut a = RunReport::new("run");
+        a.scalar("accuracy", 1.0);
+        let mut b = a.clone();
+        a.set_throughput(std::time::Duration::from_millis(10), 1, Some(1000));
+        b.set_throughput(std::time::Duration::from_millis(99), 8, Some(1000));
+        assert_ne!(a, b);
+        assert_eq!(a.without_timing(), b.without_timing());
+        // A genuine result difference still shows through.
+        b.scalar("accuracy", 0.5);
+        assert_ne!(a.without_timing(), b.without_timing());
+    }
+
+    #[test]
+    fn zero_wall_time_leaves_rate_unset() {
+        let mut r = RunReport::new("instant");
+        r.set_throughput(std::time::Duration::ZERO, 4, Some(123));
+        assert_eq!(r.sim_cycles_per_sec, None);
+        assert_eq!(r.host_threads, Some(4));
     }
 }

@@ -1,0 +1,293 @@
+//! Deterministic parallel execution of independent simulator trials.
+//!
+//! Every paper artifact in this repository — the Table 2 attack matrix,
+//! the `0..=255` argmax sweeps, the seed-replicated KASLR scans, the
+//! ablation parameter sweeps — is an embarrassingly-parallel fan-out of
+//! *independent* simulator runs: each trial builds its own
+//! [`Machine`](../tet_uarch/struct.Machine.html)/scenario from a config
+//! plus a seed, so trials share no mutable state. This crate provides the
+//! one primitive those fan-outs need and nothing more: run an indexed
+//! work list on `N` scoped worker threads and **commit results in
+//! submission order**, so the output is byte-identical to a serial run
+//! regardless of thread count or OS scheduling.
+//!
+//! # Determinism model (DESIGN.md §8)
+//!
+//! Two properties make `threads = 1` and `threads = 64` byte-identical:
+//!
+//! 1. **The work decomposition is fixed.** Callers split work by *index*
+//!    (one cell, one seed, one payload chunk), never by "whatever thread
+//!    is free next". Thread count only changes who executes an index,
+//!    never what an index computes.
+//! 2. **Results commit in submission order.** Each worker writes its
+//!    result into the slot owned by its index; the caller consumes slots
+//!    `0..n` in order. No result ever observes another trial's timing.
+//!
+//! Workers *claim* indices dynamically (an atomic cursor, so a slow trial
+//! does not convoy the rest), which is safe precisely because trials are
+//! independent.
+//!
+//! # Thread-count policy
+//!
+//! [`default_threads`] resolves, in order: the `TET_THREADS` environment
+//! variable, then the host's available parallelism. Binaries layer a
+//! `--threads N` flag on top via [`threads_from_args`].
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = tet_par::run_indexed(4, 10, |i| i * i);
+//! assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves the thread count to use when the caller did not pass one:
+/// `TET_THREADS` if set to a positive integer, else the host's available
+/// parallelism, else 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TET_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Extracts a `--threads N` flag from CLI arguments, removing it (and its
+/// value) from the list; falls back to [`default_threads`]. Accepts both
+/// `--threads 8` and `--threads=8`.
+///
+/// # Examples
+///
+/// ```
+/// let mut args = vec!["64".to_string(), "--threads".into(), "2".into()];
+/// let threads = tet_par::threads_from_args(&mut args);
+/// assert_eq!(threads, 2);
+/// assert_eq!(args, vec!["64".to_string()]);
+/// ```
+pub fn threads_from_args(args: &mut Vec<String>) -> usize {
+    let mut threads = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--threads=") {
+            threads = v.parse::<usize>().ok().filter(|&n| n > 0);
+            args.remove(i);
+            continue;
+        }
+        if args[i] == "--threads" {
+            if i + 1 < args.len() {
+                threads = args[i + 1].parse::<usize>().ok().filter(|&n| n > 0);
+                args.drain(i..=i + 1);
+            } else {
+                args.remove(i);
+            }
+            continue;
+        }
+        i += 1;
+    }
+    threads.unwrap_or_else(default_threads)
+}
+
+/// Runs `f(0..n)` on up to `threads` scoped worker threads and returns
+/// the results **in index order** — byte-identical to
+/// `(0..n).map(f).collect()` for any thread count.
+///
+/// Indices are claimed dynamically from an atomic cursor, so an
+/// expensive trial does not serialize the cheap ones behind it. With
+/// `threads <= 1` (or `n <= 1`) the closure runs inline on the caller's
+/// thread with no pool at all — the serial path stays allocation- and
+/// synchronization-free.
+///
+/// # Panics
+///
+/// Propagates the first worker panic (by index order) to the caller.
+pub fn run_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    // One mutex-free-in-practice slot per index: each slot is written by
+    // exactly one worker (the one that claimed the index), so the lock is
+    // never contended; it exists to make the slot writes safe Rust.
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let panicked = AtomicUsize::new(usize::MAX);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
+                match result {
+                    Ok(v) => *slots[i].lock().expect("slot lock") = Some(v),
+                    Err(_) => {
+                        // Record the lowest panicking index so the caller
+                        // re-panics deterministically.
+                        panicked.fetch_min(i, Ordering::SeqCst);
+                        // Stop claiming new work.
+                        cursor.fetch_add(n, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let bad = panicked.load(Ordering::SeqCst);
+    if bad != usize::MAX {
+        // Re-run the offending index inline so the caller sees the
+        // original panic payload (trials are deterministic by contract).
+        let _ = f(bad);
+        panic!("parallel trial {bad} panicked");
+    }
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("every index was committed")
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` in parallel, returning results in item order
+/// (the slice analogue of [`run_indexed`]).
+///
+/// # Examples
+///
+/// ```
+/// let doubled = tet_par::par_map(2, &[1, 2, 3], |&x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+pub fn par_map<I, T, F>(threads: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_indexed(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Splits `len` work items into fixed-size chunks and returns the chunk
+/// bounds `(start, end)`. The chunk size depends only on `chunk`, never
+/// on the thread count — this is what keeps chunked decompositions
+/// deterministic across `--threads` settings.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tet_par::chunk_bounds(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+/// assert_eq!(tet_par::chunk_bounds(0, 4), vec![]);
+/// ```
+pub fn chunk_bounds(len: usize, chunk: usize) -> Vec<(usize, usize)> {
+    assert!(chunk > 0, "chunk size must be positive");
+    (0..len.div_ceil(chunk))
+        .map(|c| (c * chunk, ((c + 1) * chunk).min(len)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_commit_in_submission_order() {
+        // Make later indices finish *earlier* to prove ordering does not
+        // depend on completion time.
+        let out = run_indexed(4, 32, |i| {
+            std::thread::sleep(std::time::Duration::from_micros((32 - i as u64) * 50));
+            i * 3
+        });
+        assert_eq!(out, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_for_any_thread_count() {
+        let reference: Vec<u64> = (0..100).map(|i| (i as u64).wrapping_mul(0x9e37)).collect();
+        for threads in [1, 2, 3, 8, 17] {
+            let got = run_indexed(threads, 100, |i| (i as u64).wrapping_mul(0x9e37));
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..50).map(|_| AtomicU64::new(0)).collect();
+        run_indexed(8, 50, |i| hits[i].fetch_add(1, Ordering::SeqCst));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_items() {
+        assert_eq!(run_indexed(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<String> = (0..20).map(|i| format!("s{i}")).collect();
+        let out = par_map(4, &items, |s| s.len());
+        let want: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 13")]
+    fn worker_panics_propagate() {
+        run_indexed(4, 20, |i| {
+            if i == 13 {
+                panic!("boom at 13");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        let mut args = vec!["--threads".to_string(), "3".into(), "x".into()];
+        assert_eq!(threads_from_args(&mut args), 3);
+        assert_eq!(args, vec!["x".to_string()]);
+
+        let mut args = vec!["--threads=5".to_string()];
+        assert_eq!(threads_from_args(&mut args), 5);
+        assert!(args.is_empty());
+
+        // Dangling flag falls back to the default (>= 1 either way).
+        let mut args = vec!["--threads".to_string()];
+        assert!(threads_from_args(&mut args) >= 1);
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn chunk_bounds_cover_everything_once() {
+        for (len, chunk) in [(10usize, 3usize), (12, 4), (1, 8), (7, 7), (16, 1)] {
+            let bounds = chunk_bounds(len, chunk);
+            let mut covered = 0;
+            for (i, &(s, e)) in bounds.iter().enumerate() {
+                assert!(s < e && e <= len);
+                assert_eq!(s, covered, "chunk {i} must start where the last ended");
+                covered = e;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+}

@@ -28,7 +28,8 @@ use crate::config::{CpuConfig, ForwardPolicy};
 use crate::frontend::{Dsb, FetchedUop};
 use crate::uop::FaultRoute;
 use crate::uop::{
-    dest_regs, src_regs, Dep, DepKind, Fault, FaultKind, RobEntry, SquashReason, StoreInfo,
+    dest_regs, src_regs, Dep, DepKind, DepList, Fault, FaultKind, ResultList, RobEntry,
+    SquashReason, StoreInfo,
 };
 use crate::{code_vaddr, Bpu};
 
@@ -293,14 +294,17 @@ impl Cpu {
         &self.sink
     }
 
-    /// Emits a squash event for every id with the given cause.
-    fn emit_squash(&self, ids: &[u64], at: u64, reason: SquashReason) {
+    /// Emits a squash event for every ROB entry at index `from` onward.
+    /// The disabled path is a single branch — no id collection, no
+    /// allocation.
+    fn emit_squash_from(&self, from: usize, at: u64, reason: SquashReason) {
         if !self.sink.enabled() {
             return;
         }
         let cause = reason.to_obs();
-        for &id in ids {
-            self.sink.emit_at(at, EventKind::UopSquashed { id, cause });
+        for e in self.rob.iter().skip(from) {
+            self.sink
+                .emit_at(at, EventKind::UopSquashed { id: e.id, cause });
         }
     }
 
@@ -513,8 +517,7 @@ impl Cpu {
             self.pmu.bump(Event::BpL1BtbCorrect, 1);
 
             let flushed = self.rob.len() - (i + 1);
-            let squashed = self.squash_younger_than(i);
-            self.emit_squash(&squashed, now, SquashReason::BranchMispredict);
+            self.squash_younger_than(i, now, SquashReason::BranchMispredict);
             self.sink.emit_at(
                 now,
                 EventKind::Resteer {
@@ -542,13 +545,12 @@ impl Cpu {
         }
     }
 
-    /// Removes all ROB entries younger than index `keep` and rebuilds the
-    /// rename state from the survivors. Returns the squashed µop ids.
-    fn squash_younger_than(&mut self, keep: usize) -> Vec<u64> {
-        let ids = self.rob.iter().skip(keep + 1).map(|e| e.id).collect();
+    /// Removes all ROB entries younger than index `keep` (emitting their
+    /// squash events) and rebuilds the rename state from the survivors.
+    fn squash_younger_than(&mut self, keep: usize, now: u64, reason: SquashReason) {
+        self.emit_squash_from(keep + 1, now, reason);
         self.rob.truncate(keep + 1);
         self.rebuild_rename_state();
-        ids
     }
 
     fn rebuild_rename_state(&mut self) {
@@ -559,16 +561,14 @@ impl Cpu {
             .back()
             .map(|e| e.txn_snapshot.clone())
             .unwrap_or_default();
-        let dests: Vec<(u64, Vec<Reg>, bool)> = self
-            .rob
-            .iter()
-            .map(|e| (e.id, dest_regs(&e.inst), e.inst.writes_flags()))
-            .collect();
-        for (id, regs, wf) in dests {
-            for r in regs {
+        // `dest_regs` returns an inline Copy list, so the survivors can
+        // be walked by index without buffering (or allocating) anything.
+        for k in 0..self.rob.len() {
+            let (id, inst) = (self.rob[k].id, self.rob[k].inst);
+            for r in dest_regs(&inst) {
                 self.rat[r as usize] = Some(id);
             }
-            if wf {
+            if inst.writes_flags() {
                 self.flags_rat = Some(id);
             }
         }
@@ -602,8 +602,8 @@ impl Cpu {
     }
 
     fn commit(&mut self, entry: RobEntry, env: &mut Env<'_>, _now_retire: u64) {
-        for (r, v) in &entry.results {
-            self.regs.set(*r, *v);
+        for &(r, v) in entry.results.iter() {
+            self.regs.set(r, v);
         }
         if let Some(f) = entry.flags_out {
             self.flags = f;
@@ -673,8 +673,12 @@ impl Cpu {
     }
 
     fn deliver_fault(&mut self, now: u64, env: &mut Env<'_>) -> u64 {
-        let entry = self.rob.front().expect("caller checked").clone();
-        let fault = entry.fault.expect("caller checked");
+        // Only three Copy fields of the faulting entry matter here — no
+        // need to clone the whole ROB entry.
+        let front = self.rob.front().expect("caller checked");
+        let entry_pc = front.pc;
+        let entry_txn_abort = front.txn_abort;
+        let fault = front.fault.expect("caller checked");
         let occupancy = self.rob.len() as u64;
         let t = &self.cfg.timing;
 
@@ -690,12 +694,12 @@ impl Cpu {
         // differential of TET-KASLR on Zen 3.
         let assist = !self.cfg.vuln.early_fault_abort
             && matches!(fault.kind, FaultKind::NotPresent | FaultKind::ReservedBit)
-            && entry.txn_abort.is_none();
+            && entry_txn_abort.is_none();
 
         // Mechanism 2: squash cost scales with in-flight occupancy — an
         // inner squash that already emptied the transient window makes
         // this terminal flush cheaper.
-        let (route, cost, target) = if let Some(abort_target) = entry.txn_abort {
+        let (route, cost, target) = if let Some(abort_target) = entry_txn_abort {
             (
                 FaultRoute::TxnAbort,
                 t.txn_abort_cycles + t.fault_squash_cost_per_uop * occupancy,
@@ -719,7 +723,7 @@ impl Cpu {
 
         let Some(target) = target else {
             let record = ExceptionRecord {
-                pc: entry.pc,
+                pc: entry_pc,
                 vaddr: fault.vaddr,
                 kind: fault.kind,
                 route,
@@ -731,7 +735,7 @@ impl Cpu {
             self.sink.emit_at(
                 now,
                 EventKind::FaultDelivered {
-                    pc: entry.pc as u64,
+                    pc: entry_pc as u64,
                     class: fault.kind.to_obs(),
                     route: route.to_obs(),
                     squashed_uops: occupancy as u32,
@@ -741,7 +745,7 @@ impl Cpu {
         };
 
         self.exceptions.push(ExceptionRecord {
-            pc: entry.pc,
+            pc: entry_pc,
             vaddr: fault.vaddr,
             kind: fault.kind,
             route,
@@ -768,16 +772,15 @@ impl Cpu {
 
         // Full pipeline flush; architectural state stays at the last
         // commit (the faulting µop and everything younger vanish).
-        let squashed: Vec<u64> = self.rob.iter().map(|e| e.id).collect();
         let squash_reason = match route {
             FaultRoute::TxnAbort => SquashReason::TxnAbort,
             _ => SquashReason::Fault,
         };
-        self.emit_squash(&squashed, now, squash_reason);
+        self.emit_squash_from(0, now, squash_reason);
         self.sink.emit_at(
             now,
             EventKind::FaultDelivered {
-                pc: entry.pc as u64,
+                pc: entry_pc as u64,
                 class: fault.kind.to_obs(),
                 route: route.to_obs(),
                 squashed_uops: occupancy as u32,
@@ -1001,7 +1004,7 @@ impl Cpu {
         let inst = self.rob[i].inst;
         let t = self.cfg.timing;
         let mut latency = t.alu_latency;
-        let mut results: Vec<(Reg, u64)> = Vec::new();
+        let mut results = ResultList::new();
         let mut flags_out: Option<Flags> = None;
         let mut fault: Option<Fault> = None;
         let mut store: Option<StoreInfo> = None;
@@ -1010,21 +1013,21 @@ impl Cpu {
         match inst {
             Inst::Nop | Inst::Halt | Inst::XEnd => {}
             Inst::XBegin { .. } => {}
-            Inst::MovImm { dst, imm } => results.push((dst, imm)),
+            Inst::MovImm { dst, imm } => results.push(dst, imm),
             Inst::MovReg { dst, src } => {
-                let v = self.dep_reg_value(&self.rob[i].clone(), src);
-                results.push((dst, v));
+                let v = self.dep_reg_value(&self.rob[i], src);
+                results.push(dst, v);
             }
             Inst::Lea { dst, addr } => {
-                let entry = self.rob[i].clone();
-                results.push((dst, self.eff_addr(&entry, &addr)));
+                let v = self.eff_addr(&self.rob[i], &addr);
+                results.push(dst, v);
             }
             Inst::Alu { op, dst, src } => {
-                let entry = self.rob[i].clone();
-                let a = self.dep_reg_value(&entry, dst);
-                let b = self.src_value(&entry, &src);
+                let entry = &self.rob[i];
+                let a = self.dep_reg_value(entry, dst);
+                let b = self.src_value(entry, &src);
                 let r = op.apply(a, b);
-                results.push((dst, r));
+                results.push(dst, r);
                 flags_out = Some(match op {
                     tet_isa::inst::AluOp::Add => Flags::from_add(a, b),
                     tet_isa::inst::AluOp::Sub => Flags::from_sub(a, b),
@@ -1032,28 +1035,27 @@ impl Cpu {
                 });
             }
             Inst::Cmp { a, b } => {
-                let entry = self.rob[i].clone();
+                let entry = &self.rob[i];
                 flags_out = Some(Flags::from_sub(
-                    self.dep_reg_value(&entry, a),
-                    self.src_value(&entry, &b),
+                    self.dep_reg_value(entry, a),
+                    self.src_value(entry, &b),
                 ));
             }
             Inst::Test { a, b } => {
-                let entry = self.rob[i].clone();
+                let entry = &self.rob[i];
                 flags_out = Some(Flags::from_and(
-                    self.dep_reg_value(&entry, a),
-                    self.src_value(&entry, &b),
+                    self.dep_reg_value(entry, a),
+                    self.src_value(entry, &b),
                 ));
             }
-            Inst::Rdtsc => results.push((Reg::Rax, now)),
+            Inst::Rdtsc => results.push(Reg::Rax, now),
             Inst::Load { dst, addr } | Inst::LoadByte { dst, addr } => {
                 let byte = matches!(inst, Inst::LoadByte { .. });
-                let entry = self.rob[i].clone();
-                let vaddr = self.eff_addr(&entry, &addr);
+                let vaddr = self.eff_addr(&self.rob[i], &addr);
                 match self.forwarding(i, vaddr, byte) {
                     Some(Ok(v)) => {
                         latency = t.store_forward_cycles;
-                        results.push((dst, if byte { v & 0xff } else { v }));
+                        results.push(dst, if byte { v & 0xff } else { v });
                     }
                     Some(Err(())) => {
                         // Forwarding blocked: retry next cycle unless the
@@ -1066,15 +1068,15 @@ impl Cpu {
                         let lr = self.do_load(env, vaddr, byte);
                         latency = lr.latency;
                         fault = lr.fault;
-                        results.push((dst, lr.value));
+                        results.push(dst, lr.value);
                     }
                 }
             }
             Inst::Store { src, addr } | Inst::StoreByte { src, addr } => {
                 let byte = matches!(inst, Inst::StoreByte { .. });
-                let entry = self.rob[i].clone();
-                let vaddr = self.eff_addr(&entry, &addr);
-                let value = self.dep_reg_value(&entry, src);
+                let entry = &self.rob[i];
+                let vaddr = self.eff_addr(entry, &addr);
+                let value = self.dep_reg_value(entry, src);
                 let (lat, pa, f) = self.do_store(env, vaddr);
                 latency = lat;
                 fault = f;
@@ -1086,13 +1088,13 @@ impl Cpu {
                 });
             }
             Inst::Push { src } => {
-                let entry = self.rob[i].clone();
-                let rsp = self.dep_reg_value(&entry, Reg::Rsp).wrapping_sub(8);
-                let value = self.dep_reg_value(&entry, src);
+                let entry = &self.rob[i];
+                let rsp = self.dep_reg_value(entry, Reg::Rsp).wrapping_sub(8);
+                let value = self.dep_reg_value(entry, src);
                 let (lat, pa, f) = self.do_store(env, rsp);
                 latency = lat;
                 fault = f;
-                results.push((Reg::Rsp, rsp));
+                results.push(Reg::Rsp, rsp);
                 store = Some(StoreInfo {
                     vaddr: rsp,
                     pa,
@@ -1101,12 +1103,11 @@ impl Cpu {
                 });
             }
             Inst::Pop { dst } => {
-                let entry = self.rob[i].clone();
-                let rsp = self.dep_reg_value(&entry, Reg::Rsp);
+                let rsp = self.dep_reg_value(&self.rob[i], Reg::Rsp);
                 match self.forwarding(i, rsp, false) {
                     Some(Ok(v)) => {
                         latency = t.store_forward_cycles;
-                        results.push((dst, v));
+                        results.push(dst, v);
                     }
                     Some(Err(())) => {
                         self.pmu.bump(Event::LdBlocksStoreForward, 1);
@@ -1117,18 +1118,17 @@ impl Cpu {
                         let lr = self.do_load(env, rsp, false);
                         latency = lr.latency;
                         fault = lr.fault;
-                        results.push((dst, lr.value));
+                        results.push(dst, lr.value);
                     }
                 }
-                results.push((Reg::Rsp, rsp.wrapping_add(8)));
+                results.push(Reg::Rsp, rsp.wrapping_add(8));
             }
             Inst::Call { target } => {
-                let entry = self.rob[i].clone();
-                let rsp = self.dep_reg_value(&entry, Reg::Rsp).wrapping_sub(8);
+                let rsp = self.dep_reg_value(&self.rob[i], Reg::Rsp).wrapping_sub(8);
                 let (lat, pa, f) = self.do_store(env, rsp);
                 latency = lat;
                 fault = f;
-                results.push((Reg::Rsp, rsp));
+                results.push(Reg::Rsp, rsp);
                 store = Some(StoreInfo {
                     vaddr: rsp,
                     pa,
@@ -1138,8 +1138,7 @@ impl Cpu {
                 actual_next = Some(target);
             }
             Inst::Ret => {
-                let entry = self.rob[i].clone();
-                let rsp = self.dep_reg_value(&entry, Reg::Rsp);
+                let rsp = self.dep_reg_value(&self.rob[i], Reg::Rsp);
                 let ret_target;
                 match self.forwarding(i, rsp, false) {
                     Some(Ok(v)) => {
@@ -1158,23 +1157,21 @@ impl Cpu {
                         ret_target = lr.value;
                     }
                 }
-                results.push((Reg::Rsp, rsp.wrapping_add(8)));
+                results.push(Reg::Rsp, rsp.wrapping_add(8));
                 actual_next = Some(ret_target as usize);
             }
             Inst::Jmp { target } => actual_next = Some(target),
             Inst::JmpReg { reg } => {
-                let entry = self.rob[i].clone();
-                actual_next = Some(self.dep_reg_value(&entry, reg) as usize);
+                actual_next = Some(self.dep_reg_value(&self.rob[i], reg) as usize);
             }
             Inst::Jcc { cond, target } => {
-                let entry = self.rob[i].clone();
-                let f = self.dep_flags_value(&entry);
+                let entry = &self.rob[i];
+                let f = self.dep_flags_value(entry);
                 let taken = cond.eval(f);
                 actual_next = Some(if taken { target } else { entry.pc + 1 });
             }
             Inst::Clflush { addr } => {
-                let entry = self.rob[i].clone();
-                let vaddr = self.eff_addr(&entry, &addr);
+                let vaddr = self.eff_addr(&self.rob[i], &addr);
                 if let Some(pa) = env.aspace.translate(vaddr) {
                     env.mem.clflush(pa);
                 }
@@ -1182,15 +1179,14 @@ impl Cpu {
                 latency = 2;
             }
             Inst::Prefetch { addr } => {
-                let entry = self.rob[i].clone();
-                let vaddr = self.eff_addr(&entry, &addr);
+                let vaddr = self.eff_addr(&self.rob[i], &addr);
                 latency = self.do_prefetch(env, vaddr);
             }
             Inst::Lfence | Inst::Mfence | Inst::Sfence => unreachable!("fences handled earlier"),
             Inst::Syscall => {
                 latency = t.syscall_cycles;
-                let pages = self.syscall_pages.clone();
-                for page in pages {
+                for k in 0..self.syscall_pages.len() {
+                    let page = self.syscall_pages[k];
                     if let Some(pte) = env.aspace.pte(page) {
                         if !pte.reserved && pte.present {
                             self.dtlb.fill(page, pte);
@@ -1541,7 +1537,7 @@ impl Cpu {
             let f = self.idq.pop_front().expect("checked non-empty");
 
             // Build dependencies from the RAT.
-            let mut deps = Vec::new();
+            let mut deps = DepList::new();
             for r in src_regs(&f.inst) {
                 deps.push(Dep {
                     kind: DepKind::Reg(r),
@@ -1594,7 +1590,7 @@ impl Cpu {
                 started: false,
                 forward_at: None,
                 done_at: None,
-                results: Vec::new(),
+                results: ResultList::new(),
                 flags_out: None,
                 fault: None,
                 actual_next: None,

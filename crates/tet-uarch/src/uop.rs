@@ -159,6 +159,178 @@ pub struct Dep {
     pub producer: Option<u64>,
 }
 
+/// Inline, allocation-free dependency list. An instruction has at most
+/// three register sources plus the flags, so four slots always suffice —
+/// renaming a µop never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepList {
+    len: u8,
+    items: [Dep; 4],
+}
+
+impl Default for DepList {
+    fn default() -> Self {
+        DepList {
+            len: 0,
+            items: [Dep {
+                kind: DepKind::Flags,
+                producer: None,
+            }; 4],
+        }
+    }
+}
+
+impl DepList {
+    /// Creates an empty list.
+    pub fn new() -> DepList {
+        DepList::default()
+    }
+
+    /// Appends a dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixed capacity (4) is exceeded — impossible for any
+    /// instruction in the ISA.
+    pub fn push(&mut self, d: Dep) {
+        self.items[self.len as usize] = d;
+        self.len += 1;
+    }
+
+    /// The dependencies as a slice.
+    pub fn as_slice(&self) -> &[Dep] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Iterates over the dependencies.
+    pub fn iter(&self) -> std::slice::Iter<'_, Dep> {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a DepList {
+    type Item = &'a Dep;
+    type IntoIter = std::slice::Iter<'a, Dep>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Inline, allocation-free register-result list. A µop writes at most
+/// two registers (`pop` writes the destination and `rsp`), so two slots
+/// suffice — recording execution results never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultList {
+    len: u8,
+    items: [(Reg, u64); 2],
+}
+
+impl Default for ResultList {
+    fn default() -> Self {
+        ResultList {
+            len: 0,
+            items: [(Reg::Rax, 0); 2],
+        }
+    }
+}
+
+impl ResultList {
+    /// Creates an empty list.
+    pub fn new() -> ResultList {
+        ResultList::default()
+    }
+
+    /// Appends a `(register, value)` result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixed capacity (2) is exceeded — impossible for any
+    /// instruction in the ISA.
+    pub fn push(&mut self, reg: Reg, value: u64) {
+        self.items[self.len as usize] = (reg, value);
+        self.len += 1;
+    }
+
+    /// The results as a slice.
+    pub fn as_slice(&self) -> &[(Reg, u64)] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Iterates over the results.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Reg, u64)> {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ResultList {
+    type Item = &'a (Reg, u64);
+    type IntoIter = std::slice::Iter<'a, (Reg, u64)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Inline, allocation-free register list returned by [`dest_regs`] and
+/// [`src_regs`] (at most three: e.g. a store's data register plus a
+/// base+index address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegList {
+    len: u8,
+    regs: [Reg; 3],
+}
+
+impl Default for RegList {
+    fn default() -> Self {
+        RegList {
+            len: 0,
+            regs: [Reg::Rax; 3],
+        }
+    }
+}
+
+impl RegList {
+    /// Creates an empty list.
+    pub fn new() -> RegList {
+        RegList::default()
+    }
+
+    /// Appends a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixed capacity (3) is exceeded — impossible for any
+    /// instruction in the ISA.
+    pub fn push(&mut self, r: Reg) {
+        self.regs[self.len as usize] = r;
+        self.len += 1;
+    }
+
+    /// Appends every register yielded by `it`.
+    pub fn extend(&mut self, it: impl IntoIterator<Item = Reg>) {
+        for r in it {
+            self.push(r);
+        }
+    }
+
+    /// The registers as a slice.
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl IntoIterator for RegList {
+    type Item = Reg;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Reg, 3>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.regs.into_iter().take(self.len as usize)
+    }
+}
+
 /// In-flight store bookkeeping (architectural write happens at retire).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreInfo {
@@ -186,7 +358,7 @@ pub struct RobEntry {
     /// Whether the frontend predicted taken.
     pub pred_taken: bool,
     /// Renamed source dependencies.
-    pub deps: Vec<Dep>,
+    pub deps: DepList,
     /// Cycle the µop was renamed into the ROB.
     pub issued_at: u64,
     /// Whether execution has started.
@@ -199,7 +371,7 @@ pub struct RobEntry {
     pub done_at: Option<u64>,
     /// Register results `(reg, value)` (up to two: e.g. `pop` writes the
     /// destination and `rsp`).
-    pub results: Vec<(Reg, u64)>,
+    pub results: ResultList,
     /// Flags result, if the µop writes flags.
     pub flags_out: Option<Flags>,
     /// Fault recorded during execution, if any.
@@ -243,8 +415,8 @@ impl RobEntry {
 
 /// Architectural destination registers of an instruction (including the
 /// stack-pointer side effects of push/pop/call/ret).
-pub fn dest_regs(inst: &Inst) -> Vec<Reg> {
-    let mut v = Vec::with_capacity(2);
+pub fn dest_regs(inst: &Inst) -> RegList {
+    let mut v = RegList::new();
     if let Some(d) = inst.dest_reg() {
         v.push(d);
     }
@@ -257,8 +429,8 @@ pub fn dest_regs(inst: &Inst) -> Vec<Reg> {
 }
 
 /// Architectural source registers of an instruction.
-pub fn src_regs(inst: &Inst) -> Vec<Reg> {
-    let mut v = Vec::with_capacity(3);
+pub fn src_regs(inst: &Inst) -> RegList {
+    let mut v = RegList::new();
     match inst {
         Inst::MovReg { src, .. } => v.push(*src),
         Inst::Load { addr, .. }
@@ -300,14 +472,17 @@ mod tests {
 
     #[test]
     fn dest_regs_cover_stack_ops() {
-        assert_eq!(dest_regs(&Inst::Push { src: Reg::Rax }), vec![Reg::Rsp]);
         assert_eq!(
-            dest_regs(&Inst::Pop { dst: Reg::Rbx }),
-            vec![Reg::Rbx, Reg::Rsp]
+            dest_regs(&Inst::Push { src: Reg::Rax }).as_slice(),
+            &[Reg::Rsp]
         );
-        assert_eq!(dest_regs(&Inst::Call { target: 3 }), vec![Reg::Rsp]);
-        assert_eq!(dest_regs(&Inst::Ret), vec![Reg::Rsp]);
-        assert_eq!(dest_regs(&Inst::Rdtsc), vec![Reg::Rax]);
+        assert_eq!(
+            dest_regs(&Inst::Pop { dst: Reg::Rbx }).as_slice(),
+            &[Reg::Rbx, Reg::Rsp]
+        );
+        assert_eq!(dest_regs(&Inst::Call { target: 3 }).as_slice(), &[Reg::Rsp]);
+        assert_eq!(dest_regs(&Inst::Ret).as_slice(), &[Reg::Rsp]);
+        assert_eq!(dest_regs(&Inst::Rdtsc).as_slice(), &[Reg::Rax]);
         assert!(dest_regs(&Inst::Nop).is_empty());
     }
 
@@ -318,22 +493,46 @@ mod tests {
             src_regs(&Inst::Load {
                 dst: Reg::Rax,
                 addr
-            }),
-            vec![Reg::Rbx, Reg::Rcx]
+            })
+            .as_slice(),
+            &[Reg::Rbx, Reg::Rcx]
         );
         assert_eq!(
             src_regs(&Inst::Store {
                 src: Reg::Rdx,
                 addr
-            }),
-            vec![Reg::Rdx, Reg::Rbx, Reg::Rcx]
+            })
+            .as_slice(),
+            &[Reg::Rdx, Reg::Rbx, Reg::Rcx]
         );
-        assert_eq!(src_regs(&Inst::Ret), vec![Reg::Rsp]);
+        assert_eq!(src_regs(&Inst::Ret).as_slice(), &[Reg::Rsp]);
         assert!(src_regs(&Inst::Jcc {
             cond: Cond::E,
             target: 0
         })
         .is_empty());
+    }
+
+    #[test]
+    fn inline_lists_hold_their_capacity() {
+        let mut d = DepList::new();
+        for i in 0..4 {
+            d.push(Dep {
+                kind: DepKind::Reg(Reg::Rax),
+                producer: Some(i),
+            });
+        }
+        assert_eq!(d.as_slice().len(), 4);
+        assert_eq!(d.iter().filter_map(|x| x.producer).sum::<u64>(), 6);
+
+        let mut r = ResultList::new();
+        r.push(Reg::Rbx, 1);
+        r.push(Reg::Rsp, 2);
+        assert_eq!(r.as_slice(), &[(Reg::Rbx, 1), (Reg::Rsp, 2)]);
+
+        let mut l = RegList::new();
+        l.extend([Reg::Rax, Reg::Rbx, Reg::Rcx]);
+        assert_eq!(l.into_iter().collect::<Vec<_>>().len(), 3);
     }
 
     #[test]
@@ -344,12 +543,16 @@ mod tests {
             inst: Inst::Nop,
             pred_next: 1,
             pred_taken: false,
-            deps: vec![],
+            deps: DepList::new(),
             issued_at: 0,
             started: true,
             forward_at: Some(5),
             done_at: Some(9),
-            results: vec![(Reg::Rax, 7)],
+            results: {
+                let mut r = ResultList::new();
+                r.push(Reg::Rax, 7);
+                r
+            },
             flags_out: None,
             fault: None,
             actual_next: None,

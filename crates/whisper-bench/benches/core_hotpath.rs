@@ -1,0 +1,39 @@
+//! Criterion benches for the out-of-order core's single-run hot path:
+//! the Figure 1a gadget probe (one `Machine::run` through the transient
+//! window) and the full covert-channel decode sweep (256 probes through
+//! the argmax decoder). These are the two units the de-cloned
+//! schedule/execute path is optimized for; `scripts/bench.sh` tracks the
+//! same workloads in `BENCH_core.json` via the `bench_core` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tet_uarch::CpuConfig;
+use whisper::channel::TetCovertChannel;
+use whisper::gadget::{TetGadget, TetGadgetSpec};
+use whisper::scenario::{Scenario, ScenarioOptions};
+
+fn bench_fig1_gadget_run(c: &mut Criterion) {
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let mut sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+    sc.sender_write(0xa5);
+    let gadget = TetGadget::build(TetGadgetSpec::covert_channel(sc.shared_page(), &cfg));
+    gadget.measure(&mut sc.machine, 0); // warm the gadget code once
+    c.bench_function("fig1_gadget_machine_run", |b| {
+        b.iter(|| gadget.measure(&mut sc.machine, 0xa5))
+    });
+}
+
+fn bench_channel_decode_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_hotpath");
+    group.sample_size(10);
+    group.bench_function("channel_decode_sweep_256", |b| {
+        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        sc.sender_write(0x5a);
+        // One batch = one full 0..=255 sweep through the decoder.
+        let ch = TetCovertChannel::new(1);
+        b.iter(|| ch.receive_byte(&mut sc))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1_gadget_run, bench_channel_decode_sweep);
+criterion_main!(benches);

@@ -5,7 +5,10 @@
 //! the expected shape: error grows with interrupt rate and shrinks with
 //! more batches.
 //!
-//! Run: `cargo run --release -p whisper-bench --bin ablation_noise`
+//! Run: `cargo run --release -p whisper-bench --bin ablation_noise [--threads N]`
+//!
+//! Both sweeps fan out one independent scenario per parameter value via
+//! `tet-par`; output is byte-identical for any `--threads` setting.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,6 +36,9 @@ fn run(interrupt_period: u64, batches: u32, bytes: usize) -> f64 {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = tet_par::threads_from_args(&mut args);
+    let started = std::time::Instant::now();
     let bytes = 24;
     let mut rep = RunReport::new("ablation_noise");
     rep.set_meta("ablation", "A1");
@@ -45,10 +51,9 @@ fn main() {
         "interrupts/probe",
         "error rate",
     ]);
-    let mut errs = Vec::new();
-    for period in [0u64, 20011, 5003, 1201, 401] {
-        let err = run(period, 1, bytes);
-        errs.push(err);
+    let periods = [0u64, 20011, 5003, 1201, 401];
+    let errs = tet_par::par_map(threads, &periods, |&period| run(period, 1, bytes));
+    for (&period, &err) in periods.iter().zip(&errs) {
         rep.scalar(&format!("error_rate.period_{period:05}"), err);
         let per_probe = if period == 0 {
             "0".to_string()
@@ -74,10 +79,9 @@ fn main() {
 
     section("Error rate vs argmax batches (interrupt period = 1201)");
     let mut t2 = Table::new(&["batches", "error rate"]);
-    let mut batch_errs = Vec::new();
-    for batches in [1u32, 3, 5, 9] {
-        let err = run(1201, batches, bytes);
-        batch_errs.push(err);
+    let batch_counts = [1u32, 3, 5, 9];
+    let batch_errs = tet_par::par_map(threads, &batch_counts, |&batches| run(1201, batches, bytes));
+    for (&batches, &err) in batch_counts.iter().zip(&batch_errs) {
         rep.scalar(&format!("error_rate.batches_{batches}"), err);
         t2.row_owned(vec![batches.to_string(), format!("{:.1} %", err * 100.0)]);
     }
@@ -86,6 +90,7 @@ fn main() {
         batch_errs.last().copied().unwrap_or(1.0) <= batch_errs[0],
         "more batches must not make decoding worse"
     );
+    rep.set_throughput(started.elapsed(), threads, None);
     write_report(&rep);
     println!("\nreproduced: the batched argmax buys accuracy back from noise, as in Fig 1b");
 }

@@ -8,7 +8,11 @@
 //! and check the predicted crossover; then we sweep the page-walk level
 //! cost and check the TET-KASLR gap scales with it.
 //!
-//! Run: `cargo run --release -p whisper-bench --bin ablation_sensitivity`
+//! Run: `cargo run --release -p whisper-bench --bin ablation_sensitivity [--threads N]`
+//!
+//! Each sweep point builds its own scenario from a modified config, so
+//! all three sweeps fan out via `tet-par`; output is byte-identical for
+//! any `--threads` setting.
 
 use tet_uarch::CpuConfig;
 use whisper::gadget::{TetGadget, TetGadgetSpec, TransientBegin};
@@ -62,16 +66,22 @@ fn kaslr_gap(cfg: CpuConfig) -> i64 {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = tet_par::threads_from_args(&mut args);
+    let started = std::time::Instant::now();
     let mut rep = RunReport::new("ablation_sensitivity");
     rep.set_meta("ablation", "A5");
 
     section("TET-MD delta vs recovery window (fault confirm fixed at 40)");
     let mut t = Table::new(&["recovery_cycles", "MD delta (cycles)", "signal"]);
-    let mut deltas = Vec::new();
-    for recovery in [0u64, 20, 40, 50, 60, 90, 120] {
+    let recoveries = [0u64, 20, 40, 50, 60, 90, 120];
+    let recovery_deltas = tet_par::par_map(threads, &recoveries, |&recovery| {
         let mut cfg = CpuConfig::kaby_lake_i7_7700();
         cfg.timing.recovery_cycles = recovery;
-        let d = md_delta(cfg);
+        md_delta(cfg)
+    });
+    let mut deltas = Vec::new();
+    for (&recovery, &d) in recoveries.iter().zip(&recovery_deltas) {
         deltas.push((recovery, d));
         rep.scalar(&format!("md_delta.recovery_{recovery:03}"), d as f64);
         t.row_owned(vec![
@@ -97,11 +107,14 @@ fn main() {
 
     section("TET-MD delta vs transient-window length (recovery fixed at 60)");
     let mut t = Table::new(&["fault_confirm_cycles", "MD delta (cycles)", "signal"]);
-    let mut deltas = Vec::new();
-    for confirm in [10u64, 25, 40, 55, 70, 100] {
+    let confirms = [10u64, 25, 40, 55, 70, 100];
+    let confirm_deltas = tet_par::par_map(threads, &confirms, |&confirm| {
         let mut cfg = CpuConfig::kaby_lake_i7_7700();
         cfg.timing.fault_confirm_cycles = confirm;
-        let d = md_delta(cfg);
+        md_delta(cfg)
+    });
+    let mut deltas = Vec::new();
+    for (&confirm, &d) in confirms.iter().zip(&confirm_deltas) {
         deltas.push((confirm, d));
         rep.scalar(&format!("md_delta.confirm_{confirm:03}"), d as f64);
         t.row_owned(vec![
@@ -122,12 +135,13 @@ fn main() {
 
     section("TET-KASLR gap vs page-walk level cost (Intel retry policy)");
     let mut t = Table::new(&["walk level_cost", "unmapped - mapped (cycles)"]);
-    let mut gaps = Vec::new();
-    for level_cost in [5u64, 10, 15, 25, 40] {
+    let level_costs = [5u64, 10, 15, 25, 40];
+    let gaps = tet_par::par_map(threads, &level_costs, |&level_cost| {
         let mut cfg = CpuConfig::comet_lake_i9_10980xe();
         cfg.walk.level_cost = level_cost;
-        let g = kaslr_gap(cfg);
-        gaps.push(g);
+        kaslr_gap(cfg)
+    });
+    for (&level_cost, &g) in level_costs.iter().zip(&gaps) {
         rep.scalar(&format!("kaslr_gap.level_cost_{level_cost:03}"), g as f64);
         t.row_owned(vec![level_cost.to_string(), format!("{g:+}")]);
     }
@@ -137,6 +151,7 @@ fn main() {
         "the gap must grow monotonically with walk cost: {gaps:?}"
     );
     assert!(gaps.last().expect("swept") > &0);
+    rep.set_throughput(started.elapsed(), threads, None);
     write_report(&rep);
     println!(
         "\nreproduced: the KASLR differential is proportional to the walk cost the\n\

@@ -1,0 +1,114 @@
+//! Core hot-path benchmark: times the Figure 1a gadget probe, the full
+//! covert-channel decode sweep, and the Table 2 matrix at `--threads 1`
+//! vs `--threads N`, then writes the numbers to `BENCH_core.json`
+//! (schema-v2 [`RunReport`] JSON) at the repository root.
+//!
+//! Run: `cargo run --release -p whisper-bench --bin bench_core [--smoke] [--threads N] [--out PATH]`
+//!
+//! `--smoke` (or `BENCH_SMOKE=1`) cuts iteration counts so CI can track
+//! the numbers in seconds rather than minutes; the JSON shape is
+//! identical, with `meta.mode = "smoke"` marking the cheap run.
+
+use std::time::Instant;
+
+use tet_uarch::CpuConfig;
+use whisper::channel::TetCovertChannel;
+use whisper::eval::run_table2_matrix;
+use whisper::gadget::{TetGadget, TetGadgetSpec};
+use whisper::scenario::{Scenario, ScenarioOptions};
+use whisper_bench::{section, RunReport};
+
+/// Median ns/iteration over `samples` timing windows of `iters` calls.
+fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut medians = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        medians.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    medians.sort_by(f64::total_cmp);
+    medians[medians.len() / 2]
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = tet_par::threads_from_args(&mut args);
+    let smoke =
+        args.iter().any(|a| a == "--smoke") || std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_core.json".to_string());
+
+    let mut rep = RunReport::new("bench_core");
+    rep.set_meta("mode", if smoke { "smoke" } else { "full" });
+    rep.set_meta(
+        "host_available_parallelism",
+        tet_par::default_threads().to_string(),
+    );
+    let started = Instant::now();
+    // Simulated-cycles-per-host-second, measured on the decode sweep (the
+    // dominant single-thread workload of every experiment binary).
+    let mut sim_rate = None;
+
+    section("fig1 gadget probe (one Machine::run through the transient window)");
+    {
+        let cfg = CpuConfig::kaby_lake_i7_7700();
+        let mut sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+        sc.sender_write(0xa5);
+        let gadget = TetGadget::build(TetGadgetSpec::covert_channel(sc.shared_page(), &cfg));
+        gadget.measure(&mut sc.machine, 0); // warm
+        let (samples, iters) = if smoke { (5, 200) } else { (15, 2000) };
+        let ns = median_ns(samples, iters, || {
+            gadget.measure(&mut sc.machine, 0xa5);
+        });
+        println!("  {ns:.0} ns/iter (median of {samples} x {iters})");
+        rep.scalar("fig1_probe.ns_per_iter", ns);
+    }
+
+    section("covert-channel decode sweep (256 probes, argmax)");
+    {
+        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        sc.sender_write(0x5a);
+        let ch = TetCovertChannel::new(1);
+        let (samples, iters) = if smoke { (3, 2) } else { (7, 5) };
+        let ns = median_ns(samples, iters, || {
+            ch.receive_byte(&mut sc);
+        });
+        let (_, cycles_per_sweep) = ch.receive_byte(&mut sc);
+        if ns > 0.0 {
+            sim_rate = Some(cycles_per_sweep as f64 / (ns * 1e-9));
+        }
+        println!("  {ns:.0} ns/iter (median of {samples} x {iters})");
+        rep.scalar("decode_sweep.ns_per_iter", ns);
+        rep.counter("decode_sweep.sim_cycles", cycles_per_sweep);
+    }
+
+    section("Table 2 matrix wall time (threads 1 vs N)");
+    {
+        let t1 = Instant::now();
+        let serial = run_table2_matrix(42, 1);
+        let serial_s = t1.elapsed().as_secs_f64();
+        let tn = Instant::now();
+        let parallel = run_table2_matrix(42, threads.max(8));
+        let parallel_s = tn.elapsed().as_secs_f64();
+        assert_eq!(serial, parallel, "matrix must be thread-count invariant");
+        println!(
+            "  threads=1: {serial_s:.3} s   threads={}: {parallel_s:.3} s   speedup {:.2}x",
+            threads.max(8),
+            serial_s / parallel_s
+        );
+        rep.scalar("table2.threads1_seconds", serial_s);
+        rep.scalar("table2.threadsN_seconds", parallel_s);
+        rep.scalar("table2.speedup", serial_s / parallel_s);
+        rep.counter("table2.threads_n", threads.max(8) as u64);
+    }
+
+    rep.set_throughput(started.elapsed(), threads, None);
+    rep.sim_cycles_per_sec = sim_rate;
+    std::fs::write(&out, rep.to_json()).expect("write BENCH_core.json");
+    println!("\nwrote {out}");
+}

@@ -8,7 +8,11 @@
 //!   * TET-RSB: 21.5 KB/s at <0.1 % error (i9-13900K)
 //!   * TET-KASLR: 0.8829 s (n=3, sd 0.0036) on the i9-10980XE
 //!
-//! Run: `cargo run --release -p whisper-bench --bin sec41_throughput [payload_bytes]`
+//! Run: `cargo run --release -p whisper-bench --bin sec41_throughput [payload_bytes] [--threads N]`
+//!
+//! The covert-channel payload is transmitted in fixed 32-byte chunks and
+//! the three KASLR seed replicas fan out via `tet-par`; output is
+//! byte-identical for any `--threads` setting.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,10 +28,10 @@ fn random_payload(len: usize, seed: u64) -> Vec<u8> {
 }
 
 fn main() {
-    let payload_len: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = tet_par::threads_from_args(&mut args);
+    let payload_len: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let started = std::time::Instant::now();
     let noise = ScenarioOptions {
         interrupt_period: 7919,
         ..ScenarioOptions::default()
@@ -47,9 +51,9 @@ fn main() {
 
     section("TET-CC (covert channel)");
     {
-        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &noise);
+        let sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &noise);
         let payload = random_payload(payload_len, 11);
-        let rep = TetCovertChannel::default().transmit(&mut sc, &payload);
+        let rep = TetCovertChannel::default().transmit_chunked(&sc, &payload, threads);
         println!(
             "  {} bytes in {:.4} simulated s -> {:.1} B/s, error {:.2}%",
             payload.len(),
@@ -138,8 +142,8 @@ fn main() {
 
     section("TET-KASLR (n=3, like the paper)");
     {
-        let mut times = Vec::new();
-        for seed in [31u64, 32, 33] {
+        let seeds = [31u64, 32, 33];
+        let runs = tet_par::par_map(threads, &seeds, |&seed| {
             let mut sc = Scenario::new(
                 CpuConfig::comet_lake_i9_10980xe(),
                 &ScenarioOptions {
@@ -153,7 +157,10 @@ fn main() {
                 samples_per_slot: 3,
                 ..TetKaslr::default()
             };
-            let r = attack.break_kaslr(&mut sc.machine, &sc.kernel);
+            attack.break_kaslr(&mut sc.machine, &sc.kernel)
+        });
+        let mut times = Vec::new();
+        for (seed, r) in seeds.iter().zip(&runs) {
             assert!(r.success, "KASLR break must succeed (seed {seed})");
             times.push(r.seconds);
             println!(
@@ -185,5 +192,6 @@ fn main() {
 
     section("Summary (paper §4.1)");
     print!("{}", table.render());
+    report.set_throughput(started.elapsed(), threads, None);
     write_report(&report);
 }

@@ -1,7 +1,11 @@
 //! §4.5 — breaking KASLR: plain, under KPTI, under FLARE, and in a
 //! Docker-style container — plus the baseline probes for contrast.
 //!
-//! Run: `cargo run -p whisper-bench --bin sec45_kaslr`
+//! Run: `cargo run -p whisper-bench --bin sec45_kaslr [--threads N]`
+//!
+//! The plain-KASLR sweep over the three susceptible presets fans out via
+//! `tet-par` (one independent scenario per preset); output is
+//! byte-identical for any `--threads` setting.
 
 use tet_os::ContainerEnv;
 use tet_uarch::CpuConfig;
@@ -30,6 +34,9 @@ fn scenario(
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = tet_par::threads_from_args(&mut args);
+    let started = std::time::Instant::now();
     let mut table = Table::new(&[
         "environment",
         "CPU",
@@ -42,13 +49,16 @@ fn main() {
     rep.set_meta("section", "4.5");
 
     section("Plain KASLR (paper: broken on i7-6700, i7-7700, i9-10980XE)");
-    for cfg in [
+    let plain_presets = [
         CpuConfig::skylake_i7_6700(),
         CpuConfig::kaby_lake_i7_7700(),
         CpuConfig::comet_lake_i9_10980xe(),
-    ] {
+    ];
+    let plain_runs = tet_par::par_map(threads, &plain_presets, |cfg| {
         let mut sc = scenario(cfg.clone(), 1201, false, false, ContainerEnv::bare_metal());
-        let r = TetKaslr::default().break_kaslr(&mut sc.machine, &sc.kernel);
+        TetKaslr::default().break_kaslr(&mut sc.machine, &sc.kernel)
+    });
+    for (cfg, r) in plain_presets.iter().zip(&plain_runs) {
         println!("  {}: success={} ({:.6} s)", cfg.name, r.success, r.seconds);
         table.row_owned(vec![
             "plain".into(),
@@ -174,5 +184,6 @@ fn main() {
 
     section("Summary");
     print!("{}", table.render());
+    rep.set_throughput(started.elapsed(), threads, None);
     write_report(&rep);
 }

@@ -2,11 +2,14 @@
 //! the five evaluated CPU models, compared cell-by-cell against the
 //! paper's reported results.
 //!
-//! Run: `cargo run -p whisper-bench --bin table2_matrix`
+//! The matrix fans out one worker task per (CPU, attack) cell via
+//! `tet-par`; results are committed in submission order, so the table is
+//! byte-identical for any `--threads` setting.
+//!
+//! Run: `cargo run -p whisper-bench --bin table2_matrix [--threads N]`
 
-use tet_uarch::CpuConfig;
-use whisper::eval::{paper_table2_row, run_table2_row, AttackStatus};
-use whisper_bench::{section, write_report, Progress, RunReport, Table};
+use whisper::eval::{paper_table2_row, run_table2_matrix, AttackStatus};
+use whisper_bench::{section, write_report, RunReport, Table};
 
 fn cell(ours: AttackStatus, paper: Option<AttackStatus>) -> String {
     let o = match ours {
@@ -21,7 +24,10 @@ fn cell(ours: AttackStatus, paper: Option<AttackStatus>) -> String {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = tet_par::threads_from_args(&mut args);
     section("Table 2: attack matrix (ours vs paper)");
+    println!("  threads: {threads}");
     let mut table = Table::new(&[
         "CPU",
         "uarch",
@@ -33,12 +39,11 @@ fn main() {
     ]);
     let mut all_match = true;
     let mut rep = RunReport::new("table2_matrix");
-    let presets = CpuConfig::table2_presets();
-    let total = presets.len();
-    let progress = Progress::new("table2_matrix");
-    for (i, cfg) in presets.into_iter().enumerate() {
-        let row = run_table2_row(&cfg, 42);
-        let paper = paper_table2_row(cfg.name);
+    let started = std::time::Instant::now();
+    let rows = run_table2_matrix(42, threads);
+    let wall = started.elapsed();
+    for row in &rows {
+        let paper = paper_table2_row(row.cpu);
         let cells = row.cells();
         table.row_owned(vec![
             row.cpu.to_string(),
@@ -54,10 +59,8 @@ fn main() {
             .iter()
             .filter(|s| matches!(s, AttackStatus::Success))
             .count();
-        rep.counter(&format!("attacks_ok.{}", cfg.name), successes as u64);
-        progress.step(i + 1, total, row.cpu);
+        rep.counter(&format!("attacks_ok.{}", row.cpu), successes as u64);
     }
-    progress.done();
     print!("{}", table.render());
     println!(
         "\nAll paper-verified cells match: {}",
@@ -65,6 +68,7 @@ fn main() {
     );
     rep.set_meta("table", "2");
     rep.scalar("all_match", f64::from(all_match));
+    rep.set_throughput(wall, threads, None);
     write_report(&rep);
     assert!(all_match, "Table 2 reproduction must match the paper");
 }

@@ -80,6 +80,54 @@ impl TetCovertChannel {
         }
     }
 
+    /// Payload chunk size for [`TetCovertChannel::transmit_chunked`].
+    ///
+    /// Fixed (never derived from the thread count) so the work
+    /// decomposition — and therefore every decoded byte — is identical for
+    /// any `--threads` setting.
+    pub const CHUNK_BYTES: usize = 32;
+
+    /// Transmits `payload` on up to `threads` worker threads and reports
+    /// quality.
+    ///
+    /// The payload is split into fixed [`Self::CHUNK_BYTES`]-byte chunks;
+    /// each chunk runs on a **fresh clone** of `sc`, so chunks share no
+    /// µarch state and the result is byte-identical for any thread count
+    /// (chunk boundaries do reset the receiver's warm-up state, so the
+    /// decode trajectory differs from the single-scenario [`Self::transmit`]
+    /// — deliberately: that independence is what makes the fan-out sound).
+    /// Reported `cycles` is the total simulated receive cost across chunks.
+    pub fn transmit_chunked(&self, sc: &Scenario, payload: &[u8], threads: usize) -> ChannelReport {
+        let freq = sc.machine.config().freq_ghz;
+        let bounds = tet_par::chunk_bounds(payload.len(), Self::CHUNK_BYTES);
+        let parts: Vec<(Vec<u8>, u64)> = tet_par::par_map(threads, &bounds, |&(start, end)| {
+            let mut local = sc.clone();
+            let mut rec = Vec::with_capacity(end - start);
+            let mut cyc = 0u64;
+            for &b in &payload[start..end] {
+                local.sender_write(b);
+                let (got, c) = self.receive_byte(&mut local);
+                rec.push(got);
+                cyc += c;
+            }
+            (rec, cyc)
+        });
+        let mut received = Vec::with_capacity(payload.len());
+        let mut cycles = 0u64;
+        for (rec, cyc) in parts {
+            received.extend_from_slice(&rec);
+            cycles += cyc;
+        }
+        let err = error_rate(payload, &received);
+        ChannelReport {
+            error_rate: err,
+            cycles,
+            seconds: cycles as f64 / (freq * 1e9),
+            bytes_per_sec: bytes_per_second(received.len(), cycles, freq),
+            received,
+        }
+    }
+
     /// Transmits with `repeats`-fold repetition coding: each byte is sent
     /// multiple times and decoded by majority — the accuracy/throughput
     /// trade the paper's §4.4 leaves to future work ("speed up with high
@@ -171,6 +219,25 @@ mod tests {
             single.error_rate
         );
         assert!(coded.cycles > single.cycles, "redundancy costs time");
+    }
+
+    #[test]
+    fn chunked_transmit_decodes_and_matches_across_thread_counts() {
+        let sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        // Long enough for two chunks (CHUNK_BYTES = 32).
+        let payload: Vec<u8> = (0..40u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
+        let ch = TetCovertChannel::new(2);
+        let serial = ch.transmit_chunked(&sc, &payload, 1);
+        assert_eq!(
+            serial.received, payload,
+            "noise-free channel decodes exactly"
+        );
+        for threads in [2, 8] {
+            let par = ch.transmit_chunked(&sc, &payload, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Core hot-path benchmark driver.
+#
+#   scripts/bench.sh           full run: criterion benches + BENCH_core.json
+#   scripts/bench.sh --smoke   CI-sized run: BENCH_core.json only, few iters
+#
+# Writes BENCH_core.json at the repository root (schema-v2 RunReport JSON):
+# fig1 gadget ns/iter, decode-sweep ns/iter, and Table 2 matrix wall time
+# at --threads 1 vs 8 with the measured speedup.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=full
+if [[ "${1:-}" == "--smoke" ]]; then
+  MODE=smoke
+  shift
+fi
+
+if [[ "$MODE" == full ]]; then
+  cargo bench -p whisper-bench
+  cargo run --release -p whisper-bench --bin bench_core -- "$@"
+else
+  cargo run --release -p whisper-bench --bin bench_core -- --smoke "$@"
+fi
+
+echo "bench done (mode: $MODE) -> BENCH_core.json"
