@@ -1,0 +1,352 @@
+//! Random gadget-program generation and shrinking for the fuzz harness.
+//!
+//! [`gen_program`] produces short, termination-biased programs shaped
+//! like the paper's gadgets: register arithmetic, loads/stores into a
+//! mapped data page, stack traffic, forward branches, occasional
+//! faulting accesses (kernel / unmapped / reserved pages), fences,
+//! `rdtsc`, TSX regions and `syscall`. Control flow only ever jumps
+//! *forward* (plus `call`/`ret` pairs), so programs terminate unless a
+//! corrupted return address loops them — the cycle budget of the
+//! harness bounds those.
+//!
+//! [`shrink`] minimizes a failing program by repeatedly deleting
+//! instructions (re-targeting branches across the gap) while the
+//! caller-supplied predicate still fails, to a fixpoint. The survivors
+//! are committed as regression fixtures in `tet-uarch/tests/`.
+
+use proptest::test_runner::TestRng;
+use tet_isa::{Addr, Asm, Cond, Inst, Program, Reg, Src};
+
+/// Layout constants shared between the generator and the fuzz harness
+/// (the harness maps these pages before running).
+pub mod layout {
+    /// User-mapped data page.
+    pub const DATA_PAGE: u64 = 0x20_0000;
+    /// User-mapped stack page.
+    pub const STACK_PAGE: u64 = 0x30_0000;
+    /// Initial stack pointer (mid-page: room to push and to pop).
+    pub const STACK_TOP: u64 = 0x30_0800;
+    /// Kernel-mapped page: user access raises a permission fault.
+    pub const KERNEL_PAGE: u64 = 0xffff_ffff_8000_0000;
+    /// Never mapped: access raises a not-present fault.
+    pub const UNMAPPED: u64 = 0xdead_0000;
+}
+
+/// Tuning knobs for [`gen_program`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of body instructions (a terminal `halt` is appended).
+    pub max_insts: usize,
+    /// Per-mille probability that a memory operand targets a faulting
+    /// address (kernel or unmapped) instead of the data page.
+    pub fault_per_mille: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_insts: 24,
+            fault_per_mille: 120,
+        }
+    }
+}
+
+const GP_REGS: [Reg; 8] = [
+    Reg::Rax,
+    Reg::Rbx,
+    Reg::Rcx,
+    Reg::Rdx,
+    Reg::Rsi,
+    Reg::Rdi,
+    Reg::R8,
+    Reg::R9,
+];
+
+fn pick<T: Copy>(rng: &mut TestRng, items: &[T]) -> T {
+    items[(rng.next_u64() % items.len() as u64) as usize]
+}
+
+fn reg(rng: &mut TestRng) -> Reg {
+    pick(rng, &GP_REGS)
+}
+
+/// A random memory operand: usually safely inside the data page,
+/// occasionally a faulting address (kernel / unmapped).
+fn mem_addr(rng: &mut TestRng, cfg: &GenConfig) -> Addr {
+    let roll = rng.next_u64() % 1000;
+    if roll < cfg.fault_per_mille {
+        let bad = if rng.next_u64().is_multiple_of(2) {
+            layout::KERNEL_PAGE
+        } else {
+            layout::UNMAPPED
+        };
+        Addr::abs(bad + (rng.next_u64() % 64) * 8)
+    } else {
+        // Keep 8-byte accesses inside the page.
+        Addr::abs(layout::DATA_PAGE + (rng.next_u64() % 500) * 8)
+    }
+}
+
+/// Generates one random program as raw instructions with absolute branch
+/// targets (the final instruction is always `Halt`).
+pub fn gen_program(rng: &mut TestRng, cfg: &GenConfig) -> Vec<Inst> {
+    let n = cfg.max_insts.max(1);
+    let mut insts = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        // Forward target somewhere in (i, n] — the appended halt sits at
+        // index n, so every target is in range.
+        let fwd = |rng: &mut TestRng| i + 1 + (rng.next_u64() as usize % (n - i));
+        let inst = match rng.next_u64() % 100 {
+            0..=14 => Inst::MovImm {
+                dst: reg(rng),
+                imm: rng.next_u64() % 1024,
+            },
+            15..=22 => Inst::MovReg {
+                dst: reg(rng),
+                src: reg(rng),
+            },
+            23..=37 => {
+                let ops = [
+                    tet_isa::inst::AluOp::Add,
+                    tet_isa::inst::AluOp::Sub,
+                    tet_isa::inst::AluOp::And,
+                    tet_isa::inst::AluOp::Or,
+                    tet_isa::inst::AluOp::Xor,
+                    tet_isa::inst::AluOp::Shl,
+                ];
+                let src = if rng.next_u64().is_multiple_of(2) {
+                    Src::Reg(reg(rng))
+                } else {
+                    Src::Imm(rng.next_u64() % 64)
+                };
+                Inst::Alu {
+                    op: pick(rng, &ops),
+                    dst: reg(rng),
+                    src,
+                }
+            }
+            38..=44 => {
+                let b = if rng.next_u64().is_multiple_of(2) {
+                    Src::Reg(reg(rng))
+                } else {
+                    Src::Imm(rng.next_u64() % 16)
+                };
+                if rng.next_u64().is_multiple_of(2) {
+                    Inst::Cmp { a: reg(rng), b }
+                } else {
+                    Inst::Test { a: reg(rng), b }
+                }
+            }
+            45..=56 => {
+                let addr = mem_addr(rng, cfg);
+                if rng.next_u64().is_multiple_of(2) {
+                    Inst::Load {
+                        dst: reg(rng),
+                        addr,
+                    }
+                } else {
+                    Inst::LoadByte {
+                        dst: reg(rng),
+                        addr,
+                    }
+                }
+            }
+            57..=66 => {
+                let addr = mem_addr(rng, cfg);
+                if rng.next_u64().is_multiple_of(2) {
+                    Inst::Store {
+                        src: reg(rng),
+                        addr,
+                    }
+                } else {
+                    Inst::StoreByte {
+                        src: reg(rng),
+                        addr,
+                    }
+                }
+            }
+            67..=74 => Inst::Jcc {
+                cond: pick(rng, Cond::ALL),
+                target: fwd(rng),
+            },
+            75..=77 => Inst::Jmp { target: fwd(rng) },
+            78..=82 => {
+                if rng.next_u64().is_multiple_of(2) {
+                    Inst::Push { src: reg(rng) }
+                } else {
+                    Inst::Pop { dst: reg(rng) }
+                }
+            }
+            83..=85 => Inst::Call { target: fwd(rng) },
+            86..=87 => Inst::Ret,
+            88..=89 => Inst::XBegin {
+                abort_target: fwd(rng),
+            },
+            90..=91 => Inst::XEnd,
+            92..=93 => Inst::Clflush {
+                addr: mem_addr(rng, cfg),
+            },
+            94 => Inst::Prefetch {
+                addr: mem_addr(rng, cfg),
+            },
+            95 => Inst::Lfence,
+            96 => Inst::Mfence,
+            97 => Inst::Rdtsc,
+            98 => Inst::Syscall,
+            _ => Inst::Nop,
+        };
+        insts.push(inst);
+    }
+    insts.push(Inst::Halt);
+    insts
+}
+
+/// Assembles raw instructions (absolute targets) into a [`Program`].
+pub fn to_program(insts: &[Inst]) -> Program {
+    let mut a = Asm::new();
+    for &i in insts {
+        a.raw(i);
+    }
+    a.assemble()
+        .expect("raw instructions have no unbound labels")
+}
+
+/// Rewrites one branch target after deleting instruction `removed`.
+fn fix_target(t: usize, removed: usize) -> usize {
+    if t > removed {
+        t - 1
+    } else {
+        t
+    }
+}
+
+fn without(insts: &[Inst], k: usize) -> Vec<Inst> {
+    let mut out = Vec::with_capacity(insts.len() - 1);
+    for (i, &inst) in insts.iter().enumerate() {
+        if i == k {
+            continue;
+        }
+        out.push(match inst {
+            Inst::Jcc { cond, target } => Inst::Jcc {
+                cond,
+                target: fix_target(target, k),
+            },
+            Inst::Jmp { target } => Inst::Jmp {
+                target: fix_target(target, k),
+            },
+            Inst::Call { target } => Inst::Call {
+                target: fix_target(target, k),
+            },
+            Inst::XBegin { abort_target } => Inst::XBegin {
+                abort_target: fix_target(abort_target, k),
+            },
+            other => other,
+        });
+    }
+    out
+}
+
+/// Greedy delta-debugging shrink: repeatedly drops single instructions
+/// (keeping the terminal `halt`) while `fails` still returns true, to a
+/// fixpoint. The result is the minimal failing program this reduction
+/// order finds.
+pub fn shrink(mut insts: Vec<Inst>, mut fails: impl FnMut(&[Inst]) -> bool) -> Vec<Inst> {
+    let mut progress = true;
+    while progress {
+        progress = false;
+        let mut k = 0;
+        // The last instruction is the terminal halt; never drop it.
+        while k + 1 < insts.len() {
+            let candidate = without(&insts, k);
+            if fails(&candidate) {
+                insts = candidate;
+                progress = true;
+            } else {
+                k += 1;
+            }
+        }
+    }
+    insts
+}
+
+/// Renders a program as `Inst` debug lines — the exact shape pasted into
+/// a regression fixture.
+pub fn render(insts: &[Inst]) -> String {
+    let mut out = String::new();
+    for (i, inst) in insts.iter().enumerate() {
+        out.push_str(&format!("    /* {i:2} */ Inst::{inst:?},\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_terminated() {
+        let cfg = GenConfig::default();
+        let a = gen_program(&mut TestRng::deterministic("gen"), &cfg);
+        let b = gen_program(&mut TestRng::deterministic("gen"), &cfg);
+        assert_eq!(a, b, "same seed, same program");
+        assert_eq!(*a.last().unwrap(), Inst::Halt);
+        assert_eq!(a.len(), cfg.max_insts + 1);
+        // Every branch target is in range and strictly forward.
+        for (i, inst) in a.iter().enumerate() {
+            let t = match *inst {
+                Inst::Jcc { target, .. }
+                | Inst::Jmp { target }
+                | Inst::Call { target }
+                | Inst::XBegin {
+                    abort_target: target,
+                } => target,
+                _ => continue,
+            };
+            assert!(t > i && t < a.len(), "target {t} from {i} out of range");
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_a_local_minimum() {
+        let mut rng = TestRng::deterministic("shrink");
+        let insts = gen_program(&mut rng, &GenConfig::default());
+        // Predicate: program still contains a Load. Shrinking must strip
+        // everything else (the loads and the terminal halt survive).
+        let has_load = |p: &[Inst]| p.iter().any(|i| matches!(i, Inst::Load { .. }));
+        if !has_load(&insts) {
+            return; // seed produced no load; nothing to shrink against
+        }
+        let min = shrink(insts, has_load);
+        assert!(has_load(&min));
+        assert_eq!(*min.last().unwrap(), Inst::Halt);
+        // Minimal: exactly one load plus the halt.
+        assert_eq!(min.len(), 2, "got {}", render(&min));
+    }
+
+    #[test]
+    fn shrink_retargets_branches_across_deleted_instructions() {
+        let insts = vec![
+            Inst::Nop,
+            Inst::Jmp { target: 3 },
+            Inst::Nop,
+            Inst::Rdtsc,
+            Inst::Halt,
+        ];
+        let min = shrink(insts, |p| {
+            p.iter().any(|i| matches!(i, Inst::Jmp { .. }))
+                && p.iter().any(|i| matches!(i, Inst::Rdtsc))
+        });
+        // Nops removed; the jump now targets the rdtsc directly.
+        assert_eq!(min, vec![Inst::Jmp { target: 1 }, Inst::Rdtsc, Inst::Halt]);
+    }
+
+    #[test]
+    fn to_program_round_trips() {
+        let insts = gen_program(&mut TestRng::deterministic("rt"), &GenConfig::default());
+        let p = to_program(&insts);
+        assert_eq!(p.len(), insts.len());
+        for (i, inst) in insts.iter().enumerate() {
+            assert_eq!(p.fetch(i), Some(*inst));
+        }
+    }
+}

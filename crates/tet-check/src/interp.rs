@@ -1,0 +1,633 @@
+//! The in-order architectural reference interpreter.
+//!
+//! [`RefInterp`] executes a [`Program`] one instruction at a time with
+//! nothing but registers, flags, flat physical memory and fault
+//! semantics — no caches, no TLBs, no speculation, no cycle counts. It
+//! is the ground truth the retirement oracle compares the out-of-order
+//! core against (DESIGN.md §9).
+//!
+//! Memory is modelled as a byte-granular *overlay* keyed by physical
+//! address on top of a read-through view of the machine's [`PhysMem`]:
+//! the interpreter never mutates the machine's memory, and both sides
+//! agree byte-for-byte because [`PhysMem`] itself is byte-wise
+//! little-endian. Multi-byte accesses are contiguous in physical
+//! address space from the translation of the *base* virtual address,
+//! exactly like the core's `do_load`/commit paths.
+//!
+//! Known modelling limits (documented, asserted nowhere):
+//!
+//! * Translations always walk the *current* page tables. A machine run
+//!   that relies on a stale TLB entry after remapping a page without a
+//!   TLB flush would diverge from this reference — no scenario in this
+//!   repository does that.
+//! * `Rdtsc` has no architectural definition of "time"; the oracle
+//!   feeds the machine's own committed value in as `tsc` (value
+//!   adoption), so timing never diverges the state compare.
+
+use std::collections::HashMap;
+
+use tet_isa::reg::RegFile;
+use tet_isa::{inst::AluOp, Flags, Inst, Program, Reg};
+use tet_mem::{AddressSpace, PhysMem, WalkOutcome, PAGE_SIZE};
+
+/// Architectural fault classes, mirroring `tet_uarch::FaultKind`
+/// (re-declared here so `tet-check` depends only on `tet-isa`/`tet-mem`
+/// and `tet-uarch` can depend on it without a cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchFaultKind {
+    /// User-mode access to a supervisor page.
+    Permission,
+    /// No translation for the address.
+    NotPresent,
+    /// A reserved-bit PTE terminated the walk.
+    ReservedBit,
+}
+
+/// An architectural fault: class plus faulting virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchFault {
+    /// The fault class.
+    pub kind: ArchFaultKind,
+    /// Faulting virtual address.
+    pub vaddr: u64,
+}
+
+/// Static per-run configuration of the interpreter.
+#[derive(Debug, Clone, Default)]
+pub struct InterpConfig {
+    /// Instruction index control transfers to on a fault outside any
+    /// transaction (`None`: faults terminate the run).
+    pub handler_pc: Option<usize>,
+    /// Whether `xbegin`/`xend` open real transactions (the CPU model's
+    /// `has_tsx`); when false they are architectural no-ops.
+    pub has_tsx: bool,
+}
+
+/// Where an interpreter run currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpState {
+    /// More instructions may execute.
+    Running,
+    /// A `Halt` executed.
+    Halted,
+    /// A fault hit with no handler and no transaction.
+    UnhandledFault(ArchFault),
+}
+
+/// One architectural memory write (the visible effect of a committed
+/// store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemWrite {
+    /// Virtual address of the store.
+    pub vaddr: u64,
+    /// Physical address the base virtual address translates to.
+    pub pa: u64,
+    /// Full register value supplied to the store (byte stores write its
+    /// low byte, matching the core's `StoreInfo::value`).
+    pub value: u64,
+    /// Whether this is a 1-byte store.
+    pub byte: bool,
+}
+
+/// The visible effects of one successfully executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepEffect {
+    /// Instruction index that executed.
+    pub pc: usize,
+    /// Memory write performed, if any.
+    pub store: Option<MemWrite>,
+    /// Instruction index execution continues at.
+    pub next_pc: usize,
+}
+
+/// The visible effects of one faulting instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEffect {
+    /// Instruction index that faulted.
+    pub pc: usize,
+    /// The fault.
+    pub fault: ArchFault,
+    /// Where execution resumes (`None`: the run terminated). A fault
+    /// inside a transaction resumes at the innermost abort target after
+    /// rolling state back to the outermost checkpoint; otherwise at the
+    /// signal handler.
+    pub resume: Option<usize>,
+}
+
+/// What one [`RefInterp::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction executed and its effects applied.
+    Retired(StepEffect),
+    /// The instruction faulted; no effects applied, state possibly
+    /// rolled back (transaction abort).
+    Faulted(FaultEffect),
+    /// The program counter is past the end of the program (nothing ran).
+    OffEnd,
+    /// The run had already ended (`Halt` or unhandled fault).
+    Ended,
+}
+
+/// The in-order architectural reference interpreter.
+#[derive(Debug, Clone)]
+pub struct RefInterp {
+    program: Program,
+    cfg: InterpConfig,
+    pc: usize,
+    regs: RegFile,
+    flags: Flags,
+    state: InterpState,
+    /// Byte-granular physical-memory overlay over the machine's
+    /// [`PhysMem`]; holds every byte this run has stored.
+    overlay: HashMap<u64, u8>,
+    /// Abort targets of open transactions, innermost last.
+    txn_stack: Vec<usize>,
+    /// Register/flag state at the outermost `xbegin`.
+    txn_checkpoint: Option<(RegFile, Flags)>,
+    /// Overlay undo log (`(pa, previous overlay entry)`), applied in
+    /// reverse on abort. `None` restores read-through to [`PhysMem`].
+    txn_undo: Vec<(u64, Option<u8>)>,
+}
+
+impl RefInterp {
+    /// Creates an interpreter at instruction 0 with the given initial
+    /// registers.
+    pub fn new(program: Program, cfg: InterpConfig, init_regs: &[(Reg, u64)]) -> Self {
+        let mut regs = RegFile::new();
+        for &(r, v) in init_regs {
+            regs.set(r, v);
+        }
+        RefInterp {
+            program,
+            cfg,
+            pc: 0,
+            regs,
+            flags: Flags::default(),
+            state: InterpState::Running,
+            overlay: HashMap::new(),
+            txn_stack: Vec::new(),
+            txn_checkpoint: None,
+            txn_undo: Vec::new(),
+        }
+    }
+
+    /// The program being interpreted.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Current instruction index.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Current architectural registers.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Current architectural flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Current run state.
+    pub fn state(&self) -> InterpState {
+        self.state
+    }
+
+    /// Reads one byte of architectural memory (overlay over phys).
+    pub fn read_u8(&self, phys: &PhysMem, pa: u64) -> u8 {
+        self.overlay
+            .get(&pa)
+            .copied()
+            .unwrap_or_else(|| phys.read_u8(pa))
+    }
+
+    /// Reads eight little-endian bytes, contiguous in physical address
+    /// space (mirrors `PhysMem::read_u64`, which may cross page frames).
+    pub fn read_u64(&self, phys: &PhysMem, pa: u64) -> u64 {
+        let mut v = 0u64;
+        for i in 0..8 {
+            v |= (self.read_u8(phys, pa + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    fn write_u8(&mut self, pa: u64, b: u8) {
+        let old = self.overlay.insert(pa, b);
+        if self.txn_checkpoint.is_some() {
+            self.txn_undo.push((pa, old));
+        }
+    }
+
+    fn write_u64(&mut self, pa: u64, v: u64) {
+        for (i, b) in v.to_le_bytes().iter().enumerate() {
+            self.write_u8(pa + i as u64, *b);
+        }
+    }
+
+    /// Architectural translation: a fresh walk of the current page
+    /// tables, with user-mode permission checking.
+    pub fn translate(aspace: &AddressSpace, vaddr: u64) -> Result<u64, ArchFault> {
+        match aspace.walk(vaddr).0 {
+            WalkOutcome::Mapped(pte) if pte.user => Ok(pte.frame * PAGE_SIZE + (vaddr % PAGE_SIZE)),
+            WalkOutcome::Mapped(_) => Err(ArchFault {
+                kind: ArchFaultKind::Permission,
+                vaddr,
+            }),
+            WalkOutcome::NotPresent { .. } => Err(ArchFault {
+                kind: ArchFaultKind::NotPresent,
+                vaddr,
+            }),
+            WalkOutcome::ReservedBit => Err(ArchFault {
+                kind: ArchFaultKind::ReservedBit,
+                vaddr,
+            }),
+        }
+    }
+
+    fn eff_addr(&self, addr: &tet_isa::Addr) -> u64 {
+        let mut a = addr.disp as u64;
+        if let Some(b) = addr.base {
+            a = a.wrapping_add(self.regs.get(b));
+        }
+        if let Some((idx, scale)) = addr.index {
+            a = a.wrapping_add(self.regs.get(idx).wrapping_mul(scale as u64));
+        }
+        a
+    }
+
+    fn src_value(&self, s: &tet_isa::Src) -> u64 {
+        match s {
+            tet_isa::Src::Reg(r) => self.regs.get(*r),
+            tet_isa::Src::Imm(v) => *v,
+        }
+    }
+
+    /// Delivers a fault at the current pc: transaction abort (roll back
+    /// to the outermost checkpoint, resume at the *innermost* abort
+    /// target — the core does the same), else the signal handler, else
+    /// the run terminates. Returns the resume pc, if any.
+    fn deliver_fault(&mut self, fault: ArchFault) -> Option<usize> {
+        if let Some(&target) = self.txn_stack.last() {
+            if let Some((regs, flags)) = self.txn_checkpoint.take() {
+                self.regs = regs;
+                self.flags = flags;
+                for (pa, old) in self.txn_undo.drain(..).rev() {
+                    match old {
+                        Some(b) => {
+                            self.overlay.insert(pa, b);
+                        }
+                        None => {
+                            self.overlay.remove(&pa);
+                        }
+                    }
+                }
+            }
+            self.txn_stack.clear();
+            self.pc = target;
+            return Some(target);
+        }
+        if let Some(h) = self.cfg.handler_pc {
+            self.pc = h;
+            return Some(h);
+        }
+        self.state = InterpState::UnhandledFault(fault);
+        None
+    }
+
+    /// Executes one instruction. `tsc` is the value `rdtsc` writes to
+    /// `rax` (adopted from the machine — time is not architectural).
+    ///
+    /// A faulting instruction applies *no* effects before the fault is
+    /// delivered; fault delivery may roll state back (transactions).
+    pub fn step(&mut self, aspace: &AddressSpace, phys: &PhysMem, tsc: u64) -> StepOutcome {
+        if self.state != InterpState::Running {
+            return StepOutcome::Ended;
+        }
+        let pc = self.pc;
+        let Some(inst) = self.program.fetch(pc) else {
+            return StepOutcome::OffEnd;
+        };
+
+        let mut store: Option<MemWrite> = None;
+        let mut next_pc = pc + 1;
+
+        // Every fault exit goes through this macro: deliver, report.
+        macro_rules! fault {
+            ($f:expr) => {{
+                let f = $f;
+                let resume = self.deliver_fault(f);
+                return StepOutcome::Faulted(FaultEffect {
+                    pc,
+                    fault: f,
+                    resume,
+                });
+            }};
+        }
+        macro_rules! translate {
+            ($vaddr:expr) => {
+                match Self::translate(aspace, $vaddr) {
+                    Ok(pa) => pa,
+                    Err(f) => fault!(f),
+                }
+            };
+        }
+
+        match inst {
+            Inst::Nop
+            | Inst::Lfence
+            | Inst::Mfence
+            | Inst::Sfence
+            | Inst::Syscall
+            | Inst::Clflush { .. }
+            | Inst::Prefetch { .. } => {}
+            Inst::Halt => {
+                self.state = InterpState::Halted;
+            }
+            Inst::MovImm { dst, imm } => self.regs.set(dst, imm),
+            Inst::MovReg { dst, src } => {
+                let v = self.regs.get(src);
+                self.regs.set(dst, v);
+            }
+            Inst::Lea { dst, addr } => {
+                let v = self.eff_addr(&addr);
+                self.regs.set(dst, v);
+            }
+            Inst::Alu { op, dst, src } => {
+                let a = self.regs.get(dst);
+                let b = self.src_value(&src);
+                let r = op.apply(a, b);
+                self.regs.set(dst, r);
+                self.flags = match op {
+                    AluOp::Add => Flags::from_add(a, b),
+                    AluOp::Sub => Flags::from_sub(a, b),
+                    _ => Flags::from_logic(r),
+                };
+            }
+            Inst::Cmp { a, b } => {
+                self.flags = Flags::from_sub(self.regs.get(a), self.src_value(&b));
+            }
+            Inst::Test { a, b } => {
+                self.flags = Flags::from_and(self.regs.get(a), self.src_value(&b));
+            }
+            Inst::Rdtsc => self.regs.set(Reg::Rax, tsc),
+            Inst::Load { dst, addr } | Inst::LoadByte { dst, addr } => {
+                let byte = matches!(inst, Inst::LoadByte { .. });
+                let vaddr = self.eff_addr(&addr);
+                let pa = translate!(vaddr);
+                let v = if byte {
+                    self.read_u8(phys, pa) as u64
+                } else {
+                    self.read_u64(phys, pa)
+                };
+                self.regs.set(dst, v);
+            }
+            Inst::Store { src, addr } | Inst::StoreByte { src, addr } => {
+                let byte = matches!(inst, Inst::StoreByte { .. });
+                let vaddr = self.eff_addr(&addr);
+                let value = self.regs.get(src);
+                let pa = translate!(vaddr);
+                if byte {
+                    self.write_u8(pa, value as u8);
+                } else {
+                    self.write_u64(pa, value);
+                }
+                store = Some(MemWrite {
+                    vaddr,
+                    pa,
+                    value,
+                    byte,
+                });
+            }
+            Inst::Push { src } => {
+                // The pushed value is read *before* the decrement, so
+                // `push rsp` stores the old stack pointer.
+                let value = self.regs.get(src);
+                let rsp = self.regs.get(Reg::Rsp).wrapping_sub(8);
+                let pa = translate!(rsp);
+                self.regs.set(Reg::Rsp, rsp);
+                self.write_u64(pa, value);
+                store = Some(MemWrite {
+                    vaddr: rsp,
+                    pa,
+                    value,
+                    byte: false,
+                });
+            }
+            Inst::Pop { dst } => {
+                let rsp = self.regs.get(Reg::Rsp);
+                let pa = translate!(rsp);
+                let v = self.read_u64(phys, pa);
+                // Destination first, then rsp — so `pop rsp` ends with
+                // the incremented pointer, like the core's result order.
+                self.regs.set(dst, v);
+                self.regs.set(Reg::Rsp, rsp.wrapping_add(8));
+            }
+            Inst::Call { target } => {
+                let rsp = self.regs.get(Reg::Rsp).wrapping_sub(8);
+                let value = (pc + 1) as u64;
+                let pa = translate!(rsp);
+                self.regs.set(Reg::Rsp, rsp);
+                self.write_u64(pa, value);
+                store = Some(MemWrite {
+                    vaddr: rsp,
+                    pa,
+                    value,
+                    byte: false,
+                });
+                next_pc = target;
+            }
+            Inst::Ret => {
+                let rsp = self.regs.get(Reg::Rsp);
+                let pa = translate!(rsp);
+                let v = self.read_u64(phys, pa);
+                self.regs.set(Reg::Rsp, rsp.wrapping_add(8));
+                next_pc = v as usize;
+            }
+            Inst::Jmp { target } => next_pc = target,
+            Inst::JmpReg { reg } => next_pc = self.regs.get(reg) as usize,
+            Inst::Jcc { cond, target } => {
+                if cond.eval(self.flags) {
+                    next_pc = target;
+                }
+            }
+            Inst::XBegin { abort_target } => {
+                if self.cfg.has_tsx {
+                    if self.txn_stack.is_empty() {
+                        self.txn_checkpoint = Some((self.regs, self.flags));
+                        self.txn_undo.clear();
+                    }
+                    self.txn_stack.push(abort_target);
+                }
+            }
+            Inst::XEnd => {
+                self.txn_stack.pop();
+                if self.txn_stack.is_empty() {
+                    self.txn_checkpoint = None;
+                    self.txn_undo.clear();
+                }
+            }
+        }
+
+        self.pc = next_pc;
+        StepOutcome::Retired(StepEffect { pc, store, next_pc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tet_isa::{Asm, Cond};
+    use tet_mem::Pte;
+
+    fn space_with_page(vaddr: u64, frame: u64) -> AddressSpace {
+        let mut a = AddressSpace::new();
+        a.map_page(vaddr, Pte::user_data(frame));
+        a
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        let mut a = Asm::new();
+        let top = a.fresh_label();
+        a.mov_imm(Reg::Rcx, 4).mov_imm(Reg::Rax, 0);
+        a.bind(top)
+            .add(Reg::Rax, 5u64)
+            .sub(Reg::Rcx, 1u64)
+            .jcc(Cond::Ne, top)
+            .halt();
+        let mut it = RefInterp::new(a.assemble().unwrap(), InterpConfig::default(), &[]);
+        let aspace = AddressSpace::new();
+        let phys = PhysMem::new();
+        while matches!(it.state(), InterpState::Running) {
+            assert!(matches!(
+                it.step(&aspace, &phys, 0),
+                StepOutcome::Retired(_)
+            ));
+        }
+        assert_eq!(it.state(), InterpState::Halted);
+        assert_eq!(it.regs().get(Reg::Rax), 20);
+        assert_eq!(it.regs().get(Reg::Rcx), 0);
+    }
+
+    #[test]
+    fn stores_hit_the_overlay_not_phys() {
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, 0xfeed)
+            .store_abs(Reg::Rax, 0x20_0008)
+            .load_abs(Reg::Rbx, 0x20_0008)
+            .halt();
+        let aspace = space_with_page(0x20_0000, 5);
+        let phys = PhysMem::new();
+        let mut it = RefInterp::new(a.assemble().unwrap(), InterpConfig::default(), &[]);
+        while matches!(it.state(), InterpState::Running) {
+            it.step(&aspace, &phys, 0);
+        }
+        assert_eq!(it.regs().get(Reg::Rbx), 0xfeed);
+        // The machine's physical memory is untouched.
+        assert_eq!(phys.read_u64(5 * PAGE_SIZE + 8), 0);
+    }
+
+    #[test]
+    fn fault_without_handler_terminates() {
+        let mut a = Asm::new();
+        a.load_abs(Reg::Rax, 0xdead_0000).halt();
+        let aspace = AddressSpace::new();
+        let phys = PhysMem::new();
+        let mut it = RefInterp::new(a.assemble().unwrap(), InterpConfig::default(), &[]);
+        let out = it.step(&aspace, &phys, 0);
+        match out {
+            StepOutcome::Faulted(f) => {
+                assert_eq!(f.fault.kind, ArchFaultKind::NotPresent);
+                assert_eq!(f.resume, None);
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        assert!(matches!(it.state(), InterpState::UnhandledFault(_)));
+    }
+
+    #[test]
+    fn fault_with_handler_resumes_without_side_effects() {
+        let mut a = Asm::new();
+        a.load_abs(Reg::Rax, 0xdead_0000)
+            .mov_imm(Reg::Rbx, 1)
+            .mov_imm(Reg::Rcx, 7)
+            .halt();
+        let aspace = AddressSpace::new();
+        let phys = PhysMem::new();
+        let cfg = InterpConfig {
+            handler_pc: Some(2),
+            has_tsx: false,
+        };
+        let mut it = RefInterp::new(a.assemble().unwrap(), cfg, &[]);
+        match it.step(&aspace, &phys, 0) {
+            StepOutcome::Faulted(f) => assert_eq!(f.resume, Some(2)),
+            other => panic!("expected fault, got {other:?}"),
+        }
+        while matches!(it.state(), InterpState::Running) {
+            it.step(&aspace, &phys, 0);
+        }
+        assert_eq!(it.regs().get(Reg::Rax), 0, "faulting load commits nothing");
+        assert_eq!(it.regs().get(Reg::Rbx), 0, "skipped by the handler");
+        assert_eq!(it.regs().get(Reg::Rcx), 7);
+    }
+
+    #[test]
+    fn txn_abort_rolls_back_regs_and_stores() {
+        let mut a = Asm::new();
+        let abort = a.fresh_label();
+        a.mov_imm(Reg::Rax, 1)
+            .mov_imm(Reg::Rdx, 0x33)
+            .store_byte_abs(Reg::Rdx, 0x20_0000) // pre-txn store survives
+            .xbegin(abort)
+            .mov_imm(Reg::Rax, 2)
+            .store_byte_abs(Reg::Rax, 0x20_0000) // rolled back
+            .load_abs(Reg::Rbx, 0xffff_ffff_8000_0000) // kernel → abort
+            .xend()
+            .halt();
+        a.bind(abort).mov_imm(Reg::Rcx, 9).halt();
+        let mut aspace = space_with_page(0x20_0000, 5);
+        aspace.map_page(0xffff_ffff_8000_0000, Pte::kernel(9));
+        let phys = PhysMem::new();
+        let cfg = InterpConfig {
+            handler_pc: None,
+            has_tsx: true,
+        };
+        let mut it = RefInterp::new(a.assemble().unwrap(), cfg, &[]);
+        while matches!(it.state(), InterpState::Running) {
+            it.step(&aspace, &phys, 0);
+        }
+        assert_eq!(it.state(), InterpState::Halted);
+        assert_eq!(it.regs().get(Reg::Rax), 1, "register rolled back");
+        assert_eq!(it.regs().get(Reg::Rcx), 9, "abort path ran");
+        assert_eq!(
+            it.read_u8(&phys, 5 * PAGE_SIZE),
+            0x33,
+            "in-txn store rolled back to the pre-txn value"
+        );
+    }
+
+    #[test]
+    fn pop_into_rsp_keeps_the_incremented_pointer_semantics() {
+        // Mirrors the core's result ordering: `pop rsp` writes the
+        // loaded value first, then rsp+8 — the increment wins.
+        let mut a = Asm::new();
+        a.mov_imm(Reg::Rax, 0x1234)
+            .push(Reg::Rax)
+            .pop(Reg::Rsp)
+            .halt();
+        let aspace = space_with_page(0x30_0000, 6);
+        let phys = PhysMem::new();
+        let mut it = RefInterp::new(
+            a.assemble().unwrap(),
+            InterpConfig::default(),
+            &[(Reg::Rsp, 0x30_0800)],
+        );
+        while matches!(it.state(), InterpState::Running) {
+            it.step(&aspace, &phys, 0);
+        }
+        assert_eq!(it.regs().get(Reg::Rsp), 0x30_0800);
+    }
+}

@@ -42,6 +42,30 @@ pub struct Env<'a> {
     pub phys: &'a mut PhysMem,
     /// The active address space of this thread.
     pub aspace: &'a AddressSpace,
+    /// Retirement differential oracle, when the run is in check mode
+    /// (`None` costs one branch per commit). SMT runs are not checked.
+    pub check: Option<&'a mut tet_check::Oracle>,
+}
+
+/// The `tet-check` spelling of a fault class.
+pub(crate) fn check_fault_kind(k: FaultKind) -> tet_check::ArchFaultKind {
+    match k {
+        FaultKind::Permission => tet_check::ArchFaultKind::Permission,
+        FaultKind::NotPresent => tet_check::ArchFaultKind::NotPresent,
+        FaultKind::ReservedBit => tet_check::ArchFaultKind::ReservedBit,
+    }
+}
+
+/// Core invariant checks (DESIGN.md §9): active in every debug build,
+/// and in release builds when check mode is on (`TET_CHECK=1` or
+/// `tet_check::enable()`). Release runs without check mode pay only the
+/// (predictable) branch.
+macro_rules! tet_invariant {
+    ($cond:expr, $($msg:tt)+) => {
+        if (cfg!(debug_assertions) || tet_check::enabled()) && !$cond {
+            panic!($($msg)+);
+        }
+    };
 }
 
 /// How a program run ended.
@@ -156,6 +180,10 @@ pub struct Cpu {
     handler_pc: Option<usize>,
     exceptions: Vec<ExceptionRecord>,
     unhandled: Option<ExceptionRecord>,
+    /// Highest µop id committed this run (the monotone-retire invariant).
+    last_retired_id: Option<u64>,
+    /// Test-only retire-path corruption (the oracle mutation test).
+    mutate_retire: bool,
     /// Structured-event sink (disabled by default: one branch per event
     /// site). Installed per run by [`crate::Machine`] / [`crate::SmtMachine`].
     sink: SinkHandle,
@@ -202,6 +230,8 @@ impl Cpu {
             handler_pc: None,
             exceptions: Vec::new(),
             unhandled: None,
+            last_retired_id: None,
+            mutate_retire: false,
             sink: SinkHandle::disabled(),
             cfg,
         }
@@ -251,7 +281,17 @@ impl Cpu {
         self.handler_pc = handler_pc;
         self.exceptions.clear();
         self.unhandled = None;
+        self.last_retired_id = None;
         self.sink = sink;
+    }
+
+    /// Test-only retire-path bug injection: when on, every committed
+    /// register value is XORed with 1. Exists so the suite can prove the
+    /// retirement oracle catches a real commit corruption — the mutation
+    /// test of DESIGN.md §9. Never enable outside tests.
+    #[doc(hidden)]
+    pub fn set_retire_corruption_for_tests(&mut self, on: bool) {
+        self.mutate_retire = on;
     }
 
     /// Current cycle.
@@ -572,6 +612,56 @@ impl Cpu {
                 self.flags_rat = Some(id);
             }
         }
+        if tet_check::enabled() {
+            self.validate_rename_state();
+        }
+    }
+
+    /// Expensive post-squash consistency sweep, run only in check mode:
+    /// a squash must leave no dangling dependency edges or stale rename
+    /// entries behind.
+    fn validate_rename_state(&self) {
+        let mut prev: Option<u64> = None;
+        for e in &self.rob {
+            assert!(
+                prev.is_none_or(|p| e.id > p),
+                "ROB ids must be strictly ascending: {} after {:?}",
+                e.id,
+                prev
+            );
+            prev = Some(e.id);
+        }
+        let in_rob = |id: u64| self.rob.iter().any(|e| e.id == id);
+        for (r, slot) in self.rat.iter().enumerate() {
+            if let Some(id) = *slot {
+                assert!(
+                    in_rob(id),
+                    "RAT[{r}] names µop {id} which is no longer in the ROB"
+                );
+            }
+        }
+        if let Some(id) = self.flags_rat {
+            assert!(
+                in_rob(id),
+                "flags RAT names µop {id} which is no longer in the ROB"
+            );
+        }
+        let front_id = self.rob.front().map(|e| e.id);
+        for e in &self.rob {
+            for d in &e.deps {
+                let Some(p) = d.producer else { continue };
+                assert!(
+                    p < e.id,
+                    "µop {} depends on younger/equal producer {p}",
+                    e.id
+                );
+                assert!(
+                    in_rob(p) || front_id.is_none_or(|f| p < f),
+                    "µop {} has dangling dependency on squashed µop {p}",
+                    e.id
+                );
+            }
+        }
     }
 
     // ----- retirement -----------------------------------------------------
@@ -602,11 +692,32 @@ impl Cpu {
     }
 
     fn commit(&mut self, entry: RobEntry, env: &mut Env<'_>, _now_retire: u64) {
+        tet_invariant!(
+            entry.fault.is_none(),
+            "µop {} (pc {}) carries an unresolved fault {:?} but reached commit",
+            entry.id,
+            entry.pc,
+            entry.fault
+        );
+        tet_invariant!(
+            self.last_retired_id.is_none_or(|last| entry.id > last),
+            "retire ids must be monotone: µop {} after {:?}",
+            entry.id,
+            self.last_retired_id
+        );
+        self.last_retired_id = Some(entry.id);
         for &(r, v) in entry.results.iter() {
+            let v = if self.mutate_retire { v ^ 1 } else { v };
             self.regs.set(r, v);
         }
         if let Some(f) = entry.flags_out {
             self.flags = f;
+        }
+        // The oracle observes the commit between the register update and
+        // the store write: registers already reflect this µop, memory
+        // does not yet (the reference logs pre-store bytes for TSX undo).
+        if env.check.is_some() {
+            self.oracle_check_retire(&entry, env);
         }
         if let Some(store) = entry.store {
             if let Some(pa) = store.pa {
@@ -669,6 +780,66 @@ impl Cpu {
         }
         if matches!(entry.inst, Inst::Halt) {
             self.halted = true;
+        }
+    }
+
+    /// Feeds one committed µop to the retirement oracle (check mode).
+    fn oracle_check_retire(&self, entry: &RobEntry, env: &mut Env<'_>) {
+        let Env {
+            check,
+            phys,
+            aspace,
+            ..
+        } = env;
+        if let Some(oracle) = check.as_deref_mut() {
+            let store = entry.store.map(|s| tet_check::CommittedStore {
+                vaddr: s.vaddr,
+                pa: s.pa,
+                value: s.value,
+                byte: s.byte,
+            });
+            oracle.on_retire(
+                &tet_check::RetiredUop {
+                    pc: entry.pc,
+                    regs: &self.regs,
+                    flags: self.flags,
+                    store,
+                },
+                aspace,
+                phys,
+            );
+        }
+    }
+
+    /// Feeds one delivered fault to the retirement oracle (check mode).
+    /// Called after any transaction rollback, so registers and physical
+    /// memory are already in their post-delivery state.
+    fn oracle_check_fault(
+        &self,
+        pc: usize,
+        fault: Fault,
+        resume: Option<usize>,
+        env: &mut Env<'_>,
+    ) {
+        let Env {
+            check,
+            phys,
+            aspace,
+            ..
+        } = env;
+        if let Some(oracle) = check.as_deref_mut() {
+            oracle.on_fault(
+                &tet_check::DeliveredFault {
+                    pc,
+                    vaddr: fault.vaddr,
+                    kind: check_fault_kind(fault.kind),
+                    resume,
+                    regs: &self.regs,
+                    flags: self.flags,
+                },
+                aspace,
+                phys,
+            );
         }
     }
 
@@ -741,6 +912,9 @@ impl Cpu {
                     squashed_uops: occupancy as u32,
                 },
             );
+            if env.check.is_some() {
+                self.oracle_check_fault(entry_pc, fault, None, env);
+            }
             return delivered_at;
         };
 
@@ -768,6 +942,12 @@ impl Cpu {
                 }
             }
             self.txn_depth = 0;
+        }
+
+        // Check mode: the oracle sees the fault after rollback, with
+        // registers and memory in their post-delivery state.
+        if env.check.is_some() {
+            self.oracle_check_fault(entry_pc, fault, Some(target), env);
         }
 
         // Full pipeline flush; architectural state stays at the last
@@ -1001,6 +1181,12 @@ impl Cpu {
     // ----- the execute step -------------------------------------------------
 
     fn execute_uop(&mut self, i: usize, now: u64, env: &mut Env<'_>) {
+        tet_invariant!(
+            self.deps_ready(&self.rob[i], now),
+            "scheduler issued µop {} (pc {}) with unready sources",
+            self.rob[i].id,
+            self.rob[i].pc
+        );
         let inst = self.rob[i].inst;
         let t = self.cfg.timing;
         let mut latency = t.alu_latency;

@@ -223,6 +223,7 @@ pub struct Machine {
     aspace: AddressSpace,
     frames: FrameAlloc,
     code_pages_mapped: usize,
+    check_mode: bool,
 }
 
 impl Machine {
@@ -236,7 +237,20 @@ impl Machine {
             aspace: AddressSpace::new(),
             frames: FrameAlloc::starting_at(0x1000),
             code_pages_mapped: 0,
+            check_mode: false,
         }
+    }
+
+    /// Turns the retirement differential oracle on or off for this
+    /// machine only (DESIGN.md §9). Check mode is also forced globally
+    /// by `TET_CHECK=1` or [`tet_check::enable`].
+    pub fn set_check_mode(&mut self, on: bool) {
+        self.check_mode = on;
+    }
+
+    /// Whether this machine runs programs under the retirement oracle.
+    pub fn check_mode(&self) -> bool {
+        self.check_mode
     }
 
     /// The CPU configuration.
@@ -380,6 +394,20 @@ impl Machine {
         self.cpu.reset_run(&cfg.init_regs, cfg.handler_pc, handle);
         let pmu_before = self.cpu.pmu.snapshot();
 
+        // Check mode: a reference interpreter follows the retirement
+        // stream of this run and panics on the first architectural
+        // divergence (DESIGN.md §9).
+        let mut oracle = (self.check_mode || tet_check::enabled()).then(|| {
+            tet_check::Oracle::new(
+                program.clone(),
+                tet_check::InterpConfig {
+                    handler_pc: cfg.handler_pc,
+                    has_tsx: self.cpu.config().vuln.has_tsx,
+                },
+                &cfg.init_regs,
+            )
+        });
+
         let mut exit = RunExit::CycleLimit;
         while self.cpu.cycle() < cfg.max_cycles {
             if self.cpu.halted() {
@@ -397,8 +425,23 @@ impl Machine {
                 mem: &mut self.mem,
                 phys: &mut self.phys,
                 aspace: &self.aspace,
+                check: oracle.as_mut(),
             };
             self.cpu.step(program, &mut env);
+        }
+
+        if let Some(oracle) = oracle.as_mut() {
+            let class = match &exit {
+                RunExit::Halted => tet_check::ExitClass::Halted,
+                RunExit::CycleLimit => tet_check::ExitClass::CycleLimit,
+                RunExit::RanOffEnd => tet_check::ExitClass::RanOffEnd,
+                RunExit::UnhandledFault(r) => tet_check::ExitClass::UnhandledFault {
+                    pc: r.pc,
+                    vaddr: r.vaddr,
+                    kind: crate::core::check_fault_kind(r.kind),
+                },
+            };
+            oracle.on_run_end(class, self.cpu.regs(), self.cpu.flags());
         }
 
         let (frontend_trace, uop_trace) = match recorder {

@@ -177,6 +177,8 @@ impl SmtMachine {
                     mem: &mut self.mem,
                     phys: &mut self.phys,
                     aspace: &self.aspace0,
+                    // SMT runs are not oracle-checked (DESIGN.md §9).
+                    check: None,
                 };
                 let ev = self.cpu0.step(prog0, &mut env);
                 if let Some(until) = ev.flush_until {
@@ -191,6 +193,7 @@ impl SmtMachine {
                     mem: &mut self.mem,
                     phys: &mut self.phys,
                     aspace: &self.aspace1,
+                    check: None,
                 };
                 let ev = self.cpu1.step(prog1, &mut env);
                 if let Some(until) = ev.flush_until {

@@ -1,0 +1,330 @@
+//! Property-based fuzzing of the OoO core against the `tet-check`
+//! reference interpreter (DESIGN.md §9).
+//!
+//! Random gadget-shaped programs (arithmetic, memory traffic, forward
+//! branches, faulting accesses, TSX, fences) run under every Table 2
+//! `CpuConfig` preset with the retirement oracle live. Any divergence
+//! panics inside the run; the harness then shrinks the program to a
+//! minimal failing fixture and prints it, ready to paste into
+//! [`shrunken fixtures`](#shrunken-fixtures) below as a permanent
+//! regression test.
+//!
+//! Deterministic: the RNG seed is fixed, so every CI run fuzzes the same
+//! programs. `TET_FUZZ_CASES` scales the per-preset program count
+//! (default 200 → 1000 oracle-checked runs across the 5 presets).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::test_runner::TestRng;
+use tet_check::gen::{self, layout, GenConfig};
+use tet_isa::{Inst, Reg};
+use tet_uarch::{CpuConfig, Machine, RunConfig};
+
+/// Cycle budget per fuzz run: wild `ret`s can loop a program until the
+/// budget expires, and `CycleLimit` is a clean oracle exit.
+const FUZZ_MAX_CYCLES: u64 = 5_000;
+
+fn fuzz_cases_per_preset() -> usize {
+    std::env::var("TET_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// A machine with the generator's layout mapped: data + stack pages
+/// (user), one kernel page holding a secret, and check mode forced on.
+fn machine_for(cfg: CpuConfig, seed: u64) -> Machine {
+    let mut m = Machine::new(cfg, seed);
+    m.map_user_page(layout::DATA_PAGE);
+    m.map_user_page(layout::STACK_PAGE);
+    let kpa = m.map_kernel_page(layout::KERNEL_PAGE);
+    m.phys_mut().write_u64(kpa, 0x5ec2e7_5ec2e7);
+    m.set_check_mode(true);
+    m
+}
+
+fn run_cfg(handler: Option<usize>) -> RunConfig {
+    RunConfig {
+        handler_pc: handler,
+        max_cycles: FUZZ_MAX_CYCLES,
+        init_regs: vec![(Reg::Rsp, layout::STACK_TOP)],
+        ..RunConfig::default()
+    }
+}
+
+/// Runs one program on one preset; returns the panic payload on oracle
+/// divergence (or any other panic), `None` on a clean run.
+fn run_once(cfg: &CpuConfig, seed: u64, insts: &[Inst], handler: Option<usize>) -> Option<String> {
+    let program = gen::to_program(insts);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut m = machine_for(cfg.clone(), seed);
+        m.run(&program, &run_cfg(handler));
+    }));
+    result.err().map(|e| {
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic".into())
+    })
+}
+
+/// The main fuzz loop: `TET_FUZZ_CASES` random programs per preset, each
+/// with the oracle live. On divergence, shrinks to a minimal program and
+/// fails with a rendered fixture.
+#[test]
+fn fuzz_random_programs_against_reference() {
+    let presets = CpuConfig::table2_presets();
+    let cases = fuzz_cases_per_preset();
+    let gen_cfg = GenConfig::default();
+    for (pi, preset) in presets.iter().enumerate() {
+        let mut rng = TestRng::deterministic(&format!("fuzz-oracle-{}", preset.name));
+        for case in 0..cases {
+            let insts = gen::gen_program(&mut rng, &gen_cfg);
+            // Alternate between fault-terminates and signal-handler runs
+            // so both delivery routes get fuzzed.
+            let handler = (case % 2 == 1).then_some(insts.len() - 1);
+            let seed = (pi as u64) << 32 | case as u64;
+            if let Some(panic) = run_once(preset, seed, &insts, handler) {
+                let min = gen::shrink(insts, |candidate| {
+                    let h = handler.map(|_| candidate.len() - 1);
+                    run_once(preset, seed, candidate, h).is_some()
+                });
+                let h = handler.map(|_| min.len() - 1);
+                let min_panic = run_once(preset, seed, &min, h).unwrap_or(panic);
+                panic!(
+                    "oracle divergence on preset {} case {case} (handler: {handler:?}).\n\
+                     Minimal program:\n{}\nDivergence:\n{min_panic}",
+                    preset.name,
+                    gen::render(&min),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrunken fixtures
+//
+// Deterministic regression programs in the exact shape the shrinker
+// emits. Programs that once exposed interesting machine/reference
+// disagreements during bring-up (or exercise the trickiest retirement
+// paths) are pinned here forever.
+// ---------------------------------------------------------------------------
+
+fn check_fixture(insts: &[Inst], handler: Option<usize>) {
+    for (pi, preset) in CpuConfig::table2_presets().iter().enumerate() {
+        if let Some(panic) = run_once(preset, 0x7e57 + pi as u64, insts, handler) {
+            panic!(
+                "fixture diverged on preset {}:\n{}\n{panic}",
+                preset.name,
+                gen::render(insts)
+            );
+        }
+    }
+}
+
+/// A faulting load inside a TSX region: the abort path must roll back
+/// the register file and resume at the abort target.
+#[test]
+fn fixture_tsx_abort_rolls_back() {
+    let insts = vec![
+        /*  0 */
+        Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 7,
+        },
+        /*  1 */
+        Inst::XBegin { abort_target: 4 },
+        /*  2 */
+        Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 99,
+        },
+        /*  3 */
+        Inst::Load {
+            dst: Reg::Rbx,
+            addr: tet_isa::Addr::abs(layout::KERNEL_PAGE),
+        },
+        /*  4 */ Inst::Halt,
+    ];
+    check_fixture(&insts, None);
+}
+
+/// A store inside an aborting transaction must be undone in physical
+/// memory before the abort target runs.
+#[test]
+fn fixture_tsx_abort_undoes_stores() {
+    let insts = vec![
+        /*  0 */
+        Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 0x41,
+        },
+        /*  1 */
+        Inst::Store {
+            src: Reg::Rcx,
+            addr: tet_isa::Addr::abs(layout::DATA_PAGE + 0x100),
+        },
+        /*  2 */
+        Inst::XBegin { abort_target: 6 },
+        /*  3 */
+        Inst::MovImm {
+            dst: Reg::Rcx,
+            imm: 0x42,
+        },
+        /*  4 */
+        Inst::Store {
+            src: Reg::Rcx,
+            addr: tet_isa::Addr::abs(layout::DATA_PAGE + 0x100),
+        },
+        /*  5 */
+        Inst::LoadByte {
+            dst: Reg::Rdx,
+            addr: tet_isa::Addr::abs(layout::UNMAPPED),
+        },
+        /*  6 */
+        Inst::Load {
+            dst: Reg::Rsi,
+            addr: tet_isa::Addr::abs(layout::DATA_PAGE + 0x100),
+        },
+        /*  7 */ Inst::Halt,
+    ];
+    check_fixture(&insts, None);
+}
+
+/// Faulting access with a signal handler: the machine resteers to the
+/// handler pc with no architectural side effects from the faulting µop.
+#[test]
+fn fixture_fault_to_handler() {
+    let insts = vec![
+        /*  0 */
+        Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 3,
+        },
+        /*  1 */
+        Inst::Load {
+            dst: Reg::Rbx,
+            addr: tet_isa::Addr::abs(layout::KERNEL_PAGE + 8),
+        },
+        /*  2 */
+        Inst::MovImm {
+            dst: Reg::Rbx,
+            imm: 555,
+        },
+        /*  3 */ Inst::Halt,
+    ];
+    check_fixture(&insts, Some(3));
+}
+
+/// Call/ret round trip with stack traffic between: store-to-load
+/// forwarding on the return address and `rsp` bookkeeping both commit.
+#[test]
+fn fixture_call_ret_stack_traffic() {
+    let insts = vec![
+        /*  0 */ Inst::Call { target: 3 },
+        /*  1 */
+        Inst::MovImm {
+            dst: Reg::Rdi,
+            imm: 11,
+        },
+        /*  2 */ Inst::Halt,
+        /*  3 */ Inst::Push { src: Reg::Rdi },
+        /*  4 */
+        Inst::MovImm {
+            dst: Reg::Rdi,
+            imm: 22,
+        },
+        /*  5 */ Inst::Pop { dst: Reg::Rdi },
+        /*  6 */ Inst::Ret,
+        /*  7 */ Inst::Halt,
+    ];
+    check_fixture(&insts, None);
+}
+
+/// `pop rsp` — the dst write and the stack-pointer increment race; the
+/// core resolves it increment-last, and the reference must agree.
+#[test]
+fn fixture_pop_into_rsp() {
+    let insts = vec![
+        /*  0 */ Inst::Push { src: Reg::Rsp },
+        /*  1 */ Inst::Pop { dst: Reg::Rsp },
+        /*  2 */
+        Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 1,
+        },
+        /*  3 */ Inst::Halt,
+    ];
+    check_fixture(&insts, None);
+}
+
+/// A mispredicted conditional branch over a store: the squashed store
+/// must leave no architectural trace.
+#[test]
+fn fixture_branch_over_store() {
+    let insts = vec![
+        /*  0 */
+        Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0,
+        },
+        /*  1 */
+        Inst::Cmp {
+            a: Reg::Rax,
+            b: tet_isa::Src::Imm(0),
+        },
+        /*  2 */
+        Inst::Jcc {
+            cond: tet_isa::Cond::E,
+            target: 4,
+        },
+        /*  3 */
+        Inst::Store {
+            src: Reg::Rax,
+            addr: tet_isa::Addr::abs(layout::UNMAPPED),
+        },
+        /*  4 */
+        Inst::Load {
+            dst: Reg::Rbx,
+            addr: tet_isa::Addr::abs(layout::DATA_PAGE),
+        },
+        /*  5 */ Inst::Halt,
+    ];
+    check_fixture(&insts, None);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation test (DESIGN.md §9): prove the oracle actually has teeth.
+// ---------------------------------------------------------------------------
+
+/// Injects a retire-path bug (every committed result value XOR 1) and
+/// asserts the oracle catches it on a trivial program. If this test ever
+/// fails, the oracle has gone blind.
+#[test]
+fn mutation_corrupted_retire_is_caught() {
+    let insts = vec![
+        Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 4,
+        },
+        Inst::Halt,
+    ];
+    let program = gen::to_program(&insts);
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let mut m = machine_for(CpuConfig::kaby_lake_i7_7700(), 1);
+        m.cpu_mut().set_retire_corruption_for_tests(true);
+        m.run(&program, &run_cfg(None));
+    }));
+    let msg = match caught {
+        Ok(_) => panic!("oracle missed an injected retire-path corruption"),
+        Err(e) => e
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into()),
+    };
+    assert!(
+        msg.contains("divergence") || msg.contains("Rax"),
+        "unexpected panic message: {msg}"
+    );
+}

@@ -4,10 +4,13 @@
 //!
 //! The channel keys on *mispredicted* in-window branches, i.e. on the
 //! test values where the condition's outcome differs from its trained
-//! prediction. For every non-degenerate flavour that edge sits at the
-//! secret byte, so the ToTE maximum lands within ±1 of it. Flavours with
-//! no outcome edge over the byte sweep (JO/JNO never/always fire on
-//! byte-range operands) carry no signal — also worth demonstrating.
+//! prediction. Every test value on the mispredicted side shares the same
+//! (longer) ToTE, so the curve is a *plateau* whose interior boundary
+//! sits at the secret byte: for equality flavours the plateau is the
+//! single point `secret`, for ordered flavours it is a whole range
+//! ending (or starting) within ±1 of it. Flavours with no outcome edge
+//! over the byte sweep (JO/JNO never/always fire on byte-range operands)
+//! carry no signal — also worth demonstrating.
 //!
 //! Run: `cargo run -p whisper-bench --bin ablation_jcc`
 
@@ -60,12 +63,18 @@ fn main() {
         let out = ArgmaxDecoder::new(5, Polarity::MaxWins)
             .decode(|test, _| gadget.measure(&mut sc.machine, test as u64));
 
-        // The decoder's min-reduced extreme sits on the condition's
-        // outcome edge, i.e. at the secret (for ordered flavours the
-        // per-batch winners straddle the edge, so votes spread — the
-        // reduced extreme is the robust signal).
-        let near_secret = (out.value as i16 - secret as i16).unsigned_abs() <= 1;
-        let winner_votes = out.votes[out.value as usize];
+        // The signal is the *interior edge* of the maximal plateau: all
+        // mispredicted test values tie at the long ToTE, and the tie
+        // range's boundary away from the sweep edge is the secret. (The
+        // plain argmax is ambiguous on an exact tie — its tie-breaking
+        // must not be what decides this experiment.)
+        let plateau = out.extreme_plateau(Polarity::MaxWins);
+        let edge = match (plateau.first(), plateau.last()) {
+            (Some(&0), Some(&hi)) => hi,
+            (Some(&lo), _) => lo,
+            _ => 0,
+        };
+        let near_secret = (edge as i16 - secret as i16).unsigned_abs() <= 1;
         let ok = if degenerate {
             !near_secret
         } else {
@@ -88,7 +97,7 @@ fn main() {
                 "leak at secret +/-1"
             }
             .to_string(),
-            format!("{:#04x} ({} votes)", out.value, winner_votes),
+            format!("{edge:#04x} (plateau of {})", plateau.len()),
             tick(ok).to_string(),
         ]);
     }

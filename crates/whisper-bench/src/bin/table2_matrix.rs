@@ -6,10 +6,10 @@
 //! `tet-par`; results are committed in submission order, so the table is
 //! byte-identical for any `--threads` setting.
 //!
-//! Run: `cargo run -p whisper-bench --bin table2_matrix [--threads N]`
+//! Run: `cargo run -p whisper-bench --bin table2_matrix [--threads N] [--check]`
 
 use whisper::eval::{paper_table2_row, run_table2_matrix, AttackStatus};
-use whisper_bench::{section, write_report, RunReport, Table};
+use whisper_bench::{check_from_args, section, write_report, RunReport, Table};
 
 fn cell(ours: AttackStatus, paper: Option<AttackStatus>) -> String {
     let o = match ours {
@@ -26,6 +26,7 @@ fn cell(ours: AttackStatus, paper: Option<AttackStatus>) -> String {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let threads = tet_par::threads_from_args(&mut args);
+    let checked = check_from_args(&mut args);
     section("Table 2: attack matrix (ours vs paper)");
     println!("  threads: {threads}");
     let mut table = Table::new(&[
@@ -67,6 +68,7 @@ fn main() {
         whisper_bench::tick(all_match)
     );
     rep.set_meta("table", "2");
+    rep.set_meta("checked", if checked { "yes" } else { "no" });
     rep.scalar("all_match", f64::from(all_match));
     rep.set_throughput(wall, threads, None);
     write_report(&rep);

@@ -86,6 +86,20 @@ impl Table {
     }
 }
 
+/// Consumes a `--check` flag from the argument list; when present, turns
+/// on the process-wide retirement differential oracle (DESIGN.md §9), so
+/// every simulated run is verified against the `tet-check` reference
+/// interpreter. Equivalent to running with `TET_CHECK=1`.
+pub fn check_from_args(args: &mut Vec<String>) -> bool {
+    let found = args.iter().any(|a| a == "--check");
+    args.retain(|a| a != "--check");
+    if found {
+        tet_check::enable();
+        eprintln!("check mode: every run verified against the reference interpreter");
+    }
+    found
+}
+
 /// Formats a ✓/✗ cell from a success flag (ASCII-safe).
 pub fn tick(ok: bool) -> &'static str {
     if ok {

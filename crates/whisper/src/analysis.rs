@@ -90,6 +90,31 @@ pub struct DecodeOutcome {
     pub votes: Vec<u32>,
     /// Batches that produced a usable winner.
     pub valid_batches: u32,
+    /// Min-aggregated ToTE per test value (`u64::MAX` where every probe
+    /// failed) — the raw curve behind `value`, for experiments that need
+    /// its shape (e.g. plateau edges) rather than just the arg-extreme.
+    pub reduced: Vec<u64>,
+}
+
+impl DecodeOutcome {
+    /// The set of test values whose aggregated ToTE equals the curve's
+    /// extreme for `polarity` — a single element for a peaked curve, a
+    /// plateau when a whole range of test values behaves identically.
+    pub fn extreme_plateau(&self, polarity: Polarity) -> Vec<u8> {
+        let valid = self.reduced.iter().copied().filter(|&t| t != u64::MAX);
+        let Some(extreme) = (match polarity {
+            Polarity::MaxWins => valid.max(),
+            Polarity::MinWins => valid.min(),
+        }) else {
+            return Vec::new();
+        };
+        self.reduced
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t == extreme)
+            .map(|(i, _)| i as u8)
+            .collect()
+    }
 }
 
 /// The paper's decoding procedure (§4.3.1): sweep the test value 0..=255
@@ -172,15 +197,26 @@ impl ArgmaxDecoder {
                 sorted.sort_unstable();
                 let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
                 valid.retain(|&(_, t)| t <= median + Self::OUTLIER_CAP);
-                valid.iter().max_by_key(|&&(_, t)| t).map(|&(i, _)| i as u8)
+                // Ties resolve to the lowest test value for both
+                // polarities (`max_by_key` alone would return the *last*
+                // maximum while `min_by_key` returns the *first* minimum,
+                // making the decode asymmetric between polarities).
+                valid
+                    .iter()
+                    .max_by_key(|&&(i, t)| (t, std::cmp::Reverse(i)))
+                    .map(|&(i, _)| i as u8)
             }
-            Polarity::MinWins => valid.iter().min_by_key(|&&(_, t)| t).map(|&(i, _)| i as u8),
+            Polarity::MinWins => valid
+                .iter()
+                .min_by_key(|&&(i, t)| (t, i))
+                .map(|&(i, _)| i as u8),
         }
         .unwrap_or(0);
         DecodeOutcome {
             value,
             votes,
             valid_batches,
+            reduced,
         }
     }
 }
@@ -364,6 +400,34 @@ mod tests {
             })
         });
         assert_eq!(out.value, 0x42);
+    }
+
+    #[test]
+    fn decoder_breaks_ties_toward_lowest_value_for_both_polarities() {
+        // Two test values tie at the extreme ToTE. The decode must pick
+        // the same (lowest) one under both polarities — `max_by_key`
+        // returns the last maximal element, which used to make MaxWins
+        // resolve ties to the *highest* value while MinWins picked the
+        // lowest.
+        let tied = |test: u8| {
+            Some(if test == 0x10 || test == 0xa0 {
+                130
+            } else {
+                100
+            })
+        };
+        let max = ArgmaxDecoder::new(2, Polarity::MaxWins).decode(|t, _| tied(t));
+        assert_eq!(max.value, 0x10, "MaxWins tie must resolve low");
+
+        let dipped = |test: u8| {
+            Some(if test == 0x10 || test == 0xa0 {
+                70
+            } else {
+                100
+            })
+        };
+        let min = ArgmaxDecoder::new(2, Polarity::MinWins).decode(|t, _| dipped(t));
+        assert_eq!(min.value, 0x10, "MinWins tie must resolve low");
     }
 
     #[test]

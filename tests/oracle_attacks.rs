@@ -1,0 +1,107 @@
+//! Every attack, on every CPU preset, under the retirement oracle
+//! (DESIGN.md §9).
+//!
+//! These are the Table 2 scenarios re-run with `Machine::set_check_mode`
+//! on: a `tet-check` reference interpreter follows each run's retirement
+//! stream and panics on the first architectural divergence. Passing here
+//! means the simulator's transient machinery — faults, TSX aborts,
+//! squashes, store forwarding — never corrupts architectural state in
+//! any attack on any modelled CPU.
+//!
+//! The SMT Zombieload variant is exempt: dual-thread runs share one
+//! memory system and are not oracle-checked (see `tet_uarch::smt`).
+//! Randomized coverage of the same property lives in
+//! `crates/tet-uarch/tests/fuzz_oracle.rs`, together with the shrunken
+//! fixture programs the fuzzer's reducer emits.
+
+use tet_uarch::CpuConfig;
+use whisper::attacks::{TetKaslr, TetMeltdown, TetSpectreRsb, TetZombieload};
+use whisper::channel::TetCovertChannel;
+use whisper::scenario::{Scenario, ScenarioOptions};
+
+/// A fresh scenario for `cfg` with the differential oracle armed.
+fn checked_scenario(cfg: &CpuConfig, seed: u64) -> Scenario {
+    let opts = ScenarioOptions {
+        seed,
+        ..ScenarioOptions::default()
+    };
+    let mut sc = Scenario::new(cfg.clone(), &opts);
+    sc.machine.set_check_mode(true);
+    sc
+}
+
+#[test]
+fn covert_channel_verifies_on_every_preset() {
+    for cfg in CpuConfig::table2_presets() {
+        let mut sc = checked_scenario(&cfg, 3);
+        sc.sender_write(0xa5);
+        // Only the absence of an oracle panic matters here: the decode
+        // may fail on noisy presets, but architectural state must not.
+        let _ = TetCovertChannel::new(2).receive_byte(&mut sc);
+    }
+}
+
+#[test]
+fn meltdown_verifies_on_every_preset() {
+    for cfg in CpuConfig::table2_presets() {
+        let mut sc = checked_scenario(&cfg, 3);
+        let va = sc.kernel_secret_va;
+        let _ = TetMeltdown::default().leak(&mut sc.machine, va, 4);
+    }
+}
+
+#[test]
+fn zombieload_verifies_on_every_preset() {
+    for cfg in CpuConfig::table2_presets() {
+        let mut sc = checked_scenario(&cfg, 3);
+        for (i, b) in b"LFB!".iter().enumerate() {
+            sc.set_victim_byte(i as u64, *b);
+        }
+        let _ = TetZombieload::default().sample(&mut sc, 4);
+    }
+}
+
+#[test]
+fn spectre_rsb_verifies_on_every_preset() {
+    for cfg in CpuConfig::table2_presets() {
+        let mut sc = checked_scenario(&cfg, 3);
+        let va = sc.user_secret_va;
+        let _ = TetSpectreRsb::default().leak(&mut sc.machine, va, 2);
+    }
+}
+
+#[test]
+fn kaslr_verifies_on_every_preset() {
+    for cfg in CpuConfig::table2_presets() {
+        let mut sc = checked_scenario(&cfg, 3);
+        let kernel = sc.kernel;
+        let _ = TetKaslr::default().break_kaslr(&mut sc.machine, &kernel);
+    }
+}
+
+#[test]
+fn checked_run_still_reproduces_the_i7_7700_row() {
+    // Check mode must be an observer: with the oracle live the flagship
+    // preset still recovers every secret exactly as in `tests/table2.rs`.
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+
+    let mut sc = checked_scenario(&cfg, 3);
+    sc.sender_write(0xa5);
+    let (got, _) = TetCovertChannel::new(2).receive_byte(&mut sc);
+    assert_eq!(got, 0xa5, "TET-CC under check mode");
+
+    let mut sc = checked_scenario(&cfg, 3);
+    let va = sc.kernel_secret_va;
+    let r = TetMeltdown::default().leak(&mut sc.machine, va, 4);
+    assert_eq!(r.recovered, b"WHIS", "TET-MD under check mode");
+
+    let mut sc = checked_scenario(&cfg, 3);
+    let va = sc.user_secret_va;
+    let r = TetSpectreRsb::default().leak(&mut sc.machine, va, 2);
+    assert_eq!(r.recovered, b"rs", "TET-RSB under check mode");
+
+    let mut sc = checked_scenario(&cfg, 3);
+    let kernel = sc.kernel;
+    let r = TetKaslr::default().break_kaslr(&mut sc.machine, &kernel);
+    assert!(r.success, "TET-KASLR under check mode");
+}
