@@ -131,7 +131,10 @@ pub enum StepOutcome {
 /// The in-order architectural reference interpreter.
 #[derive(Debug, Clone)]
 pub struct RefInterp {
-    program: Program,
+    /// Shared with the caller: check mode re-runs the same program many
+    /// times (once per attack iteration), so the oracle holds a
+    /// reference instead of cloning the instruction stream per run.
+    program: std::sync::Arc<Program>,
     cfg: InterpConfig,
     pc: usize,
     regs: RegFile,
@@ -151,14 +154,20 @@ pub struct RefInterp {
 
 impl RefInterp {
     /// Creates an interpreter at instruction 0 with the given initial
-    /// registers.
-    pub fn new(program: Program, cfg: InterpConfig, init_regs: &[(Reg, u64)]) -> Self {
+    /// registers. Accepts an owned [`Program`] or a shared
+    /// `Arc<Program>`; passing the `Arc` avoids cloning the instruction
+    /// stream on every checked run.
+    pub fn new(
+        program: impl Into<std::sync::Arc<Program>>,
+        cfg: InterpConfig,
+        init_regs: &[(Reg, u64)],
+    ) -> Self {
         let mut regs = RegFile::new();
         for &(r, v) in init_regs {
             regs.set(r, v);
         }
         RefInterp {
-            program,
+            program: program.into(),
             cfg,
             pc: 0,
             regs,

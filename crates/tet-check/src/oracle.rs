@@ -136,8 +136,14 @@ fn state_diff(m_regs: &RegFile, m_flags: Flags, r: &RefInterp) -> Option<String>
 }
 
 impl Oracle {
-    /// Creates an oracle for one run of `program`.
-    pub fn new(program: Program, cfg: InterpConfig, init_regs: &[(Reg, u64)]) -> Self {
+    /// Creates an oracle for one run of `program`. Accepts an owned
+    /// [`Program`] or a shared `Arc<Program>`; check-mode callers that
+    /// re-run the same program pass the `Arc` to avoid a per-run clone.
+    pub fn new(
+        program: impl Into<std::sync::Arc<Program>>,
+        cfg: InterpConfig,
+        init_regs: &[(Reg, u64)],
+    ) -> Self {
         Oracle {
             interp: RefInterp::new(program, cfg, init_regs),
             checked: 0,

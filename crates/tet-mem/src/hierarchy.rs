@@ -1,4 +1,11 @@
 //! The assembled cache hierarchy with latency accounting and DRAM jitter.
+//!
+//! Each level carries its own one-entry MRU filter (inside [`Cache`]):
+//! the warm-loop case where consecutive accesses touch the same line —
+//! the common shape of every gadget's probe loop — resolves each level's
+//! `lookup` with a single compare instead of a set scan, without
+//! perturbing LRU order (the filter line already holds its set's maximum
+//! age stamp).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

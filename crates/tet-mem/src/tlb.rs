@@ -6,6 +6,13 @@
 //! permission, while unmapped addresses obviously cannot fill the TLB.
 //! The fill policy lives in the CPU model; this module only provides the
 //! structure.
+//!
+//! Like [`Cache`](crate::Cache), each set is a fixed `ways`-slot window
+//! of flat entry/stamp arrays with a monotone recency tick (stamp 0 =
+//! empty), plus a one-entry MRU filter for the repeated-page case — the
+//! DTLB is consulted on every demand access and the same page dominates
+//! warm loops. Observationally identical to the original per-set
+//! MRU-first `Vec` lists (see the equivalence property test).
 
 use crate::{vpn, Pte};
 
@@ -63,17 +70,40 @@ pub struct TlbEntry {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    /// Per-set MRU-first entries.
-    sets: Vec<Vec<TlbEntry>>,
+    /// Cached translations, `ways` consecutive slots per set; a slot is
+    /// live iff its stamp is non-zero (VPN 0 is a legal page).
+    entries: Vec<TlbEntry>,
+    /// LRU age stamps, parallel to `entries`; larger = more recent.
+    stamps: Vec<u64>,
+    /// Monotone recency clock.
+    tick: u64,
+    /// One-entry MRU filter: `(vpn, slot)` of the last hit/filled page.
+    mru: Option<(u64, usize)>,
     hits: u64,
     misses: u64,
 }
+
+const EMPTY: TlbEntry = TlbEntry {
+    vpn: 0,
+    pte: Pte {
+        frame: 0,
+        present: false,
+        writable: false,
+        user: false,
+        global: false,
+        reserved: false,
+        nx: false,
+    },
+};
 
 impl Tlb {
     /// Creates an empty TLB.
     pub fn new(cfg: TlbConfig) -> Self {
         Tlb {
-            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets],
+            entries: vec![EMPTY; cfg.entries()],
+            stamps: vec![0; cfg.entries()],
+            tick: 0,
+            mru: None,
             cfg,
             hits: 0,
             misses: 0,
@@ -86,80 +116,126 @@ impl Tlb {
     }
 
     #[inline]
-    fn set_index(&self, page: u64) -> usize {
-        (page as usize) & (self.cfg.sets - 1)
+    fn set_range(&self, page: u64) -> std::ops::Range<usize> {
+        let set = (page as usize) & (self.cfg.sets - 1);
+        let start = set * self.cfg.ways;
+        start..start + self.cfg.ways
+    }
+
+    #[inline]
+    fn next_stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
     }
 
     /// Looks up the translation for `vaddr`, updating LRU and statistics.
     pub fn lookup(&mut self, vaddr: u64) -> Option<TlbEntry> {
         let page = vpn(vaddr);
-        let idx = self.set_index(page);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|e| e.vpn == page) {
-            let e = set.remove(pos);
-            set.insert(0, e);
-            self.hits += 1;
-            Some(e)
-        } else {
-            self.misses += 1;
-            None
+        // MRU fast path: the filter entry holds its set's max stamp, so
+        // the recency refresh can be skipped without reordering anything.
+        if let Some((mru_vpn, slot)) = self.mru {
+            if mru_vpn == page {
+                self.hits += 1;
+                return Some(self.entries[slot]);
+            }
         }
+        let range = self.set_range(page);
+        for w in range {
+            if self.stamps[w] != 0 && self.entries[w].vpn == page {
+                self.stamps[w] = self.next_stamp();
+                self.mru = Some((page, w));
+                self.hits += 1;
+                return Some(self.entries[w]);
+            }
+        }
+        self.misses += 1;
+        None
     }
 
     /// Checks for presence without updating LRU or statistics.
     pub fn probe(&self, vaddr: u64) -> bool {
         let page = vpn(vaddr);
-        self.sets[self.set_index(page)]
-            .iter()
-            .any(|e| e.vpn == page)
+        self.set_range(page)
+            .any(|w| self.stamps[w] != 0 && self.entries[w].vpn == page)
     }
 
     /// Installs a translation, evicting the set's LRU entry when full.
     pub fn fill(&mut self, vaddr: u64, pte: Pte) {
         let page = vpn(vaddr);
-        let idx = self.set_index(page);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|e| e.vpn == page) {
-            set.remove(pos);
-        } else if set.len() == self.cfg.ways {
-            set.pop();
+        let range = self.set_range(page);
+        // Present: refresh the PTE and the recency in place.
+        for w in range.clone() {
+            if self.stamps[w] != 0 && self.entries[w].vpn == page {
+                self.entries[w].pte = pte;
+                self.stamps[w] = self.next_stamp();
+                self.mru = Some((page, w));
+                return;
+            }
         }
-        set.insert(0, TlbEntry { vpn: page, pte });
+        // Reuse an empty way, else overwrite the minimum-stamp (LRU) way.
+        let mut victim = range.start;
+        let mut victim_stamp = u64::MAX;
+        for w in range {
+            if self.stamps[w] == 0 {
+                victim = w;
+                break;
+            }
+            if self.stamps[w] < victim_stamp {
+                victim_stamp = self.stamps[w];
+                victim = w;
+            }
+        }
+        // The victim may be the filter entry; re-arming on the filled
+        // page covers both cases.
+        self.entries[victim] = TlbEntry { vpn: page, pte };
+        self.stamps[victim] = self.next_stamp();
+        self.mru = Some((page, victim));
     }
 
     /// Invalidates the entry for `vaddr` (the `invlpg` primitive).
     pub fn flush_page(&mut self, vaddr: u64) -> bool {
         let page = vpn(vaddr);
-        let idx = self.set_index(page);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.iter().position(|e| e.vpn == page) {
-            set.remove(pos);
-            true
-        } else {
-            false
+        if matches!(self.mru, Some((p, _)) if p == page) {
+            self.mru = None;
         }
+        for w in self.set_range(page) {
+            if self.stamps[w] != 0 && self.entries[w].vpn == page {
+                self.stamps[w] = 0;
+                return true;
+            }
+        }
+        false
     }
 
     /// Full flush, optionally preserving global (kernel) entries — the
     /// semantics of a CR3 write without/with PCID-style global protection.
     pub fn flush_all(&mut self, keep_global: bool) {
-        for set in &mut self.sets {
-            if keep_global {
-                set.retain(|e| e.pte.global);
-            } else {
-                set.clear();
+        self.mru = None;
+        if keep_global {
+            for w in 0..self.stamps.len() {
+                if !self.entries[w].pte.global {
+                    self.stamps[w] = 0;
+                }
             }
+        } else {
+            self.stamps.fill(0);
         }
     }
 
     /// Number of live entries.
     pub fn resident_entries(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.stamps.iter().filter(|&&s| s != 0).count()
     }
 
     /// Sorted VPNs of live entries (stealth fingerprinting).
     pub fn fingerprint(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.sets.iter().flatten().map(|e| e.vpn).collect();
+        let mut v: Vec<u64> = self
+            .stamps
+            .iter()
+            .zip(&self.entries)
+            .filter(|&(&s, _)| s != 0)
+            .map(|(_, e)| e.vpn)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -249,5 +325,154 @@ mod tests {
         t.fill(0x3000, Pte::user_data(3));
         t.fill(0x1000, Pte::user_data(1));
         assert_eq!(t.fingerprint(), vec![1, 3]);
+    }
+
+    #[test]
+    fn mru_filter_returns_refreshed_pte_and_respects_flush() {
+        let mut t = tlb4();
+        t.fill(0x1000, Pte::user_data(1));
+        assert_eq!(t.lookup(0x1000).unwrap().pte.frame, 1);
+        // A refill through the slow path must update what the filter
+        // returns on the next fast-path hit.
+        t.fill(0x1000, Pte::user_data(9));
+        assert_eq!(t.lookup(0x1234).unwrap().pte.frame, 9);
+        assert!(t.flush_page(0x1000));
+        assert!(t.lookup(0x1000).is_none());
+    }
+
+    /// The original per-set MRU-first `Vec` implementation, kept verbatim
+    /// as the equivalence oracle for the flat stamp representation.
+    struct RefTlb {
+        sets: Vec<Vec<TlbEntry>>,
+        cfg: TlbConfig,
+        hits: u64,
+        misses: u64,
+    }
+
+    impl RefTlb {
+        fn new(cfg: TlbConfig) -> Self {
+            RefTlb {
+                sets: vec![Vec::with_capacity(cfg.ways); cfg.sets],
+                cfg,
+                hits: 0,
+                misses: 0,
+            }
+        }
+
+        fn set_index(&self, page: u64) -> usize {
+            (page as usize) & (self.cfg.sets - 1)
+        }
+
+        fn lookup(&mut self, vaddr: u64) -> Option<TlbEntry> {
+            let page = vpn(vaddr);
+            let idx = self.set_index(page);
+            let set = &mut self.sets[idx];
+            if let Some(pos) = set.iter().position(|e| e.vpn == page) {
+                let e = set.remove(pos);
+                set.insert(0, e);
+                self.hits += 1;
+                Some(e)
+            } else {
+                self.misses += 1;
+                None
+            }
+        }
+
+        fn fill(&mut self, vaddr: u64, pte: Pte) {
+            let page = vpn(vaddr);
+            let idx = self.set_index(page);
+            let set = &mut self.sets[idx];
+            if let Some(pos) = set.iter().position(|e| e.vpn == page) {
+                set.remove(pos);
+            } else if set.len() == self.cfg.ways {
+                set.pop();
+            }
+            set.insert(0, TlbEntry { vpn: page, pte });
+        }
+
+        fn flush_page(&mut self, vaddr: u64) -> bool {
+            let page = vpn(vaddr);
+            let idx = self.set_index(page);
+            let set = &mut self.sets[idx];
+            if let Some(pos) = set.iter().position(|e| e.vpn == page) {
+                set.remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+
+        fn flush_all(&mut self, keep_global: bool) {
+            for set in &mut self.sets {
+                if keep_global {
+                    set.retain(|e| e.pte.global);
+                } else {
+                    set.clear();
+                }
+            }
+        }
+
+        fn fingerprint(&self) -> Vec<u64> {
+            let mut v: Vec<u64> = self.sets.iter().flatten().map(|e| e.vpn).collect();
+            v.sort_unstable();
+            v
+        }
+    }
+
+    #[test]
+    fn flat_stamp_representation_matches_linear_reference() {
+        let mut state = 0x853c49e6748fea9bu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (sets, ways) in [(1usize, 1usize), (1, 4), (2, 2), (4, 3)] {
+            let cfg = TlbConfig::new(sets, ways);
+            let mut tlb = Tlb::new(cfg);
+            let mut reference = RefTlb::new(cfg);
+            let pages = (cfg.entries() * 2) as u64;
+            for step in 0..40_000 {
+                let r = rng();
+                let vaddr = ((r >> 16) % pages) * 4096 + (r & 0xfff);
+                match r % 16 {
+                    0..=5 => {
+                        assert_eq!(
+                            tlb.lookup(vaddr),
+                            reference.lookup(vaddr),
+                            "lookup step {step} ({sets}x{ways})"
+                        );
+                    }
+                    6..=10 => {
+                        // Vary PTE contents (incl. the global bit) so
+                        // keep_global flushes discriminate.
+                        let mut pte = Pte::user_data(r >> 32);
+                        pte.global = r & 0x1000 != 0;
+                        tlb.fill(vaddr, pte);
+                        reference.fill(vaddr, pte);
+                    }
+                    11..=12 => assert_eq!(
+                        tlb.probe(vaddr),
+                        reference.sets[reference.set_index(vpn(vaddr))]
+                            .iter()
+                            .any(|e| e.vpn == vpn(vaddr)),
+                        "probe step {step}"
+                    ),
+                    13 => assert_eq!(
+                        tlb.flush_page(vaddr),
+                        reference.flush_page(vaddr),
+                        "flush step {step}"
+                    ),
+                    _ => {
+                        let keep = r & 1 == 0;
+                        tlb.flush_all(keep);
+                        reference.flush_all(keep);
+                    }
+                }
+            }
+            assert_eq!(tlb.fingerprint(), reference.fingerprint());
+            assert_eq!(tlb.stats(), (reference.hits, reference.misses));
+        }
     }
 }

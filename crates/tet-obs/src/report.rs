@@ -16,10 +16,11 @@ use crate::json::{self, Value};
 
 /// Schema version stamped into every report.
 ///
-/// v2 adds three optional throughput fields on top of v1
+/// v2 adds optional throughput/host fields on top of v1
 /// ([`RunReport::wall_time_ms`], [`RunReport::host_threads`],
-/// [`RunReport::sim_cycles_per_sec`]); every v1 field is unchanged and v1
-/// documents still parse.
+/// [`RunReport::sim_cycles_per_sec`],
+/// [`RunReport::host_available_parallelism`]); every v1 field is unchanged
+/// and v1 documents still parse.
 pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Oldest schema version [`RunReport::from_json`] accepts.
@@ -151,6 +152,11 @@ pub struct RunReport {
     pub host_threads: Option<u64>,
     /// Simulated cycles per wall-clock second (schema v2).
     pub sim_cycles_per_sec: Option<f64>,
+    /// `std::thread::available_parallelism` of the host that produced the
+    /// report (schema v2). Written as a JSON number; older reports that
+    /// stored it as a `meta` string still parse (see
+    /// [`RunReport::from_json`]).
+    pub host_available_parallelism: Option<u64>,
 }
 
 impl RunReport {
@@ -224,6 +230,7 @@ impl RunReport {
             wall_time_ms: None,
             host_threads: None,
             sim_cycles_per_sec: None,
+            host_available_parallelism: None,
             ..self.clone()
         }
     }
@@ -288,6 +295,9 @@ impl RunReport {
         if let Some(rate) = self.sim_cycles_per_sec {
             o.set("sim_cycles_per_sec", Value::Num(rate));
         }
+        if let Some(hap) = self.host_available_parallelism {
+            o.set("host_available_parallelism", Value::from(hap));
+        }
         o
     }
 
@@ -347,6 +357,13 @@ impl RunReport {
         }
         if let Some(val) = v.get("sim_cycles_per_sec") {
             report.sim_cycles_per_sec = Some(val.as_num().ok_or(bad("sim_cycles_per_sec"))?);
+        }
+        if let Some(val) = v.get("host_available_parallelism") {
+            report.host_available_parallelism =
+                Some(val.as_u64().ok_or(bad("host_available_parallelism"))?);
+        } else if let Some(s) = report.meta.get("host_available_parallelism") {
+            // Legacy reports carried the value as a meta string.
+            report.host_available_parallelism = s.parse().ok();
         }
         Ok(report)
     }
@@ -440,6 +457,32 @@ mod tests {
         assert_eq!(r.wall_time_ms, None);
         assert_eq!(r.host_threads, None);
         assert_eq!(r.sim_cycles_per_sec, None);
+    }
+
+    #[test]
+    fn host_available_parallelism_round_trips_as_number() {
+        let mut r = RunReport::new("bench");
+        r.host_available_parallelism = Some(16);
+        let text = r.to_json();
+        assert!(
+            text.contains("\"host_available_parallelism\": 16"),
+            "must serialize as a JSON number, got: {text}"
+        );
+        let back = RunReport::from_json(&text).expect("round-trips");
+        assert_eq!(back.host_available_parallelism, Some(16));
+    }
+
+    #[test]
+    fn host_available_parallelism_accepts_legacy_meta_string() {
+        let mut r = RunReport::new("legacy");
+        r.set_meta("host_available_parallelism", "4");
+        let back = RunReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back.host_available_parallelism, Some(4));
+        // The numeric field wins when both are present.
+        let mut v = back.to_value();
+        v.set("host_available_parallelism", Value::from(32u64));
+        let both = RunReport::from_json(&v.to_json()).expect("parses");
+        assert_eq!(both.host_available_parallelism, Some(32));
     }
 
     #[test]

@@ -95,6 +95,14 @@ impl Pmu {
             counts: self.counts.clone(),
         }
     }
+
+    /// Copies all counters into `out`, reusing its buffer — the
+    /// allocation-free variant of [`Pmu::snapshot`] for callers that
+    /// snapshot around every run in a hot loop.
+    pub fn snapshot_into(&self, out: &mut PmuSnapshot) {
+        out.counts.clear();
+        out.counts.extend_from_slice(&self.counts);
+    }
 }
 
 impl Default for Pmu {
@@ -183,6 +191,20 @@ mod tests {
         pmu.reset();
         assert_eq!(pmu.count(Event::IdqDsbUops), 0);
         assert_eq!(pmu.count(Event::ItlbMissesWalkActive), 0);
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let mut pmu = Pmu::new();
+        pmu.bump(Event::InstRetiredAny, 3);
+        pmu.bump(Event::CpuClkUnhalted, 9);
+        let mut reused = PmuSnapshot::zero();
+        pmu.snapshot_into(&mut reused);
+        assert_eq!(reused, pmu.snapshot());
+        // Reuse after further bumps overwrites, not appends.
+        pmu.bump(Event::InstRetiredAny, 1);
+        pmu.snapshot_into(&mut reused);
+        assert_eq!(reused, pmu.snapshot());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!    ones (TET-KASLR).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use tet_isa::reg::RegFile;
 use tet_isa::{Flags, Inst, Program, Reg};
@@ -45,6 +46,24 @@ pub struct Env<'a> {
     /// Retirement differential oracle, when the run is in check mode
     /// (`None` costs one branch per commit). SMT runs are not checked.
     pub check: Option<&'a mut tet_check::Oracle>,
+}
+
+/// Whether a µop buffers store data (participates in memory ordering
+/// and store-to-load forwarding as a producer).
+fn is_store_kind(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Store { .. } | Inst::StoreByte { .. } | Inst::Push { .. } | Inst::Call { .. }
+    )
+}
+
+/// Whether a µop reads memory (participates in memory ordering as a
+/// consumer).
+fn is_load_kind(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Load { .. } | Inst::LoadByte { .. } | Inst::Pop { .. } | Inst::Ret
+    )
 }
 
 /// The `tet-check` spelling of a fault class.
@@ -113,6 +132,16 @@ struct LoadResult {
     fault: Option<Fault>,
 }
 
+/// Outcome of one scheduler source-readiness evaluation.
+enum DepVerdict {
+    /// All sources are forward-ready now.
+    Ready,
+    /// All producers executed; the last one forwards at this cycle.
+    WakeAt(u64),
+    /// This producer has not executed yet — park on its waiter list.
+    Park(u64),
+}
+
 /// One logical thread of the simulated core.
 #[derive(Debug, Clone)]
 pub struct Cpu {
@@ -147,6 +176,34 @@ pub struct Cpu {
     /// Stall imposed by the sibling SMT thread's flushes.
     external_stall_until: u64,
     txn_stack: Vec<usize>,
+    /// Shared snapshot of `txn_stack`, regenerated only when the stack
+    /// changes, so every renamed µop clones an `Arc` instead of a `Vec`.
+    txn_snapshot_cache: Arc<[usize]>,
+    /// The empty snapshot, kept around so clearing never reallocates.
+    empty_snapshot: Arc<[usize]>,
+
+    // ----- scheduler bookkeeping -----
+    // Derived counters that make the per-cycle scheduler loops O(1) per
+    // entry instead of O(ROB). All are recomputed from scratch on any
+    // squash (`recompute_sched_state`) and zeroed with the ROB.
+    /// ROB entries that have not started executing (reservation-station
+    /// occupancy).
+    unstarted_count: usize,
+    /// Unstarted entries that are stores (`Store`/`StoreByte`/`Push`/
+    /// `Call`) — the loads' memory-order scan is skipped when zero.
+    unstarted_store_count: usize,
+    /// Entries carrying in-flight store data — the store-to-load
+    /// forwarding scan is skipped when zero.
+    inflight_store_data: usize,
+    /// Executed-but-unresolved branches — branch resolution is skipped
+    /// when zero.
+    exec_unresolved_branches: usize,
+    /// Max `done_at` over started entries still in the ROB (an entry
+    /// with a larger stored value can never have retired, so the max is
+    /// exact — see `account_cycle`).
+    exec_max_done: u64,
+    /// Same, restricted to memory µops.
+    mem_max_done: u64,
 
     // ----- memory -----
     dtlb: Tlb,
@@ -193,6 +250,7 @@ impl Cpu {
     /// Creates a core in reset state.
     pub fn new(cfg: CpuConfig) -> Self {
         let ports = cfg.ports;
+        let empty_snapshot: Arc<[usize]> = Arc::from(Vec::new());
         Cpu {
             pmu: Pmu::new(),
             bpu: Bpu::new(cfg.bpu),
@@ -215,6 +273,14 @@ impl Cpu {
             pipeline_flush_until: 0,
             external_stall_until: 0,
             txn_stack: Vec::new(),
+            txn_snapshot_cache: empty_snapshot.clone(),
+            empty_snapshot,
+            unstarted_count: 0,
+            unstarted_store_count: 0,
+            inflight_store_data: 0,
+            exec_unresolved_branches: 0,
+            exec_max_done: 0,
+            mem_max_done: 0,
             dtlb: Tlb::new(cfg.dtlb),
             walker: PageWalker::new(cfg.walk),
             syscall_pages: Vec::new(),
@@ -268,6 +334,13 @@ impl Cpu {
         self.pipeline_flush_until = 0;
         self.external_stall_until = 0;
         self.txn_stack.clear();
+        self.txn_snapshot_cache = self.empty_snapshot.clone();
+        self.unstarted_count = 0;
+        self.unstarted_store_count = 0;
+        self.inflight_store_data = 0;
+        self.exec_unresolved_branches = 0;
+        self.exec_max_done = 0;
+        self.mem_max_done = 0;
         self.txn_checkpoint = None;
         self.txn_undo.clear();
         self.txn_depth = 0;
@@ -322,6 +395,13 @@ impl Cpu {
     /// Delivered faults of the current run.
     pub fn exceptions(&self) -> &[ExceptionRecord] {
         &self.exceptions
+    }
+
+    /// Takes the delivered-fault list, leaving it empty — the move-based
+    /// variant of [`Cpu::exceptions`] for building a run result without
+    /// copying (the next `reset_run` clears the list anyway).
+    pub fn take_exceptions(&mut self) -> Vec<ExceptionRecord> {
+        std::mem::take(&mut self.exceptions)
     }
 
     /// The unhandled fault that terminated the run, if any.
@@ -463,12 +543,13 @@ impl Cpu {
         mite_uops: usize,
         fetch_stalled: bool,
     ) {
-        let in_flight_exec = self.rob.iter().any(|e| e.started && !e.retire_ready(now));
-        let mem_in_flight = self
-            .rob
-            .iter()
-            .any(|e| e.is_memory && e.started && !e.retire_ready(now));
-        let rs_occupied = self.rob.iter().any(|e| !e.started);
+        // Counter-based equivalents of the old whole-ROB sweeps. The
+        // maxima are exact: a started entry with `done_at > now` cannot
+        // have retired (retirement requires `done_at <= now`), and any
+        // squash recomputes the maxima from the survivors.
+        let in_flight_exec = self.exec_max_done > now;
+        let mem_in_flight = self.mem_max_done > now;
+        let rs_occupied = self.unstarted_count > 0;
 
         if exec_started == 0 {
             self.pmu.bump(Event::UopsExecutedStallCycles, 1);
@@ -505,6 +586,11 @@ impl Cpu {
     // ----- branch resolution ----------------------------------------------
 
     fn resolve_branches(&mut self, now: u64) {
+        // Nothing to do unless some branch has executed and not yet been
+        // resolved — the common straight-line cycle skips the scan.
+        if self.exec_unresolved_branches == 0 {
+            return;
+        }
         // Resolve in age order; stop after the first mispredict (it
         // squashes everything younger).
         let mut mispredict_at: Option<usize> = None;
@@ -538,6 +624,7 @@ impl Cpu {
                     mispredicted,
                 },
             );
+            self.exec_unresolved_branches -= 1;
             let entry = &mut self.rob[i];
             entry.resolved = true;
             if mispredicted {
@@ -596,11 +683,13 @@ impl Cpu {
     fn rebuild_rename_state(&mut self) {
         self.rat = [None; 16];
         self.flags_rat = None;
-        self.txn_stack = self
+        self.txn_snapshot_cache = self
             .rob
             .back()
             .map(|e| e.txn_snapshot.clone())
-            .unwrap_or_default();
+            .unwrap_or_else(|| self.empty_snapshot.clone());
+        self.txn_stack.clear();
+        self.txn_stack.extend_from_slice(&self.txn_snapshot_cache);
         // `dest_regs` returns an inline Copy list, so the survivors can
         // be walked by index without buffering (or allocating) anything.
         for k in 0..self.rob.len() {
@@ -612,8 +701,44 @@ impl Cpu {
                 self.flags_rat = Some(id);
             }
         }
+        self.recompute_sched_state();
         if tet_check::enabled() {
             self.validate_rename_state();
+        }
+    }
+
+    /// Rebuilds every derived scheduler counter and wake/waiter field
+    /// from the ROB contents. Called after any squash; surviving
+    /// unstarted entries are re-evaluated from scratch next cycle.
+    fn recompute_sched_state(&mut self) {
+        self.unstarted_count = 0;
+        self.unstarted_store_count = 0;
+        self.inflight_store_data = 0;
+        self.exec_unresolved_branches = 0;
+        self.exec_max_done = 0;
+        self.mem_max_done = 0;
+        for e in &mut self.rob {
+            e.waiter_head = None;
+            e.next_waiter = None;
+            if e.started {
+                let done = e.done_at.expect("started µop has a completion time");
+                self.exec_max_done = self.exec_max_done.max(done);
+                if e.is_memory {
+                    self.mem_max_done = self.mem_max_done.max(done);
+                }
+                if e.inst.is_branch() && !e.resolved {
+                    self.exec_unresolved_branches += 1;
+                }
+                if e.store.is_some() {
+                    self.inflight_store_data += 1;
+                }
+            } else {
+                e.wake_at = 0;
+                self.unstarted_count += 1;
+                if is_store_kind(&e.inst) {
+                    self.unstarted_store_count += 1;
+                }
+            }
         }
     }
 
@@ -706,6 +831,9 @@ impl Cpu {
             self.last_retired_id
         );
         self.last_retired_id = Some(entry.id);
+        if entry.store.is_some() {
+            self.inflight_store_data -= 1;
+        }
         for &(r, v) in entry.results.iter() {
             let v = if self.mutate_retire { v ^ 1 } else { v };
             self.regs.set(r, v);
@@ -997,15 +1125,22 @@ impl Cpu {
                 continue;
             }
             // Fences wait until all older µops are done, then "execute"
-            // instantly; they block everything younger meanwhile.
+            // instantly; they block everything younger meanwhile. While
+            // a fence sits unstarted, nothing younger can have started,
+            // so `exec_max_done > now` proves an *older* in-flight µop
+            // and skips the prefix scan.
             if self.rob[i].inst.is_fence() {
-                let older_done = self.rob.iter().take(i).all(|e| e.retire_ready(now));
+                let older_done = self.exec_max_done <= now
+                    && self.rob.iter().take(i).all(|e| e.retire_ready(now));
                 if older_done {
                     let e = &mut self.rob[i];
+                    debug_assert!(e.waiter_head.is_none(), "fences produce nothing");
                     e.started = true;
                     e.forward_at = Some(now);
                     e.done_at = Some(now);
                     let id = e.id;
+                    self.unstarted_count -= 1;
+                    self.exec_max_done = self.exec_max_done.max(now);
                     self.sink.emit_at(
                         now,
                         EventKind::UopExecuted {
@@ -1019,12 +1154,34 @@ impl Cpu {
                 }
                 break;
             }
-            if self.deps_ready(&self.rob[i], now) && self.mem_order_ready(i) {
-                if let Some(port) = self.free_port(now) {
-                    self.ports_busy[port] = now + 1;
-                    self.execute_uop(i, now, env);
-                    started += 1;
-                    self.pmu.bump(Event::UopsExecutedAny, 1);
+            // Entries waiting on a known future time (or parked on a
+            // producer's waiter list, `wake_at == u64::MAX`) are skipped
+            // in O(1); the issue decisions are identical to the old
+            // every-cycle re-poll because `wake_at` is always a lower
+            // bound on the entry's first possible issue cycle.
+            if now < self.rob[i].wake_at {
+                i += 1;
+                continue;
+            }
+            match self.eval_deps(i, now) {
+                DepVerdict::Park(pid) => self.park_on(i, pid),
+                DepVerdict::WakeAt(at) => self.rob[i].wake_at = at,
+                DepVerdict::Ready => {
+                    if let Some(blocker) = self.mem_order_blocker(i) {
+                        // Unknown older store address: woken the cycle
+                        // that store starts (it may issue the same
+                        // cycle, exactly like the old in-order re-poll).
+                        self.park_on(i, blocker);
+                    } else if let Some(port) = self.free_port(now) {
+                        self.ports_busy[port] = now + 1;
+                        self.execute_uop(i, now, env);
+                        started += 1;
+                        self.pmu.bump(Event::UopsExecutedAny, 1);
+                    } else {
+                        // Port starvation: every busy port frees by the
+                        // next cycle.
+                        self.rob[i].wake_at = now + 1;
+                    }
                 }
             }
             i += 1;
@@ -1036,8 +1193,38 @@ impl Cpu {
         self.ports_busy.iter().position(|&b| b <= now)
     }
 
+    /// ROB index of the in-flight µop `id`, or `None` if it is gone
+    /// (retired, or — for ids a squash discarded — never referenced).
+    ///
+    /// µop ids are assigned sequentially at rename, so absent squashes
+    /// the resident ids are contiguous and the position is simply
+    /// `id - front.id` (the O(1) fast path). A squash leaves a gap
+    /// (`next_uop_id` does not roll back), but ids stay strictly
+    /// ascending, so the fallback is a binary search, not a linear scan.
+    fn rob_index(&self, id: u64) -> Option<usize> {
+        let front = self.rob.front()?.id;
+        if id < front {
+            return None;
+        }
+        let guess = (id - front) as usize;
+        if let Some(e) = self.rob.get(guess) {
+            if e.id == id {
+                return Some(guess);
+            }
+        }
+        let (a, b) = self.rob.as_slices();
+        let search = |s: &[RobEntry], off: usize| {
+            s.binary_search_by_key(&id, |e| e.id).ok().map(|k| k + off)
+        };
+        if b.first().is_some_and(|e| e.id <= id) {
+            search(b, a.len())
+        } else {
+            search(a, 0)
+        }
+    }
+
     fn producer(&self, id: u64) -> Option<&RobEntry> {
-        self.rob.iter().find(|e| e.id == id)
+        self.rob_index(id).map(|i| &self.rob[i])
     }
 
     fn deps_ready(&self, entry: &RobEntry, now: u64) -> bool {
@@ -1050,29 +1237,71 @@ impl Cpu {
         })
     }
 
+    /// One source-readiness evaluation of the unstarted µop at `i`,
+    /// deciding how the scheduler hears about it next:
+    ///
+    /// * [`DepVerdict::Ready`] — all sources forward-ready at `now`;
+    /// * [`DepVerdict::WakeAt`] — every producer has executed, the last
+    ///   forwards at the returned (exact) cycle;
+    /// * [`DepVerdict::Park`] — some producer has not executed yet, so
+    ///   no bound exists: park on that producer's waiter list and let
+    ///   its execution wake us (O(woken), not O(ROB) per cycle).
+    fn eval_deps(&self, i: usize, now: u64) -> DepVerdict {
+        let mut wake = now;
+        for d in &self.rob[i].deps {
+            let Some(pid) = d.producer else { continue };
+            let Some(pidx) = self.rob_index(pid) else {
+                continue; // retired → committed state is current
+            };
+            let p = &self.rob[pidx];
+            if !p.started {
+                return DepVerdict::Park(pid);
+            }
+            let fwd = p.forward_at.expect("started µop has a forward time");
+            if fwd > wake {
+                wake = fwd;
+            }
+        }
+        if wake > now {
+            DepVerdict::WakeAt(wake)
+        } else {
+            DepVerdict::Ready
+        }
+    }
+
+    /// Parks the unstarted µop at index `i` on the waiter list of the
+    /// older unstarted µop `pid`; `execute_uop` of that producer resets
+    /// `wake_at` so the waiter re-evaluates (same cycle — waiters are
+    /// younger, so the age-ordered sweep has not passed them yet).
+    fn park_on(&mut self, i: usize, pid: u64) {
+        let pidx = self.rob_index(pid).expect("blocking µop is in flight");
+        debug_assert!(pidx < i, "can only wait on an older µop");
+        debug_assert!(!self.rob[pidx].started);
+        let head = self.rob[pidx].waiter_head;
+        let e = &mut self.rob[i];
+        debug_assert!(e.next_waiter.is_none(), "µop parked twice");
+        e.next_waiter = head;
+        e.wake_at = u64::MAX;
+        let id = e.id;
+        self.rob[pidx].waiter_head = Some(id);
+    }
+
     /// Loads must wait for older stores with unknown addresses, and for
     /// forwarding-blocked stores (clflush between store and load) to
     /// retire. Stores and non-memory µops are always order-ready.
-    fn mem_order_ready(&self, i: usize) -> bool {
-        let inst = self.rob[i].inst;
-        let is_load = matches!(
-            inst,
-            Inst::Load { .. } | Inst::LoadByte { .. } | Inst::Pop { .. } | Inst::Ret
-        );
-        if !is_load {
-            return true;
+    /// Returns the youngest blocking store's id, or `None` when ready;
+    /// the scan is skipped entirely while no unstarted store exists.
+    fn mem_order_blocker(&self, i: usize) -> Option<u64> {
+        if self.unstarted_store_count == 0 || !is_load_kind(&self.rob[i].inst) {
+            return None;
         }
         for j in (0..i).rev() {
             let e = &self.rob[j];
-            let is_store = matches!(
-                e.inst,
-                Inst::Store { .. } | Inst::StoreByte { .. } | Inst::Push { .. } | Inst::Call { .. }
-            );
-            if is_store && !e.started {
-                return false; // unknown older store address
+            if is_store_kind(&e.inst) && !e.started {
+                return Some(e.id); // unknown older store address
             }
         }
-        true
+        None
     }
 
     fn dep_reg_value(&self, entry: &RobEntry, r: Reg) -> u64 {
@@ -1135,6 +1364,9 @@ impl Cpu {
     ///   drains and read memory;
     /// * `None` — no older in-flight store overlapping this address.
     fn forwarding(&self, i: usize, vaddr: u64, byte_load: bool) -> Option<Result<u64, ()>> {
+        if self.inflight_store_data == 0 {
+            return None; // no in-flight store anywhere in the ROB
+        }
         let load_len: u64 = if byte_load { 1 } else { 8 };
         for j in (0..i).rev() {
             let e = &self.rob[j];
@@ -1248,6 +1480,7 @@ impl Cpu {
                         // store has drained; model as a stalled start.
                         self.pmu.bump(Event::LdBlocksStoreForward, 1);
                         self.rob[i].started = false;
+                        self.rob[i].wake_at = now + 1;
                         return;
                     }
                     None => {
@@ -1298,6 +1531,7 @@ impl Cpu {
                     Some(Err(())) => {
                         self.pmu.bump(Event::LdBlocksStoreForward, 1);
                         self.rob[i].started = false;
+                        self.rob[i].wake_at = now + 1;
                         return;
                     }
                     None => {
@@ -1334,6 +1568,7 @@ impl Cpu {
                     Some(Err(())) => {
                         self.pmu.bump(Event::LdBlocksStoreForward, 1);
                         self.rob[i].started = false;
+                        self.rob[i].wake_at = now + 1;
                         return;
                     }
                     None => {
@@ -1389,6 +1624,7 @@ impl Cpu {
         }
 
         let fault_info = fault.as_ref().map(|f| (f.kind, f.vaddr));
+        let has_store = store.is_some();
         let e = &mut self.rob[i];
         e.started = true;
         let forward_at = now + latency;
@@ -1406,6 +1642,36 @@ impl Cpu {
         e.actual_next = actual_next;
         let id = e.id;
         let pc = e.pc;
+        let is_mem = e.is_memory;
+
+        // Scheduler bookkeeping for the start of execution.
+        self.unstarted_count -= 1;
+        if is_store_kind(&inst) {
+            self.unstarted_store_count -= 1;
+        }
+        if has_store {
+            self.inflight_store_data += 1;
+        }
+        if inst.is_branch() {
+            self.exec_unresolved_branches += 1;
+        }
+        self.exec_max_done = self.exec_max_done.max(done_at);
+        if is_mem {
+            self.mem_max_done = self.mem_max_done.max(done_at);
+        }
+        // Wake everything parked on this µop: dependents re-evaluate
+        // this same cycle (they sit later in the age-ordered sweep) and
+        // either issue or compute their exact forward-time wake-up.
+        let mut waiter = self.rob[i].waiter_head.take();
+        while let Some(wid) = waiter {
+            let widx = self
+                .rob_index(wid)
+                .expect("waiters die with their producer");
+            let w = &mut self.rob[widx];
+            waiter = w.next_waiter.take();
+            w.wake_at = now;
+        }
+
         self.sink.emit_at(
             now,
             EventKind::UopExecuted {
@@ -1711,7 +1977,7 @@ impl Cpu {
             if self.idq.is_empty() {
                 break;
             }
-            let rs_occupancy = self.rob.iter().filter(|e| !e.started).count();
+            let rs_occupancy = self.unstarted_count;
             if self.rob.len() >= self.cfg.rob_size || rs_occupancy >= self.cfg.rs_size {
                 self.pmu.bump(Event::ResourceStallsAny, 1);
                 if self.rob.len() >= self.cfg.rob_size {
@@ -1741,9 +2007,15 @@ impl Cpu {
             match f.inst {
                 Inst::XBegin { abort_target } if self.cfg.vuln.has_tsx => {
                     self.txn_stack.push(abort_target);
+                    self.txn_snapshot_cache = Arc::from(self.txn_stack.as_slice());
                 }
                 Inst::XEnd => {
                     self.txn_stack.pop();
+                    self.txn_snapshot_cache = if self.txn_stack.is_empty() {
+                        self.empty_snapshot.clone()
+                    } else {
+                        Arc::from(self.txn_stack.as_slice())
+                    };
                 }
                 _ => {}
             }
@@ -1784,9 +2056,16 @@ impl Cpu {
                 mispredicted: false,
                 store: None,
                 txn_abort,
-                txn_snapshot: self.txn_stack.clone(),
+                txn_snapshot: self.txn_snapshot_cache.clone(),
                 is_memory: f.inst.is_memory(),
+                wake_at: 0,
+                waiter_head: None,
+                next_waiter: None,
             });
+            self.unstarted_count += 1;
+            if is_store_kind(&f.inst) {
+                self.unstarted_store_count += 1;
+            }
             self.pmu.bump(Event::UopsIssuedAny, 1);
             issued += 1;
         }

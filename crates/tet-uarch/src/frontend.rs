@@ -1,9 +1,9 @@
 //! Frontend data structures: the decoded stream buffer (µop cache), the
 //! fetched-µop record, and the per-cycle delivery trace behind Figure 3.
 
-use std::collections::VecDeque;
-
 use tet_isa::Inst;
+
+use crate::lru::LruIndex;
 
 /// The decoded stream buffer (DSB, a.k.a. µop cache): an LRU set of
 /// instruction indices whose decoded µops are available without engaging
@@ -12,10 +12,14 @@ use tet_isa::Inst;
 /// The paper's frontend analysis (Table 3, Figure 3) shows DSB delivery
 /// dropping and MITE delivery rising when the in-window Jcc triggers a
 /// resteer; this structure plus the fetch logic reproduce that shift.
+///
+/// The DSB is consulted once per fetched instruction, so recency is kept
+/// in an O(1) [`LruIndex`] rather than the original `VecDeque` position
+/// scan; the recency/eviction order is exactly the same (see the
+/// equivalence property test below).
 #[derive(Debug, Clone)]
 pub struct Dsb {
-    lru: VecDeque<usize>,
-    capacity: usize,
+    lru: LruIndex<()>,
 }
 
 impl Dsb {
@@ -27,30 +31,18 @@ impl Dsb {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "DSB needs capacity");
         Dsb {
-            lru: VecDeque::with_capacity(capacity),
-            capacity,
+            lru: LruIndex::new(capacity),
         }
     }
 
     /// Looks up a decoded instruction, refreshing LRU on hit.
     pub fn lookup(&mut self, pc: usize) -> bool {
-        if let Some(i) = self.lru.iter().position(|&p| p == pc) {
-            let p = self.lru.remove(i).expect("position was valid");
-            self.lru.push_front(p);
-            true
-        } else {
-            false
-        }
+        self.lru.get_refresh(pc).is_some()
     }
 
     /// Inserts a freshly decoded instruction.
     pub fn insert(&mut self, pc: usize) {
-        if let Some(i) = self.lru.iter().position(|&p| p == pc) {
-            self.lru.remove(i);
-        } else if self.lru.len() == self.capacity {
-            self.lru.pop_back();
-        }
-        self.lru.push_front(pc);
+        self.lru.insert(pc, ());
     }
 
     /// Number of cached decoded instructions.
@@ -60,7 +52,7 @@ impl Dsb {
 
     /// Whether the DSB is empty.
     pub fn is_empty(&self) -> bool {
-        self.lru.is_empty()
+        self.lru.len() == 0
     }
 }
 
@@ -96,6 +88,7 @@ pub struct FrontendTraceEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::VecDeque;
 
     #[test]
     #[should_panic(expected = "needs capacity")]
@@ -129,5 +122,66 @@ mod tests {
         d.insert(1);
         d.insert(1);
         assert_eq!(d.len(), 1);
+    }
+
+    /// The original `VecDeque` DSB, kept verbatim as the equivalence
+    /// oracle for the indexed representation.
+    struct RefDsb {
+        lru: VecDeque<usize>,
+        capacity: usize,
+    }
+
+    impl RefDsb {
+        fn lookup(&mut self, pc: usize) -> bool {
+            if let Some(i) = self.lru.iter().position(|&p| p == pc) {
+                let p = self.lru.remove(i).expect("position was valid");
+                self.lru.push_front(p);
+                true
+            } else {
+                false
+            }
+        }
+
+        fn insert(&mut self, pc: usize) {
+            if let Some(i) = self.lru.iter().position(|&p| p == pc) {
+                self.lru.remove(i);
+            } else if self.lru.len() == self.capacity {
+                self.lru.pop_back();
+            }
+            self.lru.push_front(pc);
+        }
+    }
+
+    #[test]
+    fn indexed_dsb_matches_linear_reference() {
+        let mut state = 0xd1342543de82ef95u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for capacity in [1usize, 2, 8, 64] {
+            let mut dsb = Dsb::new(capacity);
+            let mut reference = RefDsb {
+                lru: VecDeque::new(),
+                capacity,
+            };
+            for step in 0..30_000 {
+                let r = rng();
+                let pc = (r >> 8) as usize % (capacity * 2 + 3);
+                if r % 2 == 0 {
+                    assert_eq!(
+                        dsb.lookup(pc),
+                        reference.lookup(pc),
+                        "step {step} cap {capacity}"
+                    );
+                } else {
+                    dsb.insert(pc);
+                    reference.insert(pc);
+                }
+                assert_eq!(dsb.len(), reference.lru.len());
+            }
+        }
     }
 }

@@ -46,6 +46,7 @@ pub mod bpu;
 pub mod config;
 pub mod core;
 pub mod frontend;
+mod lru;
 pub mod machine;
 pub mod smt;
 pub mod uop;

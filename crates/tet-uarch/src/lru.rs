@@ -1,0 +1,279 @@
+//! An O(1) exact-LRU index over small integer keys.
+//!
+//! The DSB ([`crate::frontend::Dsb`]) and the BTB ([`crate::Bpu`]) are
+//! fully-associative MRU-first lists; the original implementations kept a
+//! `VecDeque` and paid an O(n) position scan per fetch-time lookup. This
+//! replaces the scan with a direct-mapped slot table (keys are small
+//! instruction indices) threaded onto an intrusive doubly-linked list, so
+//! lookup/insert/evict are all O(1) **while preserving the exact
+//! recency order** of the list implementation: a hit moves the entry to
+//! the front, an insert of a present key re-fronts it, and a full insert
+//! evicts the back. Replacement decisions — and therefore every
+//! predicted target and every DSB-vs-MITE fetch — are identical to the
+//! linear version; the equivalence property tests in `frontend.rs` and
+//! `bpu.rs` drive both representations with the same traces.
+
+/// Sentinel for "no slot" in the intrusive list links.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct LruSlot<V> {
+    key: usize,
+    val: V,
+    prev: u32,
+    next: u32,
+}
+
+/// An exact-LRU map from small `usize` keys to values, with O(1)
+/// move-to-front lookup, deduplicating insert and back eviction.
+#[derive(Debug, Clone)]
+pub(crate) struct LruIndex<V> {
+    /// Slot arena; indices are stable for a slot's lifetime.
+    slots: Vec<LruSlot<V>>,
+    /// Direct map: `key -> slot + 1` (0 = absent). Grows to the largest
+    /// key seen; keys are instruction indices, so this stays small.
+    index: Vec<u32>,
+    /// Recycled arena slots.
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+    capacity: usize,
+}
+
+impl<V: Copy> LruIndex<V> {
+    /// Creates an empty index holding at most `capacity` entries.
+    pub(crate) fn new(capacity: usize) -> Self {
+        LruIndex {
+            slots: Vec::with_capacity(capacity),
+            index: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Live entry count.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn slot_of(&self, key: usize) -> Option<u32> {
+        match self.index.get(key) {
+            Some(&s) if s != 0 => Some(s - 1),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn unlink(&mut self, s: u32) {
+        let (prev, next) = {
+            let slot = &self.slots[s as usize];
+            (slot.prev, slot.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+    }
+
+    #[inline]
+    fn link_front(&mut self, s: u32) {
+        self.slots[s as usize].prev = NIL;
+        self.slots[s as usize].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = s;
+        }
+        self.head = s;
+        if self.tail == NIL {
+            self.tail = s;
+        }
+    }
+
+    /// Looks `key` up; on a hit moves it to the front (MRU) and returns
+    /// its value.
+    pub(crate) fn get_refresh(&mut self, key: usize) -> Option<V> {
+        let s = self.slot_of(key)?;
+        if self.head != s {
+            self.unlink(s);
+            self.link_front(s);
+        }
+        Some(self.slots[s as usize].val)
+    }
+
+    /// Presence check without perturbing recency.
+    pub(crate) fn probe(&self, key: usize) -> bool {
+        self.slot_of(key).is_some()
+    }
+
+    /// Inserts `key` at the front. A present key is re-fronted with the
+    /// new value; at capacity the back (LRU) entry is evicted first —
+    /// exactly the dedup-then-evict order of the `VecDeque` versions.
+    pub(crate) fn insert(&mut self, key: usize, val: V) {
+        if let Some(s) = self.slot_of(key) {
+            self.slots[s as usize].val = val;
+            if self.head != s {
+                self.unlink(s);
+                self.link_front(s);
+            }
+            return;
+        }
+        if self.len == self.capacity {
+            let back = self.tail;
+            debug_assert_ne!(back, NIL, "non-zero capacity");
+            self.unlink(back);
+            let old_key = self.slots[back as usize].key;
+            self.index[old_key] = 0;
+            self.free.push(back);
+            self.len -= 1;
+        }
+        let s = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = LruSlot {
+                    key,
+                    val,
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(LruSlot {
+                    key,
+                    val,
+                    prev: NIL,
+                    next: NIL,
+                });
+                s
+            }
+        };
+        if key >= self.index.len() {
+            self.index.resize(key + 1, 0);
+        }
+        self.index[key] = s + 1;
+        self.link_front(s);
+        self.len += 1;
+    }
+
+    /// Entries front (MRU) to back (LRU) — the same iteration order the
+    /// `VecDeque` representations exposed.
+    pub(crate) fn iter(&self) -> LruIter<'_, V> {
+        LruIter {
+            lru: self,
+            at: self.head,
+        }
+    }
+}
+
+/// Front-to-back iterator over an [`LruIndex`].
+pub(crate) struct LruIter<'a, V> {
+    lru: &'a LruIndex<V>,
+    at: u32,
+}
+
+impl<V: Copy> Iterator for LruIter<'_, V> {
+    type Item = (usize, V);
+
+    fn next(&mut self) -> Option<(usize, V)> {
+        if self.at == NIL {
+            return None;
+        }
+        let slot = &self.lru.slots[self.at as usize];
+        self.at = slot.next;
+        Some((slot.key, slot.val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// The original linear representation, kept as the test oracle.
+    struct RefLru {
+        list: VecDeque<(usize, u64)>,
+        capacity: usize,
+    }
+
+    impl RefLru {
+        fn get_refresh(&mut self, key: usize) -> Option<u64> {
+            let i = self.list.iter().position(|&(k, _)| k == key)?;
+            let e = self.list.remove(i).unwrap();
+            self.list.push_front(e);
+            Some(e.1)
+        }
+
+        fn insert(&mut self, key: usize, val: u64) {
+            if let Some(i) = self.list.iter().position(|&(k, _)| k == key) {
+                self.list.remove(i);
+            } else if self.list.len() == self.capacity {
+                self.list.pop_back();
+            }
+            self.list.push_front((key, val));
+        }
+    }
+
+    #[test]
+    fn matches_linear_reference_on_random_traces() {
+        // xorshift-driven op mix over a small key space so capacity
+        // eviction and re-fronting both trigger constantly.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for capacity in [1usize, 2, 7, 32] {
+            let mut lru = LruIndex::new(capacity);
+            let mut reference = RefLru {
+                list: VecDeque::new(),
+                capacity,
+            };
+            for step in 0..20_000 {
+                let r = rng();
+                let key = (r >> 8) as usize % 48;
+                match r % 3 {
+                    0 => assert_eq!(
+                        lru.get_refresh(key),
+                        reference.get_refresh(key),
+                        "step {step} cap {capacity}"
+                    ),
+                    1 => {
+                        let val = r >> 32;
+                        lru.insert(key, val);
+                        reference.insert(key, val);
+                    }
+                    _ => assert_eq!(
+                        lru.probe(key),
+                        reference.list.iter().any(|&(k, _)| k == key)
+                    ),
+                }
+                assert_eq!(lru.len(), reference.list.len());
+            }
+            let got: Vec<(usize, u64)> = lru.iter().collect();
+            let want: Vec<(usize, u64)> = reference.list.iter().copied().collect();
+            assert_eq!(got, want, "final order, cap {capacity}");
+        }
+    }
+
+    #[test]
+    fn capacity_one_always_holds_last_insert() {
+        let mut lru = LruIndex::new(1);
+        lru.insert(3, 30u64);
+        lru.insert(4, 40);
+        assert!(!lru.probe(3));
+        assert_eq!(lru.get_refresh(4), Some(40));
+        assert_eq!(lru.len(), 1);
+    }
+}

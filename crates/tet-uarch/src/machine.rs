@@ -94,8 +94,17 @@ impl RunResult {
 /// Builds the sink a run actually emits into: the caller's sink (if any)
 /// fanned out with an internal recorder when legacy vector traces were
 /// requested. Returns the handle plus the recorder to drain afterwards.
-pub(crate) fn compose_run_sink(cfg: &RunConfig) -> (SinkHandle, Option<Arc<MemorySink>>) {
-    let recorder = (cfg.trace_frontend || cfg.trace_uops).then(|| Arc::new(MemorySink::new()));
+/// `reuse` supplies a previously drained recorder so repeated traced
+/// runs recycle one event buffer instead of allocating per run.
+pub(crate) fn compose_run_sink(
+    cfg: &RunConfig,
+    reuse: Option<&Arc<MemorySink>>,
+) -> (SinkHandle, Option<Arc<MemorySink>>) {
+    let recorder = (cfg.trace_frontend || cfg.trace_uops).then(|| {
+        reuse
+            .cloned()
+            .unwrap_or_else(|| Arc::new(MemorySink::new()))
+    });
     let handle = match (cfg.sink.sink_arc(), recorder.clone()) {
         (None, None) => SinkHandle::disabled(),
         (Some(user), None) => SinkHandle::attached(user),
@@ -224,6 +233,59 @@ pub struct Machine {
     frames: FrameAlloc,
     code_pages_mapped: usize,
     check_mode: bool,
+    ctx: RunCtx,
+}
+
+/// Reusable per-run scratch state: everything [`Machine::run`] would
+/// otherwise allocate afresh on every call. Attack loops call `run`
+/// hundreds of thousands of times on the same machine, so the PMU
+/// snapshot buffer, the check-mode program, and the trace recorder are
+/// all kept and recycled here.
+#[derive(Debug)]
+struct RunCtx {
+    /// PMU counter buffer reused for the before-run snapshot.
+    pmu_before: PmuSnapshot,
+    /// Check-mode program shared with the oracle, content-compared per
+    /// run so only a *different* program pays a clone.
+    check_program: Option<Arc<Program>>,
+    /// Drained trace recorder recycled across trace-enabled runs.
+    recorder: Option<Arc<MemorySink>>,
+}
+
+impl Clone for RunCtx {
+    /// Cloned machines (e.g. one per worker thread) must not share the
+    /// trace recorder buffer, so the clone starts with a fresh cache;
+    /// the immutable program cache is shared safely.
+    fn clone(&self) -> Self {
+        RunCtx {
+            pmu_before: self.pmu_before.clone(),
+            check_program: self.check_program.clone(),
+            recorder: None,
+        }
+    }
+}
+
+impl RunCtx {
+    fn new() -> Self {
+        RunCtx {
+            pmu_before: PmuSnapshot::zero(),
+            check_program: None,
+            recorder: None,
+        }
+    }
+
+    /// The cached check-mode program, refreshed when `program` differs
+    /// from the cached contents.
+    fn check_program(&mut self, program: &Program) -> Arc<Program> {
+        match &self.check_program {
+            Some(p) if **p == *program => p.clone(),
+            _ => {
+                let p = Arc::new(program.clone());
+                self.check_program = Some(p.clone());
+                p
+            }
+        }
+    }
 }
 
 impl Machine {
@@ -238,6 +300,7 @@ impl Machine {
             frames: FrameAlloc::starting_at(0x1000),
             code_pages_mapped: 0,
             check_mode: false,
+            ctx: RunCtx::new(),
         }
     }
 
@@ -389,17 +452,19 @@ impl Machine {
     /// DSB, TLBs, caches, fill buffers and the PMU persist.
     pub fn run(&mut self, program: &Program, cfg: &RunConfig) -> RunResult {
         self.map_code(program.len());
-        let (handle, recorder) = compose_run_sink(cfg);
+        let (handle, recorder) = compose_run_sink(cfg, self.ctx.recorder.as_ref());
         self.mem.set_sink(handle.clone());
         self.cpu.reset_run(&cfg.init_regs, cfg.handler_pc, handle);
-        let pmu_before = self.cpu.pmu.snapshot();
+        self.cpu.pmu.snapshot_into(&mut self.ctx.pmu_before);
 
         // Check mode: a reference interpreter follows the retirement
         // stream of this run and panics on the first architectural
-        // divergence (DESIGN.md §9).
+        // divergence (DESIGN.md §9). The program is shared with the
+        // cached copy in the run context — attack loops re-run the same
+        // program, so only the first checked run clones it.
         let mut oracle = (self.check_mode || tet_check::enabled()).then(|| {
             tet_check::Oracle::new(
-                program.clone(),
+                self.ctx.check_program(program),
                 tet_check::InterpConfig {
                     handler_pc: cfg.handler_pc,
                     has_tsx: self.cpu.config().vuln.has_tsx,
@@ -446,7 +511,12 @@ impl Machine {
 
         let (frontend_trace, uop_trace) = match recorder {
             Some(rec) => {
-                rebuild_traces(program, &rec.drain(), 0, cfg.trace_frontend, cfg.trace_uops)
+                let traces =
+                    rebuild_traces(program, &rec.drain(), 0, cfg.trace_frontend, cfg.trace_uops);
+                // Drained above: keep the (empty) buffer for the next
+                // traced run.
+                self.ctx.recorder = Some(rec);
+                traces
             }
             None => (None, None),
         };
@@ -456,8 +526,8 @@ impl Machine {
             regs: *self.cpu.regs(),
             flags: self.cpu.flags(),
             retired: self.cpu.retired_insts(),
-            pmu: self.cpu.pmu.snapshot().delta(&pmu_before),
-            exceptions: self.cpu.exceptions().to_vec(),
+            pmu: self.cpu.pmu.snapshot().delta(&self.ctx.pmu_before),
+            exceptions: self.cpu.take_exceptions(),
             frontend_trace,
             uop_trace,
         }

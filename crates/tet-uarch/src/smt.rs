@@ -147,8 +147,8 @@ impl SmtMachine {
         // Each thread gets its own handle (tagged 0 / 1); the shared
         // memory hierarchy is re-pointed at the stepping thread's handle
         // so cache events carry the right thread id.
-        let (h0, rec0) = compose_run_sink(cfg0);
-        let (h1, rec1) = compose_run_sink(cfg1);
+        let (h0, rec0) = compose_run_sink(cfg0, None);
+        let (h1, rec1) = compose_run_sink(cfg1, None);
         let h1 = h1.for_thread(1);
         let trace_mem = h0.enabled() || h1.enabled();
         self.mem.set_sink(h0.clone());
@@ -239,7 +239,7 @@ impl SmtMachine {
             flags: self.cpu0.flags(),
             retired: self.cpu0.retired_insts(),
             pmu: self.cpu0.pmu.snapshot().delta(&pmu0_before),
-            exceptions: self.cpu0.exceptions().to_vec(),
+            exceptions: self.cpu0.take_exceptions(),
             frontend_trace: frontend0,
             uop_trace: uops0,
         };
@@ -250,7 +250,7 @@ impl SmtMachine {
             flags: self.cpu1.flags(),
             retired: self.cpu1.retired_insts(),
             pmu: self.cpu1.pmu.snapshot().delta(&pmu1_before),
-            exceptions: self.cpu1.exceptions().to_vec(),
+            exceptions: self.cpu1.take_exceptions(),
             frontend_trace: frontend1,
             uop_trace: uops1,
         };

@@ -387,10 +387,21 @@ pub struct RobEntry {
     /// Innermost TSX abort target covering this µop, if any.
     pub txn_abort: Option<usize>,
     /// Speculative transaction-stack snapshot *after* this µop renamed
-    /// (used to rebuild rename state on partial squash).
-    pub txn_snapshot: Vec<usize>,
+    /// (used to rebuild rename state on partial squash). Shared: the
+    /// stack only changes at XBegin/XEnd rename, so consecutive entries
+    /// reference the same snapshot.
+    pub txn_snapshot: std::sync::Arc<[usize]>,
     /// Whether this µop is a memory access (for stall accounting).
     pub is_memory: bool,
+    /// Earliest cycle the scheduler needs to re-evaluate this µop
+    /// (0 = evaluate immediately, `u64::MAX` = parked on a producer's
+    /// waiter list until woken).
+    pub wake_at: u64,
+    /// Head of the intrusive list of µop ids parked on *this* entry's
+    /// result (woken when this entry executes).
+    pub waiter_head: Option<u64>,
+    /// Next µop id in the waiter list *this* entry is parked on.
+    pub next_waiter: Option<u64>,
 }
 
 impl RobEntry {
@@ -560,8 +571,11 @@ mod tests {
             mispredicted: false,
             store: None,
             txn_abort: None,
-            txn_snapshot: vec![],
+            txn_snapshot: std::sync::Arc::from(Vec::new()),
             is_memory: false,
+            wake_at: 0,
+            waiter_head: None,
+            next_waiter: None,
         };
         assert!(!e.forward_ready(4));
         assert!(e.forward_ready(5));

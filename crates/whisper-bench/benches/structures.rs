@@ -1,0 +1,130 @@
+//! Micro-benches for the per-cycle hot-path data structures: cache and
+//! TLB set lookup/fill, the DSB µop-cache lookup, BTB-backed branch
+//! prediction, and `Machine` construction (which pays the full hierarchy
+//! allocation, LLC included). These isolate the structures the indexed
+//! O(1) representations replace; `benches/core_hotpath.rs` measures the
+//! same work end-to-end through the Figure 1a gadget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tet_mem::paging::Pte;
+use tet_mem::tlb::{Tlb, TlbConfig};
+use tet_mem::{Cache, CacheConfig};
+use tet_uarch::frontend::Dsb;
+use tet_uarch::{Bpu, BpuConfig, CpuConfig, Machine};
+
+/// L1d-like geometry: 64 sets x 8 ways of 64-byte lines.
+fn l1_like() -> Cache {
+    Cache::new(CacheConfig::new(64, 8, 4))
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structures");
+
+    // Hits over a resident working set (the common case: every load and
+    // fetch consults L1 first).
+    g.bench_function("cache_lookup_hit_x1024", |b| {
+        let mut cache = l1_like();
+        for i in 0..512u64 {
+            cache.fill(i * 64);
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..1024u64 {
+                if cache.lookup((i % 512) * 64) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    // Streaming fills: every insert evicts the set's LRU way.
+    g.bench_function("cache_fill_evict_x1024", |b| {
+        let mut cache = l1_like();
+        let mut next = 0u64;
+        b.iter(|| {
+            let mut evicted = 0u64;
+            for _ in 0..1024 {
+                if cache.fill(next * 64).is_some() {
+                    evicted += 1;
+                }
+                next += 1;
+            }
+            evicted
+        })
+    });
+
+    g.bench_function("tlb_lookup_hit_x1024", |b| {
+        let mut tlb = Tlb::new(TlbConfig::new(16, 4));
+        for page in 0..64u64 {
+            tlb.fill(page << 12, Pte::user_data(page));
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..1024u64 {
+                if tlb.lookup((i % 64) << 12).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structures");
+
+    // The DSB is consulted once per fetched instruction; a warm gadget
+    // loop hits every time.
+    g.bench_function("dsb_lookup_hit_x1024", |b| {
+        let mut dsb = Dsb::new(1536);
+        for pc in 0..32 {
+            dsb.insert(pc);
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..1024usize {
+                if dsb.lookup(i % 32) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    // Fetch-time conditional prediction: one BTB lookup + PHT read per
+    // branch. Train a small set of branches taken so the BTB is warm.
+    g.bench_function("btb_predict_cond_x1024", |b| {
+        let mut bpu = Bpu::new(BpuConfig::default());
+        for pc in 0..16 {
+            for _ in 0..16 {
+                bpu.resolve_cond(pc, true, pc + 100);
+            }
+        }
+        b.iter(|| {
+            let mut from_btb = 0u64;
+            for i in 0..1024usize {
+                if bpu.predict_cond(i % 16, i % 16 + 1, i % 16 + 100).from_btb {
+                    from_btb += 1;
+                }
+            }
+            from_btb
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_machine_new(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structures");
+    // Pays the full hierarchy construction, LLC included — the cost the
+    // chunked covert-channel transmit pays per scenario clone.
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    g.bench_function("machine_new", |b| b.iter(|| Machine::new(cfg.clone(), 1)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_frontend, bench_machine_new);
+criterion_main!(benches);

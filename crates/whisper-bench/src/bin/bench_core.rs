@@ -3,11 +3,16 @@
 //! vs `--threads N`, then writes the numbers to `BENCH_core.json`
 //! (schema-v2 [`RunReport`] JSON) at the repository root.
 //!
-//! Run: `cargo run --release -p whisper-bench --bin bench_core [--smoke] [--threads N] [--out PATH]`
+//! Run: `cargo run --release -p whisper-bench --bin bench_core [--smoke] [--threads N] [--out PATH] [--baseline PATH]`
 //!
 //! `--smoke` (or `BENCH_SMOKE=1`) cuts iteration counts so CI can track
 //! the numbers in seconds rather than minutes; the JSON shape is
 //! identical, with `meta.mode = "smoke"` marking the cheap run.
+//!
+//! `--baseline PATH` compares the measured `sim_cycles_per_sec` against a
+//! previously committed report and exits non-zero when the current rate
+//! falls below 70% of the baseline (the report is still written first so
+//! CI can upload it as an artifact).
 
 use std::time::Instant;
 
@@ -43,12 +48,14 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_core.json".to_string());
 
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned());
+
     let mut rep = RunReport::new("bench_core");
     rep.set_meta("mode", if smoke { "smoke" } else { "full" });
-    rep.set_meta(
-        "host_available_parallelism",
-        tet_par::default_threads().to_string(),
-    );
+    rep.host_available_parallelism = Some(tet_par::default_threads() as u64);
     let started = Instant::now();
     // Simulated-cycles-per-host-second, measured on the decode sweep (the
     // dominant single-thread workload of every experiment binary).
@@ -111,4 +118,32 @@ fn main() {
     rep.sim_cycles_per_sec = sim_rate;
     std::fs::write(&out, rep.to_json()).expect("write BENCH_core.json");
     println!("\nwrote {out}");
+
+    // --baseline PATH: regression gate for CI. The report above is always
+    // written first so the artifact survives a failing comparison.
+    if let Some(path) = baseline {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let base = RunReport::from_json(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+        match (base.sim_cycles_per_sec, sim_rate) {
+            (Some(old), Some(new)) => {
+                let floor = old * 0.7;
+                println!(
+                    "baseline {old:.0} cycles/s, current {new:.0} cycles/s ({:+.1}%)",
+                    (new / old - 1.0) * 100.0
+                );
+                if new < floor {
+                    eprintln!(
+                        "REGRESSION: sim_cycles_per_sec {new:.0} is below 70% of baseline {old:.0}"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            (old, new) => {
+                eprintln!(
+                    "baseline check skipped: sim_cycles_per_sec baseline={old:?} current={new:?}"
+                );
+            }
+        }
+    }
 }

@@ -4,6 +4,10 @@
 #   scripts/bench.sh           full run: criterion benches + BENCH_core.json
 #   scripts/bench.sh --smoke   CI-sized run: BENCH_core.json only, few iters
 #
+# Extra args are forwarded to bench_core; in particular
+# `--baseline PATH` fails the run when sim_cycles_per_sec drops below
+# 70% of a previously committed report (CI regression gate).
+#
 # Writes BENCH_core.json at the repository root (schema-v2 RunReport JSON):
 # fig1 gadget ns/iter, decode-sweep ns/iter, and Table 2 matrix wall time
 # at --threads 1 vs 8 with the measured speedup.

@@ -1,0 +1,66 @@
+//! Golden ToTE-curve regression for the Kaby Lake Table 2 preset.
+//!
+//! The hot-path data-structure work (indexed caches/TLBs, O(1) DSB/BTB,
+//! waiter-based scheduling) is a *representation* change: every run must
+//! stay cycle-accurate to the linear-scan implementations it replaced.
+//! This test pins the full 256-point ToTE curve of the Figure 1a
+//! covert-channel gadget — warm-up run plus one probe per test value,
+//! exactly the §4.1 decode sweep — against a committed golden file
+//! generated from the pre-refactor simulator. Any scheduling, cache
+//! replacement, predictor or fault-timing deviation shows up as a
+//! changed cycle count somewhere on the curve.
+//!
+//! Regenerate with `TET_REGEN_GOLDEN=1 cargo test --test golden_tote`
+//! (only legitimate after an *intentional* model change).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use tet_uarch::CpuConfig;
+use whisper::gadget::{TetGadget, TetGadgetSpec};
+use whisper::scenario::{Scenario, ScenarioOptions};
+
+// Relative to the whisper crate manifest (this test is wired into that
+// crate; see `crates/whisper/Cargo.toml`).
+const GOLDEN_PATH: &str = "../../tests/golden/tote_kaby_lake_i7_7700.txt";
+const SENT_BYTE: u8 = 0xa5;
+
+/// One line per probe: `test tote run_cycles`, preceded by the warm-up.
+fn render_curve() -> String {
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let mut sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+    sc.sender_write(SENT_BYTE);
+    let gadget = TetGadget::build(TetGadgetSpec::covert_channel(sc.shared_page(), &cfg));
+
+    let mut out = String::new();
+    let (tote, cycles) = gadget
+        .measure_detailed(&mut sc.machine, 0)
+        .expect("warm-up run completes");
+    writeln!(out, "warmup {tote} {cycles}").unwrap();
+    for test in 0..=255u64 {
+        let (tote, cycles) = gadget
+            .measure_detailed(&mut sc.machine, test)
+            .expect("probe run completes");
+        writeln!(out, "{test} {tote} {cycles}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn tote_curve_matches_golden() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    let curve = render_curve();
+    if std::env::var_os("TET_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &curve).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        curve, golden,
+        "ToTE curve deviates from the golden Kaby Lake sweep — the \
+         simulator's cycle behaviour changed"
+    );
+}
