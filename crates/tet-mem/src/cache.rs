@@ -243,6 +243,32 @@ impl Cache {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Overwrites this cache with the state of `src`, reusing the flat
+    /// tag/stamp allocations. Both caches must share a geometry (they do
+    /// in the snapshot/restore use: restore targets a machine built from
+    /// the same config the snapshot came from).
+    pub fn restore_from(&mut self, src: &Cache) {
+        debug_assert_eq!(self.cfg, src.cfg, "restore across cache geometries");
+        let Cache {
+            cfg,
+            tags,
+            stamps,
+            tick,
+            mru,
+            hits,
+            misses,
+        } = src;
+        self.cfg = *cfg;
+        self.tags.clear();
+        self.tags.extend_from_slice(tags);
+        self.stamps.clear();
+        self.stamps.extend_from_slice(stamps);
+        self.tick = *tick;
+        self.mru = *mru;
+        self.hits = *hits;
+        self.misses = *misses;
+    }
 }
 
 #[cfg(test)]

@@ -296,6 +296,32 @@ impl MemorySystem {
     pub fn l1d_stats(&self) -> (u64, u64) {
         self.l1d.stats()
     }
+
+    /// Overwrites this hierarchy with the state of `src` — tags, stamps,
+    /// fill buffers and the DRAM jitter stream position — reusing every
+    /// flat allocation (snapshot restore). The trace sink is taken from
+    /// `src` too; [`Machine::run`](../tet-uarch) re-attaches its own per-run
+    /// sink anyway.
+    pub fn restore_from(&mut self, src: &MemorySystem) {
+        let MemorySystem {
+            cfg,
+            l1d,
+            l1i,
+            l2,
+            llc,
+            lfb,
+            rng,
+            sink,
+        } = src;
+        self.cfg = *cfg;
+        self.l1d.restore_from(l1d);
+        self.l1i.restore_from(l1i);
+        self.l2.restore_from(l2);
+        self.llc.restore_from(llc);
+        self.lfb.restore_from(lfb);
+        self.rng = rng.clone();
+        self.sink = sink.clone();
+    }
 }
 
 #[cfg(test)]

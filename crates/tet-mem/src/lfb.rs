@@ -109,6 +109,14 @@ impl LineFillBuffer {
     pub fn entries(&self) -> impl Iterator<Item = &LfbEntry> {
         self.entries.iter()
     }
+
+    /// Overwrites this buffer with the state of `src`, reusing the ring
+    /// allocation (snapshot restore).
+    pub fn restore_from(&mut self, src: &LineFillBuffer) {
+        let LineFillBuffer { entries, capacity } = src;
+        self.capacity = *capacity;
+        self.entries.clone_from(entries);
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,24 @@ impl PhysMem {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Overwrites this memory with the contents of `src`, reusing page
+    /// allocations already present on both sides (snapshot restore).
+    /// Pages only the destination holds are dropped; pages only the
+    /// source holds are cloned in; shared pages are copied in place.
+    pub fn restore_from(&mut self, src: &PhysMem) {
+        self.pages.retain(|k, _| src.pages.contains_key(k));
+        for (k, page) in &src.pages {
+            match self.pages.entry(*k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().copy_from_slice(&page[..]);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(page.clone());
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -244,6 +244,31 @@ impl Tlb {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Overwrites this TLB with the state of `src`, reusing the flat
+    /// entry/stamp allocations (same-geometry restore, as with
+    /// [`Cache::restore_from`](crate::Cache::restore_from)).
+    pub fn restore_from(&mut self, src: &Tlb) {
+        debug_assert_eq!(self.cfg, src.cfg, "restore across TLB geometries");
+        let Tlb {
+            cfg,
+            entries,
+            stamps,
+            tick,
+            mru,
+            hits,
+            misses,
+        } = src;
+        self.cfg = *cfg;
+        self.entries.clear();
+        self.entries.extend_from_slice(entries);
+        self.stamps.clear();
+        self.stamps.extend_from_slice(stamps);
+        self.tick = *tick;
+        self.mru = *mru;
+        self.hits = *hits;
+        self.misses = *misses;
+    }
 }
 
 #[cfg(test)]

@@ -166,6 +166,96 @@ where
         .collect()
 }
 
+/// [`run_indexed`] with **worker-local scratch state**: each worker
+/// thread builds one `S` via `init` and reuses it for every index it
+/// claims — the shape trial runners need when each trial wants a warm
+/// simulator machine (e.g. one restored from a shared
+/// `MachineSnapshot`) without paying a full rebuild per trial.
+///
+/// Determinism contract: `f(&mut s, i)` must produce a result that
+/// depends only on `i`, treating `s` purely as a reusable resource it
+/// re-initializes (e.g. by snapshot restore) before use. Which indices
+/// share a worker's state varies with thread count and scheduling; a
+/// result that leaked information between trials through `s` would
+/// break the byte-identical-at-any-thread-count guarantee.
+///
+/// # Panics
+///
+/// Propagates the first worker panic (by index order) to the caller.
+///
+/// # Examples
+///
+/// ```
+/// // Each worker allocates one scratch buffer, reused across indices.
+/// let out = tet_par::run_indexed_with(
+///     4,
+///     10,
+///     || Vec::with_capacity(8),
+///     |buf, i| {
+///         buf.clear();
+///         buf.extend((0..=i).map(|x| x as u64));
+///         buf.iter().sum::<u64>()
+///     },
+/// );
+/// assert_eq!(out[4], 10);
+/// ```
+pub fn run_indexed_with<S, T, Init, F>(threads: usize, n: usize, init: Init, f: F) -> Vec<T>
+where
+    T: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        let mut s = init();
+        return (0..n).map(|i| f(&mut s, i)).collect();
+    }
+    let workers = threads.min(n);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let panicked = AtomicUsize::new(usize::MAX);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut s = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut s, i)));
+                    match result {
+                        Ok(v) => *slots[i].lock().expect("slot lock") = Some(v),
+                        Err(_) => {
+                            panicked.fetch_min(i, Ordering::SeqCst);
+                            cursor.fetch_add(n, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let bad = panicked.load(Ordering::SeqCst);
+    if bad != usize::MAX {
+        // Re-run the offending index inline (with fresh state) so the
+        // caller sees the original panic payload.
+        let _ = f(&mut init(), bad);
+        panic!("parallel trial {bad} panicked");
+    }
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("every index was committed")
+        })
+        .collect()
+}
+
 /// Maps `f` over `items` in parallel, returning results in item order
 /// (the slice analogue of [`run_indexed`]).
 ///
@@ -240,6 +330,39 @@ mod tests {
     fn zero_and_one_items() {
         assert_eq!(run_indexed(8, 0, |i| i), Vec::<usize>::new());
         assert_eq!(run_indexed(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn indexed_with_matches_plain_indexed_at_any_thread_count() {
+        let reference: Vec<u64> = (0..60).map(|i| (i as u64) * 7 + 1).collect();
+        for threads in [1, 2, 5, 16] {
+            let got = run_indexed_with(
+                threads,
+                60,
+                || 0u64, // scratch the closure must not depend on
+                |s, i| {
+                    *s = s.wrapping_add(i as u64); // poison the scratch
+                    (i as u64) * 7 + 1
+                },
+            );
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "with-state boom")]
+    fn indexed_with_propagates_panics() {
+        run_indexed_with(
+            4,
+            20,
+            || (),
+            |(), i| {
+                if i == 7 {
+                    panic!("with-state boom");
+                }
+                i
+            },
+        );
     }
 
     #[test]

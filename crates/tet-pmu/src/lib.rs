@@ -103,6 +103,13 @@ impl Pmu {
         out.counts.clear();
         out.counts.extend_from_slice(&self.counts);
     }
+
+    /// Overwrites this bank with the contents of `src`, reusing the
+    /// existing buffer — the restore half of the machine snapshot layer.
+    pub fn copy_from(&mut self, src: &Pmu) {
+        self.counts.clear();
+        self.counts.extend_from_slice(&src.counts);
+    }
 }
 
 impl Default for Pmu {

@@ -216,6 +216,25 @@ impl Bpu {
         self.btb_insert(pc, target);
         self.ghr = (self.ghr << 1) | 1;
     }
+
+    /// Overwrites this predictor with the state of `src`, reusing the
+    /// PHT/BTB/RSB allocations (snapshot restore).
+    pub fn restore_from(&mut self, src: &Bpu) {
+        let Bpu {
+            cfg,
+            pht,
+            ghr,
+            btb,
+            rsb,
+        } = src;
+        self.cfg = *cfg;
+        self.pht.clear();
+        self.pht.extend_from_slice(pht);
+        self.ghr = *ghr;
+        self.btb.restore_from(btb);
+        self.rsb.clear();
+        self.rsb.extend_from_slice(rsb);
+    }
 }
 
 #[cfg(test)]

@@ -244,6 +244,11 @@ pub struct Cpu {
     /// Structured-event sink (disabled by default: one branch per event
     /// site). Installed per run by [`crate::Machine`] / [`crate::SmtMachine`].
     sink: SinkHandle,
+    /// Cycles skipped by event-driven fast-forward, over this core's
+    /// lifetime (diagnostic; survives `reset_run` and snapshot restore).
+    ff_skipped_cycles: u64,
+    /// Number of fast-forward sprints taken (each skips ≥ 1 cycle).
+    ff_sprints: u64,
 }
 
 impl Cpu {
@@ -299,6 +304,8 @@ impl Cpu {
             last_retired_id: None,
             mutate_retire: false,
             sink: SinkHandle::disabled(),
+            ff_skipped_cycles: 0,
+            ff_sprints: 0,
             cfg,
         }
     }
@@ -356,6 +363,165 @@ impl Cpu {
         self.unhandled = None;
         self.last_retired_id = None;
         self.sink = sink;
+    }
+
+    /// Overwrites this core with the state of `src`, reusing every heap
+    /// allocation this core already owns (ROB, IDQ, TLBs, predictor
+    /// tables, PMU bank, port table) — the restore half of the machine
+    /// snapshot layer. Both cores must come from the same `CpuConfig`.
+    ///
+    /// The exhaustive destructuring below is deliberate: adding a field
+    /// to `Cpu` without deciding how it restores becomes a compile
+    /// error, not a silent state leak.
+    ///
+    /// The fast-forward diagnostic counters are *not* copied: they
+    /// describe this core's lifetime (like the PMU describes a run), so
+    /// a workload forking many trials from one snapshot accumulates its
+    /// totals across restores.
+    pub fn restore_from(&mut self, src: &Cpu) {
+        let Cpu {
+            cfg,
+            pmu,
+            bpu,
+            dsb,
+            idq,
+            fetch_pc,
+            fetch_stall_until,
+            fetch_enabled,
+            last_fetch_page,
+            last_fetch_from_dsb,
+            itlb,
+            rob,
+            next_uop_id,
+            rat,
+            flags_rat,
+            regs,
+            flags,
+            ports_busy,
+            recovery_busy_until,
+            pipeline_flush_until,
+            external_stall_until,
+            txn_stack,
+            txn_snapshot_cache,
+            empty_snapshot,
+            unstarted_count,
+            unstarted_store_count,
+            inflight_store_data,
+            exec_unresolved_branches,
+            exec_max_done,
+            mem_max_done,
+            dtlb,
+            walker,
+            syscall_pages,
+            txn_checkpoint,
+            txn_undo,
+            txn_depth,
+            cycle,
+            global_cycle,
+            next_interrupt,
+            interrupt_rng,
+            halted,
+            retired_insts,
+            handler_pc,
+            exceptions,
+            unhandled,
+            last_retired_id,
+            mutate_retire,
+            sink,
+            ff_skipped_cycles: _,
+            ff_sprints: _,
+        } = src;
+        debug_assert_eq!(
+            self.cfg.ports, cfg.ports,
+            "snapshot restore across core configurations"
+        );
+        self.cfg = cfg.clone();
+        self.pmu.copy_from(pmu);
+        self.bpu.restore_from(bpu);
+        self.dsb.restore_from(dsb);
+        self.idq.clone_from(idq);
+        self.fetch_pc = *fetch_pc;
+        self.fetch_stall_until = *fetch_stall_until;
+        self.fetch_enabled = *fetch_enabled;
+        self.last_fetch_page = *last_fetch_page;
+        self.last_fetch_from_dsb = *last_fetch_from_dsb;
+        self.itlb.restore_from(itlb);
+        self.rob.clone_from(rob);
+        self.next_uop_id = *next_uop_id;
+        self.rat = *rat;
+        self.flags_rat = *flags_rat;
+        self.regs = *regs;
+        self.flags = *flags;
+        self.ports_busy.clear();
+        self.ports_busy.extend_from_slice(ports_busy);
+        self.recovery_busy_until = *recovery_busy_until;
+        self.pipeline_flush_until = *pipeline_flush_until;
+        self.external_stall_until = *external_stall_until;
+        self.txn_stack.clear();
+        self.txn_stack.extend_from_slice(txn_stack);
+        self.txn_snapshot_cache = txn_snapshot_cache.clone();
+        self.empty_snapshot = empty_snapshot.clone();
+        self.unstarted_count = *unstarted_count;
+        self.unstarted_store_count = *unstarted_store_count;
+        self.inflight_store_data = *inflight_store_data;
+        self.exec_unresolved_branches = *exec_unresolved_branches;
+        self.exec_max_done = *exec_max_done;
+        self.mem_max_done = *mem_max_done;
+        self.dtlb.restore_from(dtlb);
+        self.walker = *walker;
+        self.syscall_pages.clear();
+        self.syscall_pages.extend_from_slice(syscall_pages);
+        self.txn_checkpoint = *txn_checkpoint;
+        self.txn_undo.clear();
+        self.txn_undo.extend_from_slice(txn_undo);
+        self.txn_depth = *txn_depth;
+        self.cycle = *cycle;
+        self.global_cycle = *global_cycle;
+        self.next_interrupt = *next_interrupt;
+        self.interrupt_rng = *interrupt_rng;
+        self.halted = *halted;
+        self.retired_insts = *retired_insts;
+        self.handler_pc = *handler_pc;
+        self.exceptions.clear();
+        self.exceptions.extend_from_slice(exceptions);
+        self.unhandled = *unhandled;
+        self.last_retired_id = *last_retired_id;
+        self.mutate_retire = *mutate_retire;
+        self.sink = sink.clone();
+    }
+
+    /// Re-randomizes the timer-interrupt phase from `salt`, keeping the
+    /// schedule fully deterministic in `salt`. Trial runners forking
+    /// many trials from one snapshot call this with the trial index so
+    /// interrupt noise decorrelates across trials exactly as it would
+    /// across sequential runs — and identically at any thread count.
+    /// No-op when the timer is disabled.
+    pub fn reseed_interrupt_phase(&mut self, salt: u64) {
+        let period = self.cfg.timing.interrupt_period;
+        if period == 0 {
+            return;
+        }
+        let mut x = self.interrupt_rng ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for _ in 0..3 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        self.interrupt_rng = x;
+        self.next_interrupt = self.global_cycle + period / 2 + x % period;
+    }
+
+    /// Cycles skipped by event-driven fast-forward and the number of
+    /// sprints taken, over this core's lifetime.
+    pub fn ff_stats(&self) -> (u64, u64) {
+        (self.ff_skipped_cycles, self.ff_sprints)
+    }
+
+    /// Zeroes the fast-forward diagnostics (a freshly forked worker
+    /// machine starts its lifetime clean).
+    pub(crate) fn reset_ff_stats(&mut self) {
+        self.ff_skipped_cycles = 0;
+        self.ff_sprints = 0;
     }
 
     /// Test-only retire-path bug injection: when on, every committed
@@ -529,6 +695,233 @@ impl Cpu {
         );
         self.cycle += 1;
         events
+    }
+
+    // ----- event-driven fast-forward --------------------------------------
+
+    /// Attempts to skip ahead to the next cycle at which anything can
+    /// happen, bulk-applying exactly the per-cycle PMU accounting the
+    /// skipped idle `step()`s would have produced. Returns the number of
+    /// cycles skipped (0 = something can happen right now, take a real
+    /// step).
+    ///
+    /// The contract is *cycle-exactness*: calling this before every
+    /// `step()` must leave architectural state, µarch state and every
+    /// PMU counter identical to never calling it. The implementation
+    /// leans on two facts:
+    ///
+    /// * every stage is gated by monotone "until"-style windows
+    ///   (`pipeline_flush_until`, `external_stall_until`,
+    ///   `recovery_busy_until`, `fetch_stall_until`) and by readiness
+    ///   times (`done_at`, `forward_at`, `wake_at`) that only a real
+    ///   event can move — so bounding the skip by the minimum of all
+    ///   such future times keeps every stage's predicate constant over
+    ///   the skipped range;
+    /// * on a cycle where nothing executes, every execution port is
+    ///   free (`ports_busy` is only ever set to `execute cycle + 1`),
+    ///   so a source-ready, order-ready µop always implies activity.
+    ///
+    /// Callers must not fast-forward when a structured-event sink is
+    /// installed (skipped cycles would drop `FrontendCycle` events);
+    /// [`crate::Machine`] gates on that.
+    ///
+    /// One observable difference is permitted and harmless: scheduler
+    /// *wake hints* (`wake_at`, waiter lists) that an idle `step()`
+    /// would have refreshed are left stale. Hints are lower bounds on
+    /// issue cycles, never issue decisions, so every µop still starts
+    /// executing on exactly the same cycle.
+    pub(crate) fn try_fast_forward(&mut self, limit: u64) -> u64 {
+        let now = self.cycle;
+        if self.halted || limit <= now {
+            return 0;
+        }
+        // An executed-but-unresolved branch resolves (trains the BPU,
+        // possibly squashes and resteers) exactly at its `done_at`
+        // cycle; `resolve_branches` is a no-op before that. Idle cycles
+        // *before* the earliest resolution are safe to skip, but never
+        // skip across one — clip the sprint to the earliest `done_at`
+        // and treat a due resolution as activity.
+        let mut branch_done = u64::MAX;
+        if self.exec_unresolved_branches > 0 {
+            let mut remaining = self.exec_unresolved_branches;
+            for e in &self.rob {
+                if e.started && e.inst.is_branch() && !e.resolved {
+                    let done = e.done_at.expect("started µop has a completion time");
+                    if done <= now {
+                        return 0;
+                    }
+                    branch_done = branch_done.min(done);
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        let t = self.cfg.timing;
+        // A due timer interrupt mutates stall windows and the RNG: let
+        // the real step take it.
+        if t.interrupt_period > 0 && self.global_cycle >= self.next_interrupt {
+            return 0;
+        }
+
+        let p_flush = now < self.pipeline_flush_until;
+        let p_ext = now < self.external_stall_until;
+        let p_rec = now < self.recovery_busy_until;
+
+        // --- activity checks: would the real step() do anything at `now`?
+        if !(p_flush || p_ext) {
+            if let Some(front) = self.rob.front() {
+                if front.retire_ready(now) {
+                    // Retirement or fault delivery happens this cycle.
+                    return 0;
+                }
+            }
+        }
+        let mut bound = limit;
+        if !p_flush {
+            match self.sched_quiet_until(now) {
+                None => return 0, // scheduler starts a µop this cycle
+                Some(b) => bound = bound.min(b),
+            }
+        }
+        if !(p_flush || p_ext || p_rec || self.idq.is_empty())
+            && self.rob.len() < self.cfg.rob_size
+            && self.unstarted_count < self.cfg.rs_size
+        {
+            return 0; // rename issues this cycle
+        }
+        if self.fetch_enabled && now >= self.fetch_stall_until && self.idq.len() < self.cfg.idq_size
+        {
+            // Fetch delivers µops, walks the ITLB, or discovers the end
+            // of the program (which mutates `fetch_enabled`).
+            return 0;
+        }
+
+        // --- bound: first future cycle any predicate above can change.
+        if branch_done != u64::MAX {
+            bound = bound.min(branch_done);
+        }
+        if let Some(front) = self.rob.front() {
+            if let Some(done) = front.done_at {
+                if done > now {
+                    bound = bound.min(done);
+                }
+            }
+        }
+        if t.interrupt_period > 0 {
+            bound = bound.min(now + (self.next_interrupt - self.global_cycle));
+        }
+        for w in [
+            self.pipeline_flush_until,
+            self.external_stall_until,
+            self.recovery_busy_until,
+            self.fetch_stall_until,
+            self.exec_max_done,
+            self.mem_max_done,
+        ] {
+            if w > now {
+                bound = bound.min(w);
+            }
+        }
+        if bound <= now {
+            return 0;
+        }
+        let skip = bound - now;
+
+        // --- bulk accounting: exactly `skip` idle step()s' worth.
+        let idq_empty = self.idq.is_empty();
+        self.pmu.bump(Event::CpuClkUnhalted, skip);
+        if !(p_flush || p_ext) {
+            if p_rec {
+                self.pmu.bump(Event::IntMiscRecoveryCycles, skip);
+                self.pmu.bump(Event::IntMiscRecoveryCyclesAny, skip);
+            } else if !idq_empty {
+                // Rename not blocked by any window and the IDQ has µops,
+                // yet nothing issues: necessarily resource-blocked
+                // (checked above), and the block persists — nothing
+                // retires or starts during the skipped range.
+                self.pmu.bump(Event::ResourceStallsAny, skip);
+                if self.rob.len() >= self.cfg.rob_size {
+                    self.pmu
+                        .bump(Event::DeDisDispatchTokenStalls2RetireTokenStall, skip);
+                }
+            }
+        }
+        self.pmu.bump(Event::UopsExecutedStallCycles, skip);
+        if self.exec_max_done <= now {
+            self.pmu.bump(Event::UopsExecutedCoreCyclesNone, skip);
+            if !self.rob.is_empty() {
+                self.pmu.bump(Event::CycleActivityStallsTotal, skip);
+            }
+        }
+        if self.mem_max_done > now {
+            self.pmu.bump(Event::CycleActivityCyclesMemAny, skip);
+        }
+        if self.unstarted_count == 0 {
+            self.pmu.bump(Event::RsEventsEmptyCycles, skip);
+        }
+        self.pmu.bump(Event::UopsIssuedStallCycles, skip);
+        if idq_empty {
+            self.pmu.bump(Event::IdqEmptyCycles, skip);
+            self.pmu.bump(Event::DeDisUopQueueEmptyDi0, skip);
+        }
+        self.cycle += skip;
+        self.global_cycle += skip;
+        self.ff_skipped_cycles += skip;
+        self.ff_sprints += 1;
+        skip
+    }
+
+    /// Read-only mirror of [`Cpu::schedule_cycle`]'s walk: returns
+    /// `None` when the scheduler would start some µop at `now`, else
+    /// the earliest future cycle at which it could (`u64::MAX` when no
+    /// in-flight µop bounds it — retire/fetch/timer bounds then apply).
+    fn sched_quiet_until(&self, now: u64) -> Option<u64> {
+        let mut bound = u64::MAX;
+        for (i, e) in self.rob.iter().enumerate() {
+            if e.started {
+                // A not-yet-done fence blocks all younger execution.
+                if e.inst.is_fence() && !e.retire_ready(now) {
+                    return Some(bound.min(e.done_at.unwrap_or(u64::MAX)));
+                }
+                continue;
+            }
+            if e.inst.is_fence() {
+                if self.exec_max_done <= now {
+                    if self.rob.iter().take(i).all(|o| o.retire_ready(now)) {
+                        return None; // the fence starts this cycle
+                    }
+                    // Blocked on an older *unstarted* µop: its own walk
+                    // entry above already produced a bound or activity.
+                } else {
+                    bound = bound.min(self.exec_max_done);
+                }
+                return Some(bound);
+            }
+            if now < e.wake_at {
+                if e.wake_at != u64::MAX {
+                    bound = bound.min(e.wake_at);
+                }
+                continue;
+            }
+            match self.eval_deps(i, now) {
+                // Parked-on-producer: the producer's own start bounds
+                // it, and the producer is an older entry this walk
+                // already covered.
+                DepVerdict::Park(_) => {}
+                DepVerdict::WakeAt(at) => bound = bound.min(at),
+                DepVerdict::Ready => {
+                    // A port is always free on a cycle where nothing has
+                    // executed (see `try_fast_forward`), so an unblocked
+                    // ready µop means the scheduler acts now; a blocked
+                    // load is bounded by the blocking store, an older
+                    // unstarted entry already walked.
+                    self.mem_order_blocker(i)?;
+                }
+            }
+        }
+        Some(bound)
     }
 
     // ----- per-cycle accounting -------------------------------------------

@@ -54,6 +54,12 @@ impl Dsb {
     pub fn is_empty(&self) -> bool {
         self.lru.len() == 0
     }
+
+    /// Overwrites this DSB with the state of `src`, reusing the index
+    /// allocations (snapshot restore).
+    pub fn restore_from(&mut self, src: &Dsb) {
+        self.lru.restore_from(&src.lru);
+    }
 }
 
 /// A µop sitting in the IDQ, as produced by fetch/decode.

@@ -55,7 +55,7 @@ pub use crate::core::{Cpu, ExceptionRecord, RunExit};
 pub use bpu::{Bpu, BpuConfig, Prediction};
 pub use config::{CpuConfig, ForwardPolicy, TimingConfig, VulnProfile};
 pub use frontend::FrontendTraceEntry;
-pub use machine::{Machine, RunConfig, RunResult};
+pub use machine::{Machine, MachineSnapshot, MachineStats, RunConfig, RunResult};
 pub use smt::{SmtMachine, SmtRunResult};
 pub use uop::{Fault, FaultKind, SquashReason, UopFate, UopTrace};
 

@@ -173,6 +173,29 @@ impl<V: Copy> LruIndex<V> {
             at: self.head,
         }
     }
+
+    /// Overwrites this index with the state of `src`, reusing the slot
+    /// arena and direct-map allocations (snapshot restore).
+    pub(crate) fn restore_from(&mut self, src: &LruIndex<V>) {
+        let LruIndex {
+            slots,
+            index,
+            free,
+            head,
+            tail,
+            len,
+            capacity,
+        } = src;
+        self.slots.clone_from(slots);
+        self.index.clear();
+        self.index.extend_from_slice(index);
+        self.free.clear();
+        self.free.extend_from_slice(free);
+        self.head = *head;
+        self.tail = *tail;
+        self.len = *len;
+        self.capacity = *capacity;
+    }
 }
 
 /// Front-to-back iterator over an [`LruIndex`].

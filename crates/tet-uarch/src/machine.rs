@@ -233,7 +233,57 @@ pub struct Machine {
     frames: FrameAlloc,
     code_pages_mapped: usize,
     check_mode: bool,
+    /// Event-driven fast-forward across idle cycles (DESIGN.md §11).
+    /// Defaults from `TET_FF` (`0` disables); cycle counts and PMU
+    /// values are identical either way. Automatically bypassed for runs
+    /// with a structured-event sink, which need per-cycle emission.
+    ff_enabled: bool,
+    /// Lifetime run count (diagnostic, survives snapshot restore).
+    runs: u64,
+    /// Lifetime simulated cycles across runs (diagnostic).
+    cycles_total: u64,
+    /// Lifetime snapshot restores applied to this machine (diagnostic).
+    snap_restores: u64,
     ctx: RunCtx,
+}
+
+/// A point-in-time copy of a [`Machine`]'s complete state —
+/// architectural (registers, physical memory, address space) and
+/// microarchitectural (caches, TLBs, predictors, fill buffers, PMU,
+/// interrupt phase).
+///
+/// Take one with [`Machine::snapshot`] **between** runs (the pipeline
+/// is always drained then — `run` is synchronous), and rebuild runnable
+/// machines from it with [`Machine::restore`] (in place, reusing the
+/// destination's allocations) or [`Machine::from_snapshot`]. Trial
+/// loops warm a machine up once, snapshot, and fork every trial from
+/// the snapshot; a shared `Arc<MachineSnapshot>` serves parallel
+/// workers.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    state: Machine,
+}
+
+/// Lifetime diagnostics of one [`Machine`] (see [`Machine::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Completed [`Machine::run`] calls.
+    pub runs: u64,
+    /// Simulated cycles summed over those runs.
+    pub sim_cycles: u64,
+    /// Cycles skipped by event-driven fast-forward (included in
+    /// `sim_cycles` — skipping changes wall time, not simulated time).
+    pub ff_skipped_cycles: u64,
+    /// Fast-forward sprints taken (each skips ≥ 1 cycle).
+    pub ff_sprints: u64,
+    /// Snapshot restores applied via [`Machine::restore`].
+    pub snapshot_restores: u64,
+}
+
+/// Process-wide fast-forward default: `TET_FF=0` turns it off.
+fn ff_default() -> bool {
+    static FF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FF.get_or_init(|| std::env::var("TET_FF").map(|v| v != "0").unwrap_or(true))
 }
 
 /// Reusable per-run scratch state: everything [`Machine::run`] would
@@ -300,7 +350,90 @@ impl Machine {
             frames: FrameAlloc::starting_at(0x1000),
             code_pages_mapped: 0,
             check_mode: false,
+            ff_enabled: ff_default(),
+            runs: 0,
+            cycles_total: 0,
+            snap_restores: 0,
             ctx: RunCtx::new(),
+        }
+    }
+
+    /// Forces event-driven fast-forward on or off for this machine,
+    /// overriding the `TET_FF` process default — the hook differential
+    /// tests use to prove skipping is cycle-exact.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.ff_enabled = on;
+    }
+
+    /// Whether this machine fast-forwards idle cycles.
+    pub fn fast_forward(&self) -> bool {
+        self.ff_enabled
+    }
+
+    /// Captures the machine's complete state. Only valid between runs
+    /// (`run` is synchronous, so any quiescent `&self` qualifies).
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            state: self.clone(),
+        }
+    }
+
+    /// Rebuilds this machine into the snapshotted state **in place**,
+    /// reusing this machine's existing heap allocations (ROB, caches,
+    /// TLB arrays, PMU bank, page frames) — the hot path of
+    /// fork-per-trial loops, which restore hundreds of thousands of
+    /// times from one warmed-up snapshot.
+    ///
+    /// Lifetime diagnostics ([`Machine::stats`]) and the fast-forward
+    /// setting are deliberately *not* rolled back: they describe this
+    /// machine, not the snapshot.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        let Machine {
+            cpu,
+            mem,
+            phys,
+            aspace,
+            frames,
+            code_pages_mapped,
+            check_mode,
+            ff_enabled: _,
+            runs: _,
+            cycles_total: _,
+            snap_restores: _,
+            ctx: _,
+        } = &snap.state;
+        self.cpu.restore_from(cpu);
+        self.mem.restore_from(mem);
+        self.phys.restore_from(phys);
+        self.aspace.clone_from(aspace);
+        self.frames = *frames;
+        self.code_pages_mapped = *code_pages_mapped;
+        self.check_mode = *check_mode;
+        self.snap_restores += 1;
+    }
+
+    /// Builds a fresh machine from a snapshot — how parallel workers
+    /// materialize their private copy of a shared warmed-up snapshot.
+    /// Lifetime diagnostics start at zero.
+    pub fn from_snapshot(snap: &MachineSnapshot) -> Machine {
+        let mut m = snap.state.clone();
+        m.runs = 0;
+        m.cycles_total = 0;
+        m.snap_restores = 0;
+        m.cpu.reset_ff_stats();
+        m
+    }
+
+    /// Lifetime diagnostics: run count, simulated cycles, fast-forward
+    /// savings, snapshot restores.
+    pub fn stats(&self) -> MachineStats {
+        let (ff_skipped_cycles, ff_sprints) = self.cpu.ff_stats();
+        MachineStats {
+            runs: self.runs,
+            sim_cycles: self.cycles_total,
+            ff_skipped_cycles,
+            ff_sprints,
+            snapshot_restores: self.snap_restores,
         }
     }
 
@@ -473,6 +606,10 @@ impl Machine {
             )
         });
 
+        // Fast-forward requires per-cycle events to be off: skipped
+        // cycles emit nothing, so trace-enabled runs step every cycle.
+        let fast_forward = self.ff_enabled && !self.cpu.sink().enabled();
+
         let mut exit = RunExit::CycleLimit;
         while self.cpu.cycle() < cfg.max_cycles {
             if self.cpu.halted() {
@@ -485,6 +622,12 @@ impl Machine {
             if self.cpu.ran_off_end(program) {
                 exit = RunExit::RanOffEnd;
                 break;
+            }
+            if fast_forward {
+                self.cpu.try_fast_forward(cfg.max_cycles);
+                if self.cpu.cycle() >= cfg.max_cycles {
+                    break; // skipped to the budget: CycleLimit, like stepping would
+                }
             }
             let mut env = Env {
                 mem: &mut self.mem,
@@ -520,6 +663,8 @@ impl Machine {
             }
             None => (None, None),
         };
+        self.runs += 1;
+        self.cycles_total += self.cpu.cycle();
         RunResult {
             exit,
             cycles: self.cpu.cycle(),

@@ -1,0 +1,184 @@
+//! Property tests for the snapshot/fork layer and event-driven
+//! fast-forward (DESIGN.md §11).
+//!
+//! Two equivalences are pinned over random gadget-shaped programs on
+//! every Table 2 preset:
+//!
+//! * **snapshot → restore → run ≡ run**: restoring a warmed machine's
+//!   snapshot into a *different, polluted* machine and running must
+//!   reproduce the live machine's run bit-for-bit (exit, cycles,
+//!   registers, flags, retired count, PMU deltas, exceptions) — both
+//!   through an in-place [`Machine::restore`] and a fresh
+//!   [`Machine::from_snapshot`];
+//! * **fast-forward on ≡ off**: skipping idle cycles must leave every
+//!   observable of the run unchanged, including on timer-interrupt-noisy
+//!   configurations.
+//!
+//! Deterministic: fixed RNG seeds, `TET_SNAPSHOT_CASES` scales the
+//! per-preset program count (default 200).
+
+use proptest::test_runner::TestRng;
+use tet_check::gen::{self, layout, GenConfig};
+use tet_isa::{Inst, Reg};
+use tet_uarch::{CpuConfig, Machine, RunConfig, RunResult};
+
+const MAX_CYCLES: u64 = 5_000;
+
+fn cases_per_preset() -> usize {
+    std::env::var("TET_SNAPSHOT_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// A machine with the generator's layout mapped: data + stack pages
+/// (user) and one kernel page holding a secret.
+fn machine_for(cfg: CpuConfig, seed: u64) -> Machine {
+    let mut m = Machine::new(cfg, seed);
+    m.map_user_page(layout::DATA_PAGE);
+    m.map_user_page(layout::STACK_PAGE);
+    let kpa = m.map_kernel_page(layout::KERNEL_PAGE);
+    m.phys_mut().write_u64(kpa, 0x5ec2e7_5ec2e7);
+    m
+}
+
+fn run_cfg() -> RunConfig {
+    RunConfig {
+        max_cycles: MAX_CYCLES,
+        init_regs: vec![(Reg::Rsp, layout::STACK_TOP)],
+        ..RunConfig::default()
+    }
+}
+
+/// Every observable of a run, as one comparable value. `RunResult`
+/// carries all of them in `Debug` form (registers, flags, PMU deltas,
+/// exception records), so a string compare is a full-state compare with
+/// a readable diff on failure.
+fn fingerprint(r: &RunResult) -> String {
+    format!("{r:?}")
+}
+
+/// Presets with and without timer-interrupt noise, so the fast-forward
+/// timer bound and the snapshot of the interrupt phase both get
+/// exercised.
+fn preset_variants() -> Vec<CpuConfig> {
+    let mut out = Vec::new();
+    for cfg in CpuConfig::table2_presets() {
+        out.push(cfg.clone());
+        let mut noisy = cfg.clone();
+        noisy.timing.interrupt_period = 700;
+        out.push(noisy);
+    }
+    out
+}
+
+#[test]
+fn snapshot_restore_run_matches_live_run() {
+    let gen_cfg = GenConfig::default();
+    let cases = cases_per_preset();
+    for (pi, preset) in preset_variants().into_iter().enumerate() {
+        let mut rng = TestRng::deterministic(&format!("snapshot-equiv-{pi}"));
+        // One long-lived "polluted" machine: restores land on whatever
+        // allocations/state the previous case left behind, which is
+        // exactly the reuse pattern trial loops hit.
+        let mut polluted = machine_for(preset.clone(), 0xbad + pi as u64);
+        for case in 0..cases {
+            let insts = gen::gen_program(&mut rng, &gen_cfg);
+            let program = gen::to_program(&insts);
+            let seed = (pi as u64) << 32 | case as u64;
+
+            let mut live = machine_for(preset.clone(), seed);
+            // Warm-up run: BPU/DSB/TLB/cache/PMU state is non-trivial at
+            // the snapshot point.
+            live.run(&program, &run_cfg());
+            let snap = live.snapshot();
+            let want = fingerprint(&live.run(&program, &run_cfg()));
+
+            // In-place restore into the polluted machine.
+            polluted.restore(&snap);
+            let got = fingerprint(&polluted.run(&program, &run_cfg()));
+            assert_eq!(
+                got,
+                want,
+                "restore-then-run diverged from live run \
+                 (preset {pi} case {case}):\n{}",
+                gen::render(&insts)
+            );
+
+            // Fresh machine from the same snapshot.
+            if case % 16 == 0 {
+                let mut fresh = Machine::from_snapshot(&snap);
+                let got = fingerprint(&fresh.run(&program, &run_cfg()));
+                assert_eq!(got, want, "from_snapshot run diverged (case {case})");
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_forward_is_cycle_exact() {
+    let gen_cfg = GenConfig::default();
+    let cases = cases_per_preset();
+    let mut total_skipped = 0u64;
+    for (pi, preset) in preset_variants().into_iter().enumerate() {
+        let mut rng = TestRng::deterministic(&format!("ff-differential-{pi}"));
+        for case in 0..cases {
+            let insts = gen::gen_program(&mut rng, &gen_cfg);
+            let program = gen::to_program(&insts);
+            let seed = (pi as u64) << 32 | case as u64;
+
+            let mut slow = machine_for(preset.clone(), seed);
+            slow.set_fast_forward(false);
+            let want = fingerprint(&slow.run(&program, &run_cfg()));
+
+            let mut fast = machine_for(preset.clone(), seed);
+            fast.set_fast_forward(true);
+            let got = fingerprint(&fast.run(&program, &run_cfg()));
+            assert_eq!(
+                got,
+                want,
+                "fast-forward changed an observable \
+                 (preset {pi} case {case}):\n{}",
+                gen::render(&insts)
+            );
+            total_skipped += fast.stats().ff_skipped_cycles;
+        }
+    }
+    assert!(
+        total_skipped > 0,
+        "fast-forward never engaged across the whole sweep — \
+         the optimization is silently dead"
+    );
+}
+
+/// Restoring must also reproduce *memory* state exactly: a run that
+/// stores to the data page, snapshotted and restored elsewhere, sees
+/// the same bytes.
+#[test]
+fn restore_carries_physical_memory_and_mappings() {
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let mut m = machine_for(cfg.clone(), 42);
+    let insts = vec![
+        Inst::MovImm {
+            dst: Reg::Rax,
+            imm: 0x77,
+        },
+        Inst::Store {
+            src: Reg::Rax,
+            addr: tet_isa::Addr::abs(layout::DATA_PAGE + 0x40),
+        },
+        Inst::Halt,
+    ];
+    let program = gen::to_program(&insts);
+    m.run(&program, &run_cfg());
+    let snap = m.snapshot();
+
+    // Pollute a victim machine's memory at the same virtual address.
+    let mut victim = machine_for(cfg, 43);
+    let pa = victim.aspace().translate(layout::DATA_PAGE + 0x40).unwrap();
+    victim.phys_mut().write_u64(pa, 0xdead_beef);
+    victim.restore(&snap);
+    let pa = victim.aspace().translate(layout::DATA_PAGE + 0x40).unwrap();
+    assert_eq!(victim.phys().read_u64(pa), 0x77);
+    assert_eq!(victim.stats().snapshot_restores, 1);
+}

@@ -7,7 +7,19 @@
 
 use crate::analysis::{bytes_per_second, error_rate, ArgmaxDecoder, Polarity};
 use crate::gadget::{TetGadget, TetGadgetSpec};
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, SHARED_PAGE};
+use tet_uarch::{Machine, MachineSnapshot};
+
+/// Process-wide default for snapshot-forked trials: `TET_SNAPSHOT=0`
+/// turns them off (every trial then replays warm-up sequentially).
+fn snapshot_default() -> bool {
+    static SNAP: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SNAP.get_or_init(|| {
+        std::env::var("TET_SNAPSHOT")
+            .map(|v| v != "0")
+            .unwrap_or(true)
+    })
+}
 
 /// Quality/throughput report of a covert-channel transmission.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,18 +64,40 @@ impl ChannelReport {
 pub struct TetCovertChannel {
     /// Argmax batches per byte (more batches: slower, more accurate).
     pub batches: u32,
+    /// Fork each byte's trials from a shared warmed-up
+    /// [`MachineSnapshot`] instead of warming up per byte. `None`
+    /// follows the process default (`TET_SNAPSHOT`, on unless `0`);
+    /// tests pin the mode explicitly via
+    /// [`TetCovertChannel::with_snapshot_trials`].
+    pub snapshot_trials: Option<bool>,
 }
 
 impl Default for TetCovertChannel {
     fn default() -> Self {
-        TetCovertChannel { batches: 3 }
+        TetCovertChannel {
+            batches: 3,
+            snapshot_trials: None,
+        }
     }
 }
 
 impl TetCovertChannel {
     /// Creates a channel with the given batch count.
     pub fn new(batches: u32) -> Self {
-        TetCovertChannel { batches }
+        TetCovertChannel {
+            batches,
+            snapshot_trials: None,
+        }
+    }
+
+    /// Pins snapshot-forked trials on or off, overriding `TET_SNAPSHOT`.
+    pub fn with_snapshot_trials(mut self, on: bool) -> Self {
+        self.snapshot_trials = Some(on);
+        self
+    }
+
+    fn snapshot_mode(&self) -> bool {
+        self.snapshot_trials.unwrap_or_else(snapshot_default)
     }
 
     /// Receives one byte (the sender must have written it already).
@@ -86,9 +120,78 @@ impl TetCovertChannel {
         (out.value, cycles)
     }
 
+    /// Forked-trial core shared by [`TetCovertChannel::transmit`] and
+    /// [`TetCovertChannel::transmit_chunked`]: one warm-up probe primes
+    /// code pages, predictors and caches; every byte then restores the
+    /// warmed snapshot, re-seeds the interrupt phase from its **global
+    /// byte index**, writes its value into the shared page and decodes.
+    /// Each byte's result depends only on the snapshot and its index —
+    /// never on which worker ran it or what ran before — so the output
+    /// (bytes *and* cycles) is identical at any thread count.
+    fn transmit_from_snapshot(
+        &self,
+        machine: &Machine,
+        payload: &[u8],
+        threads: usize,
+    ) -> (Vec<u8>, u64) {
+        if payload.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let cfg = machine.config().clone();
+        let gadget = TetGadget::build(TetGadgetSpec::covert_channel(SHARED_PAGE, &cfg));
+        let mut warm = machine.clone();
+        let mut cycles = 0u64;
+        // The warm-up run spends simulated receiver time like any other,
+        // so it counts toward the cycle total — but only once for the
+        // whole payload, not once per byte.
+        if let Some((_, c)) = gadget.measure_detailed(&mut warm, 0) {
+            cycles += c;
+        }
+        let snap: MachineSnapshot = warm.snapshot();
+        let decoder = ArgmaxDecoder::new(self.batches, Polarity::MaxWins);
+        let per_byte: Vec<(u8, u64)> = tet_par::run_indexed_with(
+            threads,
+            payload.len(),
+            || Machine::from_snapshot(&snap),
+            |m, i| {
+                m.restore(&snap);
+                m.cpu_mut().reseed_interrupt_phase(i as u64);
+                let pa = m
+                    .aspace()
+                    .translate(SHARED_PAGE)
+                    .expect("shared page is mapped");
+                m.phys_mut().write_u8(pa, payload[i]);
+                let mut cyc = 0u64;
+                let out = decoder.decode(|test, _| {
+                    let (tote, c) = gadget.measure_detailed(m, test as u64)?;
+                    cyc += c;
+                    Some(tote)
+                });
+                (out.value, cyc)
+            },
+        );
+        let mut received = Vec::with_capacity(payload.len());
+        for (b, c) in per_byte {
+            received.push(b);
+            cycles += c;
+        }
+        (received, cycles)
+    }
+
     /// Transmits `payload` through the channel and reports quality.
+    ///
+    /// In snapshot mode (the default, see
+    /// [`TetCovertChannel::snapshot_trials`]) the receiver warms up
+    /// once, snapshots the machine and forks every byte's trials from
+    /// the snapshot; `sc` itself is left untouched. With snapshots off
+    /// it falls back to the sequential per-byte warm-up path, mutating
+    /// `sc` as it goes.
     pub fn transmit(&self, sc: &mut Scenario, payload: &[u8]) -> ChannelReport {
         let freq = sc.machine.config().freq_ghz;
+        if self.snapshot_mode() {
+            let (received, cycles) = self.transmit_from_snapshot(&sc.machine, payload, 1);
+            return ChannelReport::new(payload, received, cycles, freq);
+        }
         let mut received = Vec::with_capacity(payload.len());
         let mut cycles = 0u64;
         for &b in payload {
@@ -110,15 +213,26 @@ impl TetCovertChannel {
     /// Transmits `payload` on up to `threads` worker threads and reports
     /// quality.
     ///
-    /// The payload is split into fixed [`Self::CHUNK_BYTES`]-byte chunks;
-    /// each chunk runs on a **fresh clone** of `sc`, so chunks share no
-    /// µarch state and the result is byte-identical for any thread count
-    /// (chunk boundaries do reset the receiver's warm-up state, so the
-    /// decode trajectory differs from the single-scenario [`Self::transmit`]
-    /// — deliberately: that independence is what makes the fan-out sound).
-    /// Reported `cycles` is the total simulated receive cost across chunks.
+    /// In snapshot mode (the default) every byte forks from one shared
+    /// warmed-up [`MachineSnapshot`] — each worker holds a private
+    /// machine rebuilt from the shared snapshot per byte — so the
+    /// decode trajectory is **identical to [`Self::transmit`]**, bytes
+    /// and cycles, at any thread count: both run the exact same
+    /// per-byte procedure from the exact same snapshot.
+    ///
+    /// With snapshots off it falls back to the legacy decomposition:
+    /// fixed [`Self::CHUNK_BYTES`]-byte chunks, each on a fresh clone
+    /// of `sc` (chunk boundaries then reset the receiver's warm-up
+    /// state, so the trajectory differs from `transmit` — but is still
+    /// byte-identical across thread counts).
+    ///
+    /// Reported `cycles` is the total simulated receive cost.
     pub fn transmit_chunked(&self, sc: &Scenario, payload: &[u8], threads: usize) -> ChannelReport {
         let freq = sc.machine.config().freq_ghz;
+        if self.snapshot_mode() {
+            let (received, cycles) = self.transmit_from_snapshot(&sc.machine, payload, threads);
+            return ChannelReport::new(payload, received, cycles, freq);
+        }
         let bounds = tet_par::chunk_bounds(payload.len(), Self::CHUNK_BYTES);
         let parts: Vec<(Vec<u8>, u64)> = tet_par::par_map(threads, &bounds, |&(start, end)| {
             let mut local = sc.clone();
@@ -271,13 +385,37 @@ mod tests {
     }
 
     #[test]
-    fn chunked_transmit_decodes_and_matches_across_thread_counts() {
+    fn chunked_transmit_equals_transmit_at_any_thread_count() {
+        // Snapshot mode: every byte forks from the same warmed-up
+        // snapshot, so the chunked/parallel path runs the *exact* same
+        // per-byte trials as the serial `transmit` — the reports must be
+        // equal, cycles included.
+        let mut sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        let payload: Vec<u8> = (0..40u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
+        let ch = TetCovertChannel::new(2).with_snapshot_trials(true);
+        let serial = ch.transmit(&mut sc, &payload);
+        assert_eq!(
+            serial.received, payload,
+            "noise-free channel decodes exactly"
+        );
+        for threads in [1, 2, 8] {
+            let par = ch.transmit_chunked(&sc, &payload, threads);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_transmit_matches_across_thread_counts_without_snapshots() {
+        // Legacy mode (snapshots pinned off): chunk-per-clone
+        // decomposition, still byte-identical across thread counts.
         let sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
         // Long enough for two chunks (CHUNK_BYTES = 32).
         let payload: Vec<u8> = (0..40u8)
             .map(|i| i.wrapping_mul(37).wrapping_add(11))
             .collect();
-        let ch = TetCovertChannel::new(2);
+        let ch = TetCovertChannel::new(2).with_snapshot_trials(false);
         let serial = ch.transmit_chunked(&sc, &payload, 1);
         assert_eq!(
             serial.received, payload,
@@ -287,6 +425,29 @@ mod tests {
             let par = ch.transmit_chunked(&sc, &payload, threads);
             assert_eq!(par, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn snapshot_and_sequential_transmit_decode_the_same_payload() {
+        // The two modes take different trial trajectories (shared vs
+        // per-byte warm-up) but on a noise-free channel both must decode
+        // the payload exactly.
+        let payload: Vec<u8> = (0..16u8).map(|i| i.wrapping_mul(83) ^ 0x5a).collect();
+        let mk = || Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
+        let snap = TetCovertChannel::new(2)
+            .with_snapshot_trials(true)
+            .transmit(&mut mk(), &payload);
+        let seq = TetCovertChannel::new(2)
+            .with_snapshot_trials(false)
+            .transmit(&mut mk(), &payload);
+        assert_eq!(snap.received, payload);
+        assert_eq!(seq.received, payload);
+        assert!(
+            snap.cycles < seq.cycles,
+            "shared warm-up must cost fewer simulated cycles ({} vs {})",
+            snap.cycles,
+            seq.cycles
+        );
     }
 
     #[test]

@@ -61,6 +61,43 @@ fn status(ok: bool) -> AttackStatus {
 /// `attack` argument of [`run_table2_cell`].
 pub const TABLE2_ATTACKS: [&str; 5] = ["cc", "md", "zbl", "rsb", "kaslr"];
 
+/// Simulator-cost counters of one Table 2 cell (or a sum over cells):
+/// the raw data behind `table2.ns_per_trial` and the fast-forward /
+/// snapshot scalars in `BENCH_core.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// Simulator runs (trials) executed.
+    pub runs: u64,
+    /// Simulated cycles across those runs.
+    pub sim_cycles: u64,
+    /// Cycles covered by event-driven fast-forward instead of stepping.
+    pub ff_skipped_cycles: u64,
+    /// Fast-forward sprints taken.
+    pub ff_sprints: u64,
+    /// Machine-snapshot restores applied.
+    pub snapshot_restores: u64,
+}
+
+impl CellStats {
+    /// Adds one machine's lifetime counters into this sum.
+    pub fn absorb(&mut self, s: tet_uarch::MachineStats) {
+        self.runs += s.runs;
+        self.sim_cycles += s.sim_cycles;
+        self.ff_skipped_cycles += s.ff_skipped_cycles;
+        self.ff_sprints += s.ff_sprints;
+        self.snapshot_restores += s.snapshot_restores;
+    }
+
+    /// Adds another sum into this one.
+    pub fn merge(&mut self, other: &CellStats) {
+        self.runs += other.runs;
+        self.sim_cycles += other.sim_cycles;
+        self.ff_skipped_cycles += other.ff_skipped_cycles;
+        self.ff_sprints += other.ff_sprints;
+        self.snapshot_restores += other.snapshot_restores;
+    }
+}
+
 /// Runs one Table 2 cell: attack column `attack` (index into
 /// [`TABLE2_ATTACKS`]) on one preset, from a fresh scenario.
 ///
@@ -68,16 +105,32 @@ pub const TABLE2_ATTACKS: [&str; 5] = ["cc", "md", "zbl", "rsb", "kaslr"];
 /// state with any other cell, which is what makes the matrix an
 /// embarrassingly-parallel fan-out (see [`run_table2_matrix`]).
 pub fn run_table2_cell(cfg: &CpuConfig, seed: u64, attack: usize) -> AttackStatus {
+    run_table2_cell_detailed(cfg, seed, attack).0
+}
+
+/// [`run_table2_cell`] plus the cell's simulator-cost counters.
+pub fn run_table2_cell_detailed(
+    cfg: &CpuConfig,
+    seed: u64,
+    attack: usize,
+) -> (AttackStatus, CellStats) {
     let opts = ScenarioOptions {
         seed,
         ..ScenarioOptions::default()
     };
     let mut sc = Scenario::new(cfg.clone(), &opts);
+    let status = run_attack_on(&mut sc, attack);
+    let mut stats = CellStats::default();
+    stats.absorb(sc.machine.stats());
+    (status, stats)
+}
+
+fn run_attack_on(sc: &mut Scenario, attack: usize) -> AttackStatus {
     match attack {
         // TET-CC: one byte through the covert channel.
         0 => {
             sc.sender_write(0xa5);
-            let (got, _) = TetCovertChannel::new(2).receive_byte(&mut sc);
+            let (got, _) = TetCovertChannel::new(2).receive_byte(sc);
             status(got == 0xa5)
         }
         // TET-MD: four kernel bytes.
@@ -90,7 +143,7 @@ pub fn run_table2_cell(cfg: &CpuConfig, seed: u64, attack: usize) -> AttackStatu
             for (i, b) in b"LFB!".iter().enumerate() {
                 sc.set_victim_byte(i as u64, *b);
             }
-            let r = TetZombieload::default().sample(&mut sc, 4);
+            let r = TetZombieload::default().sample(sc, 4);
             status(r.recovered == b"LFB!")
         }
         // TET-RSB: two in-process bytes through the return stack buffer.
@@ -140,16 +193,32 @@ pub fn run_table2_row(cfg: &CpuConfig, seed: u64) -> Table2Row {
 /// simulator runs fanned out via [`tet_par::run_indexed`], so the result
 /// is byte-identical to the serial matrix for any thread count.
 pub fn run_table2_matrix(seed: u64, threads: usize) -> Vec<Table2Row> {
+    run_table2_matrix_detailed(seed, threads).0
+}
+
+/// [`run_table2_matrix`] plus the summed simulator-cost counters of all
+/// cells — what `bench_core` divides wall time by to get
+/// `table2.ns_per_trial`.
+pub fn run_table2_matrix_detailed(seed: u64, threads: usize) -> (Vec<Table2Row>, CellStats) {
     let presets = CpuConfig::table2_presets();
     let n_attacks = TABLE2_ATTACKS.len();
     let cells = tet_par::run_indexed(threads, presets.len() * n_attacks, |i| {
-        run_table2_cell(&presets[i / n_attacks], seed, i % n_attacks)
+        run_table2_cell_detailed(&presets[i / n_attacks], seed, i % n_attacks)
     });
-    presets
+    let mut total = CellStats::default();
+    let statuses: Vec<AttackStatus> = cells
+        .iter()
+        .map(|(st, cs)| {
+            total.merge(cs);
+            *st
+        })
+        .collect();
+    let rows = presets
         .iter()
         .enumerate()
-        .map(|(p, cfg)| row_from_cells(cfg, &cells[p * n_attacks..(p + 1) * n_attacks]))
-        .collect()
+        .map(|(p, cfg)| row_from_cells(cfg, &statuses[p * n_attacks..(p + 1) * n_attacks]))
+        .collect();
+    (rows, total)
 }
 
 /// The paper's reported Table 2 row for a preset (`None` marks the

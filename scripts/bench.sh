@@ -6,7 +6,8 @@
 #
 # Extra args are forwarded to bench_core; in particular
 # `--baseline PATH` fails the run when sim_cycles_per_sec drops below
-# 70% of a previously committed report (CI regression gate).
+# 70% of a previously committed report, or table2.ns_per_trial rises
+# past 1/0.7x of it (CI regression gate).
 #
 # Writes BENCH_core.json at the repository root (schema-v2 RunReport JSON):
 # fig1 gadget ns/iter, decode-sweep ns/iter, and Table 2 matrix wall time
