@@ -1,0 +1,331 @@
+//! The campaign flight recorder: periodic mid-run telemetry.
+//!
+//! A [`FlightRecorder`] is shared (behind an `Arc`) between the workers
+//! of a long campaign and whoever wants to watch it. Workers push cheap
+//! atomic deltas per finished work item (trials, simulated cycles,
+//! fast-forward coverage, PMU-derived memory/branch counts); the watcher
+//! calls [`FlightRecorder::maybe_sample`] which, at most once per
+//! interval, folds the counters into a [`FlightSample`] — trials/sec,
+//! ns/trial, ff-skip ratio, cache/TLB/BPU hit rates and an ETA.
+//!
+//! Samples accumulate in memory and, when `TET_FLIGHT=<path>` is set,
+//! are appended to that file as JSON Lines on [`FlightRecorder::finish`]
+//! — the post-hoc analysis feed, and the telemetry channel a future
+//! `tet-serve` will stream to clients. Everything here is host-side
+//! observation only; simulated results never depend on it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tet_obs::json::Value;
+use tet_obs::MetricsSection;
+
+/// One periodic telemetry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightSample {
+    /// Milliseconds since the campaign started.
+    pub t_ms: u64,
+    /// Work items finished so far.
+    pub done: u64,
+    /// Total work items expected.
+    pub total: u64,
+    /// Simulator trials finished so far.
+    pub trials: u64,
+    /// Trials per wall-clock second (whole campaign so far).
+    pub trials_per_sec: f64,
+    /// Wall nanoseconds per trial (whole campaign so far).
+    pub ns_per_trial: f64,
+    /// Fraction of simulated cycles covered by fast-forward.
+    pub ff_skip_ratio: f64,
+    /// L1 data-cache load hit rate (0..1; 0 when no loads yet).
+    pub l1_hit_rate: f64,
+    /// DTLB load hit rate (1 - walks/loads; 0 when no loads yet).
+    pub dtlb_hit_rate: f64,
+    /// Branch predictor hit rate (0..1; 0 when no branches yet).
+    pub bpu_hit_rate: f64,
+    /// Estimated seconds to completion (0 when done or unknowable).
+    pub eta_s: f64,
+}
+
+impl FlightSample {
+    /// Compact single-line JSON (the JSONL record format).
+    pub fn to_jsonl(&self) -> String {
+        let mut o = Value::obj();
+        o.set("t_ms", Value::from(self.t_ms));
+        o.set("done", Value::from(self.done));
+        o.set("total", Value::from(self.total));
+        o.set("trials", Value::from(self.trials));
+        o.set("trials_per_sec", Value::Num(self.trials_per_sec));
+        o.set("ns_per_trial", Value::Num(self.ns_per_trial));
+        o.set("ff_skip_ratio", Value::Num(self.ff_skip_ratio));
+        o.set("l1_hit_rate", Value::Num(self.l1_hit_rate));
+        o.set("dtlb_hit_rate", Value::Num(self.dtlb_hit_rate));
+        o.set("bpu_hit_rate", Value::Num(self.bpu_hit_rate));
+        o.set("eta_s", Value::Num(self.eta_s));
+        o.to_json()
+    }
+}
+
+/// Shared campaign telemetry accumulator. All methods are `&self` and
+/// thread-safe; share via `Arc`.
+pub struct FlightRecorder {
+    started: Instant,
+    total: u64,
+    interval_ms: u64,
+    done: AtomicU64,
+    trials: AtomicU64,
+    sim_cycles: AtomicU64,
+    ff_skipped: AtomicU64,
+    l1_hits: AtomicU64,
+    l1_misses: AtomicU64,
+    dtlb_walks: AtomicU64,
+    branches: AtomicU64,
+    br_misses: AtomicU64,
+    /// Millisecond timestamp of the last taken sample (sampling gate).
+    last_sample_ms: AtomicU64,
+    samples: Mutex<Vec<FlightSample>>,
+}
+
+/// Default sampling interval.
+pub const DEFAULT_INTERVAL_MS: u64 = 250;
+
+impl FlightRecorder {
+    /// Creates a recorder for a campaign of `total` work items.
+    pub fn new(total: u64) -> FlightRecorder {
+        FlightRecorder::with_interval(total, DEFAULT_INTERVAL_MS)
+    }
+
+    /// Creates a recorder sampling at most once per `interval_ms`.
+    pub fn with_interval(total: u64, interval_ms: u64) -> FlightRecorder {
+        FlightRecorder {
+            started: Instant::now(),
+            total,
+            interval_ms,
+            done: AtomicU64::new(0),
+            trials: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
+            ff_skipped: AtomicU64::new(0),
+            l1_hits: AtomicU64::new(0),
+            l1_misses: AtomicU64::new(0),
+            dtlb_walks: AtomicU64::new(0),
+            branches: AtomicU64::new(0),
+            br_misses: AtomicU64::new(0),
+            last_sample_ms: AtomicU64::new(0),
+            samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Marks one work item finished, with its simulator cost counters.
+    pub fn record_work(&self, trials: u64, sim_cycles: u64, ff_skipped_cycles: u64) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        self.trials.fetch_add(trials, Ordering::Relaxed);
+        self.sim_cycles.fetch_add(sim_cycles, Ordering::Relaxed);
+        self.ff_skipped
+            .fetch_add(ff_skipped_cycles, Ordering::Relaxed);
+    }
+
+    /// Adds PMU-derived memory/branch event counts for hit-rate gauges.
+    pub fn record_events(
+        &self,
+        l1_hits: u64,
+        l1_misses: u64,
+        dtlb_walks: u64,
+        branches: u64,
+        br_misses: u64,
+    ) {
+        self.l1_hits.fetch_add(l1_hits, Ordering::Relaxed);
+        self.l1_misses.fetch_add(l1_misses, Ordering::Relaxed);
+        self.dtlb_walks.fetch_add(dtlb_walks, Ordering::Relaxed);
+        self.branches.fetch_add(branches, Ordering::Relaxed);
+        self.br_misses.fetch_add(br_misses, Ordering::Relaxed);
+    }
+
+    /// Computes a sample right now (does not store it).
+    pub fn sample_now(&self) -> FlightSample {
+        let t_ms = self.started.elapsed().as_millis() as u64;
+        let secs = (t_ms as f64 / 1e3).max(1e-9);
+        let done = self.done.load(Ordering::Relaxed);
+        let trials = self.trials.load(Ordering::Relaxed);
+        let sim = self.sim_cycles.load(Ordering::Relaxed);
+        let ff = self.ff_skipped.load(Ordering::Relaxed);
+        let l1h = self.l1_hits.load(Ordering::Relaxed);
+        let l1m = self.l1_misses.load(Ordering::Relaxed);
+        let loads = l1h + l1m;
+        let walks = self.dtlb_walks.load(Ordering::Relaxed);
+        let br = self.branches.load(Ordering::Relaxed);
+        let brm = self.br_misses.load(Ordering::Relaxed);
+        let rate = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let trials_per_sec = trials as f64 / secs;
+        let eta_s = if done == 0 || done >= self.total {
+            0.0
+        } else {
+            secs * (self.total - done) as f64 / done as f64
+        };
+        FlightSample {
+            t_ms,
+            done,
+            total: self.total,
+            trials,
+            trials_per_sec,
+            ns_per_trial: if trials == 0 {
+                0.0
+            } else {
+                secs * 1e9 / trials as f64
+            },
+            ff_skip_ratio: rate(ff, sim),
+            l1_hit_rate: rate(l1h, loads),
+            dtlb_hit_rate: if loads == 0 {
+                0.0
+            } else {
+                1.0 - rate(walks, loads)
+            },
+            bpu_hit_rate: if br == 0 { 0.0 } else { 1.0 - rate(brm, br) },
+            eta_s,
+        }
+    }
+
+    /// Takes and stores a sample if at least one interval has elapsed
+    /// since the last; returns it for live display. Cheap when it is not
+    /// time yet (one atomic load + compare).
+    pub fn maybe_sample(&self) -> Option<FlightSample> {
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        let last = self.last_sample_ms.load(Ordering::Relaxed);
+        if now_ms.saturating_sub(last) < self.interval_ms {
+            return None;
+        }
+        // One sampler wins the race; losers skip.
+        if self
+            .last_sample_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        let s = self.sample_now();
+        self.samples.lock().unwrap().push(s.clone());
+        Some(s)
+    }
+
+    /// Takes one final sample, appends all samples as JSON Lines to the
+    /// `TET_FLIGHT` path (if set), and returns them.
+    pub fn finish(&self) -> Vec<FlightSample> {
+        let last = self.sample_now();
+        let mut samples = self.samples.lock().unwrap();
+        samples.push(last);
+        if let Some(path) = std::env::var_os("TET_FLIGHT") {
+            let mut text = String::new();
+            for s in samples.iter() {
+                text.push_str(&s.to_jsonl());
+                text.push('\n');
+            }
+            let append = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, text.as_bytes()));
+            if let Err(e) = append {
+                eprintln!("warning: could not append flight log {path:?}: {e}");
+            }
+        }
+        samples.clone()
+    }
+
+    /// Exports the latest state as flight gauges in a metrics section.
+    pub fn fill_metrics(&self, m: &mut MetricsSection) {
+        let s = self.sample_now();
+        m.gauges
+            .insert("flight.trials_per_sec".into(), s.trials_per_sec);
+        m.gauges
+            .insert("flight.ns_per_trial".into(), s.ns_per_trial);
+        m.gauges
+            .insert("flight.ff_skip_ratio".into(), s.ff_skip_ratio);
+        m.gauges.insert("flight.l1_hit_rate".into(), s.l1_hit_rate);
+        m.gauges
+            .insert("flight.dtlb_hit_rate".into(), s.dtlb_hit_rate);
+        m.gauges
+            .insert("flight.bpu_hit_rate".into(), s.bpu_hit_rate);
+        m.counters.insert("flight.trials".into(), s.trials);
+        m.counters.insert("flight.items_done".into(), s.done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_eta_are_nan_free() {
+        let fr = FlightRecorder::new(10);
+        // Zero everything: all rates defined as 0.
+        let s = fr.sample_now();
+        assert_eq!(s.ff_skip_ratio, 0.0);
+        assert_eq!(s.l1_hit_rate, 0.0);
+        assert_eq!(s.bpu_hit_rate, 0.0);
+        assert_eq!(s.ns_per_trial, 0.0);
+        assert_eq!(s.eta_s, 0.0);
+        fr.record_work(100, 1000, 250);
+        fr.record_events(90, 10, 5, 50, 2);
+        let s = fr.sample_now();
+        assert_eq!(s.done, 1);
+        assert_eq!(s.trials, 100);
+        assert!((s.ff_skip_ratio - 0.25).abs() < 1e-12);
+        assert!((s.l1_hit_rate - 0.9).abs() < 1e-12);
+        assert!((s.dtlb_hit_rate - 0.95).abs() < 1e-12);
+        assert!((s.bpu_hit_rate - 0.96).abs() < 1e-12);
+        assert!(s.eta_s > 0.0, "9 of 10 items left");
+        for v in [
+            s.trials_per_sec,
+            s.ns_per_trial,
+            s.ff_skip_ratio,
+            s.l1_hit_rate,
+            s.dtlb_hit_rate,
+            s.bpu_hit_rate,
+            s.eta_s,
+        ] {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn maybe_sample_respects_interval() {
+        // Huge interval: only the first call samples.
+        let fr = FlightRecorder::with_interval(4, u64::MAX / 2);
+        fr.record_work(1, 10, 0);
+        // The gate compares against last=0, so the very first call only
+        // fires once the interval passed — with a huge interval, never.
+        assert!(fr.maybe_sample().is_none());
+        // Zero interval: every call samples.
+        let fr = FlightRecorder::with_interval(4, 0);
+        assert!(fr.maybe_sample().is_some());
+        assert!(fr.maybe_sample().is_some());
+        assert_eq!(fr.finish().len(), 3, "2 periodic + 1 final");
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_json_layer() {
+        let fr = FlightRecorder::new(2);
+        fr.record_work(5, 100, 20);
+        let line = fr.sample_now().to_jsonl();
+        assert!(!line.contains('\n'));
+        let v = tet_obs::json::parse(&line).expect("valid JSON");
+        assert_eq!(v.get("trials").and_then(|x| x.as_u64()), Some(5));
+        assert_eq!(v.get("total").and_then(|x| x.as_u64()), Some(2));
+    }
+
+    #[test]
+    fn fill_metrics_exports_gauges() {
+        let fr = FlightRecorder::new(1);
+        fr.record_work(10, 100, 50);
+        let mut m = MetricsSection::default();
+        fr.fill_metrics(&mut m);
+        assert_eq!(m.counters["flight.trials"], 10);
+        assert_eq!(m.gauges["flight.ff_skip_ratio"], 0.5);
+    }
+}

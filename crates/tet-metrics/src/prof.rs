@@ -1,0 +1,324 @@
+//! Sampled host-time attribution for the simulator pipeline.
+//!
+//! Timing every pipeline stage of every simulated cycle would dwarf the
+//! work being measured (`Instant::now()` costs ~20-25 ns against a
+//! ~100 ns `Cpu::step`). Instead the CPU times one full step in every
+//! `sample_every` (default 128, `TET_PROF_SAMPLE=N` overrides) and the
+//! profiler extrapolates: reported nanoseconds are
+//! `measured_ns × sample_every`. Whole runs and snapshot restores are
+//! rare enough to always time exactly; fast-forward attempts are
+//! per-step-frequent and sample like the pipeline stages.
+//!
+//! The profiler is host-only state: it never influences simulated
+//! execution, so outputs remain byte-identical with profiling on or off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tet_obs::MetricsSection;
+
+/// A profiled pipeline stage (one collapsed-stack frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Instruction fetch + branch prediction.
+    Fetch,
+    /// Rename/allocate into the ROB.
+    Rename,
+    /// Scheduler wakeup/select (issue), minus execution itself.
+    Issue,
+    /// Non-memory µop execution.
+    Execute,
+    /// Load/store µop execution (cache, TLB, walker).
+    Memory,
+    /// Retirement and branch resolution.
+    Retire,
+    /// Event-driven fast-forward sprints.
+    FastForward,
+    /// `Machine::restore` snapshot restores.
+    SnapshotRestore,
+    /// Whole `Machine::run` invocations (the parent frame).
+    Run,
+    /// Anything not attributed above (run overhead minus stage sum).
+    Other,
+}
+
+/// All stages, in display order.
+pub const STAGES: [Stage; 10] = [
+    Stage::Fetch,
+    Stage::Rename,
+    Stage::Issue,
+    Stage::Execute,
+    Stage::Memory,
+    Stage::Retire,
+    Stage::FastForward,
+    Stage::SnapshotRestore,
+    Stage::Run,
+    Stage::Other,
+];
+
+const N_STAGES: usize = STAGES.len();
+
+impl Stage {
+    /// Short lowercase label (also the folded-stack leaf frame).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Fetch => "fetch",
+            Stage::Rename => "rename",
+            Stage::Issue => "issue",
+            Stage::Execute => "execute",
+            Stage::Memory => "memory",
+            Stage::Retire => "retire",
+            Stage::FastForward => "fast_forward",
+            Stage::SnapshotRestore => "snapshot_restore",
+            Stage::Run => "run",
+            Stage::Other => "other",
+        }
+    }
+
+    /// The collapsed-stack line prefix for this stage (flamegraph
+    /// `a;b;c` frames, root first).
+    fn folded_stack(self) -> String {
+        match self {
+            Stage::Run => "machine;run".to_string(),
+            Stage::SnapshotRestore => "machine;snapshot_restore".to_string(),
+            s => format!("machine;run;{}", s.label()),
+        }
+    }
+}
+
+struct ProfCore {
+    /// Measured (not extrapolated) nanoseconds per stage.
+    ns: [AtomicU64; N_STAGES],
+    /// Timed samples per stage.
+    hits: [AtomicU64; N_STAGES],
+    sample_every: u32,
+}
+
+/// The owner side of a profiler: create one per campaign, hand
+/// [`HostProfiler::handle`] clones to each machine, then read the
+/// estimate back out.
+pub struct HostProfiler {
+    core: Arc<ProfCore>,
+}
+
+/// Default 1-in-N step sampling rate.
+pub const DEFAULT_SAMPLE_EVERY: u32 = 128;
+
+/// `TET_PROF_SAMPLE` override, clamped to at least 1.
+pub fn sample_every_from_env() -> u32 {
+    std::env::var("TET_PROF_SAMPLE")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(DEFAULT_SAMPLE_EVERY)
+}
+
+impl HostProfiler {
+    /// Creates a profiler timing one step in `sample_every`.
+    pub fn new(sample_every: u32) -> HostProfiler {
+        HostProfiler {
+            core: Arc::new(ProfCore {
+                ns: std::array::from_fn(|_| AtomicU64::new(0)),
+                hits: std::array::from_fn(|_| AtomicU64::new(0)),
+                sample_every: sample_every.max(1),
+            }),
+        }
+    }
+
+    /// Creates a profiler only when `TET_PROF=1` is set, honoring
+    /// `TET_PROF_SAMPLE`.
+    pub fn from_env() -> Option<HostProfiler> {
+        std::env::var_os("TET_PROF")
+            .is_some_and(|v| v == "1")
+            .then(|| HostProfiler::new(sample_every_from_env()))
+    }
+
+    /// A write handle for one producer (all handles share the totals).
+    pub fn handle(&self) -> ProfHandle {
+        ProfHandle {
+            core: Some(Arc::clone(&self.core)),
+        }
+    }
+
+    /// Extrapolated wall-nanoseconds attributed to each stage
+    /// (`measured × sample_every`; always-on stages are exact).
+    pub fn estimate_ns(&self) -> Vec<(Stage, u64)> {
+        STAGES.iter().map(|&s| (s, self.stage_ns(s))).collect()
+    }
+
+    fn stage_ns(&self, s: Stage) -> u64 {
+        let raw = self.core.ns[s as usize].load(Ordering::Relaxed);
+        match s {
+            // Rare and always timed: no extrapolation.
+            Stage::SnapshotRestore | Stage::Run => raw,
+            _ => raw.saturating_mul(self.core.sample_every as u64),
+        }
+    }
+
+    /// Timed samples per stage.
+    pub fn hits(&self, s: Stage) -> u64 {
+        self.core.hits[s as usize].load(Ordering::Relaxed)
+    }
+
+    /// The configured 1-in-N sampling rate.
+    pub fn sample_every(&self) -> u32 {
+        self.core.sample_every
+    }
+
+    /// Collapsed-stack ("folded") export: one `frames count` line per
+    /// stage with a nonzero estimate, directly consumable by
+    /// `flamegraph.pl` / `inferno-flamegraph` (counts are nanoseconds).
+    /// The `other` pseudo-stage absorbs run time not claimed by a
+    /// pipeline stage, so the flame widths add up.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        let run_ns = self.stage_ns(Stage::Run);
+        let stage_sum: u64 = STAGES
+            .iter()
+            .filter(|&&s| !matches!(s, Stage::Run | Stage::SnapshotRestore | Stage::Other))
+            .map(|&s| self.stage_ns(s))
+            .sum();
+        for &s in &STAGES {
+            let ns = match s {
+                // `run` is the parent frame: its self time is whatever
+                // the children don't account for.
+                Stage::Run => continue,
+                Stage::Other => run_ns.saturating_sub(stage_sum),
+                _ => self.stage_ns(s),
+            };
+            if ns > 0 {
+                out.push_str(&s.folded_stack());
+                out.push(' ');
+                out.push_str(&ns.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Adds the profile to a metrics section as
+    /// `prof.<stage>.est_ns` counters (plus sample metadata).
+    pub fn fill_metrics(&self, m: &mut MetricsSection) {
+        for &s in &STAGES {
+            let ns = match s {
+                Stage::Other => continue,
+                _ => self.stage_ns(s),
+            };
+            if ns > 0 || self.hits(s) > 0 {
+                m.counters.insert(format!("prof.{}.est_ns", s.label()), ns);
+                m.counters
+                    .insert(format!("prof.{}.samples", s.label()), self.hits(s));
+            }
+        }
+        m.counters.insert(
+            "prof.sample_every".to_string(),
+            self.core.sample_every as u64,
+        );
+    }
+}
+
+/// A producer's write handle; disabled handles cost one branch per call.
+#[derive(Clone, Default)]
+pub struct ProfHandle {
+    core: Option<Arc<ProfCore>>,
+}
+
+impl ProfHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> ProfHandle {
+        ProfHandle { core: None }
+    }
+
+    /// Whether this handle records anywhere.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// The 1-in-N sampling rate producers should apply to per-step
+    /// timing (1 when disabled).
+    #[inline]
+    pub fn sample_every(&self) -> u32 {
+        self.core.as_ref().map_or(1, |c| c.sample_every)
+    }
+
+    /// Records `ns` measured nanoseconds against a stage.
+    #[inline]
+    pub fn add_ns(&self, stage: Stage, ns: u64) {
+        if let Some(core) = &self.core {
+            core.ns[stage as usize].fetch_add(ns, Ordering::Relaxed);
+            core.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for ProfHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfHandle")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = ProfHandle::disabled();
+        assert!(!h.enabled());
+        assert_eq!(h.sample_every(), 1);
+        h.add_ns(Stage::Fetch, 100);
+    }
+
+    #[test]
+    fn sampled_stages_extrapolate() {
+        let prof = HostProfiler::new(8);
+        let h = prof.handle();
+        h.add_ns(Stage::Fetch, 100);
+        h.add_ns(Stage::Run, 1000);
+        h.add_ns(Stage::SnapshotRestore, 50);
+        let est: std::collections::HashMap<_, _> = prof.estimate_ns().into_iter().collect();
+        assert_eq!(est[&Stage::Fetch], 800, "sampled: x8");
+        assert_eq!(est[&Stage::Run], 1000, "always-on: exact");
+        assert_eq!(est[&Stage::SnapshotRestore], 50, "always-on: exact");
+        assert_eq!(prof.hits(Stage::Fetch), 1);
+    }
+
+    #[test]
+    fn folded_output_is_flamegraph_shaped() {
+        let prof = HostProfiler::new(4);
+        let h = prof.handle();
+        h.add_ns(Stage::Fetch, 10);
+        h.add_ns(Stage::Memory, 20);
+        h.add_ns(Stage::Run, 1000);
+        h.add_ns(Stage::SnapshotRestore, 7);
+        let folded = prof.to_folded();
+        let mut lines: Vec<&str> = folded.lines().collect();
+        lines.sort_unstable();
+        // Sampled stages extrapolated x4; `other` = run - (10+20)*4.
+        assert!(lines.contains(&"machine;run;fetch 40"), "{folded}");
+        assert!(lines.contains(&"machine;run;memory 80"), "{folded}");
+        assert!(lines.contains(&"machine;run;other 880"), "{folded}");
+        assert!(lines.contains(&"machine;snapshot_restore 7"), "{folded}");
+        // Every line parses as "frames value".
+        for l in folded.lines() {
+            let (stack, val) = l.rsplit_once(' ').expect("two fields");
+            assert!(stack.starts_with("machine;"));
+            val.parse::<u64>().expect("numeric value");
+        }
+    }
+
+    #[test]
+    fn fill_metrics_exports_counters() {
+        let prof = HostProfiler::new(2);
+        prof.handle().add_ns(Stage::Retire, 30);
+        let mut m = MetricsSection::default();
+        prof.fill_metrics(&mut m);
+        assert_eq!(m.counters["prof.retire.est_ns"], 60);
+        assert_eq!(m.counters["prof.retire.samples"], 1);
+        assert_eq!(m.counters["prof.sample_every"], 2);
+    }
+}

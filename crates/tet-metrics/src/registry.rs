@@ -1,0 +1,254 @@
+//! The sharded metrics registry.
+//!
+//! A [`Registry`] hands out per-worker [`MetricsHandle`]s; each handle
+//! owns a private shard, so recording never contends across threads (the
+//! shard mutex is only ever contended by a concurrent snapshot). Handles
+//! follow the `tet_obs::SinkHandle` zero-cost-disabled discipline: a
+//! disabled handle is a `None` and every record call is one branch.
+//!
+//! Counters sum across shards; gauges are last-write-wins (a global epoch
+//! stamps every set, the newest epoch survives the merge); histograms are
+//! the fixed-bucket `tet_obs::Histogram` and merge bucket-wise — no
+//! unbounded value vectors anywhere.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tet_obs::{Histogram, MetricsSection};
+
+#[derive(Default)]
+struct ShardState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, (u64, f64)>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Global gauge epoch, shared by every shard of one registry.
+    epoch: Arc<AtomicU64>,
+}
+
+/// A sharded host-metrics registry.
+///
+/// Create one per campaign/binary, pass `handle()` clones to workers
+/// (one each — a handle is the shard), and `snapshot()` at the end (or
+/// periodically) to merge everything into a [`MetricsSection`].
+pub struct Registry {
+    shards: Mutex<Vec<Arc<Shard>>>,
+    epoch: Arc<AtomicU64>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            shards: Mutex::new(Vec::new()),
+            epoch: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Creates a registry only when `TET_METRICS=1` is set.
+    pub fn from_env() -> Option<Registry> {
+        std::env::var_os("TET_METRICS")
+            .is_some_and(|v| v == "1")
+            .then(Registry::new)
+    }
+
+    /// Registers a new shard and returns the handle that writes to it.
+    /// Give each worker thread its own handle.
+    pub fn handle(&self) -> MetricsHandle {
+        let shard = Arc::new(Shard {
+            state: Mutex::new(ShardState::default()),
+            epoch: Arc::clone(&self.epoch),
+        });
+        self.shards.lock().unwrap().push(Arc::clone(&shard));
+        MetricsHandle { shard: Some(shard) }
+    }
+
+    /// Merges every shard into one section: counters sum, the
+    /// newest-epoch gauge write wins, histograms merge bucket-wise.
+    pub fn snapshot(&self) -> MetricsSection {
+        let mut out = MetricsSection::default();
+        let mut gauge_epochs: BTreeMap<String, u64> = BTreeMap::new();
+        // Summaries are lossy, so histograms merge as full bucket arrays
+        // first and are summarized once at the end.
+        let mut merged: BTreeMap<String, Histogram> = BTreeMap::new();
+        for shard in self.shards.lock().unwrap().iter() {
+            let st = shard.state.lock().unwrap();
+            for (k, v) in &st.counters {
+                *out.counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, &(epoch, v)) in &st.gauges {
+                let seen = gauge_epochs.get(k).copied().unwrap_or(0);
+                if epoch >= seen {
+                    gauge_epochs.insert(k.clone(), epoch);
+                    out.gauges.insert(k.clone(), v);
+                }
+            }
+            for (k, h) in &st.histograms {
+                merged.entry(k.clone()).or_default().merge(h);
+            }
+        }
+        out.histograms = merged
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summarize()))
+            .collect();
+        out
+    }
+}
+
+/// A worker's write handle into one registry shard. Cheap to pass around;
+/// a disabled handle ([`MetricsHandle::disabled`]) makes every call a
+/// single branch.
+#[derive(Clone)]
+pub struct MetricsHandle {
+    shard: Option<Arc<Shard>>,
+}
+
+impl MetricsHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> MetricsHandle {
+        MetricsHandle { shard: None }
+    }
+
+    /// Whether this handle records anywhere.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shard.is_some()
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(shard) = &self.shard {
+            let mut st = shard.state.lock().unwrap();
+            match st.counters.get_mut(name) {
+                Some(v) => *v += delta,
+                None => {
+                    st.counters.insert(name.to_string(), delta);
+                }
+            }
+        }
+    }
+
+    /// Sets a point-in-time gauge (last write across all shards wins).
+    #[inline]
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(shard) = &self.shard {
+            let epoch = shard.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut st = shard.state.lock().unwrap();
+            st.gauges.insert(name.to_string(), (epoch, value));
+        }
+    }
+
+    /// Records one sample into a log-bucketed histogram.
+    #[inline]
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(shard) = &self.shard {
+            let mut st = shard.state.lock().unwrap();
+            match st.histograms.get_mut(name) {
+                Some(h) => h.record(value),
+                None => {
+                    let mut h = Histogram::new();
+                    h.record(value);
+                    st.histograms.insert(name.to_string(), h);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = MetricsHandle::disabled();
+        assert!(!h.enabled());
+        h.counter_add("x", 1);
+        h.gauge_set("g", 2.0);
+        h.observe("h", 3);
+        // Nothing to snapshot — there is no registry at all.
+    }
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let reg = Registry::new();
+        let a = reg.handle();
+        let b = reg.handle();
+        a.counter_add("trials", 3);
+        b.counter_add("trials", 4);
+        b.counter_add("only_b", 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["trials"], 7);
+        assert_eq!(snap.counters["only_b"], 1);
+    }
+
+    #[test]
+    fn gauge_last_write_wins_across_shards() {
+        let reg = Registry::new();
+        let a = reg.handle();
+        let b = reg.handle();
+        a.gauge_set("rate", 1.0);
+        b.gauge_set("rate", 2.0);
+        a.gauge_set("rate", 3.0);
+        assert_eq!(reg.snapshot().gauges["rate"], 3.0);
+    }
+
+    #[test]
+    fn histograms_merge_across_shards() {
+        let reg = Registry::new();
+        let a = reg.handle();
+        let b = reg.handle();
+        for v in 1..=50u64 {
+            a.observe("lat", v);
+        }
+        for v in 51..=100u64 {
+            b.observe("lat", v);
+        }
+        let s = &reg.snapshot().histograms["lat"];
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+    }
+
+    #[test]
+    fn snapshot_is_reusable_and_threadsafe() {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<MetricsHandle> = (0..4).map(|_| reg.handle()).collect();
+        let mut joins = Vec::new();
+        for (i, h) in handles.into_iter().enumerate() {
+            joins.push(std::thread::spawn(move || {
+                for j in 0..1000u64 {
+                    h.counter_add("n", 1);
+                    h.observe("v", i as u64 * 1000 + j);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["n"], 4000);
+        assert_eq!(snap.histograms["v"].count, 4000);
+    }
+
+    #[test]
+    fn from_env_respects_tet_metrics() {
+        // Only checks the off path (the on path would race other tests
+        // through the process-global environment).
+        if std::env::var_os("TET_METRICS").is_none() {
+            assert!(Registry::from_env().is_none());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! `whisper-top`: the live stderr campaign dashboard.
+//!
+//! Extends the `tet_obs::Progress` discipline — status goes to stderr,
+//! results to stdout, `TET_QUIET=1` silences everything — with a
+//! one-line, continuously-updated view of a [`FlightSample`] stream:
+//!
+//! ```text
+//! [table2] 12/20 | 431 trials | 96.4 tr/s | 10.4 ms/trial | ff 38% | L1 91% | TLB 98% | BPU 95% | ETA 4s
+//! ```
+//!
+//! On a TTY the line redraws in place (`\r`); when stderr is redirected
+//! each sample prints as its own line so logs stay readable.
+
+use std::io::{IsTerminal, Write};
+
+use crate::flight::FlightSample;
+
+/// A live dashboard for one campaign.
+#[derive(Debug)]
+pub struct Top {
+    label: String,
+    quiet: bool,
+    tty: bool,
+    drew: bool,
+}
+
+/// Renders one sample as the dashboard line (without the trailing
+/// newline/carriage control).
+pub fn render_line(label: &str, s: &FlightSample) -> String {
+    let pct = |v: f64| format!("{:.0}%", v * 100.0);
+    let eta = if s.eta_s > 0.0 {
+        format!(" | ETA {:.0}s", s.eta_s)
+    } else {
+        String::new()
+    };
+    format!(
+        "[{label}] {}/{} | {} trials | {:.1} tr/s | {:.2} ms/trial | ff {} | L1 {} | TLB {} | BPU {}{eta}",
+        s.done,
+        s.total,
+        s.trials,
+        s.trials_per_sec,
+        s.ns_per_trial / 1e6,
+        pct(s.ff_skip_ratio),
+        pct(s.l1_hit_rate),
+        pct(s.dtlb_hit_rate),
+        pct(s.bpu_hit_rate),
+    )
+}
+
+impl Top {
+    /// Creates a dashboard; honors `TET_QUIET=1`.
+    pub fn new(label: &str) -> Top {
+        Top {
+            label: label.to_string(),
+            quiet: tet_obs::quiet(),
+            tty: std::io::stderr().is_terminal(),
+            drew: false,
+        }
+    }
+
+    /// Draws one sample (in place on a TTY, one line per sample
+    /// otherwise).
+    pub fn tick(&mut self, s: &FlightSample) {
+        if self.quiet {
+            return;
+        }
+        let line = render_line(&self.label, s);
+        let mut err = std::io::stderr().lock();
+        let _ = if self.tty {
+            write!(err, "\r\x1b[2K{line}")
+        } else {
+            writeln!(err, "{line}")
+        };
+        let _ = err.flush();
+        self.drew = true;
+    }
+
+    /// Finishes the dashboard: draws the final sample and, on a TTY,
+    /// terminates the in-place line.
+    pub fn done(&mut self, last: &FlightSample) {
+        if self.quiet {
+            return;
+        }
+        self.tick(last);
+        if self.tty && self.drew {
+            eprintln!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlightSample {
+        FlightSample {
+            t_ms: 1500,
+            done: 12,
+            total: 20,
+            trials: 431,
+            trials_per_sec: 96.4,
+            ns_per_trial: 10_400_000.0,
+            ff_skip_ratio: 0.38,
+            l1_hit_rate: 0.91,
+            dtlb_hit_rate: 0.98,
+            bpu_hit_rate: 0.95,
+            eta_s: 4.2,
+        }
+    }
+
+    #[test]
+    fn line_contains_every_field() {
+        let line = render_line("table2", &sample());
+        for needle in [
+            "[table2]",
+            "12/20",
+            "431 trials",
+            "96.4 tr/s",
+            "10.40 ms/trial",
+            "ff 38%",
+            "L1 91%",
+            "TLB 98%",
+            "BPU 95%",
+            "ETA 4s",
+        ] {
+            assert!(line.contains(needle), "missing {needle:?} in {line:?}");
+        }
+    }
+
+    #[test]
+    fn finished_campaign_drops_eta() {
+        let mut s = sample();
+        s.eta_s = 0.0;
+        assert!(!render_line("x", &s).contains("ETA"));
+    }
+
+    #[test]
+    fn dashboard_api_is_callable() {
+        let mut top = Top::new("unit-test");
+        // Output goes to stderr; this exercises the paths (quiet or not).
+        top.tick(&sample());
+        top.done(&sample());
+    }
+}

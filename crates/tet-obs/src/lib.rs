@@ -33,6 +33,6 @@ pub mod sink;
 
 pub use chrome::ChromeTrace;
 pub use event::{DeliveryRoute, EventKind, FaultClass, MemLevel, SquashCause, TlbKind, TraceEvent};
-pub use progress::Progress;
-pub use report::{Histogram, HistogramSummary, RunReport, REPORT_SCHEMA_VERSION};
+pub use progress::{quiet, Progress};
+pub use report::{Histogram, HistogramSummary, MetricsSection, RunReport, REPORT_SCHEMA_VERSION};
 pub use sink::{FanoutSink, MemorySink, NullSink, RingSink, SinkHandle, TraceSink};

@@ -8,6 +8,13 @@
 
 use std::time::Instant;
 
+/// Whether `TET_QUIET=1` is set: the process-wide "suppress all progress
+/// and status output on stderr" switch. Binaries consult this before any
+/// unconditional `eprintln!`; failure diagnostics are exempt.
+pub fn quiet() -> bool {
+    std::env::var_os("TET_QUIET").is_some_and(|v| v == "1")
+}
+
 /// A progress reporter for one named experiment or phase.
 #[derive(Debug)]
 pub struct Progress {
@@ -21,7 +28,7 @@ impl Progress {
     pub fn new(label: &str) -> Progress {
         Progress {
             label: label.to_string(),
-            quiet: std::env::var_os("TET_QUIET").is_some_and(|v| v == "1"),
+            quiet: quiet(),
             started: Instant::now(),
         }
     }

@@ -19,18 +19,75 @@ use crate::json::{self, Value};
 /// v2 adds optional throughput/host fields on top of v1
 /// ([`RunReport::wall_time_ms`], [`RunReport::host_threads`],
 /// [`RunReport::sim_cycles_per_sec`],
-/// [`RunReport::host_available_parallelism`]); every v1 field is unchanged
-/// and v1 documents still parse.
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+/// [`RunReport::host_available_parallelism`]); v3 adds the optional
+/// host-side [`RunReport::metrics`] section. Every earlier field is
+/// unchanged and v1/v2 documents still parse.
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`RunReport::from_json`] accepts.
 pub const REPORT_SCHEMA_MIN_VERSION: u64 = 1;
 
-/// An accumulating latency/value histogram. Keeps raw samples; summaries
-/// are computed on demand.
+/// Sub-bucket precision of [`Histogram`]: values below
+/// `1 << HIST_PRECISION_BITS` are recorded exactly; larger values land in
+/// log buckets whose relative width is `2^-HIST_PRECISION_BITS` (0.78%),
+/// so every reported percentile is within 1% of the exact nearest-rank
+/// answer.
+pub const HIST_PRECISION_BITS: u32 = 7;
+
+const HIST_SUB_BUCKETS: usize = 1 << HIST_PRECISION_BITS;
+/// Log groups: group 0 is the exact sub-`2^P` range; groups `1..` cover
+/// one power-of-two exponent each up to the full `u64` range.
+const HIST_GROUPS: usize = 64 - HIST_PRECISION_BITS as usize + 1;
+/// Total fixed bucket count (7424 for 7 precision bits).
+const HIST_BUCKETS: usize = HIST_GROUPS * HIST_SUB_BUCKETS;
+
+/// An accumulating latency/value histogram over fixed log-spaced buckets
+/// (HDR-histogram style).
+///
+/// Memory is bounded regardless of sample count: `record` is O(1) into a
+/// flat bucket array (~58 KiB, allocated on first use) plus exact
+/// count/sum/min/max registers. Values below `2^7 = 128` are exact;
+/// larger values are quantized to within 0.78% — summaries therefore
+/// report percentiles within 1% of the raw-sample answer, while `count`,
+/// `min`, `max` and `mean` stay exact.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
-    samples: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    /// Lazily allocated to `HIST_BUCKETS` on first record, so an empty
+    /// histogram costs nothing.
+    buckets: Vec<u64>,
+}
+
+/// Bucket index of a value (exact below `2^P`, log-spaced above).
+#[inline]
+fn hist_index(v: u64) -> usize {
+    let p = HIST_PRECISION_BITS;
+    if v < HIST_SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros();
+        let group = (e - p + 1) as usize;
+        let sub = ((v >> (e - p)) & (HIST_SUB_BUCKETS as u64 - 1)) as usize;
+        (group << p) + sub
+    }
+}
+
+/// The smallest value that maps to bucket `i` — the reported
+/// representative, so quantization only ever rounds *down* (by less than
+/// one part in `2^P`).
+#[inline]
+fn hist_bucket_low(i: usize) -> u64 {
+    let p = HIST_PRECISION_BITS;
+    let group = i >> p;
+    let sub = (i & (HIST_SUB_BUCKETS - 1)) as u64;
+    if group == 0 {
+        sub
+    } else {
+        (HIST_SUB_BUCKETS as u64 + sub) << (group - 1)
+    }
 }
 
 impl Histogram {
@@ -39,35 +96,71 @@ impl Histogram {
         Histogram::default()
     }
 
-    /// Records one sample.
+    /// Records one sample. O(1), never grows beyond the fixed bucket
+    /// array.
     pub fn record(&mut self, value: u64) {
-        self.samples.push(value);
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HIST_BUCKETS];
+            self.min = u64::MAX;
+        }
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[hist_index(value)] += 1;
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
-    /// Collapses the raw samples into a percentile summary.
+    /// Merges another histogram's samples into this one (used when
+    /// combining per-worker metric shards).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HIST_BUCKETS];
+            self.min = u64::MAX;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Collapses the buckets into a percentile summary. An empty
+    /// histogram summarizes to all-zero (never NaN — the mean is defined
+    /// as 0.0 when there are no samples).
     pub fn summarize(&self) -> HistogramSummary {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return HistogramSummary::default();
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let count = sorted.len() as u64;
-        let sum: u64 = sorted.iter().sum();
+        // Nearest-rank percentile over the cumulative bucket counts; the
+        // representative is the bucket's low edge clamped into the exact
+        // [min, max] envelope.
         let pct = |p: f64| -> u64 {
-            // Nearest-rank percentile.
-            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
+            let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+            let rank = rank.clamp(1, self.count);
+            let mut seen = 0u64;
+            for (i, &n) in self.buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return hist_bucket_low(i).clamp(self.min, self.max);
+                }
+            }
+            self.max
         };
         HistogramSummary {
-            count,
-            min: sorted[0],
-            max: *sorted.last().expect("non-empty"),
-            mean: sum as f64 / count as f64,
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: self.sum as f64 / self.count as f64,
             p50: pct(50.0),
             p90: pct(90.0),
             p99: pct(99.0),
@@ -129,6 +222,82 @@ fn bad(k: &str) -> String {
     format!("field {k:?} has the wrong type")
 }
 
+/// Host-side metrics attached to a report (schema v3).
+///
+/// Everything in here measures the *host* — wall-nanosecond profiles,
+/// registry counters, flight-recorder gauges — and is therefore excluded
+/// from determinism comparisons alongside the v2 timing fields (see
+/// [`RunReport::without_timing`]). The simulated result fields of the
+/// report never depend on this section.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSection {
+    /// Monotonic counters (events, samples, bytes).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written point-in-time values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Distribution summaries (host nanoseconds, batch sizes, ...).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSection {
+    /// True when no metric of any kind was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    fn to_value(&self) -> Value {
+        let mut o = Value::obj();
+        o.set(
+            "counters",
+            Value::Obj(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from(*v)))
+                    .collect(),
+            ),
+        );
+        o.set(
+            "gauges",
+            Value::Obj(
+                self.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                    .collect(),
+            ),
+        );
+        o.set(
+            "histograms",
+            Value::Obj(
+                self.histograms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_value()))
+                    .collect(),
+            ),
+        );
+        o
+    }
+
+    fn from_value(v: &Value) -> Result<MetricsSection, String> {
+        let pairs = |key: &str| -> Result<Vec<(String, Value)>, String> {
+            match field(v, key)? {
+                Value::Obj(pairs) => Ok(pairs.clone()),
+                _ => Err(bad(key)),
+            }
+        };
+        let mut m = MetricsSection::default();
+        for (k, val) in pairs("counters")? {
+            m.counters.insert(k.clone(), val.as_u64().ok_or(bad(&k))?);
+        }
+        for (k, val) in pairs("gauges")? {
+            m.gauges.insert(k.clone(), val.as_num().ok_or(bad(&k))?);
+        }
+        for (k, val) in pairs("histograms")? {
+            m.histograms.insert(k, HistogramSummary::from_value(&val)?);
+        }
+        Ok(m)
+    }
+}
+
 /// Machine-readable summary of one simulator run or experiment.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
@@ -157,6 +326,9 @@ pub struct RunReport {
     /// stored it as a `meta` string still parse (see
     /// [`RunReport::from_json`]).
     pub host_available_parallelism: Option<u64>,
+    /// Host-side metrics registry snapshot (schema v3). Like the v2
+    /// timing fields, cleared by [`RunReport::without_timing`].
+    pub metrics: Option<MetricsSection>,
 }
 
 impl RunReport {
@@ -231,8 +403,17 @@ impl RunReport {
             host_threads: None,
             sim_cycles_per_sec: None,
             host_available_parallelism: None,
+            metrics: None,
             ..self.clone()
         }
+    }
+
+    /// Attaches the host-side metrics section (schema v3). An empty
+    /// section is normalized to `None` so metrics-off runs serialize
+    /// identically to pre-v3 reports.
+    pub fn set_metrics(&mut self, metrics: MetricsSection) -> &mut Self {
+        self.metrics = (!metrics.is_empty()).then_some(metrics);
+        self
     }
 
     /// Serializes to the JSON value tree.
@@ -297,6 +478,9 @@ impl RunReport {
         }
         if let Some(hap) = self.host_available_parallelism {
             o.set("host_available_parallelism", Value::from(hap));
+        }
+        if let Some(m) = &self.metrics {
+            o.set("metrics", m.to_value());
         }
         o
     }
@@ -365,6 +549,10 @@ impl RunReport {
             // Legacy reports carried the value as a meta string.
             report.host_available_parallelism = s.parse().ok();
         }
+        // v3 metrics section: optional in v3, absent in v1/v2.
+        if let Some(val) = v.get("metrics") {
+            report.metrics = Some(MetricsSection::from_value(val)?);
+        }
         Ok(report)
     }
 
@@ -406,7 +594,124 @@ mod tests {
 
     #[test]
     fn empty_histogram_summarizes_to_zeros() {
-        assert_eq!(Histogram::new().summarize(), HistogramSummary::default());
+        let s = Histogram::new().summarize();
+        assert_eq!(s, HistogramSummary::default());
+        // Regression: the empty mean must be 0.0, never NaN (0/0).
+        assert_eq!(s.mean, 0.0);
+        assert!(!s.mean.is_nan());
+        // ...and it must serialize/round-trip cleanly.
+        let mut r = RunReport::new("empty");
+        r.histogram("h", &Histogram::new());
+        let back = RunReport::from_json(&r.to_json()).expect("round-trips");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn histogram_percentiles_within_one_percent_of_exact() {
+        // Large values exercise the log-bucketed path; every percentile
+        // must stay within 1% of the exact nearest-rank answer.
+        let mut h = Histogram::new();
+        let mut raw: Vec<u64> = Vec::new();
+        let mut x = 7u64;
+        for i in 0..10_000u64 {
+            // Deterministic spread over ~6 decades.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            let v = 100 + (x % 1_000_000_000);
+            raw.push(v);
+            h.record(v);
+        }
+        raw.sort_unstable();
+        let exact = |p: f64| -> u64 {
+            let rank = ((p / 100.0) * raw.len() as f64).ceil() as usize;
+            raw[rank.clamp(1, raw.len()) - 1]
+        };
+        let s = h.summarize();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.min, raw[0]);
+        assert_eq!(s.max, *raw.last().unwrap());
+        for (got, want) in [
+            (s.p50, exact(50.0)),
+            (s.p90, exact(90.0)),
+            (s.p99, exact(99.0)),
+        ] {
+            let err = (got as f64 - want as f64).abs() / want as f64;
+            assert!(err <= 0.01, "got {got}, exact {want}, err {err}");
+        }
+        let exact_mean = raw.iter().map(|&v| v as f64).sum::<f64>() / raw.len() as f64;
+        assert!((s.mean - exact_mean).abs() < 1e-6, "mean is exact");
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in [3u64, 900, 12_345, 1 << 40] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [1u64, 77, 1 << 50] {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, combined);
+        // Merging an empty histogram is a no-op both ways.
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, combined);
+        let mut from_empty = Histogram::new();
+        from_empty.merge(&combined);
+        assert_eq!(from_empty.summarize(), combined.summarize());
+    }
+
+    #[test]
+    fn histogram_extreme_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.summarize();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        // p99 representative is clamped into [min, max].
+        assert!(s.p99 >= s.p50 && s.p99 <= s.max);
+        let err = (u64::MAX as f64 - s.p99 as f64) / u64::MAX as f64;
+        assert!(err <= 0.01, "p99 within 1% of max, err {err}");
+    }
+
+    #[test]
+    fn metrics_section_round_trips_and_is_cleared_by_without_timing() {
+        let mut m = MetricsSection::default();
+        m.counters.insert("prof.samples".into(), 4096);
+        m.gauges.insert("flight.trials_per_sec".into(), 123.5);
+        let mut h = Histogram::new();
+        h.record(250);
+        h.record(990);
+        m.histograms.insert("step_ns".into(), h.summarize());
+        let mut r = RunReport::new("bench");
+        r.set_metrics(m.clone());
+        assert_eq!(r.metrics.as_ref(), Some(&m));
+        let back = RunReport::from_json(&r.to_json()).expect("round-trips");
+        assert_eq!(back, r);
+        // Host-side metrics are timing: determinism comparisons drop them.
+        assert_eq!(back.without_timing().metrics, None);
+        // Empty sections normalize to None so metrics-off reports are
+        // byte-identical to pre-v3 ones.
+        let mut off = RunReport::new("bench");
+        off.set_metrics(MetricsSection::default());
+        assert_eq!(off.metrics, None);
+        assert!(!off.to_json().contains("\"metrics\""));
+    }
+
+    #[test]
+    fn v2_documents_without_metrics_still_parse() {
+        let mut v = RunReport::new("older").to_value();
+        v.set("schema_version", Value::from(2u64));
+        let r = RunReport::from_json(&v.to_json()).expect("v2 parses");
+        assert_eq!(r.name, "older");
+        assert_eq!(r.metrics, None);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Property tests for `RingSink` overflow accounting.
+//!
+//! The flight-recorder ring must never lose count of what happened to an
+//! event: at any quiesced point, every event ever emitted is either still
+//! in the ring (returned by `drain_recent`) or accounted as overwritten —
+//! `emitted == drained + overwritten` — and the drained window is the
+//! most recent events in exact emission order.
+
+use proptest::prelude::*;
+
+use tet_obs::event::{EventKind, TraceEvent};
+use tet_obs::sink::{RingSink, TraceSink};
+
+/// Emits `n` sequentially-tagged events starting at id `base`.
+fn emit_burst(ring: &RingSink, base: u64, n: u64) {
+    for i in 0..n {
+        ring.emit(TraceEvent {
+            cycle: base + i,
+            thread: 0,
+            kind: EventKind::UopRetired { id: base + i },
+        });
+    }
+}
+
+/// The id tag of a drained event (inverse of `emit_burst`).
+fn event_id(ev: &TraceEvent) -> u64 {
+    match ev.kind {
+        EventKind::UopRetired { id } => id,
+        _ => panic!("unexpected event kind in ring"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `emitted == drained + overwritten` after any sequence of bursts,
+    /// for any capacity — whether the ring wrapped zero, one or many
+    /// times.
+    #[test]
+    fn overflow_accounting_balances(
+        capacity in 1usize..700,
+        bursts in prop::collection::vec(0u64..400, 1..6),
+    ) {
+        let ring = RingSink::with_capacity(capacity);
+        let mut total = 0u64;
+        for (b, &n) in bursts.iter().enumerate() {
+            emit_burst(&ring, total, n);
+            total += n;
+            let drained = ring.drain_recent();
+            prop_assert_eq!(ring.emitted(), total, "burst {}", b);
+            prop_assert_eq!(
+                ring.emitted(),
+                drained.len() as u64 + ring.overwritten(),
+                "burst {}: {} emitted, {} drained, {} overwritten",
+                b, ring.emitted(), drained.len(), ring.overwritten()
+            );
+        }
+    }
+
+    /// `drain_recent` returns exactly the most recent events, oldest
+    /// first, with no gaps, duplicates or reordering.
+    #[test]
+    fn drain_preserves_emission_order(
+        capacity in 1usize..700,
+        n in 0u64..2000,
+    ) {
+        let ring = RingSink::with_capacity(capacity);
+        emit_burst(&ring, 0, n);
+        let drained = ring.drain_recent();
+        // The window ends at the newest event and is contiguous.
+        let ids: Vec<u64> = drained.iter().map(event_id).collect();
+        let start = n - ids.len() as u64;
+        let expect: Vec<u64> = (start..n).collect();
+        prop_assert_eq!(&ids, &expect);
+        // And the window is as large as the (rounded) capacity allows.
+        let cap = capacity.max(64).next_power_of_two() as u64;
+        prop_assert_eq!(ids.len() as u64, n.min(cap));
+        prop_assert_eq!(ring.overwritten(), n.saturating_sub(cap));
+    }
+}
+
+/// Draining twice without new emissions is idempotent — `drain_recent`
+/// copies, it does not consume.
+#[test]
+fn drain_is_nondestructive() {
+    let ring = RingSink::with_capacity(64);
+    emit_burst(&ring, 0, 100);
+    let a = ring.drain_recent();
+    let b = ring.drain_recent();
+    assert_eq!(a, b);
+    assert_eq!(ring.emitted(), 100);
+    assert_eq!(ring.overwritten(), 36);
+}

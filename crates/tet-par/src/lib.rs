@@ -256,6 +256,93 @@ where
         .collect()
 }
 
+/// [`run_indexed_with`] plus a **telemetry observer**: `observe(i, &r)`
+/// runs on the worker thread immediately after index `i` completes, in
+/// *completion* order (which varies with thread count and scheduling).
+///
+/// This is the hook campaign dashboards and flight recorders attach to —
+/// per-item progress without waiting for the whole fan-out. The observer
+/// must only drive host-side telemetry (atomic counters, stderr
+/// dashboards): results are committed before it runs and it returns
+/// nothing, so it *cannot* change what the fan-out computes, keeping the
+/// byte-identical-at-any-thread-count guarantee intact.
+///
+/// # Panics
+///
+/// Propagates the first worker panic (by index order) to the caller.
+pub fn run_indexed_observed<S, T, Init, F, O>(
+    threads: usize,
+    n: usize,
+    init: Init,
+    f: F,
+    observe: O,
+) -> Vec<T>
+where
+    T: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+    O: Fn(usize, &T) + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        let mut s = init();
+        return (0..n)
+            .map(|i| {
+                let r = f(&mut s, i);
+                observe(i, &r);
+                r
+            })
+            .collect();
+    }
+    let workers = threads.min(n);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let panicked = AtomicUsize::new(usize::MAX);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut s = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut s, i)));
+                    match result {
+                        Ok(v) => {
+                            observe(i, &v);
+                            *slots[i].lock().expect("slot lock") = Some(v);
+                        }
+                        Err(_) => {
+                            panicked.fetch_min(i, Ordering::SeqCst);
+                            cursor.fetch_add(n, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let bad = panicked.load(Ordering::SeqCst);
+    if bad != usize::MAX {
+        // Re-run the offending index inline (with fresh state) so the
+        // caller sees the original panic payload.
+        let _ = f(&mut init(), bad);
+        panic!("parallel trial {bad} panicked");
+    }
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("every index was committed")
+        })
+        .collect()
+}
+
 /// Maps `f` over `items` in parallel, returning results in item order
 /// (the slice analogue of [`run_indexed`]).
 ///
@@ -362,6 +449,47 @@ mod tests {
                 }
                 i
             },
+        );
+    }
+
+    #[test]
+    fn observed_fanout_matches_and_sees_every_item_once() {
+        let reference: Vec<u64> = (0..40).map(|i| (i as u64) * 11).collect();
+        for threads in [1, 2, 8] {
+            let seen: Vec<AtomicU64> = (0..40).map(|_| AtomicU64::new(0)).collect();
+            let sum = AtomicU64::new(0);
+            let got = run_indexed_observed(
+                threads,
+                40,
+                || (),
+                |(), i| (i as u64) * 11,
+                |i, r| {
+                    seen[i].fetch_add(1, Ordering::SeqCst);
+                    sum.fetch_add(*r, Ordering::SeqCst);
+                },
+            );
+            assert_eq!(got, reference, "threads={threads}");
+            for (i, s) in seen.iter().enumerate() {
+                assert_eq!(s.load(Ordering::SeqCst), 1, "threads={threads} index {i}");
+            }
+            assert_eq!(sum.load(Ordering::SeqCst), reference.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "observed boom")]
+    fn observed_fanout_propagates_panics() {
+        run_indexed_observed(
+            4,
+            20,
+            || (),
+            |(), i| {
+                if i == 9 {
+                    panic!("observed boom");
+                }
+                i
+            },
+            |_, _| {},
         );
     }
 

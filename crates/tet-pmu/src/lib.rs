@@ -156,6 +156,15 @@ impl PmuSnapshot {
         PmuSnapshot { counts }
     }
 
+    /// Adds every counter of `delta` into this snapshot — how lifetime
+    /// accumulators (e.g. a machine's across-restore PMU totals) fold
+    /// per-run deltas together.
+    pub fn accumulate(&mut self, delta: &PmuSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&delta.counts) {
+            *a += b;
+        }
+    }
+
     /// Iterates over `(event, value)` pairs for all events.
     pub fn iter(&self) -> impl Iterator<Item = (Event, u64)> + '_ {
         Event::ALL

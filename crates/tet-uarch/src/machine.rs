@@ -6,6 +6,7 @@ use std::sync::Arc;
 use tet_isa::reg::RegFile;
 use tet_isa::{Flags, Program, Reg};
 use tet_mem::{AddressSpace, FrameAlloc, MemorySystem, PhysMem, Pte, PAGE_SIZE};
+use tet_metrics::{ProfHandle, Stage as ProfStage};
 use tet_obs::{EventKind, FanoutSink, MemorySink, RunReport, SinkHandle, TraceEvent, TraceSink};
 use tet_pmu::PmuSnapshot;
 
@@ -244,6 +245,16 @@ pub struct Machine {
     cycles_total: u64,
     /// Lifetime snapshot restores applied to this machine (diagnostic).
     snap_restores: u64,
+    /// Lifetime PMU totals: per-run deltas summed over every run, so
+    /// the totals survive snapshot restores (which roll the live
+    /// counter bank back). Deterministic like the rest of the PMU.
+    pmu_lifetime: PmuSnapshot,
+    /// Host wall-time profiler (host-side only; see
+    /// [`Machine::set_profiler`]). Times whole runs and restores
+    /// exactly, fast-forward attempts 1-in-N.
+    prof: ProfHandle,
+    /// Countdown to the next timed fast-forward attempt.
+    prof_ff_tick: u32,
     ctx: RunCtx,
 }
 
@@ -354,8 +365,21 @@ impl Machine {
             runs: 0,
             cycles_total: 0,
             snap_restores: 0,
+            pmu_lifetime: PmuSnapshot::zero(),
+            prof: ProfHandle::disabled(),
+            prof_ff_tick: 0,
             ctx: RunCtx::new(),
         }
+    }
+
+    /// Installs a host-time profiler handle on this machine and its
+    /// core. Strictly host-side observation: simulated results are
+    /// byte-identical with a profiler installed or not (the determinism
+    /// suite gates this). Pass [`ProfHandle::disabled`] to remove.
+    pub fn set_profiler(&mut self, prof: ProfHandle) {
+        self.cpu.set_profiler(prof.clone());
+        self.prof = prof;
+        self.prof_ff_tick = 0;
     }
 
     /// Forces event-driven fast-forward on or off for this machine,
@@ -400,8 +424,14 @@ impl Machine {
             runs: _,
             cycles_total: _,
             snap_restores: _,
+            pmu_lifetime: _,
+            prof: _,
+            prof_ff_tick: _,
             ctx: _,
         } = &snap.state;
+        // Restores are rare relative to steps and bracket real work, so
+        // they are always timed exactly (never sampled).
+        let t = self.prof.enabled().then(std::time::Instant::now);
         self.cpu.restore_from(cpu);
         self.mem.restore_from(mem);
         self.phys.restore_from(phys);
@@ -410,6 +440,10 @@ impl Machine {
         self.code_pages_mapped = *code_pages_mapped;
         self.check_mode = *check_mode;
         self.snap_restores += 1;
+        if let Some(t) = t {
+            self.prof
+                .add_ns(ProfStage::SnapshotRestore, t.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Builds a fresh machine from a snapshot — how parallel workers
@@ -420,6 +454,7 @@ impl Machine {
         m.runs = 0;
         m.cycles_total = 0;
         m.snap_restores = 0;
+        m.pmu_lifetime = PmuSnapshot::zero();
         m.cpu.reset_ff_stats();
         m
     }
@@ -435,6 +470,14 @@ impl Machine {
             ff_sprints,
             snapshot_restores: self.snap_restores,
         }
+    }
+
+    /// Lifetime PMU totals: every run's counter delta summed, surviving
+    /// snapshot restores (the live [`Cpu`] bank rolls back with them).
+    /// This is what campaign telemetry divides to get cache/TLB/BPU hit
+    /// rates over a whole trial loop.
+    pub fn pmu_lifetime(&self) -> &PmuSnapshot {
+        &self.pmu_lifetime
     }
 
     /// Turns the retirement differential oracle on or off for this
@@ -584,6 +627,9 @@ impl Machine {
     /// Pipeline state and architectural registers reset per run; BPU,
     /// DSB, TLBs, caches, fill buffers and the PMU persist.
     pub fn run(&mut self, program: &Program, cfg: &RunConfig) -> RunResult {
+        // Whole runs are timed exactly (two clock reads per run — noise
+        // next to a run's millions of steps).
+        let prof_run_t = self.prof.enabled().then(std::time::Instant::now);
         self.map_code(program.len());
         let (handle, recorder) = compose_run_sink(cfg, self.ctx.recorder.as_ref());
         self.mem.set_sink(handle.clone());
@@ -624,7 +670,22 @@ impl Machine {
                 break;
             }
             if fast_forward {
-                self.cpu.try_fast_forward(cfg.max_cycles);
+                // Fast-forward attempts run once per step, so they are
+                // sampled 1-in-N like the pipeline stages.
+                if self.prof.enabled() {
+                    self.prof_ff_tick += 1;
+                    if self.prof_ff_tick >= self.prof.sample_every() {
+                        self.prof_ff_tick = 0;
+                        let t = std::time::Instant::now();
+                        self.cpu.try_fast_forward(cfg.max_cycles);
+                        self.prof
+                            .add_ns(ProfStage::FastForward, t.elapsed().as_nanos() as u64);
+                    } else {
+                        self.cpu.try_fast_forward(cfg.max_cycles);
+                    }
+                } else {
+                    self.cpu.try_fast_forward(cfg.max_cycles);
+                }
                 if self.cpu.cycle() >= cfg.max_cycles {
                     break; // skipped to the budget: CycleLimit, like stepping would
                 }
@@ -665,13 +726,19 @@ impl Machine {
         };
         self.runs += 1;
         self.cycles_total += self.cpu.cycle();
+        if let Some(t) = prof_run_t {
+            self.prof
+                .add_ns(ProfStage::Run, t.elapsed().as_nanos() as u64);
+        }
+        let pmu_delta = self.cpu.pmu.snapshot().delta(&self.ctx.pmu_before);
+        self.pmu_lifetime.accumulate(&pmu_delta);
         RunResult {
             exit,
             cycles: self.cpu.cycle(),
             regs: *self.cpu.regs(),
             flags: self.cpu.flags(),
             retired: self.cpu.retired_insts(),
-            pmu: self.cpu.pmu.snapshot().delta(&self.ctx.pmu_before),
+            pmu: pmu_delta,
             exceptions: self.cpu.take_exceptions(),
             frontend_trace,
             uop_trace,
@@ -719,6 +786,58 @@ mod tests {
         // And the value is architecturally visible afterwards.
         let pa = m.aspace().translate(0x20_0008).unwrap();
         assert_eq!(m.phys().read_u64(pa), 0xfeed);
+    }
+
+    #[test]
+    fn profiler_never_perturbs_simulated_results() {
+        // The same program on identical machines, profiled (timing every
+        // step, restore and run — the most invasive setting) vs not:
+        // every simulated output must match exactly.
+        let build = || {
+            let mut a = Asm::new();
+            let top = a.fresh_label();
+            a.mov_imm(Reg::Rcx, 50).mov_imm(Reg::Rax, 0);
+            a.bind(top)
+                .add(Reg::Rax, 7u64)
+                .sub(Reg::Rcx, 1u64)
+                .jcc(Cond::Ne, top)
+                .halt();
+            a.assemble().unwrap()
+        };
+        let prog = build();
+
+        let mut plain = machine();
+        let base = plain.run(&prog, &RunConfig::default());
+        let snap_plain = plain.snapshot();
+        let mut r_plain = plain;
+        r_plain.restore(&snap_plain);
+        let base2 = r_plain.run(&prog, &RunConfig::default());
+
+        let profiler = tet_metrics::HostProfiler::new(1);
+        let mut profiled = machine();
+        profiled.set_profiler(profiler.handle());
+        let got = profiled.run(&prog, &RunConfig::default());
+        let snap_prof = profiled.snapshot();
+        profiled.restore(&snap_prof);
+        let got2 = profiled.run(&prog, &RunConfig::default());
+
+        assert_eq!(base.cycles, got.cycles);
+        assert_eq!(base.regs, got.regs);
+        assert_eq!(base.pmu, got.pmu);
+        assert_eq!(base2.cycles, got2.cycles);
+        assert_eq!(base2.regs, got2.regs);
+        assert_eq!(base2.pmu, got2.pmu);
+        // And the profiler did observe the work.
+        let est: std::collections::HashMap<_, _> = profiler.estimate_ns().into_iter().collect();
+        assert!(est[&tet_metrics::Stage::Run] > 0, "runs were timed");
+        assert!(
+            profiler.hits(tet_metrics::Stage::SnapshotRestore) == 1,
+            "the restore was timed"
+        );
+        assert!(
+            profiler.hits(tet_metrics::Stage::Retire) > 0,
+            "steps were sampled"
+        );
     }
 
     #[test]

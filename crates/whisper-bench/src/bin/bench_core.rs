@@ -12,16 +12,27 @@
 //! `--baseline PATH` compares the measured `sim_cycles_per_sec` and
 //! `table2.ns_per_trial` against a previously committed report and exits
 //! non-zero when either regresses past the 70% floor (the report is
-//! still written first so CI can upload it as an artifact).
+//! still written first so CI can upload it as an artifact). Each gate
+//! prints its baseline, current value, and tolerance (see
+//! `whisper_bench::baseline`).
+//!
+//! A final self-profile section reruns the matrix with the sampled
+//! host-time profiler installed (separate from the timed legs, which
+//! stay unprofiled) and exports `bench_core.folded` (collapsed stacks
+//! for flamegraphs) and `bench_core.prom` (Prometheus text) next to the
+//! JSON reports.
 
 use std::time::Instant;
 
+use tet_metrics::{prof, to_prometheus, HostProfiler};
+use tet_obs::MetricsSection;
 use tet_uarch::{CpuConfig, Machine};
 use whisper::channel::TetCovertChannel;
-use whisper::eval::run_table2_matrix_detailed;
+use whisper::eval::{run_table2_matrix_detailed, run_table2_matrix_observed};
 use whisper::gadget::{TetGadget, TetGadgetSpec};
 use whisper::scenario::{Scenario, ScenarioOptions};
-use whisper_bench::{section, RunReport};
+use whisper_bench::telemetry::Campaign;
+use whisper_bench::{baseline, section, write_sidecar, RunReport};
 
 /// Median ns/iteration over `samples` timing windows of `iters` calls.
 fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
@@ -48,7 +59,7 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_core.json".to_string());
 
-    let baseline = args
+    let baseline_path = args
         .iter()
         .position(|a| a == "--baseline")
         .and_then(|i| args.get(i + 1).cloned());
@@ -60,6 +71,10 @@ fn main() {
     // Simulated-cycles-per-host-second, measured on the decode sweep (the
     // dominant single-thread workload of every experiment binary).
     let mut sim_rate = None;
+    // The unprofiled matrix result and trial count, compared against the
+    // self-profile leg to prove profiling never perturbs results.
+    let matrix_rows;
+    let matrix_trials;
 
     section("fig1 gadget probe (one Machine::run through the transient window)");
     {
@@ -119,17 +134,18 @@ fn main() {
         rep.counter("snapshot_fork.ff_skipped_cycles", stats.ff_skipped_cycles);
     }
 
+    // The parallel legs run on min(requested, host) workers: on a
+    // 1-CPU container the old `threads.max(8)` label made
+    // `table2.speedup` look like an 8-way result that mysteriously
+    // delivered 1x. `threads_n` records the *effective* worker count
+    // (what the speedup is relative to) and `threads_requested` keeps
+    // the asked-for fan-out.
+    let requested = threads.max(8);
+    let host = tet_par::default_threads().max(1);
+    let effective = requested.min(host);
+
     section("Table 2 matrix wall time (threads 1 vs N)");
     {
-        // The parallel leg runs on min(requested, host) workers: on a
-        // 1-CPU container the old `threads.max(8)` label made
-        // `table2.speedup` look like an 8-way result that mysteriously
-        // delivered 1x. `threads_n` now records the *effective* worker
-        // count (what the speedup is relative to) and
-        // `threads_requested` keeps the asked-for fan-out.
-        let requested = threads.max(8);
-        let host = tet_par::default_threads().max(1);
-        let effective = requested.min(host);
         let t1 = Instant::now();
         let (serial, stats) = run_table2_matrix_detailed(42, 1);
         let serial_s = t1.elapsed().as_secs_f64();
@@ -156,6 +172,60 @@ fn main() {
         rep.counter("table2.ff_skipped_cycles", stats.ff_skipped_cycles);
         rep.counter("table2.ff_sprints", stats.ff_sprints);
         rep.counter("table2.snapshot_restores", stats.snapshot_restores);
+        rep.counter("table2.l1_hits", stats.l1_hits);
+        rep.counter("table2.l1_misses", stats.l1_misses);
+        rep.counter("table2.dtlb_walks", stats.dtlb_walks);
+        rep.counter("table2.branches", stats.branches);
+        rep.counter("table2.br_mispredicts", stats.br_mispredicts);
+        matrix_rows = serial;
+        matrix_trials = stats.runs;
+    }
+
+    section("self-profile (sampled host-time attribution, separate leg)");
+    {
+        // The timed legs above run unprofiled so their numbers are the
+        // clean ones; this leg reruns the matrix with the profiler and
+        // the campaign dashboard installed and exports the attribution.
+        let profiler = HostProfiler::new(prof::sample_every_from_env());
+        let campaign = Campaign::new("bench_core", (CpuConfig::table2_presets().len() * 5) as u64);
+        let t = Instant::now();
+        let (rows, pstats) =
+            run_table2_matrix_observed(42, effective, &profiler.handle(), |_, cs| {
+                campaign.on_cell(cs)
+            });
+        let profiled_s = t.elapsed().as_secs_f64();
+        assert_eq!(
+            rows, matrix_rows,
+            "profiled matrix must match the unprofiled one"
+        );
+        assert_eq!(pstats.runs, matrix_trials, "profiler must not add trials");
+        let mut metrics = MetricsSection::default();
+        profiler.fill_metrics(&mut metrics);
+        campaign.finish(&mut metrics);
+        let run_ns = profiler
+            .estimate_ns()
+            .iter()
+            .find(|(s, _)| *s == prof::Stage::Run)
+            .map_or(0, |&(_, ns)| ns)
+            .max(1);
+        for (stage, ns) in profiler.estimate_ns() {
+            if ns > 0 && stage != prof::Stage::Run {
+                println!(
+                    "  {:<16} {:>8.1} ms  ({:>4.1}% of run time)",
+                    stage.label(),
+                    ns as f64 / 1e6,
+                    ns as f64 / run_ns as f64 * 100.0
+                );
+            }
+        }
+        println!(
+            "  profiled leg: {profiled_s:.3} s at 1-in-{} step sampling",
+            profiler.sample_every()
+        );
+        rep.scalar("self_profile.seconds", profiled_s);
+        write_sidecar("bench_core.folded", &profiler.to_folded());
+        write_sidecar("bench_core.prom", &to_prometheus(&metrics));
+        rep.set_metrics(metrics);
     }
 
     rep.set_throughput(started.elapsed(), threads, None);
@@ -164,53 +234,22 @@ fn main() {
     println!("\nwrote {out}");
 
     // --baseline PATH: regression gate for CI. The report above is always
-    // written first so the artifact survives a failing comparison.
-    if let Some(path) = baseline {
+    // written first so the artifact survives a failing comparison. Every
+    // gate prints baseline vs current with its tolerance; any regression
+    // exits non-zero.
+    if let Some(path) = baseline_path {
         let text =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
         let base = RunReport::from_json(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
-        let mut regressed = false;
-        // Throughput gate: fail below 70% of the baseline rate.
-        match (base.sim_cycles_per_sec, sim_rate) {
-            (Some(old), Some(new)) => {
-                println!(
-                    "baseline {old:.0} cycles/s, current {new:.0} cycles/s ({:+.1}%)",
-                    (new / old - 1.0) * 100.0
-                );
-                if new < old * 0.7 {
-                    eprintln!(
-                        "REGRESSION: sim_cycles_per_sec {new:.0} is below 70% of baseline {old:.0}"
-                    );
-                    regressed = true;
-                }
-            }
-            (old, new) => {
-                eprintln!(
-                    "baseline check skipped: sim_cycles_per_sec baseline={old:?} current={new:?}"
-                );
+        println!("\nbaseline gate against {path}:");
+        let outcomes = baseline::run_gates(&baseline::bench_core_gates(), &base, &rep);
+        for o in &outcomes {
+            println!("{}", o.render());
+            if o.verdict == baseline::Verdict::Regressed {
+                eprintln!("{}", o.render().trim_start());
             }
         }
-        // Trial-cost gate: the same 70% floor expressed on latency —
-        // fail when a trial costs more than 1/0.7x the baseline.
-        let key = "table2.ns_per_trial";
-        match (base.scalars.get(key), rep.scalars.get(key)) {
-            (Some(&old), Some(&new)) => {
-                println!(
-                    "baseline {old:.0} ns/trial, current {new:.0} ns/trial ({:+.1}%)",
-                    (new / old - 1.0) * 100.0
-                );
-                if new > old / 0.7 {
-                    eprintln!(
-                        "REGRESSION: {key} {new:.0} exceeds baseline {old:.0} by more than 1/0.7x"
-                    );
-                    regressed = true;
-                }
-            }
-            (old, new) => {
-                eprintln!("baseline check skipped: {key} baseline={old:?} current={new:?}");
-            }
-        }
-        if regressed {
+        if baseline::any_regressed(&outcomes) {
             std::process::exit(1);
         }
     }

@@ -1,0 +1,109 @@
+//! `bench-trend`: performance trends across the report lineage.
+//!
+//! Lines up metrics across a sequence of `RunReport` JSON files —
+//! typically the committed `BENCH_baseline.json` → `BENCH_core.json`
+//! lineage, optionally followed by the current build's
+//! `target/reports/*.json` — and prints each metric's latest delta with
+//! a noise band estimated from the prior points. Host-performance
+//! metrics (ns/iter, ns/trial, cycles/sec, speedup) get a direction and
+//! can *regress*; everything else is informational.
+//!
+//! Run: `cargo run -p whisper-bench --bin bench_trend -- \
+//!          [--gate] [--band PCT] [--reports DIR] FILE...`
+//!
+//! * `FILE...` — reports in lineage order (oldest first).
+//! * `--reports DIR` — append every `*.json` in `DIR` (sorted by name)
+//!   after the explicit files.
+//! * `--band PCT` — noise-band floor in percent (default 10).
+//! * `--gate` — exit non-zero when any directed metric's latest point
+//!   regresses past its band (the CI trend gate).
+
+use whisper_bench::trend::{self, TrendVerdict};
+use whisper_bench::{section, write_report, RunReport};
+
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 < args.len() {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            return Some(v);
+        }
+        args.remove(i);
+    }
+    None
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let gate = args.iter().any(|a| a == "--gate");
+    args.retain(|a| a != "--gate");
+    let band: f64 = take_flag_value(&mut args, "--band")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let reports_dir = take_flag_value(&mut args, "--reports");
+
+    let mut paths: Vec<std::path::PathBuf> = args.iter().map(std::path::PathBuf::from).collect();
+    if let Some(dir) = &reports_dir {
+        let mut extra: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| panic!("read --reports dir {dir}: {e}"))
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        extra.sort();
+        paths.extend(extra);
+    }
+    if paths.is_empty() {
+        eprintln!("usage: bench_trend [--gate] [--band PCT] [--reports DIR] FILE...");
+        std::process::exit(2);
+    }
+
+    let reports = trend::load_reports(&paths).unwrap_or_else(|e| panic!("{e}"));
+    section("bench-trend: metric deltas across the report lineage");
+    println!(
+        "  lineage ({} reports, band floor ±{band:.1}%):",
+        reports.len()
+    );
+    for (name, _) in &reports {
+        println!("    {name}");
+    }
+    println!();
+
+    let rows = trend::analyze_all(&trend::collect(&reports), band);
+    print!("{}", trend::render_table(&rows));
+
+    let regressed: Vec<&trend::TrendRow> = rows
+        .iter()
+        .filter(|r| r.verdict == TrendVerdict::Regressed)
+        .collect();
+    let improved = rows
+        .iter()
+        .filter(|r| r.verdict == TrendVerdict::Improved)
+        .count();
+    println!(
+        "\n{} metrics, {} regressed, {} improved",
+        rows.len(),
+        regressed.len(),
+        improved
+    );
+
+    let mut rep = RunReport::new("bench_trend");
+    rep.set_meta("gate", if gate { "on" } else { "off" });
+    rep.counter("metrics", rows.len() as u64);
+    rep.counter("regressed", regressed.len() as u64);
+    rep.counter("improved", improved as u64);
+    rep.scalar("band_floor_pct", band);
+    write_report(&rep);
+
+    if !regressed.is_empty() {
+        for r in &regressed {
+            eprintln!(
+                "REGRESSED: {} {:.4} -> {:.4} ({:+.1}%, band ±{:.1}%)",
+                r.key, r.baseline, r.current, r.delta_pct, r.band_pct
+            );
+        }
+        if gate {
+            std::process::exit(1);
+        }
+    }
+}

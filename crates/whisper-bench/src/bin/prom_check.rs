@@ -1,0 +1,74 @@
+//! Validates a Prometheus text-exposition file with the `tet-metrics`
+//! parser — the CI `metrics-smoke` step runs this over the `.prom`
+//! sidecar that `table2_matrix` exports under `TET_METRICS=1`.
+//!
+//! Run: `prom_check FILE [--require NAME]...`
+//!
+//! Exits non-zero if the file is missing, any sample line is malformed
+//! (bad name, non-finite value, unterminated labels), or a `--require`d
+//! metric name has no sample. On success prints one summary line per
+//! file: the sample and distinct-family counts.
+
+use std::collections::BTreeSet;
+use std::process::exit;
+
+use tet_metrics::parse_prometheus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut required = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--require" {
+            match it.next() {
+                Some(name) => required.push(name),
+                None => {
+                    eprintln!("--require needs a metric name");
+                    exit(2);
+                }
+            }
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: prom_check FILE [--require NAME]...");
+        exit(2);
+    }
+
+    let mut failed = false;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: read failed: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match parse_prometheus(&text) {
+            Ok(samples) => {
+                let families: BTreeSet<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+                for want in &required {
+                    if !families.contains(want.as_str()) {
+                        eprintln!("{path}: required metric {want} not found");
+                        failed = true;
+                    }
+                }
+                println!(
+                    "{path}: {} samples, {} metric families — OK",
+                    samples.len(),
+                    families.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}

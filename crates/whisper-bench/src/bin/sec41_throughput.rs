@@ -12,14 +12,21 @@
 //!
 //! The covert-channel payload is transmitted in fixed 32-byte chunks and
 //! the three KASLR seed replicas fan out via `tet-par`; output is
-//! byte-identical for any `--threads` setting.
+//! byte-identical for any `--threads` setting. The KASLR fan-out
+//! streams a `whisper-top` dashboard to stderr while it runs
+//! (`TET_QUIET=1` silences it, `TET_FLIGHT=path` appends JSONL); with
+//! `TET_METRICS=1` the flight gauges also land in the JSON report's
+//! metrics section. Stdout is byte-identical either way.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tet_obs::MetricsSection;
 use tet_uarch::CpuConfig;
 use whisper::attacks::{TetKaslr, TetMeltdown, TetSpectreRsb};
 use whisper::channel::TetCovertChannel;
+use whisper::eval::CellStats;
 use whisper::scenario::{Scenario, ScenarioOptions};
+use whisper_bench::telemetry::Campaign;
 use whisper_bench::{section, write_report, RunReport, Table};
 
 fn random_payload(len: usize, seed: u64) -> Vec<u8> {
@@ -144,22 +151,43 @@ fn main() {
     section("TET-KASLR (n=3, like the paper)");
     {
         let seeds = [31u64, 32, 33];
-        let runs = tet_par::par_map(threads, &seeds, |&seed| {
-            let mut sc = Scenario::new(
-                CpuConfig::comet_lake_i9_10980xe(),
-                &ScenarioOptions {
-                    seed,
-                    ..noise.clone()
-                },
-            );
-            // Under interrupt noise each slot needs a few samples (the
-            // per-slot minimum rejects the additive bubbles).
-            let attack = TetKaslr {
-                samples_per_slot: 3,
-                ..TetKaslr::default()
-            };
-            attack.break_kaslr(&mut sc.machine, &sc.kernel)
-        });
+        // Each replica returns its result plus the machine's cost/PMU
+        // counters; the campaign observer streams those to the
+        // `whisper-top` dashboard as replicas finish (telemetry only —
+        // results commit before the observer runs).
+        let campaign = Campaign::new("sec41.kaslr", seeds.len() as u64);
+        let detailed = tet_par::run_indexed_observed(
+            threads,
+            seeds.len(),
+            || (),
+            |(), i| {
+                let mut sc = Scenario::new(
+                    CpuConfig::comet_lake_i9_10980xe(),
+                    &ScenarioOptions {
+                        seed: seeds[i],
+                        ..noise.clone()
+                    },
+                );
+                // Under interrupt noise each slot needs a few samples (the
+                // per-slot minimum rejects the additive bubbles).
+                let attack = TetKaslr {
+                    samples_per_slot: 3,
+                    ..TetKaslr::default()
+                };
+                let r = attack.break_kaslr(&mut sc.machine, &sc.kernel);
+                let mut cs = CellStats::default();
+                cs.absorb(sc.machine.stats());
+                cs.absorb_pmu(sc.machine.pmu_lifetime());
+                (r, cs)
+            },
+            |_, (_, cs): &(_, CellStats)| campaign.on_cell(cs),
+        );
+        let runs: Vec<_> = detailed.iter().map(|(r, _)| r.clone()).collect();
+        let mut flight = MetricsSection::default();
+        campaign.finish(&mut flight);
+        if std::env::var_os("TET_METRICS").is_some_and(|v| v == "1") {
+            report.set_metrics(flight);
+        }
         let mut times = Vec::new();
         for (seed, r) in seeds.iter().zip(&runs) {
             assert!(r.success, "KASLR break must succeed (seed {seed})");

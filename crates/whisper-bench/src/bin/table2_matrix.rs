@@ -4,12 +4,25 @@
 //!
 //! The matrix fans out one worker task per (CPU, attack) cell via
 //! `tet-par`; results are committed in submission order, so the table is
-//! byte-identical for any `--threads` setting.
+//! byte-identical for any `--threads` setting. While it runs, a
+//! `whisper-top` dashboard on stderr tracks trials/sec, fast-forward
+//! coverage, cache/TLB/BPU hit rates and the ETA (`TET_QUIET=1`
+//! silences it; `TET_FLIGHT=path` appends the telemetry as JSONL).
+//!
+//! With `TET_METRICS=1` the run also exports a metrics section in the
+//! JSON report plus a Prometheus text file next to it; `TET_PROF=1`
+//! adds sampled host-time attribution and a collapsed-stack export.
+//! All of that is host-side observation — stdout is byte-identical
+//! with every combination of those switches.
 //!
 //! Run: `cargo run -p whisper-bench --bin table2_matrix [--threads N] [--check]`
 
-use whisper::eval::{paper_table2_row, run_table2_matrix, AttackStatus};
-use whisper_bench::{check_from_args, section, write_report, RunReport, Table};
+use tet_metrics::{to_prometheus, HostProfiler, ProfHandle, Registry};
+use tet_obs::MetricsSection;
+use tet_uarch::CpuConfig;
+use whisper::eval::{paper_table2_row, run_table2_matrix_observed, AttackStatus};
+use whisper_bench::telemetry::Campaign;
+use whisper_bench::{check_from_args, section, write_report, write_sidecar, RunReport, Table};
 
 fn cell(ours: AttackStatus, paper: Option<AttackStatus>) -> String {
     let o = match ours {
@@ -40,8 +53,23 @@ fn main() {
     ]);
     let mut all_match = true;
     let mut rep = RunReport::new("table2_matrix");
+    let registry = Registry::from_env(); // TET_METRICS=1
+    let profiler = HostProfiler::from_env(); // TET_PROF=1
+    let cells_total =
+        (CpuConfig::table2_presets().len() * whisper::eval::TABLE2_ATTACKS.len()) as u64;
+    let campaign = Campaign::with_metrics(
+        "table2",
+        cells_total,
+        registry
+            .as_ref()
+            .map_or_else(tet_metrics::MetricsHandle::disabled, |r| r.handle()),
+    );
+    let prof_handle = profiler
+        .as_ref()
+        .map_or_else(ProfHandle::disabled, |p| p.handle());
     let started = std::time::Instant::now();
-    let rows = run_table2_matrix(42, threads);
+    let (rows, stats) =
+        run_table2_matrix_observed(42, threads, &prof_handle, |_, cs| campaign.on_cell(cs));
     let wall = started.elapsed();
     for row in &rows {
         let paper = paper_table2_row(row.cpu);
@@ -70,7 +98,31 @@ fn main() {
     rep.set_meta("table", "2");
     rep.set_meta("checked", if checked { "yes" } else { "no" });
     rep.scalar("all_match", f64::from(all_match));
+    rep.counter("trials", stats.runs);
+    rep.counter("sim_cycles", stats.sim_cycles);
+    rep.counter("ff_skipped_cycles", stats.ff_skipped_cycles);
     rep.set_throughput(wall, threads, None);
+
+    // Host-side telemetry exports: the dashboard always closes (stderr,
+    // quiet-gated); the metrics section and sidecar files only exist
+    // when TET_METRICS=1 / TET_PROF=1 opted in.
+    let mut metrics = MetricsSection::default();
+    campaign.finish(&mut metrics);
+    if let Some(p) = &profiler {
+        p.fill_metrics(&mut metrics);
+        write_sidecar("table2_matrix.folded", &p.to_folded());
+    }
+    if let Some(r) = &registry {
+        let shards = r.snapshot();
+        metrics.counters.extend(shards.counters);
+        metrics.gauges.extend(shards.gauges);
+        metrics.histograms.extend(shards.histograms);
+        write_sidecar("table2_matrix.prom", &to_prometheus(&metrics));
+    }
+    if registry.is_some() || profiler.is_some() {
+        rep.set_metrics(metrics);
+    }
+
     write_report(&rep);
     assert!(all_match, "Table 2 reproduction must match the paper");
 }

@@ -10,6 +10,10 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod telemetry;
+pub mod trend;
+
 pub use tet_obs::{Progress, RunReport};
 
 /// Renders an aligned text table.
@@ -95,7 +99,9 @@ pub fn check_from_args(args: &mut Vec<String>) -> bool {
     args.retain(|a| a != "--check");
     if found {
         tet_check::enable();
-        eprintln!("check mode: every run verified against the reference interpreter");
+        if !tet_obs::quiet() {
+            eprintln!("check mode: every run verified against the reference interpreter");
+        }
     }
     found
 }
@@ -115,13 +121,42 @@ pub fn section(title: &str) {
 }
 
 /// Writes a run report to `target/reports/<name>.json` (or
-/// `TET_REPORT_DIR`) and notes the path on stderr. IO failure warns
-/// instead of failing the experiment — the report is a byproduct, not the
-/// result.
+/// `TET_REPORT_DIR`) and notes the path on stderr (`TET_QUIET=1`
+/// silences the note, not the write). IO failure warns instead of
+/// failing the experiment — the report is a byproduct, not the result.
 pub fn write_report(report: &RunReport) {
     match report.write_default() {
-        Ok(path) => eprintln!("report: {}", path.display()),
+        Ok(path) => {
+            if !tet_obs::quiet() {
+                eprintln!("report: {}", path.display());
+            }
+        }
         Err(e) => eprintln!("warning: could not write report {:?}: {e}", report.name),
+    }
+}
+
+/// The directory sidecar exports (`.prom`, `.folded`, flight JSONL)
+/// share with the JSON reports: `TET_REPORT_DIR` or `target/reports`,
+/// created on demand.
+pub fn report_dir() -> std::path::PathBuf {
+    let dir = std::env::var_os("TET_REPORT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/reports"));
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes a sidecar export next to the JSON reports and notes the path
+/// on stderr (quiet-gated, like [`write_report`]).
+pub fn write_sidecar(name: &str, contents: &str) {
+    let path = report_dir().join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => {
+            if !tet_obs::quiet() {
+                eprintln!("export: {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not write export {}: {e}", path.display()),
     }
 }
 

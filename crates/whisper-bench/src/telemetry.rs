@@ -1,0 +1,119 @@
+//! Campaign telemetry glue: one object wiring a `tet-metrics`
+//! [`FlightRecorder`] and `whisper-top` dashboard (plus an optional
+//! sharded metrics registry) to the fan-out observers the experiment
+//! binaries pass to `run_table2_matrix_observed` and friends.
+//!
+//! Everything here is host-side observation: observers run after each
+//! work item's result is committed (see `tet_par::run_indexed_observed`),
+//! dashboards write to stderr, and `TET_QUIET=1` silences them — stdout
+//! stays byte-identical with telemetry on or off.
+
+use std::sync::Mutex;
+
+use tet_metrics::{FlightRecorder, FlightSample, MetricsHandle, Top};
+use tet_obs::MetricsSection;
+use whisper::eval::CellStats;
+
+/// Live telemetry for one campaign of `total` work items.
+pub struct Campaign {
+    flight: FlightRecorder,
+    top: Mutex<Top>,
+    metrics: MetricsHandle,
+}
+
+impl Campaign {
+    /// Creates a campaign dashboard (no registry metrics).
+    pub fn new(label: &str, total: u64) -> Campaign {
+        Campaign::with_metrics(label, total, MetricsHandle::disabled())
+    }
+
+    /// Creates a campaign dashboard that also feeds per-item counters
+    /// and histograms into a metrics registry shard.
+    pub fn with_metrics(label: &str, total: u64, metrics: MetricsHandle) -> Campaign {
+        Campaign {
+            flight: FlightRecorder::new(total),
+            top: Mutex::new(Top::new(label)),
+            metrics,
+        }
+    }
+
+    /// Records one finished work item from raw counters and redraws the
+    /// dashboard if a sampling interval has elapsed. Safe to call from
+    /// any worker thread.
+    pub fn record(&self, trials: u64, sim_cycles: u64, ff_skipped_cycles: u64) {
+        self.flight
+            .record_work(trials, sim_cycles, ff_skipped_cycles);
+        self.metrics.counter_add("campaign.trials", trials);
+        self.metrics.counter_add("campaign.sim_cycles", sim_cycles);
+        self.metrics.observe("item.trials", trials);
+        self.metrics.observe("item.sim_cycles", sim_cycles);
+        if let Some(s) = self.flight.maybe_sample() {
+            self.top.lock().unwrap().tick(&s);
+        }
+    }
+
+    /// Records one finished Table 2 cell (cost counters plus the
+    /// PMU-derived event counts behind the dashboard's hit rates).
+    pub fn on_cell(&self, cs: &CellStats) {
+        self.flight.record_events(
+            cs.l1_hits,
+            cs.l1_misses,
+            cs.dtlb_walks,
+            cs.branches,
+            cs.br_mispredicts,
+        );
+        self.record(cs.runs, cs.sim_cycles, cs.ff_skipped_cycles);
+    }
+
+    /// Finishes the campaign: takes the final sample, closes the
+    /// dashboard line, flushes the JSONL flight log (`TET_FLIGHT=path`),
+    /// and exports the flight gauges into `m`. Returns all samples.
+    pub fn finish(&self, m: &mut MetricsSection) -> Vec<FlightSample> {
+        let samples = self.flight.finish();
+        if let Some(last) = samples.last() {
+            self.top.lock().unwrap().done(last);
+        }
+        self.flight.fill_metrics(m);
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tet_metrics::Registry;
+
+    #[test]
+    fn campaign_accumulates_cells_into_flight_and_registry() {
+        // TET_QUIET may or may not be set in the test environment; the
+        // dashboard writes to stderr either way, never to results.
+        let reg = Registry::new();
+        let campaign = Campaign::with_metrics("unit-test", 2, reg.handle());
+        let cs = CellStats {
+            runs: 10,
+            sim_cycles: 1000,
+            ff_skipped_cycles: 400,
+            ff_sprints: 3,
+            snapshot_restores: 1,
+            l1_hits: 90,
+            l1_misses: 10,
+            dtlb_walks: 5,
+            branches: 50,
+            br_mispredicts: 2,
+        };
+        campaign.on_cell(&cs);
+        campaign.on_cell(&cs);
+        let mut m = MetricsSection::default();
+        let samples = campaign.finish(&mut m);
+        assert!(!samples.is_empty());
+        let last = samples.last().unwrap();
+        assert_eq!(last.done, 2);
+        assert_eq!(last.trials, 20);
+        assert!((last.ff_skip_ratio - 0.4).abs() < 1e-12);
+        assert!((last.l1_hit_rate - 0.9).abs() < 1e-12);
+        assert_eq!(m.counters["flight.trials"], 20);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["campaign.trials"], 20);
+        assert_eq!(snap.histograms["item.sim_cycles"].count, 2);
+    }
+}

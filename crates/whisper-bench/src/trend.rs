@@ -1,0 +1,362 @@
+//! `bench-trend`: per-metric deltas across a lineage of reports.
+//!
+//! The repository accumulates performance reports in two places: the
+//! committed `BENCH_*.json` lineage at the repo root (the long-term
+//! record, e.g. `BENCH_baseline.json` → `BENCH_core.json`) and the
+//! per-binary `target/reports/*.json` from the current build. This
+//! module lines those up per metric key, computes the latest point's
+//! delta against the prior points, and surrounds it with a *noise band*
+//! estimated from the prior points' spread — so a CI trend gate can
+//! distinguish "3% jitter on a noisy container" from "the hot path got
+//! 40% slower".
+//!
+//! Only metrics with a known *direction* (throughput-shaped or
+//! latency-shaped host-performance keys, see [`direction_for`]) can
+//! regress; everything else — simulated-time results, error rates,
+//! counters — is reported as informational.
+
+use std::path::Path;
+
+use tet_obs::RunReport;
+
+use crate::baseline::Direction;
+
+/// A named report in lineage order (oldest first).
+pub type SourcedReport = (String, RunReport);
+
+/// Loads reports from explicit paths, in the given (lineage) order.
+/// Unreadable or unparsable files are reported as errors.
+pub fn load_reports(paths: &[impl AsRef<Path>]) -> Result<Vec<SourcedReport>, String> {
+    let mut out = Vec::new();
+    for p in paths {
+        let p = p.as_ref();
+        let text = std::fs::read_to_string(p).map_err(|e| format!("read {}: {e}", p.display()))?;
+        let rep = RunReport::from_json(&text).map_err(|e| format!("parse {}: {e}", p.display()))?;
+        let name = p
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.display().to_string());
+        out.push((name, rep));
+    }
+    Ok(out)
+}
+
+/// The host-performance direction of a metric key, if it has one.
+///
+/// Latency-shaped (`ns_per_iter`, `ns_per_trial`, wall-clock seconds)
+/// keys regress *upward*; throughput-shaped (`*_per_sec`, `speedup`)
+/// keys regress *downward*. Simulated-time metrics (e.g.
+/// `tet_kaslr.mean_seconds` — deterministic simulated seconds) and
+/// everything else return `None` and are never gated.
+pub fn direction_for(key: &str) -> Option<Direction> {
+    if key.ends_with("ns_per_iter") || key.ends_with("ns_per_trial") {
+        return Some(Direction::LowerIsBetter);
+    }
+    if key.ends_with("threads1_seconds") || key.ends_with("threadsN_seconds") {
+        return Some(Direction::LowerIsBetter);
+    }
+    if key.ends_with("_per_sec") || key == "sim_cycles_per_sec" || key.ends_with("speedup") {
+        // `tet_cc.bytes_per_sec` and friends are *simulated* throughput
+        // (deterministic), but a deterministic series has zero spread
+        // and zero delta, so gating them is harmless and catching a
+        // simulated-throughput change is a feature.
+        return Some(Direction::HigherIsBetter);
+    }
+    None
+}
+
+/// One metric's points across the lineage.
+#[derive(Debug, Clone)]
+pub struct TrendSeries {
+    /// Metric key.
+    pub key: String,
+    /// `(source, value)` in lineage order.
+    pub points: Vec<(String, f64)>,
+}
+
+/// Collects every scalar metric (plus `sim_cycles_per_sec`) across the
+/// reports into per-key series, sorted by key. Keys present in only one
+/// report still appear (with a single point).
+pub fn collect(reports: &[SourcedReport]) -> Vec<TrendSeries> {
+    let mut by_key: std::collections::BTreeMap<String, Vec<(String, f64)>> = Default::default();
+    for (src, rep) in reports {
+        if let Some(v) = rep.sim_cycles_per_sec {
+            by_key
+                .entry("sim_cycles_per_sec".to_string())
+                .or_default()
+                .push((src.clone(), v));
+        }
+        for (k, &v) in &rep.scalars {
+            by_key.entry(k.clone()).or_default().push((src.clone(), v));
+        }
+    }
+    by_key
+        .into_iter()
+        .map(|(key, points)| TrendSeries { key, points })
+        .collect()
+}
+
+/// A trend verdict for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendVerdict {
+    /// Directed metric, latest point within the noise band.
+    Steady,
+    /// Directed metric, latest point better than the band.
+    Improved,
+    /// Directed metric, latest point worse than the band.
+    Regressed,
+    /// Undirected metric (or a single point): informational only.
+    Info,
+}
+
+/// One analyzed metric row.
+#[derive(Debug, Clone)]
+pub struct TrendRow {
+    /// Metric key.
+    pub key: String,
+    /// Number of points in the series.
+    pub n: usize,
+    /// Median of the prior (all-but-last) points.
+    pub baseline: f64,
+    /// The latest point.
+    pub current: f64,
+    /// `current` vs `baseline`, percent.
+    pub delta_pct: f64,
+    /// Noise band, percent: the prior points' half-spread relative to
+    /// their median, floored at `band_floor_pct`.
+    pub band_pct: f64,
+    /// Direction, if the key is a host-performance metric.
+    pub direction: Option<Direction>,
+    /// Verdict.
+    pub verdict: TrendVerdict,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Analyzes one series: delta of the last point against the median of
+/// the prior points, with a noise band from the prior points' spread
+/// (floored at `band_floor_pct`). Series with fewer than two points
+/// come back as [`TrendVerdict::Info`] with a zero delta.
+pub fn analyze(series: &TrendSeries, band_floor_pct: f64) -> TrendRow {
+    let n = series.points.len();
+    let direction = direction_for(&series.key);
+    if n < 2 {
+        let v = series.points.first().map(|p| p.1).unwrap_or(0.0);
+        return TrendRow {
+            key: series.key.clone(),
+            n,
+            baseline: v,
+            current: v,
+            delta_pct: 0.0,
+            band_pct: band_floor_pct,
+            direction,
+            verdict: TrendVerdict::Info,
+        };
+    }
+    let current = series.points[n - 1].1;
+    let mut prior: Vec<f64> = series.points[..n - 1].iter().map(|p| p.1).collect();
+    prior.sort_by(f64::total_cmp);
+    let baseline = median(&prior);
+    let delta_pct = if baseline.abs() > f64::EPSILON {
+        (current / baseline - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    let spread_pct = if baseline.abs() > f64::EPSILON {
+        (prior[prior.len() - 1] - prior[0]) / 2.0 / baseline.abs() * 100.0
+    } else {
+        0.0
+    };
+    let band_pct = spread_pct.max(band_floor_pct);
+    let verdict = match direction {
+        None => TrendVerdict::Info,
+        Some(dir) => {
+            let worse = match dir {
+                Direction::HigherIsBetter => delta_pct < -band_pct,
+                Direction::LowerIsBetter => delta_pct > band_pct,
+            };
+            let better = match dir {
+                Direction::HigherIsBetter => delta_pct > band_pct,
+                Direction::LowerIsBetter => delta_pct < -band_pct,
+            };
+            if worse {
+                TrendVerdict::Regressed
+            } else if better {
+                TrendVerdict::Improved
+            } else {
+                TrendVerdict::Steady
+            }
+        }
+    };
+    TrendRow {
+        key: series.key.clone(),
+        n,
+        baseline,
+        current,
+        delta_pct,
+        band_pct,
+        direction,
+        verdict,
+    }
+}
+
+/// Analyzes every series.
+pub fn analyze_all(series: &[TrendSeries], band_floor_pct: f64) -> Vec<TrendRow> {
+    series.iter().map(|s| analyze(s, band_floor_pct)).collect()
+}
+
+/// Whether any directed metric regressed past its band — the CI gate.
+pub fn any_regressed(rows: &[TrendRow]) -> bool {
+    rows.iter().any(|r| r.verdict == TrendVerdict::Regressed)
+}
+
+/// Renders the rows as an aligned table (directed metrics first).
+pub fn render_table(rows: &[TrendRow]) -> String {
+    let mut table = crate::Table::new(&[
+        "metric", "n", "baseline", "current", "delta", "band", "trend",
+    ]);
+    let mut ordered: Vec<&TrendRow> = rows.iter().collect();
+    ordered.sort_by_key(|r| (r.direction.is_none(), r.key.clone()));
+    for r in ordered {
+        let trend = match r.verdict {
+            TrendVerdict::Steady => "steady",
+            TrendVerdict::Improved => "improved",
+            TrendVerdict::Regressed => "REGRESSED",
+            TrendVerdict::Info => "info",
+        };
+        table.row_owned(vec![
+            r.key.clone(),
+            r.n.to_string(),
+            format!("{:.4}", r.baseline),
+            format!("{:.4}", r.current),
+            format!("{:+.1}%", r.delta_pct),
+            format!("±{:.1}%", r.band_pct),
+            trend.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(key: &str, values: &[f64]) -> TrendSeries {
+        TrendSeries {
+            key: key.to_string(),
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (format!("r{i}.json"), v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn directions_are_classified() {
+        assert_eq!(
+            direction_for("fig1_probe.ns_per_iter"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_for("table2.ns_per_trial"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_for("sim_cycles_per_sec"),
+            Some(Direction::HigherIsBetter)
+        );
+        assert_eq!(
+            direction_for("table2.speedup"),
+            Some(Direction::HigherIsBetter)
+        );
+        assert_eq!(direction_for("tet_cc.error_rate"), None);
+        assert_eq!(direction_for("tet_kaslr.mean_seconds"), None);
+        assert_eq!(direction_for("all_match"), None);
+    }
+
+    #[test]
+    fn small_jitter_stays_inside_the_band() {
+        // 4% rise on a latency metric, 10% floor: steady.
+        let row = analyze(&series("x.ns_per_trial", &[100.0, 104.0]), 10.0);
+        assert_eq!(row.verdict, TrendVerdict::Steady);
+        assert!((row.delta_pct - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_regressions_break_the_band_in_the_right_direction() {
+        let slow = analyze(&series("x.ns_per_trial", &[100.0, 150.0]), 10.0);
+        assert_eq!(slow.verdict, TrendVerdict::Regressed);
+        let fast = analyze(&series("x.ns_per_trial", &[100.0, 50.0]), 10.0);
+        assert_eq!(fast.verdict, TrendVerdict::Improved);
+        // Throughput regresses downward.
+        let drop = analyze(&series("sim_cycles_per_sec", &[1e8, 5e7]), 10.0);
+        assert_eq!(drop.verdict, TrendVerdict::Regressed);
+        assert!(any_regressed(&[drop]));
+    }
+
+    #[test]
+    fn noisy_history_widens_the_band() {
+        // Prior points span 80..120 (median 100, half-spread 20%), so a
+        // 15% rise that would break a 5% floor stays inside the band.
+        let row = analyze(&series("x.ns_per_iter", &[80.0, 120.0, 100.0, 115.0]), 5.0);
+        assert!((row.band_pct - 20.0).abs() < 1e-9, "band {}", row.band_pct);
+        assert_eq!(row.verdict, TrendVerdict::Steady);
+    }
+
+    #[test]
+    fn undirected_metrics_are_informational() {
+        let row = analyze(&series("tet_cc.error_rate", &[0.01, 0.5]), 5.0);
+        assert_eq!(row.verdict, TrendVerdict::Info);
+        assert!(!any_regressed(&[row]));
+    }
+
+    #[test]
+    fn collect_unions_keys_across_reports() {
+        let mut a = RunReport::new("a");
+        a.scalar("x.ns_per_iter", 10.0);
+        a.sim_cycles_per_sec = Some(1e8);
+        let mut b = RunReport::new("b");
+        b.scalar("x.ns_per_iter", 12.0);
+        b.scalar("only_b", 1.0);
+        let series = collect(&[("a.json".into(), a), ("b.json".into(), b)]);
+        let keys: Vec<&str> = series.iter().map(|s| s.key.as_str()).collect();
+        assert_eq!(keys, vec!["only_b", "sim_cycles_per_sec", "x.ns_per_iter"]);
+        let x = series.iter().find(|s| s.key == "x.ns_per_iter").unwrap();
+        assert_eq!(x.points.len(), 2);
+        assert_eq!(x.points[0], ("a.json".to_string(), 10.0));
+    }
+
+    #[test]
+    fn load_reports_round_trips_files_in_order() {
+        let dir = std::env::temp_dir().join(format!("tet_trend_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut old = RunReport::new("bench_core");
+        old.scalar("table2.ns_per_trial", 100.0);
+        let mut new = RunReport::new("bench_core");
+        new.scalar("table2.ns_per_trial", 300.0);
+        let p0 = dir.join("BENCH_baseline.json");
+        let p1 = dir.join("BENCH_core.json");
+        std::fs::write(&p0, old.to_json()).unwrap();
+        std::fs::write(&p1, new.to_json()).unwrap();
+        let reports = load_reports(&[&p0, &p1]).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(reports[0].0, "BENCH_baseline.json");
+        let rows = analyze_all(&collect(&reports), 10.0);
+        let row = rows
+            .iter()
+            .find(|r| r.key == "table2.ns_per_trial")
+            .unwrap();
+        assert_eq!(row.verdict, TrendVerdict::Regressed);
+        let rendered = render_table(&rows);
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+        assert!(load_reports(&[dir.join("missing.json")]).is_err());
+    }
+}

@@ -6,6 +6,8 @@
 //! a majority of the secret bytes recovered (leaks), a decoded bit
 //! pattern (covert channels), or the exact base found (KASLR).
 
+use tet_metrics::ProfHandle;
+use tet_pmu::Event;
 use tet_uarch::CpuConfig;
 
 use crate::attacks::{TetKaslr, TetMeltdown, TetSpectreRsb, TetZombieload};
@@ -76,6 +78,16 @@ pub struct CellStats {
     pub ff_sprints: u64,
     /// Machine-snapshot restores applied.
     pub snapshot_restores: u64,
+    /// Retired loads that hit the L1D (PMU `MEM_LOAD_RETIRED.L1_HIT`).
+    pub l1_hits: u64,
+    /// Retired loads that missed the L1D (PMU `MEM_LOAD_RETIRED.L1_MISS`).
+    pub l1_misses: u64,
+    /// DTLB load misses that walked the page tables.
+    pub dtlb_walks: u64,
+    /// Retired branches (PMU `BR_INST_RETIRED.ALL_BRANCHES`).
+    pub branches: u64,
+    /// Retired mispredicted branches.
+    pub br_mispredicts: u64,
 }
 
 impl CellStats {
@@ -88,6 +100,17 @@ impl CellStats {
         self.snapshot_restores += s.snapshot_restores;
     }
 
+    /// Adds one machine's lifetime PMU totals into this sum. These are
+    /// *simulated* events — deterministic per `(cfg, seed, attack)` —
+    /// so `CellStats` stays `Eq` and safe to compare across runs.
+    pub fn absorb_pmu(&mut self, pmu: &tet_pmu::PmuSnapshot) {
+        self.l1_hits += pmu.count(Event::MemLoadRetiredL1Hit);
+        self.l1_misses += pmu.count(Event::MemLoadRetiredL1Miss);
+        self.dtlb_walks += pmu.count(Event::DtlbLoadMissesMissCausesAWalk);
+        self.branches += pmu.count(Event::BrInstRetiredAll);
+        self.br_mispredicts += pmu.count(Event::BrMispRetiredAll);
+    }
+
     /// Adds another sum into this one.
     pub fn merge(&mut self, other: &CellStats) {
         self.runs += other.runs;
@@ -95,6 +118,11 @@ impl CellStats {
         self.ff_skipped_cycles += other.ff_skipped_cycles;
         self.ff_sprints += other.ff_sprints;
         self.snapshot_restores += other.snapshot_restores;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.dtlb_walks += other.dtlb_walks;
+        self.branches += other.branches;
+        self.br_mispredicts += other.br_mispredicts;
     }
 }
 
@@ -114,14 +142,31 @@ pub fn run_table2_cell_detailed(
     seed: u64,
     attack: usize,
 ) -> (AttackStatus, CellStats) {
+    run_table2_cell_instrumented(cfg, seed, attack, &ProfHandle::disabled())
+}
+
+/// [`run_table2_cell_detailed`] with a host profiler installed on the
+/// cell's machine. The profiler only accumulates host wall-time on the
+/// side (see `tet-metrics`); pass [`ProfHandle::disabled`] for the
+/// plain path — the simulated outcome is identical either way.
+pub fn run_table2_cell_instrumented(
+    cfg: &CpuConfig,
+    seed: u64,
+    attack: usize,
+    prof: &ProfHandle,
+) -> (AttackStatus, CellStats) {
     let opts = ScenarioOptions {
         seed,
         ..ScenarioOptions::default()
     };
     let mut sc = Scenario::new(cfg.clone(), &opts);
+    if prof.enabled() {
+        sc.machine.set_profiler(prof.clone());
+    }
     let status = run_attack_on(&mut sc, attack);
     let mut stats = CellStats::default();
     stats.absorb(sc.machine.stats());
+    stats.absorb_pmu(sc.machine.pmu_lifetime());
     (status, stats)
 }
 
@@ -200,11 +245,36 @@ pub fn run_table2_matrix(seed: u64, threads: usize) -> Vec<Table2Row> {
 /// cells — what `bench_core` divides wall time by to get
 /// `table2.ns_per_trial`.
 pub fn run_table2_matrix_detailed(seed: u64, threads: usize) -> (Vec<Table2Row>, CellStats) {
+    run_table2_matrix_observed(seed, threads, &ProfHandle::disabled(), |_, _| {})
+}
+
+/// [`run_table2_matrix_detailed`] with live telemetry hooks: installs
+/// `prof` on every cell's machine and calls `observe(cell_index,
+/// &cell_stats)` on the worker thread as each cell completes (completion
+/// order — see [`tet_par::run_indexed_observed`]).
+///
+/// The observer is telemetry-only (flight recorders, stderr dashboards):
+/// results are committed before it runs, so the returned rows and summed
+/// stats are byte-identical to [`run_table2_matrix_detailed`] for any
+/// thread count, profiler, or observer.
+pub fn run_table2_matrix_observed<O>(
+    seed: u64,
+    threads: usize,
+    prof: &ProfHandle,
+    observe: O,
+) -> (Vec<Table2Row>, CellStats)
+where
+    O: Fn(usize, &CellStats) + Sync,
+{
     let presets = CpuConfig::table2_presets();
     let n_attacks = TABLE2_ATTACKS.len();
-    let cells = tet_par::run_indexed(threads, presets.len() * n_attacks, |i| {
-        run_table2_cell_detailed(&presets[i / n_attacks], seed, i % n_attacks)
-    });
+    let cells = tet_par::run_indexed_observed(
+        threads,
+        presets.len() * n_attacks,
+        || (),
+        |(), i| run_table2_cell_instrumented(&presets[i / n_attacks], seed, i % n_attacks, prof),
+        |i, (_, cs): &(AttackStatus, CellStats)| observe(i, cs),
+    );
     let mut total = CellStats::default();
     let statuses: Vec<AttackStatus> = cells
         .iter()
@@ -283,6 +353,21 @@ mod tests {
             .find(|r| r.cpu == cfg.name)
             .expect("preset present");
         assert_eq!(*row, serial);
+    }
+
+    #[test]
+    fn instrumented_cell_matches_plain_and_counts_pmu() {
+        let cfg = CpuConfig::kaby_lake_i7_7700();
+        let prof = tet_metrics::HostProfiler::new(8);
+        let plain = run_table2_cell_detailed(&cfg, 3, 0);
+        let inst = run_table2_cell_instrumented(&cfg, 3, 0, &prof.handle());
+        assert_eq!(plain, inst, "profiler must not perturb the cell");
+        assert!(inst.1.l1_hits > 0, "covert channel retires L1 hits");
+        assert!(inst.1.dtlb_walks > 0, "covert channel walks the DTLB");
+        assert!(
+            prof.hits(tet_metrics::Stage::Run) > 0,
+            "profiler saw the runs"
+        );
     }
 
     #[test]

@@ -79,6 +79,32 @@ fn matrix_report(rows: &[whisper::eval::Table2Row], threads: usize) -> RunReport
 }
 
 #[test]
+fn matrix_with_telemetry_identical_to_plain_serial_matrix() {
+    use whisper::eval::{run_table2_matrix_detailed, run_table2_matrix_observed};
+    // Telemetry off, serial — the reference leg.
+    let (plain_rows, plain_stats) = run_table2_matrix_detailed(7, 1);
+    // Telemetry fully on (host profiler + completion-order observer),
+    // 8 threads — covers both "metrics on vs off" and "threads 1 vs 8"
+    // in one comparison. The observer sees every cell exactly once.
+    let prof = tet_metrics::HostProfiler::new(32);
+    let seen = std::sync::atomic::AtomicU64::new(0);
+    let (rows, stats) = run_table2_matrix_observed(7, 8, &prof.handle(), |_, cs| {
+        seen.fetch_add(cs.runs, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(rows, plain_rows);
+    assert_eq!(stats, plain_stats, "PMU-derived counters included");
+    assert_eq!(
+        seen.load(std::sync::atomic::Ordering::Relaxed),
+        stats.runs,
+        "observer saw every cell's trials exactly once"
+    );
+    assert!(
+        prof.hits(tet_metrics::Stage::Run) >= stats.runs,
+        "profiler timed every run"
+    );
+}
+
+#[test]
 fn full_matrix_and_report_identical_at_threads_1_and_8() {
     let serial = run_table2_matrix(42, 1);
     let parallel = run_table2_matrix(42, 8);
