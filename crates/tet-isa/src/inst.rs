@@ -380,6 +380,111 @@ impl Inst {
     pub fn reads_flags(&self) -> bool {
         matches!(self, Inst::Jcc { .. })
     }
+
+    /// The dense per-variant opcode of this instruction — the key into
+    /// threaded-code dispatch tables (one handler slot per variant, see
+    /// the execute table in `tet-uarch`).
+    pub const fn opcode(&self) -> Opcode {
+        match self {
+            Inst::Nop => Opcode::Nop,
+            Inst::MovImm { .. } => Opcode::MovImm,
+            Inst::MovReg { .. } => Opcode::MovReg,
+            Inst::Load { .. } => Opcode::Load,
+            Inst::LoadByte { .. } => Opcode::LoadByte,
+            Inst::Store { .. } => Opcode::Store,
+            Inst::StoreByte { .. } => Opcode::StoreByte,
+            Inst::Lea { .. } => Opcode::Lea,
+            Inst::Alu { .. } => Opcode::Alu,
+            Inst::Cmp { .. } => Opcode::Cmp,
+            Inst::Test { .. } => Opcode::Test,
+            Inst::Jcc { .. } => Opcode::Jcc,
+            Inst::Jmp { .. } => Opcode::Jmp,
+            Inst::JmpReg { .. } => Opcode::JmpReg,
+            Inst::Call { .. } => Opcode::Call,
+            Inst::Ret => Opcode::Ret,
+            Inst::Push { .. } => Opcode::Push,
+            Inst::Pop { .. } => Opcode::Pop,
+            Inst::Clflush { .. } => Opcode::Clflush,
+            Inst::Prefetch { .. } => Opcode::Prefetch,
+            Inst::Lfence => Opcode::Lfence,
+            Inst::Mfence => Opcode::Mfence,
+            Inst::Sfence => Opcode::Sfence,
+            Inst::Rdtsc => Opcode::Rdtsc,
+            Inst::XBegin { .. } => Opcode::XBegin,
+            Inst::XEnd => Opcode::XEnd,
+            Inst::Syscall => Opcode::Syscall,
+            Inst::Halt => Opcode::Halt,
+        }
+    }
+}
+
+/// Dense opcode index, one per [`Inst`] variant, in declaration order.
+/// Dispatch tables are `[T; Opcode::COUNT]` arrays indexed by
+/// `opcode as usize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `Inst::Nop`
+    Nop,
+    /// `Inst::MovImm`
+    MovImm,
+    /// `Inst::MovReg`
+    MovReg,
+    /// `Inst::Load`
+    Load,
+    /// `Inst::LoadByte`
+    LoadByte,
+    /// `Inst::Store`
+    Store,
+    /// `Inst::StoreByte`
+    StoreByte,
+    /// `Inst::Lea`
+    Lea,
+    /// `Inst::Alu`
+    Alu,
+    /// `Inst::Cmp`
+    Cmp,
+    /// `Inst::Test`
+    Test,
+    /// `Inst::Jcc`
+    Jcc,
+    /// `Inst::Jmp`
+    Jmp,
+    /// `Inst::JmpReg`
+    JmpReg,
+    /// `Inst::Call`
+    Call,
+    /// `Inst::Ret`
+    Ret,
+    /// `Inst::Push`
+    Push,
+    /// `Inst::Pop`
+    Pop,
+    /// `Inst::Clflush`
+    Clflush,
+    /// `Inst::Prefetch`
+    Prefetch,
+    /// `Inst::Lfence`
+    Lfence,
+    /// `Inst::Mfence`
+    Mfence,
+    /// `Inst::Sfence`
+    Sfence,
+    /// `Inst::Rdtsc`
+    Rdtsc,
+    /// `Inst::XBegin`
+    XBegin,
+    /// `Inst::XEnd`
+    XEnd,
+    /// `Inst::Syscall`
+    Syscall,
+    /// `Inst::Halt`
+    Halt,
+}
+
+impl Opcode {
+    /// Number of opcodes (the dispatch-table length).
+    pub const COUNT: usize = 28;
 }
 
 #[cfg(test)]

@@ -46,5 +46,5 @@ pub mod text;
 
 pub use asm::{Asm, AssembleError, Label, Program};
 pub use cond::{Cond, Flags};
-pub use inst::{Addr, Inst, Src};
+pub use inst::{Addr, Inst, Opcode, Src};
 pub use reg::Reg;

@@ -116,6 +116,12 @@ pub struct MemorySystem {
     lfb: LineFillBuffer,
     rng: StdRng,
     sink: SinkHandle,
+    /// Lifetime count of DRAM-jitter RNG draws. Monotonic: snapshot
+    /// restores roll the *stream position* back but not this counter,
+    /// so deltas of it measure how many draws a span consumed.
+    jitter_draws: u64,
+    /// Lifetime sum of all jitter cycles drawn (same monotonicity).
+    jitter_sum: u64,
 }
 
 impl MemorySystem {
@@ -130,6 +136,8 @@ impl MemorySystem {
             rng: StdRng::seed_from_u64(seed),
             cfg,
             sink: SinkHandle::disabled(),
+            jitter_draws: 0,
+            jitter_sum: 0,
         }
     }
 
@@ -149,8 +157,37 @@ impl MemorySystem {
         if self.cfg.dram_jitter == 0 {
             self.cfg.dram_latency
         } else {
-            self.cfg.dram_latency + self.rng.gen_range(0..=self.cfg.dram_jitter)
+            let j = self.rng.gen_range(0..=self.cfg.dram_jitter);
+            self.jitter_draws += 1;
+            self.jitter_sum += j;
+            self.cfg.dram_latency + j
         }
+    }
+
+    /// Lifetime `(draws, summed cycles)` of the DRAM jitter stream —
+    /// monotonic across snapshot restores, so span deltas of it tell a
+    /// trial batcher exactly how many draws (and how much jitter) a
+    /// probe consumed.
+    pub fn jitter_stats(&self) -> (u64, u64) {
+        (self.jitter_draws, self.jitter_sum)
+    }
+
+    /// Advances the jitter stream by `draws` draws without simulating
+    /// the DRAM accesses that would have consumed them, returning the
+    /// summed jitter. This is the replay path of divergence-aware trial
+    /// batching: a skipped probe must leave the RNG at exactly the
+    /// position the live run would have left it.
+    pub fn replay_jitter(&mut self, draws: u64) -> u64 {
+        if self.cfg.dram_jitter == 0 {
+            return 0;
+        }
+        let mut sum = 0u64;
+        for _ in 0..draws {
+            sum += self.rng.gen_range(0..=self.cfg.dram_jitter);
+        }
+        self.jitter_draws += draws;
+        self.jitter_sum += sum;
+        sum
     }
 
     /// Stamps the access result and reports it to the trace sink.
@@ -312,6 +349,10 @@ impl MemorySystem {
             lfb,
             rng,
             sink,
+            // Lifetime draw counters stay monotonic across restores (the
+            // stream *position* rolls back, the bookkeeping does not).
+            jitter_draws: _,
+            jitter_sum: _,
         } = src;
         self.cfg = *cfg;
         self.l1d.restore_from(l1d);

@@ -165,6 +165,41 @@ impl PmuSnapshot {
         }
     }
 
+    /// Learns a 0/1 response mask from two observations of the same
+    /// probe whose timing differed by `d0` cycles: every counter must
+    /// have moved by exactly `0` (a pure event count) or exactly `d0`
+    /// (a cycle-counting event that absorbed the whole shift — e.g.
+    /// unhalted-cycle or stall-cycle events). Returns `None` if any
+    /// counter moved by anything else; `d0` must be non-zero.
+    pub fn unit_shift(&self, other: &PmuSnapshot, d0: i64) -> Option<PmuSnapshot> {
+        debug_assert_ne!(d0, 0);
+        let mut counts = Vec::with_capacity(self.counts.len());
+        for (a, b) in self.counts.iter().zip(&other.counts) {
+            let diff = *b as i64 - *a as i64;
+            if diff == 0 {
+                counts.push(0);
+            } else if diff == d0 {
+                counts.push(1);
+            } else {
+                return None;
+            }
+        }
+        Some(PmuSnapshot { counts })
+    }
+
+    /// Returns `self + d * unit` per counter — reconstructs the
+    /// snapshot a probe shifted by `d` cycles would have produced,
+    /// given the 0/1 response mask [`PmuSnapshot::unit_shift`] learned.
+    pub fn add_scaled(&self, unit: &PmuSnapshot, d: i64) -> PmuSnapshot {
+        let counts = self
+            .counts
+            .iter()
+            .zip(&unit.counts)
+            .map(|(a, u)| a.wrapping_add_signed(d * *u as i64))
+            .collect();
+        PmuSnapshot { counts }
+    }
+
     /// Iterates over `(event, value)` pairs for all events.
     pub fn iter(&self) -> impl Iterator<Item = (Event, u64)> + '_ {
         Event::ALL

@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use tet_isa::reg::RegFile;
-use tet_isa::{Flags, Inst, Program, Reg};
+use tet_isa::{Flags, Inst, Opcode, Program, Reg};
 use tet_mem::{AddressSpace, HitLevel, MemorySystem, PageWalker, PhysMem, Pte, Tlb, WalkOutcome};
 use tet_metrics::{ProfHandle, Stage as ProfStage};
 use tet_obs::{EventKind, SinkHandle, TlbKind};
@@ -28,12 +28,12 @@ use tet_pmu::{Event, Pmu};
 
 use crate::config::{CpuConfig, ForwardPolicy};
 use crate::frontend::{Dsb, FetchedUop};
+use crate::template::ProgramTemplate;
 use crate::uop::FaultRoute;
 use crate::uop::{
-    dest_regs, src_regs, Dep, DepKind, DepList, Fault, FaultKind, ResultList, RobEntry,
-    SquashReason, StoreInfo,
+    Dep, DepKind, DepList, Fault, FaultKind, ResultList, RobEntry, SquashReason, StoreInfo,
 };
-use crate::{code_vaddr, Bpu};
+use crate::Bpu;
 
 /// Borrowed environment a core steps against (shared by both SMT threads).
 #[derive(Debug)]
@@ -49,24 +49,6 @@ pub struct Env<'a> {
     pub check: Option<&'a mut tet_check::Oracle>,
 }
 
-/// Whether a µop buffers store data (participates in memory ordering
-/// and store-to-load forwarding as a producer).
-fn is_store_kind(inst: &Inst) -> bool {
-    matches!(
-        inst,
-        Inst::Store { .. } | Inst::StoreByte { .. } | Inst::Push { .. } | Inst::Call { .. }
-    )
-}
-
-/// Whether a µop reads memory (participates in memory ordering as a
-/// consumer).
-fn is_load_kind(inst: &Inst) -> bool {
-    matches!(
-        inst,
-        Inst::Load { .. } | Inst::LoadByte { .. } | Inst::Pop { .. } | Inst::Ret
-    )
-}
-
 /// The `tet-check` spelling of a fault class.
 pub(crate) fn check_fault_kind(k: FaultKind) -> tet_check::ArchFaultKind {
     match k {
@@ -75,6 +57,68 @@ pub(crate) fn check_fault_kind(k: FaultKind) -> tet_check::ArchFaultKind {
         FaultKind::ReservedBit => tet_check::ArchFaultKind::ReservedBit,
     }
 }
+
+/// Architectural result of one µop's execute step, produced by a
+/// dispatch-table handler and applied by `Cpu::execute_uop`'s shared
+/// tail (forward/done timing, ROB bookkeeping, waiter wakeup, events).
+struct ExecOut {
+    latency: u64,
+    results: ResultList,
+    flags_out: Option<Flags>,
+    fault: Option<Fault>,
+    store: Option<StoreInfo>,
+    actual_next: Option<usize>,
+}
+
+impl ExecOut {
+    fn new(latency: u64) -> ExecOut {
+        ExecOut {
+            latency,
+            results: ResultList::new(),
+            flags_out: None,
+            fault: None,
+            store: None,
+            actual_next: None,
+        }
+    }
+}
+
+/// One execute handler. `None` means the µop could not start (blocked
+/// store-to-load forwarding) and the handler re-parked it.
+type ExecFn = fn(&mut Cpu, usize, u64, &mut Env<'_>) -> Option<ExecOut>;
+
+/// Threaded-code execute dispatch: one handler per opcode, indexed by
+/// `RobEntry::op`. Slot order must match `Opcode`'s declaration order.
+static EXEC_TABLE: [ExecFn; Opcode::COUNT] = [
+    Cpu::exec_simple,   // Nop
+    Cpu::exec_mov_imm,  // MovImm
+    Cpu::exec_mov_reg,  // MovReg
+    Cpu::exec_load,     // Load
+    Cpu::exec_load,     // LoadByte
+    Cpu::exec_store,    // Store
+    Cpu::exec_store,    // StoreByte
+    Cpu::exec_lea,      // Lea
+    Cpu::exec_alu,      // Alu
+    Cpu::exec_cmp,      // Cmp
+    Cpu::exec_test,     // Test
+    Cpu::exec_jcc,      // Jcc
+    Cpu::exec_jmp,      // Jmp
+    Cpu::exec_jmp_reg,  // JmpReg
+    Cpu::exec_call,     // Call
+    Cpu::exec_ret,      // Ret
+    Cpu::exec_push,     // Push
+    Cpu::exec_pop,      // Pop
+    Cpu::exec_clflush,  // Clflush
+    Cpu::exec_prefetch, // Prefetch
+    Cpu::exec_fence,    // Lfence
+    Cpu::exec_fence,    // Mfence
+    Cpu::exec_fence,    // Sfence
+    Cpu::exec_rdtsc,    // Rdtsc
+    Cpu::exec_simple,   // XBegin
+    Cpu::exec_simple,   // XEnd
+    Cpu::exec_syscall,  // Syscall
+    Cpu::exec_simple,   // Halt
+];
 
 /// Core invariant checks (DESIGN.md §9): active in every debug build,
 /// and in release builds when check mode is on (`TET_CHECK=1` or
@@ -558,6 +602,26 @@ impl Cpu {
         self.ff_sprints = 0;
     }
 
+    /// Credits this core with the lifetime effects of runs that were
+    /// replayed instead of executed (divergence-aware trial batching):
+    /// the global cycle clock, the fast-forward diagnostics and the live
+    /// PMU bank advance exactly as the recorded runs would have advanced
+    /// them, so batched and unbatched loops report identical counters.
+    pub(crate) fn absorb_replayed(
+        &mut self,
+        cycles: u64,
+        ff_skipped: u64,
+        ff_sprints: u64,
+        pmu: &tet_pmu::PmuSnapshot,
+    ) {
+        self.global_cycle += cycles;
+        self.ff_skipped_cycles += ff_skipped;
+        self.ff_sprints += ff_sprints;
+        for (ev, n) in pmu.iter_nonzero() {
+            self.pmu.bump(ev, n);
+        }
+    }
+
     /// Test-only retire-path bug injection: when on, every committed
     /// register value is XORed with 1. Exists so the suite can prove the
     /// retirement oracle catches a real commit corruption — the mutation
@@ -680,7 +744,7 @@ impl Cpu {
     // =====================================================================
 
     /// Advances the core by one cycle.
-    pub fn step(&mut self, program: &Program, env: &mut Env<'_>) -> StepEvents {
+    pub fn step(&mut self, template: &ProgramTemplate, env: &mut Env<'_>) -> StepEvents {
         // Host-profiler sampling gate: time one full step in every
         // `sample_every`. The decision depends only on a host-side
         // counter, never on simulated state.
@@ -734,9 +798,9 @@ impl Cpu {
         let t1 = clock(self.prof_sampling);
         let exec_started = self.schedule_cycle(now, env);
         let t2 = clock(self.prof_sampling);
-        let issued = self.rename_cycle(now);
+        let issued = self.rename_cycle(now, template);
         let t3 = clock(self.prof_sampling);
-        let (dsb_uops, mite_uops, fetch_stalled) = self.fetch_cycle(now, program, env);
+        let (dsb_uops, mite_uops, fetch_stalled) = self.fetch_cycle(now, template, env);
         let t4 = clock(self.prof_sampling);
 
         self.account_cycle(
@@ -818,7 +882,7 @@ impl Cpu {
         if self.exec_unresolved_branches > 0 {
             let mut remaining = self.exec_unresolved_branches;
             for e in &self.rob {
-                if e.started && e.inst.is_branch() && !e.resolved {
+                if e.started && e.kind.is_branch() && !e.resolved {
                     let done = e.done_at.expect("started µop has a completion time");
                     if done <= now {
                         return 0;
@@ -955,12 +1019,12 @@ impl Cpu {
         for (i, e) in self.rob.iter().enumerate() {
             if e.started {
                 // A not-yet-done fence blocks all younger execution.
-                if e.inst.is_fence() && !e.retire_ready(now) {
+                if e.kind.is_fence() && !e.retire_ready(now) {
                     return Some(bound.min(e.done_at.unwrap_or(u64::MAX)));
                 }
                 continue;
             }
-            if e.inst.is_fence() {
+            if e.kind.is_fence() {
                 if self.exec_max_done <= now {
                     if self.rob.iter().take(i).all(|o| o.retire_ready(now)) {
                         return None; // the fence starts this cycle
@@ -1062,7 +1126,7 @@ impl Cpu {
         let mut mispredict_at: Option<usize> = None;
         for i in 0..self.rob.len() {
             let e = &self.rob[i];
-            if !e.inst.is_branch() || e.resolved || !e.retire_ready(now) {
+            if !e.kind.is_branch() || e.resolved || !e.retire_ready(now) {
                 continue;
             }
             let actual = e
@@ -1156,14 +1220,18 @@ impl Cpu {
             .unwrap_or_else(|| self.empty_snapshot.clone());
         self.txn_stack.clear();
         self.txn_stack.extend_from_slice(&self.txn_snapshot_cache);
-        // `dest_regs` returns an inline Copy list, so the survivors can
-        // be walked by index without buffering (or allocating) anything.
+        // `dests` is an inline Copy list, so the survivors can be walked
+        // by index without buffering (or allocating) anything.
         for k in 0..self.rob.len() {
-            let (id, inst) = (self.rob[k].id, self.rob[k].inst);
-            for r in dest_regs(&inst) {
+            let (id, dests, wf) = (
+                self.rob[k].id,
+                self.rob[k].dests,
+                self.rob[k].kind.writes_flags(),
+            );
+            for r in dests {
                 self.rat[r as usize] = Some(id);
             }
-            if inst.writes_flags() {
+            if wf {
                 self.flags_rat = Some(id);
             }
         }
@@ -1189,10 +1257,10 @@ impl Cpu {
             if e.started {
                 let done = e.done_at.expect("started µop has a completion time");
                 self.exec_max_done = self.exec_max_done.max(done);
-                if e.is_memory {
+                if e.kind.is_memory() {
                     self.mem_max_done = self.mem_max_done.max(done);
                 }
-                if e.inst.is_branch() && !e.resolved {
+                if e.kind.is_branch() && !e.resolved {
                     self.exec_unresolved_branches += 1;
                 }
                 if e.store.is_some() {
@@ -1201,7 +1269,7 @@ impl Cpu {
             } else {
                 e.wake_at = 0;
                 self.unstarted_count += 1;
-                if is_store_kind(&e.inst) {
+                if e.kind.is_store_kind() {
                     self.unstarted_store_count += 1;
                 }
             }
@@ -1352,7 +1420,7 @@ impl Cpu {
             _ => {}
         }
         // Free the RAT mapping if this µop was still the newest producer.
-        for r in dest_regs(&entry.inst) {
+        for r in entry.dests {
             if self.rat[r as usize] == Some(entry.id) {
                 self.rat[r as usize] = None;
             }
@@ -1366,13 +1434,13 @@ impl Cpu {
         self.retired_insts += 1;
         self.pmu.bump(Event::InstRetiredAny, 1);
         self.pmu.bump(Event::UopsRetiredAll, 1);
-        if entry.inst.is_branch() {
+        if entry.kind.is_branch() {
             self.pmu.bump(Event::BrInstRetiredAll, 1);
             if entry.mispredicted {
                 self.pmu.bump(Event::BrMispRetiredAll, 1);
             }
         }
-        if matches!(entry.inst, Inst::Halt) {
+        if entry.kind.is_halt() {
             self.halted = true;
         }
     }
@@ -1584,7 +1652,7 @@ impl Cpu {
         while i < self.rob.len() {
             if self.rob[i].started {
                 // A not-yet-done fence blocks all younger execution.
-                if self.rob[i].inst.is_fence() && !self.rob[i].retire_ready(now) {
+                if self.rob[i].kind.is_fence() && !self.rob[i].retire_ready(now) {
                     break;
                 }
                 i += 1;
@@ -1595,7 +1663,7 @@ impl Cpu {
             // a fence sits unstarted, nothing younger can have started,
             // so `exec_max_done > now` proves an *older* in-flight µop
             // and skips the prefix scan.
-            if self.rob[i].inst.is_fence() {
+            if self.rob[i].kind.is_fence() {
                 let older_done = self.exec_max_done <= now
                     && self.rob.iter().take(i).all(|e| e.retire_ready(now));
                 if older_done {
@@ -1641,8 +1709,8 @@ impl Cpu {
                     } else if let Some(port) = self.free_port(now) {
                         self.ports_busy[port] = now + 1;
                         if self.prof_sampling {
-                            let inst = &self.rob[i].inst;
-                            let is_mem = is_load_kind(inst) || is_store_kind(inst);
+                            let kind = self.rob[i].kind;
+                            let is_mem = kind.is_load_kind() || kind.is_store_kind();
                             let t = std::time::Instant::now();
                             self.execute_uop(i, now, env);
                             let ns = t.elapsed().as_nanos() as u64;
@@ -1771,12 +1839,12 @@ impl Cpu {
     /// Returns the youngest blocking store's id, or `None` when ready;
     /// the scan is skipped entirely while no unstarted store exists.
     fn mem_order_blocker(&self, i: usize) -> Option<u64> {
-        if self.unstarted_store_count == 0 || !is_load_kind(&self.rob[i].inst) {
+        if self.unstarted_store_count == 0 || !self.rob[i].kind.is_load_kind() {
             return None;
         }
         for j in (0..i).rev() {
             let e = &self.rob[j];
-            if is_store_kind(&e.inst) && !e.started {
+            if e.kind.is_store_kind() && !e.started {
                 return Some(e.id); // unknown older store address
             }
         }
@@ -1866,7 +1934,7 @@ impl Cpu {
                 // forwarding (the Listing 1 trick that slows `ret`).
                 let line = tet_mem::line_addr(vaddr);
                 let blocked = self.rob.iter().take(i).skip(j + 1).any(|c| {
-                    matches!(c.inst, Inst::Clflush { .. }) && c.started && {
+                    c.kind.is_clflush() && c.started && {
                         if let Inst::Clflush { addr } = &c.inst {
                             tet_mem::line_addr(self.eff_addr(c, addr)) == line
                         } else {
@@ -1898,209 +1966,21 @@ impl Cpu {
             self.rob[i].id,
             self.rob[i].pc
         );
-        let inst = self.rob[i].inst;
+        // Threaded-code dispatch: the opcode was resolved once at
+        // template build, so the execute step is a single indexed call.
+        let handler = EXEC_TABLE[self.rob[i].op as usize];
+        let Some(out) = handler(self, i, now, env) else {
+            return; // blocked store-to-load forwarding, re-parked
+        };
+        let ExecOut {
+            latency,
+            results,
+            flags_out,
+            fault,
+            store,
+            actual_next,
+        } = out;
         let t = self.cfg.timing;
-        let mut latency = t.alu_latency;
-        let mut results = ResultList::new();
-        let mut flags_out: Option<Flags> = None;
-        let mut fault: Option<Fault> = None;
-        let mut store: Option<StoreInfo> = None;
-        let mut actual_next: Option<usize> = None;
-
-        match inst {
-            Inst::Nop | Inst::Halt | Inst::XEnd => {}
-            Inst::XBegin { .. } => {}
-            Inst::MovImm { dst, imm } => results.push(dst, imm),
-            Inst::MovReg { dst, src } => {
-                let v = self.dep_reg_value(&self.rob[i], src);
-                results.push(dst, v);
-            }
-            Inst::Lea { dst, addr } => {
-                let v = self.eff_addr(&self.rob[i], &addr);
-                results.push(dst, v);
-            }
-            Inst::Alu { op, dst, src } => {
-                let entry = &self.rob[i];
-                let a = self.dep_reg_value(entry, dst);
-                let b = self.src_value(entry, &src);
-                let r = op.apply(a, b);
-                results.push(dst, r);
-                flags_out = Some(match op {
-                    tet_isa::inst::AluOp::Add => Flags::from_add(a, b),
-                    tet_isa::inst::AluOp::Sub => Flags::from_sub(a, b),
-                    _ => Flags::from_logic(r),
-                });
-            }
-            Inst::Cmp { a, b } => {
-                let entry = &self.rob[i];
-                flags_out = Some(Flags::from_sub(
-                    self.dep_reg_value(entry, a),
-                    self.src_value(entry, &b),
-                ));
-            }
-            Inst::Test { a, b } => {
-                let entry = &self.rob[i];
-                flags_out = Some(Flags::from_and(
-                    self.dep_reg_value(entry, a),
-                    self.src_value(entry, &b),
-                ));
-            }
-            Inst::Rdtsc => results.push(Reg::Rax, now),
-            Inst::Load { dst, addr } | Inst::LoadByte { dst, addr } => {
-                let byte = matches!(inst, Inst::LoadByte { .. });
-                let vaddr = self.eff_addr(&self.rob[i], &addr);
-                match self.forwarding(i, vaddr, byte) {
-                    Some(Ok(v)) => {
-                        latency = t.store_forward_cycles;
-                        results.push(dst, if byte { v & 0xff } else { v });
-                    }
-                    Some(Err(())) => {
-                        // Forwarding blocked: retry next cycle unless the
-                        // store has drained; model as a stalled start.
-                        self.pmu.bump(Event::LdBlocksStoreForward, 1);
-                        self.rob[i].started = false;
-                        self.rob[i].wake_at = now + 1;
-                        return;
-                    }
-                    None => {
-                        let lr = self.do_load(env, vaddr, byte);
-                        latency = lr.latency;
-                        fault = lr.fault;
-                        results.push(dst, lr.value);
-                    }
-                }
-            }
-            Inst::Store { src, addr } | Inst::StoreByte { src, addr } => {
-                let byte = matches!(inst, Inst::StoreByte { .. });
-                let entry = &self.rob[i];
-                let vaddr = self.eff_addr(entry, &addr);
-                let value = self.dep_reg_value(entry, src);
-                let (lat, pa, f) = self.do_store(env, vaddr);
-                latency = lat;
-                fault = f;
-                store = Some(StoreInfo {
-                    vaddr,
-                    pa,
-                    value,
-                    byte,
-                });
-            }
-            Inst::Push { src } => {
-                let entry = &self.rob[i];
-                let rsp = self.dep_reg_value(entry, Reg::Rsp).wrapping_sub(8);
-                let value = self.dep_reg_value(entry, src);
-                let (lat, pa, f) = self.do_store(env, rsp);
-                latency = lat;
-                fault = f;
-                results.push(Reg::Rsp, rsp);
-                store = Some(StoreInfo {
-                    vaddr: rsp,
-                    pa,
-                    value,
-                    byte: false,
-                });
-            }
-            Inst::Pop { dst } => {
-                let rsp = self.dep_reg_value(&self.rob[i], Reg::Rsp);
-                match self.forwarding(i, rsp, false) {
-                    Some(Ok(v)) => {
-                        latency = t.store_forward_cycles;
-                        results.push(dst, v);
-                    }
-                    Some(Err(())) => {
-                        self.pmu.bump(Event::LdBlocksStoreForward, 1);
-                        self.rob[i].started = false;
-                        self.rob[i].wake_at = now + 1;
-                        return;
-                    }
-                    None => {
-                        let lr = self.do_load(env, rsp, false);
-                        latency = lr.latency;
-                        fault = lr.fault;
-                        results.push(dst, lr.value);
-                    }
-                }
-                results.push(Reg::Rsp, rsp.wrapping_add(8));
-            }
-            Inst::Call { target } => {
-                let rsp = self.dep_reg_value(&self.rob[i], Reg::Rsp).wrapping_sub(8);
-                let (lat, pa, f) = self.do_store(env, rsp);
-                latency = lat;
-                fault = f;
-                results.push(Reg::Rsp, rsp);
-                store = Some(StoreInfo {
-                    vaddr: rsp,
-                    pa,
-                    value: (self.rob[i].pc + 1) as u64,
-                    byte: false,
-                });
-                actual_next = Some(target);
-            }
-            Inst::Ret => {
-                let rsp = self.dep_reg_value(&self.rob[i], Reg::Rsp);
-                let ret_target;
-                match self.forwarding(i, rsp, false) {
-                    Some(Ok(v)) => {
-                        latency = t.store_forward_cycles;
-                        ret_target = v;
-                    }
-                    Some(Err(())) => {
-                        self.pmu.bump(Event::LdBlocksStoreForward, 1);
-                        self.rob[i].started = false;
-                        self.rob[i].wake_at = now + 1;
-                        return;
-                    }
-                    None => {
-                        let lr = self.do_load(env, rsp, false);
-                        latency = lr.latency;
-                        fault = lr.fault;
-                        ret_target = lr.value;
-                    }
-                }
-                results.push(Reg::Rsp, rsp.wrapping_add(8));
-                actual_next = Some(ret_target as usize);
-            }
-            Inst::Jmp { target } => actual_next = Some(target),
-            Inst::JmpReg { reg } => {
-                actual_next = Some(self.dep_reg_value(&self.rob[i], reg) as usize);
-            }
-            Inst::Jcc { cond, target } => {
-                let entry = &self.rob[i];
-                let f = self.dep_flags_value(entry);
-                let taken = cond.eval(f);
-                actual_next = Some(if taken { target } else { entry.pc + 1 });
-            }
-            Inst::Clflush { addr } => {
-                let vaddr = self.eff_addr(&self.rob[i], &addr);
-                if let Some(pa) = env.aspace.translate(vaddr) {
-                    env.mem.clflush(pa);
-                }
-                self.pmu.bump(Event::ClflushExecuted, 1);
-                latency = 2;
-            }
-            Inst::Prefetch { addr } => {
-                let vaddr = self.eff_addr(&self.rob[i], &addr);
-                latency = self.do_prefetch(env, vaddr);
-            }
-            Inst::Lfence | Inst::Mfence | Inst::Sfence => unreachable!("fences handled earlier"),
-            Inst::Syscall => {
-                latency = t.syscall_cycles;
-                for k in 0..self.syscall_pages.len() {
-                    let page = self.syscall_pages[k];
-                    if let Some(pte) = env.aspace.pte(page) {
-                        if !pte.reserved && pte.present {
-                            self.dtlb.fill(page, pte);
-                            self.itlb.fill(page, pte);
-                            self.pmu.bump(Event::DtlbFills, 1);
-                            self.sink.emit(EventKind::TlbFill {
-                                kind: TlbKind::Data,
-                                vaddr: page,
-                            });
-                        }
-                    }
-                }
-            }
-        }
 
         let fault_info = fault.as_ref().map(|f| (f.kind, f.vaddr));
         let has_store = store.is_some();
@@ -2121,17 +2001,18 @@ impl Cpu {
         e.actual_next = actual_next;
         let id = e.id;
         let pc = e.pc;
-        let is_mem = e.is_memory;
+        let kind = e.kind;
+        let is_mem = kind.is_memory();
 
         // Scheduler bookkeeping for the start of execution.
         self.unstarted_count -= 1;
-        if is_store_kind(&inst) {
+        if kind.is_store_kind() {
             self.unstarted_store_count -= 1;
         }
         if has_store {
             self.inflight_store_data += 1;
         }
-        if inst.is_branch() {
+        if kind.is_branch() {
             self.exec_unresolved_branches += 1;
         }
         self.exec_max_done = self.exec_max_done.max(done_at);
@@ -2169,6 +2050,306 @@ impl Cpu {
                 },
             );
         }
+    }
+
+    // ----- execute handlers (one per opcode, see EXEC_TABLE) ----------------
+
+    /// Store-to-load forwarding blocked: retry next cycle unless the
+    /// store has drained; model as a stalled start.
+    fn block_forwarding(&mut self, i: usize, now: u64) -> Option<ExecOut> {
+        self.pmu.bump(Event::LdBlocksStoreForward, 1);
+        self.rob[i].started = false;
+        self.rob[i].wake_at = now + 1;
+        None
+    }
+
+    /// Nop / Halt / XBegin / XEnd: no architectural effect at execute.
+    fn exec_simple(&mut self, _i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        Some(ExecOut::new(self.cfg.timing.alu_latency))
+    }
+
+    fn exec_mov_imm(&mut self, i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::MovImm { dst, imm } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let mut out = ExecOut::new(self.cfg.timing.alu_latency);
+        out.results.push(dst, imm);
+        Some(out)
+    }
+
+    fn exec_mov_reg(&mut self, i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::MovReg { dst, src } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let v = self.dep_reg_value(&self.rob[i], src);
+        let mut out = ExecOut::new(self.cfg.timing.alu_latency);
+        out.results.push(dst, v);
+        Some(out)
+    }
+
+    fn exec_lea(&mut self, i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Lea { dst, addr } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let v = self.eff_addr(&self.rob[i], &addr);
+        let mut out = ExecOut::new(self.cfg.timing.alu_latency);
+        out.results.push(dst, v);
+        Some(out)
+    }
+
+    fn exec_alu(&mut self, i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Alu { op, dst, src } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let entry = &self.rob[i];
+        let a = self.dep_reg_value(entry, dst);
+        let b = self.src_value(entry, &src);
+        let r = op.apply(a, b);
+        let mut out = ExecOut::new(self.cfg.timing.alu_latency);
+        out.results.push(dst, r);
+        out.flags_out = Some(match op {
+            tet_isa::inst::AluOp::Add => Flags::from_add(a, b),
+            tet_isa::inst::AluOp::Sub => Flags::from_sub(a, b),
+            _ => Flags::from_logic(r),
+        });
+        Some(out)
+    }
+
+    fn exec_cmp(&mut self, i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Cmp { a, b } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let entry = &self.rob[i];
+        let mut out = ExecOut::new(self.cfg.timing.alu_latency);
+        out.flags_out = Some(Flags::from_sub(
+            self.dep_reg_value(entry, a),
+            self.src_value(entry, &b),
+        ));
+        Some(out)
+    }
+
+    fn exec_test(&mut self, i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Test { a, b } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let entry = &self.rob[i];
+        let mut out = ExecOut::new(self.cfg.timing.alu_latency);
+        out.flags_out = Some(Flags::from_and(
+            self.dep_reg_value(entry, a),
+            self.src_value(entry, &b),
+        ));
+        Some(out)
+    }
+
+    fn exec_rdtsc(&mut self, _i: usize, now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        let mut out = ExecOut::new(self.cfg.timing.alu_latency);
+        out.results.push(Reg::Rax, now);
+        Some(out)
+    }
+
+    /// Load and LoadByte share a handler (width from the opcode).
+    fn exec_load(&mut self, i: usize, now: u64, env: &mut Env<'_>) -> Option<ExecOut> {
+        let (dst, addr, byte) = match self.rob[i].inst {
+            Inst::Load { dst, addr } => (dst, addr, false),
+            Inst::LoadByte { dst, addr } => (dst, addr, true),
+            _ => unreachable!(),
+        };
+        let vaddr = self.eff_addr(&self.rob[i], &addr);
+        match self.forwarding(i, vaddr, byte) {
+            Some(Ok(v)) => {
+                let mut out = ExecOut::new(self.cfg.timing.store_forward_cycles);
+                out.results.push(dst, if byte { v & 0xff } else { v });
+                Some(out)
+            }
+            Some(Err(())) => self.block_forwarding(i, now),
+            None => {
+                let lr = self.do_load(env, vaddr, byte);
+                let mut out = ExecOut::new(lr.latency);
+                out.fault = lr.fault;
+                out.results.push(dst, lr.value);
+                Some(out)
+            }
+        }
+    }
+
+    /// Store and StoreByte share a handler (width from the opcode).
+    fn exec_store(&mut self, i: usize, _now: u64, env: &mut Env<'_>) -> Option<ExecOut> {
+        let (src, addr, byte) = match self.rob[i].inst {
+            Inst::Store { src, addr } => (src, addr, false),
+            Inst::StoreByte { src, addr } => (src, addr, true),
+            _ => unreachable!(),
+        };
+        let entry = &self.rob[i];
+        let vaddr = self.eff_addr(entry, &addr);
+        let value = self.dep_reg_value(entry, src);
+        let (lat, pa, f) = self.do_store(env, vaddr);
+        let mut out = ExecOut::new(lat);
+        out.fault = f;
+        out.store = Some(StoreInfo {
+            vaddr,
+            pa,
+            value,
+            byte,
+        });
+        Some(out)
+    }
+
+    fn exec_push(&mut self, i: usize, _now: u64, env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Push { src } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let entry = &self.rob[i];
+        let rsp = self.dep_reg_value(entry, Reg::Rsp).wrapping_sub(8);
+        let value = self.dep_reg_value(entry, src);
+        let (lat, pa, f) = self.do_store(env, rsp);
+        let mut out = ExecOut::new(lat);
+        out.fault = f;
+        out.results.push(Reg::Rsp, rsp);
+        out.store = Some(StoreInfo {
+            vaddr: rsp,
+            pa,
+            value,
+            byte: false,
+        });
+        Some(out)
+    }
+
+    fn exec_pop(&mut self, i: usize, now: u64, env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Pop { dst } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let rsp = self.dep_reg_value(&self.rob[i], Reg::Rsp);
+        let mut out;
+        match self.forwarding(i, rsp, false) {
+            Some(Ok(v)) => {
+                out = ExecOut::new(self.cfg.timing.store_forward_cycles);
+                out.results.push(dst, v);
+            }
+            Some(Err(())) => return self.block_forwarding(i, now),
+            None => {
+                let lr = self.do_load(env, rsp, false);
+                out = ExecOut::new(lr.latency);
+                out.fault = lr.fault;
+                out.results.push(dst, lr.value);
+            }
+        }
+        out.results.push(Reg::Rsp, rsp.wrapping_add(8));
+        Some(out)
+    }
+
+    fn exec_call(&mut self, i: usize, _now: u64, env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Call { target } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let rsp = self.dep_reg_value(&self.rob[i], Reg::Rsp).wrapping_sub(8);
+        let (lat, pa, f) = self.do_store(env, rsp);
+        let mut out = ExecOut::new(lat);
+        out.fault = f;
+        out.results.push(Reg::Rsp, rsp);
+        out.store = Some(StoreInfo {
+            vaddr: rsp,
+            pa,
+            value: (self.rob[i].pc + 1) as u64,
+            byte: false,
+        });
+        out.actual_next = Some(target);
+        Some(out)
+    }
+
+    fn exec_ret(&mut self, i: usize, now: u64, env: &mut Env<'_>) -> Option<ExecOut> {
+        let rsp = self.dep_reg_value(&self.rob[i], Reg::Rsp);
+        let mut out;
+        let ret_target;
+        match self.forwarding(i, rsp, false) {
+            Some(Ok(v)) => {
+                out = ExecOut::new(self.cfg.timing.store_forward_cycles);
+                ret_target = v;
+            }
+            Some(Err(())) => return self.block_forwarding(i, now),
+            None => {
+                let lr = self.do_load(env, rsp, false);
+                out = ExecOut::new(lr.latency);
+                out.fault = lr.fault;
+                ret_target = lr.value;
+            }
+        }
+        out.results.push(Reg::Rsp, rsp.wrapping_add(8));
+        out.actual_next = Some(ret_target as usize);
+        Some(out)
+    }
+
+    fn exec_jmp(&mut self, i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Jmp { target } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let mut out = ExecOut::new(self.cfg.timing.alu_latency);
+        out.actual_next = Some(target);
+        Some(out)
+    }
+
+    fn exec_jmp_reg(&mut self, i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::JmpReg { reg } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let mut out = ExecOut::new(self.cfg.timing.alu_latency);
+        out.actual_next = Some(self.dep_reg_value(&self.rob[i], reg) as usize);
+        Some(out)
+    }
+
+    fn exec_jcc(&mut self, i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Jcc { cond, target } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let entry = &self.rob[i];
+        let f = self.dep_flags_value(entry);
+        let taken = cond.eval(f);
+        let mut out = ExecOut::new(self.cfg.timing.alu_latency);
+        out.actual_next = Some(if taken { target } else { entry.pc + 1 });
+        Some(out)
+    }
+
+    fn exec_clflush(&mut self, i: usize, _now: u64, env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Clflush { addr } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let vaddr = self.eff_addr(&self.rob[i], &addr);
+        if let Some(pa) = env.aspace.translate(vaddr) {
+            env.mem.clflush(pa);
+        }
+        self.pmu.bump(Event::ClflushExecuted, 1);
+        Some(ExecOut::new(2))
+    }
+
+    fn exec_prefetch(&mut self, i: usize, _now: u64, env: &mut Env<'_>) -> Option<ExecOut> {
+        let Inst::Prefetch { addr } = self.rob[i].inst else {
+            unreachable!()
+        };
+        let vaddr = self.eff_addr(&self.rob[i], &addr);
+        let lat = self.do_prefetch(env, vaddr);
+        Some(ExecOut::new(lat))
+    }
+
+    fn exec_fence(&mut self, _i: usize, _now: u64, _env: &mut Env<'_>) -> Option<ExecOut> {
+        unreachable!("fences handled earlier")
+    }
+
+    fn exec_syscall(&mut self, _i: usize, _now: u64, env: &mut Env<'_>) -> Option<ExecOut> {
+        let t = self.cfg.timing;
+        for k in 0..self.syscall_pages.len() {
+            let page = self.syscall_pages[k];
+            if let Some(pte) = env.aspace.pte(page) {
+                if !pte.reserved && pte.present {
+                    self.dtlb.fill(page, pte);
+                    self.itlb.fill(page, pte);
+                    self.pmu.bump(Event::DtlbFills, 1);
+                    self.sink.emit(EventKind::TlbFill {
+                        kind: TlbKind::Data,
+                        vaddr: page,
+                    });
+                }
+            }
+        }
+        Some(ExecOut::new(t.syscall_cycles))
     }
 
     // ----- memory access paths ----------------------------------------------
@@ -2442,7 +2623,7 @@ impl Cpu {
 
     // ----- rename / issue -----------------------------------------------------
 
-    fn rename_cycle(&mut self, now: u64) -> usize {
+    fn rename_cycle(&mut self, now: u64, template: &ProgramTemplate) -> usize {
         if now < self.pipeline_flush_until || now < self.external_stall_until {
             return 0;
         }
@@ -2466,16 +2647,18 @@ impl Cpu {
                 break;
             }
             let f = self.idq.pop_front().expect("checked non-empty");
+            let meta = template.meta(f.pc).expect("fetched pc within program");
 
-            // Build dependencies from the RAT.
+            // Build dependencies from the RAT using the pre-cracked
+            // source list (no per-rename instruction re-matching).
             let mut deps = DepList::new();
-            for r in src_regs(&f.inst) {
+            for r in meta.srcs {
                 deps.push(Dep {
                     kind: DepKind::Reg(r),
                     producer: self.rat[r as usize],
                 });
             }
-            if f.inst.reads_flags() {
+            if meta.kind.reads_flags() {
                 deps.push(Dep {
                     kind: DepKind::Flags,
                     producer: self.flags_rat,
@@ -2501,10 +2684,10 @@ impl Cpu {
 
             let id = self.next_uop_id;
             self.next_uop_id += 1;
-            for r in dest_regs(&f.inst) {
+            for r in meta.dests {
                 self.rat[r as usize] = Some(id);
             }
-            if f.inst.writes_flags() {
+            if meta.kind.writes_flags() {
                 self.flags_rat = Some(id);
             }
 
@@ -2513,7 +2696,7 @@ impl Cpu {
                 EventKind::UopRenamed {
                     id,
                     pc: f.pc as u64,
-                    op: f.inst.mnemonic(),
+                    op: meta.mnemonic,
                 },
             );
             self.rob.push_back(RobEntry {
@@ -2536,13 +2719,15 @@ impl Cpu {
                 store: None,
                 txn_abort,
                 txn_snapshot: self.txn_snapshot_cache.clone(),
-                is_memory: f.inst.is_memory(),
+                kind: meta.kind,
+                dests: meta.dests,
+                op: meta.op,
                 wake_at: 0,
                 waiter_head: None,
                 next_waiter: None,
             });
             self.unstarted_count += 1;
-            if is_store_kind(&f.inst) {
+            if meta.kind.is_store_kind() {
                 self.unstarted_store_count += 1;
             }
             self.pmu.bump(Event::UopsIssuedAny, 1);
@@ -2556,7 +2741,7 @@ impl Cpu {
     fn fetch_cycle(
         &mut self,
         now: u64,
-        program: &Program,
+        template: &ProgramTemplate,
         env: &mut Env<'_>,
     ) -> (usize, usize, bool) {
         if now < self.fetch_stall_until || !self.fetch_enabled {
@@ -2568,26 +2753,28 @@ impl Cpu {
 
         while budget > 0 && self.idq.len() < self.cfg.idq_size {
             let pc = self.fetch_pc;
-            let Some(inst) = program.fetch(pc) else {
+            let Some(meta) = template.meta(pc) else {
                 // Ran past the end: stop fetching until redirected.
                 self.fetch_enabled = false;
                 break;
             };
+            let inst = meta.inst;
+            let vaddr = meta.vaddr;
 
             // ITLB check when crossing into a new code page.
-            let page = code_vaddr(pc) / tet_mem::PAGE_SIZE;
+            let page = meta.page;
             if self.last_fetch_page != Some(page) {
                 self.last_fetch_page = Some(page);
-                if self.itlb.lookup(code_vaddr(pc)).is_none() {
+                if self.itlb.lookup(vaddr).is_none() {
                     self.sink.emit_at(
                         now,
                         EventKind::TlbLookup {
                             kind: TlbKind::Inst,
-                            vaddr: code_vaddr(pc),
+                            vaddr,
                             hit: false,
                         },
                     );
-                    let wr = self.walker.walk(env.aspace, code_vaddr(pc));
+                    let wr = self.walker.walk(env.aspace, vaddr);
                     self.pmu
                         .bump(Event::ItlbMissesMissCausesAWalk, wr.walks as u64);
                     self.pmu.bump(Event::ItlbMissesWalkActive, wr.cycles);
@@ -2595,18 +2782,18 @@ impl Cpu {
                     self.sink.emit_at(
                         now,
                         EventKind::PageWalk {
-                            vaddr: code_vaddr(pc),
+                            vaddr,
                             cycles: wr.cycles,
                             mapped,
                         },
                     );
                     if let WalkOutcome::Mapped(pte) = wr.outcome {
-                        self.itlb.fill(code_vaddr(pc), pte);
+                        self.itlb.fill(vaddr, pte);
                         self.sink.emit_at(
                             now,
                             EventKind::TlbFill {
                                 kind: TlbKind::Inst,
-                                vaddr: code_vaddr(pc),
+                                vaddr,
                             },
                         );
                     }
@@ -2618,7 +2805,7 @@ impl Cpu {
                         now,
                         EventKind::TlbLookup {
                             kind: TlbKind::Inst,
-                            vaddr: code_vaddr(pc),
+                            vaddr,
                             hit: true,
                         },
                     );
@@ -2634,7 +2821,7 @@ impl Cpu {
                 // Legacy MITE decode: timed I-cache fetch plus decode
                 // penalty; ends this cycle's fetch group.
                 self.pmu.bump(Event::IcFw32, 1);
-                if let Some(pa) = env.aspace.translate(code_vaddr(pc)) {
+                if let Some(pa) = env.aspace.translate(vaddr) {
                     let da = env.mem.inst_fetch(pa, env.phys);
                     if da.level != HitLevel::L1 {
                         let extra = da.latency - self.cfg.mem.l1i.latency;
@@ -2672,7 +2859,7 @@ impl Cpu {
                 }
                 _ => (pc + 1, false),
             };
-            if inst.is_branch() {
+            if meta.kind.is_branch() {
                 self.sink.emit_at(
                     now,
                     EventKind::BranchPredicted {
@@ -2701,7 +2888,7 @@ impl Cpu {
             self.fetch_pc = pred_next;
             budget -= 1;
 
-            if matches!(inst, Inst::Halt) {
+            if meta.kind.is_halt() {
                 // Stop fetching past a halt on the predicted path.
                 self.fetch_enabled = false;
                 break;

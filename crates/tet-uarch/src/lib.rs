@@ -49,14 +49,18 @@ pub mod frontend;
 mod lru;
 pub mod machine;
 pub mod smt;
+pub mod template;
 pub mod uop;
 
 pub use crate::core::{Cpu, ExceptionRecord, RunExit};
 pub use bpu::{Bpu, BpuConfig, Prediction};
 pub use config::{CpuConfig, ForwardPolicy, TimingConfig, VulnProfile};
 pub use frontend::FrontendTraceEntry;
-pub use machine::{Machine, MachineSnapshot, MachineStats, RunConfig, RunResult};
+pub use machine::{
+    DeltaMarker, Machine, MachineSnapshot, MachineStats, RunConfig, RunDelta, RunResult,
+};
 pub use smt::{SmtMachine, SmtRunResult};
+pub use template::{ProgramTemplate, UopMeta};
 pub use uop::{Fault, FaultKind, SquashReason, UopFate, UopTrace};
 
 /// Virtual base address where program code is mapped.

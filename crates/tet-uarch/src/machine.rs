@@ -12,8 +12,9 @@ use tet_pmu::PmuSnapshot;
 
 use crate::core::{Cpu, Env, ExceptionRecord, RunExit};
 use crate::frontend::FrontendTraceEntry;
+use crate::template::ProgramTemplate;
 use crate::uop::{SquashReason, UopFate, UopTrace};
-use crate::{code_vaddr, CpuConfig};
+use crate::{code_vaddr, CpuConfig, ForwardPolicy};
 
 /// Per-run options.
 #[derive(Debug, Clone)]
@@ -291,10 +292,77 @@ pub struct MachineStats {
     pub snapshot_restores: u64,
 }
 
+/// An opaque marker of a machine's lifetime counters at one instant —
+/// the "before" point of a [`RunDelta`] measurement. Take one with
+/// [`Machine::delta_marker`] immediately before running a probe, and
+/// turn it into the probe's recorded effects with
+/// [`Machine::delta_since`].
+#[derive(Debug, Clone)]
+pub struct DeltaMarker {
+    runs: u64,
+    cycles: u64,
+    ff_skipped: u64,
+    ff_sprints: u64,
+    restores: u64,
+    jitter_draws: u64,
+    jitter_sum: u64,
+    pmu: PmuSnapshot,
+}
+
+/// Everything a span of [`Machine::run`] calls adds to the machine's
+/// lifetime counters: run count, simulated cycles, fast-forward
+/// diagnostics, snapshot restores and the full 51-event PMU delta.
+///
+/// This is the record behind divergence-aware trial batching: a trial
+/// loop measures one probe live ([`Machine::delta_marker`] /
+/// [`Machine::delta_since`]), proves the machine is at a fixed point
+/// (consecutive probes return identical results *and* identical
+/// `RunDelta`s), and then replays the record with
+/// [`Machine::apply_replayed_run`] instead of simulating — every
+/// lifetime counter advances exactly as the live run would have
+/// advanced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunDelta {
+    /// `run` calls completed in the span.
+    pub runs: u64,
+    /// Simulated cycles the span added (also the global-clock advance).
+    pub cycles: u64,
+    /// Cycles skipped by event-driven fast-forward in the span.
+    pub ff_skipped: u64,
+    /// Fast-forward sprints taken in the span.
+    pub ff_sprints: u64,
+    /// Snapshot restores applied in the span.
+    pub restores: u64,
+    /// DRAM-jitter RNG draws the span consumed. A replayed span must
+    /// advance the stream by the same number of draws
+    /// ([`Machine::replay_dram_jitter`]) or every later draw shifts.
+    pub jitter_draws: u64,
+    /// Summed jitter cycles of those draws. Probes whose only run-to-run
+    /// variation is a single jitter draw are still fixed points *net of
+    /// jitter*: their deltas differ by exactly the draw difference in
+    /// `cycles`, `ff_skipped` and `jitter_sum`.
+    pub jitter_sum: u64,
+    /// PMU counter deltas accumulated over the span's runs.
+    pub pmu: PmuSnapshot,
+}
+
 /// Process-wide fast-forward default: `TET_FF=0` turns it off.
 fn ff_default() -> bool {
     static FF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *FF.get_or_init(|| std::env::var("TET_FF").map(|v| v != "0").unwrap_or(true))
+}
+
+/// Process-wide µop-template *caching* default: `TET_PREDECODE=0` turns
+/// the cross-run cache off (a fresh template is still built per run —
+/// the pipeline always consumes templates, so results are identical by
+/// construction; only the build work repeats).
+fn predecode_default() -> bool {
+    static PD: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PD.get_or_init(|| {
+        std::env::var("TET_PREDECODE")
+            .map(|v| v != "0")
+            .unwrap_or(true)
+    })
 }
 
 /// Reusable per-run scratch state: everything [`Machine::run`] would
@@ -309,6 +377,10 @@ struct RunCtx {
     /// Check-mode program shared with the oracle, content-compared per
     /// run so only a *different* program pays a clone.
     check_program: Option<Arc<Program>>,
+    /// Pre-decoded µop template, content-compared per run so only a
+    /// *different* program pays a re-crack (see
+    /// [`ProgramTemplate`]); disabled by `TET_PREDECODE=0`.
+    template: Option<Arc<ProgramTemplate>>,
     /// Drained trace recorder recycled across trace-enabled runs.
     recorder: Option<Arc<MemorySink>>,
 }
@@ -321,6 +393,7 @@ impl Clone for RunCtx {
         RunCtx {
             pmu_before: self.pmu_before.clone(),
             check_program: self.check_program.clone(),
+            template: self.template.clone(),
             recorder: None,
         }
     }
@@ -331,6 +404,7 @@ impl RunCtx {
         RunCtx {
             pmu_before: PmuSnapshot::zero(),
             check_program: None,
+            template: None,
             recorder: None,
         }
     }
@@ -344,6 +418,25 @@ impl RunCtx {
                 let p = Arc::new(program.clone());
                 self.check_program = Some(p.clone());
                 p
+            }
+        }
+    }
+
+    /// The pre-decoded template for `program`, re-cracked only when the
+    /// program contents differ from the cached one. With
+    /// `TET_PREDECODE=0` the cache is bypassed and every run rebuilds —
+    /// the same single code path the cached run takes, so behaviour is
+    /// identical by construction.
+    fn template(&mut self, program: &Program) -> Arc<ProgramTemplate> {
+        if !predecode_default() {
+            return Arc::new(ProgramTemplate::build(program));
+        }
+        match &self.template {
+            Some(t) if *t.program() == *program => t.clone(),
+            _ => {
+                let t = Arc::new(ProgramTemplate::build(program));
+                self.template = Some(t.clone());
+                t
             }
         }
     }
@@ -478,6 +571,107 @@ impl Machine {
     /// rates over a whole trial loop.
     pub fn pmu_lifetime(&self) -> &PmuSnapshot {
         &self.pmu_lifetime
+    }
+
+    /// Marks the current lifetime counters; pair with
+    /// [`Machine::delta_since`] to record what a probe adds to them.
+    pub fn delta_marker(&self) -> DeltaMarker {
+        let (ff_skipped, ff_sprints) = self.cpu.ff_stats();
+        let (jitter_draws, jitter_sum) = self.mem.jitter_stats();
+        DeltaMarker {
+            runs: self.runs,
+            cycles: self.cycles_total,
+            ff_skipped,
+            ff_sprints,
+            restores: self.snap_restores,
+            jitter_draws,
+            jitter_sum,
+            pmu: self.pmu_lifetime.clone(),
+        }
+    }
+
+    /// The lifetime-counter movement since `marker` was taken.
+    pub fn delta_since(&self, marker: &DeltaMarker) -> RunDelta {
+        let (ff_skipped, ff_sprints) = self.cpu.ff_stats();
+        let (jitter_draws, jitter_sum) = self.mem.jitter_stats();
+        RunDelta {
+            runs: self.runs - marker.runs,
+            cycles: self.cycles_total - marker.cycles,
+            ff_skipped: ff_skipped - marker.ff_skipped,
+            ff_sprints: ff_sprints - marker.ff_sprints,
+            restores: self.snap_restores - marker.restores,
+            jitter_draws: jitter_draws - marker.jitter_draws,
+            jitter_sum: jitter_sum - marker.jitter_sum,
+            pmu: self.pmu_lifetime.delta(&marker.pmu),
+        }
+    }
+
+    /// Advances the DRAM-jitter stream by `draws` draws on behalf of
+    /// runs that are being replayed rather than simulated, returning
+    /// the summed jitter actually drawn — exactly what the live runs
+    /// would have drawn from the same stream position. Call this
+    /// *before* [`Machine::apply_replayed_run`] and shift the recorded
+    /// delta's jittered fields by the difference.
+    pub fn replay_dram_jitter(&mut self, draws: u64) -> u64 {
+        self.mem.replay_jitter(draws)
+    }
+
+    /// Replays the recorded effects of runs this machine did *not*
+    /// execute (divergence-aware trial batching): every lifetime
+    /// counter — run count, simulated cycles, fast-forward diagnostics,
+    /// restore count, PMU lifetime totals, the live PMU bank and the
+    /// core's global cycle clock — advances exactly as executing the
+    /// recorded runs would have advanced it. Only valid when the
+    /// machine is provably at the fixed point the record was captured
+    /// at, i.e. replaying must be state-equivalent to re-running.
+    pub fn apply_replayed_run(&mut self, delta: &RunDelta) {
+        self.runs += delta.runs;
+        self.cycles_total += delta.cycles;
+        self.snap_restores += delta.restores;
+        self.pmu_lifetime.accumulate(&delta.pmu);
+        self.cpu
+            .absorb_replayed(delta.cycles, delta.ff_skipped, delta.ff_sprints, &delta.pmu);
+    }
+
+    /// The byte a faulting or architectural load of `vaddr` would make
+    /// visible to transient dependents, computed without touching any
+    /// machine state — the attacker-side oracle divergence-aware trial
+    /// batching uses to predict which test value of a 0..=255 sweep
+    /// will take the in-window branch.
+    ///
+    /// Mirrors the value (not the timing) semantics of the core's load
+    /// path: user-mapped bytes read through; supervisor-mapped bytes
+    /// forward under [`ForwardPolicy::Data`] when the line is cache
+    /// resident (never on early-abort cores); unmapped addresses
+    /// forward the stale fill-buffer byte when the core is
+    /// MDS-vulnerable; everything else reads as zero.
+    pub fn peek_transient_byte(&self, vaddr: u64) -> u8 {
+        use tet_mem::WalkOutcome;
+        match self.aspace.walk(vaddr).0 {
+            WalkOutcome::Mapped(pte) => {
+                let pa = pte.frame * PAGE_SIZE + (vaddr % PAGE_SIZE);
+                let vuln = &self.cpu.config().vuln;
+                let forwards = pte.user
+                    || (!vuln.early_fault_abort
+                        && vuln.meltdown_forward == ForwardPolicy::Data
+                        && self.mem.probe_level(pa).is_some());
+                if forwards {
+                    self.phys.read_u8(pa)
+                } else {
+                    0
+                }
+            }
+            _ => {
+                if self.cpu.config().vuln.lfb_forward {
+                    self.mem
+                        .lfb()
+                        .stale_byte((vaddr % tet_mem::LINE_SIZE) as usize)
+                        .unwrap_or(0)
+                } else {
+                    0
+                }
+            }
+        }
     }
 
     /// Turns the retirement differential oracle on or off for this
@@ -656,6 +850,11 @@ impl Machine {
         // cycles emit nothing, so trace-enabled runs step every cycle.
         let fast_forward = self.ff_enabled && !self.cpu.sink().enabled();
 
+        // Resolve the pre-decoded µop template once per run; the
+        // pipeline stages instantiate µops from it instead of
+        // re-cracking instructions every fetch/rename.
+        let template = self.ctx.template(program);
+
         let mut exit = RunExit::CycleLimit;
         while self.cpu.cycle() < cfg.max_cycles {
             if self.cpu.halted() {
@@ -696,7 +895,7 @@ impl Machine {
                 aspace: &self.aspace,
                 check: oracle.as_mut(),
             };
-            self.cpu.step(program, &mut env);
+            self.cpu.step(&template, &mut env);
         }
 
         if let Some(oracle) = oracle.as_mut() {

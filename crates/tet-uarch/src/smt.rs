@@ -144,6 +144,10 @@ impl SmtMachine {
     ) -> SmtRunResult {
         self.map_code(0, prog0.len());
         self.map_code(1, prog1.len());
+        // SMT runs are rare and long, so templates are built per run
+        // rather than cached (the build is O(program length)).
+        let tpl0 = crate::template::ProgramTemplate::build(prog0);
+        let tpl1 = crate::template::ProgramTemplate::build(prog1);
         // Each thread gets its own handle (tagged 0 / 1); the shared
         // memory hierarchy is re-pointed at the stepping thread's handle
         // so cache events carry the right thread id.
@@ -180,7 +184,7 @@ impl SmtMachine {
                     // SMT runs are not oracle-checked (DESIGN.md §9).
                     check: None,
                 };
-                let ev = self.cpu0.step(prog0, &mut env);
+                let ev = self.cpu0.step(&tpl0, &mut env);
                 if let Some(until) = ev.flush_until {
                     self.cpu1.impose_external_stall(until);
                 }
@@ -195,7 +199,7 @@ impl SmtMachine {
                     aspace: &self.aspace1,
                     check: None,
                 };
-                let ev = self.cpu1.step(prog1, &mut env);
+                let ev = self.cpu1.step(&tpl1, &mut env);
                 if let Some(until) = ev.flush_until {
                     self.cpu0.impose_external_stall(until);
                 }

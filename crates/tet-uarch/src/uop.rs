@@ -1,6 +1,129 @@
 //! µop / reorder-buffer entry definitions and dataflow metadata.
 
-use tet_isa::{Flags, Inst, Reg, Src};
+use tet_isa::{Flags, Inst, Opcode, Reg, Src};
+
+/// Does this instruction occupy a store-buffer-style slot (writes memory
+/// at retire)?
+pub fn is_store_kind(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Store { .. } | Inst::StoreByte { .. } | Inst::Push { .. } | Inst::Call { .. }
+    )
+}
+
+/// Does this instruction read memory through the load path?
+pub fn is_load_kind(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Load { .. } | Inst::LoadByte { .. } | Inst::Pop { .. } | Inst::Ret
+    )
+}
+
+/// Packed µop classification bits, computed once per instruction when a
+/// [`ProgramTemplate`](crate::template::ProgramTemplate) is built so the
+/// per-cycle pipeline stages test a bit instead of re-matching on the
+/// instruction shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UopKind(u16);
+
+impl UopKind {
+    const BRANCH: u16 = 1 << 0;
+    const MEMORY: u16 = 1 << 1;
+    const FENCE: u16 = 1 << 2;
+    const STORE_KIND: u16 = 1 << 3;
+    const LOAD_KIND: u16 = 1 << 4;
+    const HALT: u16 = 1 << 5;
+    const CLFLUSH: u16 = 1 << 6;
+    const READS_FLAGS: u16 = 1 << 7;
+    const WRITES_FLAGS: u16 = 1 << 8;
+
+    /// Classifies an instruction into its µop kind bits.
+    pub fn classify(inst: &Inst) -> UopKind {
+        let mut bits = 0u16;
+        if inst.is_branch() {
+            bits |= Self::BRANCH;
+        }
+        if inst.is_memory() {
+            bits |= Self::MEMORY;
+        }
+        if inst.is_fence() {
+            bits |= Self::FENCE;
+        }
+        if is_store_kind(inst) {
+            bits |= Self::STORE_KIND;
+        }
+        if is_load_kind(inst) {
+            bits |= Self::LOAD_KIND;
+        }
+        if matches!(inst, Inst::Halt) {
+            bits |= Self::HALT;
+        }
+        if matches!(inst, Inst::Clflush { .. }) {
+            bits |= Self::CLFLUSH;
+        }
+        if inst.reads_flags() {
+            bits |= Self::READS_FLAGS;
+        }
+        if inst.writes_flags() {
+            bits |= Self::WRITES_FLAGS;
+        }
+        UopKind(bits)
+    }
+
+    /// Control-flow instruction (mirrors [`Inst::is_branch`]).
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        self.0 & Self::BRANCH != 0
+    }
+
+    /// Memory access (mirrors [`Inst::is_memory`]).
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        self.0 & Self::MEMORY != 0
+    }
+
+    /// Fence (mirrors [`Inst::is_fence`]).
+    #[inline]
+    pub fn is_fence(self) -> bool {
+        self.0 & Self::FENCE != 0
+    }
+
+    /// Occupies a store-buffer slot (mirrors [`is_store_kind`]).
+    #[inline]
+    pub fn is_store_kind(self) -> bool {
+        self.0 & Self::STORE_KIND != 0
+    }
+
+    /// Reads memory through the load path (mirrors [`is_load_kind`]).
+    #[inline]
+    pub fn is_load_kind(self) -> bool {
+        self.0 & Self::LOAD_KIND != 0
+    }
+
+    /// The halt instruction.
+    #[inline]
+    pub fn is_halt(self) -> bool {
+        self.0 & Self::HALT != 0
+    }
+
+    /// A cache-line flush.
+    #[inline]
+    pub fn is_clflush(self) -> bool {
+        self.0 & Self::CLFLUSH != 0
+    }
+
+    /// Reads the arithmetic flags (mirrors [`Inst::reads_flags`]).
+    #[inline]
+    pub fn reads_flags(self) -> bool {
+        self.0 & Self::READS_FLAGS != 0
+    }
+
+    /// Writes the arithmetic flags (mirrors [`Inst::writes_flags`]).
+    #[inline]
+    pub fn writes_flags(self) -> bool {
+        self.0 & Self::WRITES_FLAGS != 0
+    }
+}
 
 /// Why a memory access faulted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -391,8 +514,13 @@ pub struct RobEntry {
     /// stack only changes at XBegin/XEnd rename, so consecutive entries
     /// reference the same snapshot.
     pub txn_snapshot: std::sync::Arc<[usize]>,
-    /// Whether this µop is a memory access (for stall accounting).
-    pub is_memory: bool,
+    /// Template-derived classification bits (branch / memory / fence /
+    /// store-kind / …), so pipeline stages never re-match on `inst`.
+    pub kind: UopKind,
+    /// Template-derived architectural destination registers.
+    pub dests: RegList,
+    /// Dense opcode — the index into the execute dispatch table.
+    pub op: Opcode,
     /// Earliest cycle the scheduler needs to re-evaluate this µop
     /// (0 = evaluate immediately, `u64::MAX` = parked on a producer's
     /// waiter list until woken).
@@ -572,7 +700,9 @@ mod tests {
             store: None,
             txn_abort: None,
             txn_snapshot: std::sync::Arc::from(Vec::new()),
-            is_memory: false,
+            kind: UopKind::classify(&Inst::Nop),
+            dests: RegList::new(),
+            op: Opcode::Nop,
             wake_at: 0,
             waiter_head: None,
             next_waiter: None,

@@ -1,0 +1,78 @@
+//! Property test: pre-decoded µop templates are field-for-field
+//! identical to legacy per-instruction cracking (DESIGN.md §13).
+//!
+//! [`ProgramTemplate::build`] cracks a program once; the pipeline then
+//! instantiates every µop from the template. The template fast path is
+//! only sound if each cached [`tet_uarch::UopMeta`] field equals what
+//! the legacy crack-on-fetch path would have computed for that pc —
+//! opcode dispatch index, classification bits, source/destination
+//! register lists, mnemonic, code vaddr and code page. This sweeps the
+//! `tet-check` random-program generator (the same generator the oracle
+//! fuzzer uses): 200 programs per Table 2 preset, every instruction of
+//! every program compared on every field.
+//!
+//! Deterministic: one fixed RNG stream per preset, so CI always checks
+//! the same 1000 programs.
+
+use proptest::test_runner::TestRng;
+use tet_check::gen::{self, GenConfig};
+use tet_uarch::uop::{dest_regs, src_regs, UopKind};
+use tet_uarch::{code_vaddr, CpuConfig, ProgramTemplate};
+
+const PROGRAMS_PER_PRESET: usize = 200;
+
+#[test]
+fn template_matches_legacy_cracking_on_random_programs() {
+    let gen_cfg = GenConfig::default();
+    for preset in CpuConfig::table2_presets() {
+        let mut rng = TestRng::deterministic(&format!("template-eq-{}", preset.name));
+        for case in 0..PROGRAMS_PER_PRESET {
+            let insts = gen::gen_program(&mut rng, &gen_cfg);
+            let program = gen::to_program(&insts);
+            let tpl = ProgramTemplate::build(&program);
+            let ctx = || format!("preset {} case {case}", preset.name);
+
+            assert_eq!(tpl.len(), program.len(), "{}", ctx());
+            assert_eq!(tpl.is_empty(), program.is_empty(), "{}", ctx());
+            assert_eq!(tpl.program().insts(), program.insts(), "{}", ctx());
+            for pc in 0..program.len() {
+                let inst = program.fetch(pc).expect("pc < len");
+                let m = tpl
+                    .meta(pc)
+                    .unwrap_or_else(|| panic!("{}: missing meta for pc {pc} ({inst:?})", ctx()));
+                assert_eq!(m.inst, inst, "{}: pc {pc} inst", ctx());
+                assert_eq!(m.op, inst.opcode(), "{}: pc {pc} opcode ({inst:?})", ctx());
+                assert_eq!(
+                    m.kind,
+                    UopKind::classify(&inst),
+                    "{}: pc {pc} kind ({inst:?})",
+                    ctx()
+                );
+                assert_eq!(
+                    m.srcs.as_slice(),
+                    src_regs(&inst).as_slice(),
+                    "{}: pc {pc} srcs ({inst:?})",
+                    ctx()
+                );
+                assert_eq!(
+                    m.dests.as_slice(),
+                    dest_regs(&inst).as_slice(),
+                    "{}: pc {pc} dests ({inst:?})",
+                    ctx()
+                );
+                assert_eq!(m.mnemonic, inst.mnemonic(), "{}: pc {pc} mnemonic", ctx());
+                assert_eq!(m.vaddr, code_vaddr(pc), "{}: pc {pc} vaddr", ctx());
+                assert_eq!(
+                    m.page,
+                    code_vaddr(pc) / tet_mem::PAGE_SIZE,
+                    "{}: pc {pc} page",
+                    ctx()
+                );
+            }
+            // Out-of-program pcs must stay out-of-template, too: the
+            // frontend relies on `meta(pc) == None` exactly where
+            // `fetch(pc) == None` ends a run.
+            assert!(tpl.meta(program.len()).is_none(), "{}", ctx());
+        }
+    }
+}

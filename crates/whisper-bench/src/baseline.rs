@@ -32,7 +32,10 @@ pub struct Gate {
 }
 
 /// The gates `bench_core --baseline` applies: the historical 70% floor
-/// on simulation throughput and per-trial cost.
+/// on simulation throughput, per-trial cost, and the decode sweep's
+/// wall-clock and per-retired-µop cost (the two axes of the sweep:
+/// total time, and time normalized by simulated work so template
+/// caching or batching wins don't mask per-µop regressions).
 pub fn bench_core_gates() -> Vec<Gate> {
     vec![
         Gate {
@@ -42,6 +45,16 @@ pub fn bench_core_gates() -> Vec<Gate> {
         },
         Gate {
             key: "table2.ns_per_trial",
+            direction: Direction::LowerIsBetter,
+            min_ratio: 0.7,
+        },
+        Gate {
+            key: "decode_sweep.ns_per_iter",
+            direction: Direction::LowerIsBetter,
+            min_ratio: 0.7,
+        },
+        Gate {
+            key: "decode_sweep.ns_per_uop",
             direction: Direction::LowerIsBetter,
             min_ratio: 0.7,
         },
@@ -168,6 +181,10 @@ mod tests {
         r.sim_cycles_per_sec = rate;
         if let Some(ns) = ns_per_trial {
             r.scalar("table2.ns_per_trial", ns);
+            // The decode-sweep gates scale with the same latency figure
+            // so one knob drives all LowerIsBetter gates in tests.
+            r.scalar("decode_sweep.ns_per_iter", ns * 100.0);
+            r.scalar("decode_sweep.ns_per_uop", ns / 10.0);
         }
         r
     }

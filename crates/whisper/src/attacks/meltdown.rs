@@ -10,6 +10,7 @@ use tet_uarch::Machine;
 
 use crate::analysis::{ArgmaxDecoder, Polarity};
 use crate::attacks::{LeakReport, LeakedByte};
+use crate::batch::ProbeMemo;
 use crate::gadget::{TetGadget, TetGadgetSpec};
 
 /// The TET-Meltdown attack.
@@ -39,10 +40,15 @@ impl TetMeltdown {
         for _ in 0..self.warmup {
             gadget.measure(machine, 0);
         }
+        // The hint must be read *after* warm-up: forwarding predicts
+        // the secret byte only once its line is cache resident.
+        let mut memo = ProbeMemo::new(machine, gadget.match_hint(machine));
         let mut cycles = 0u64;
         let decoder = ArgmaxDecoder::new(self.batches, Polarity::MaxWins);
         let out = decoder.decode(|test, _| {
-            let (tote, c) = gadget.measure_detailed(machine, test as u64)?;
+            let (tote, c) = memo.probe(machine, test as u64, |m| {
+                gadget.measure_detailed(m, test as u64)
+            })?;
             cycles += c;
             Some(tote)
         });
@@ -68,12 +74,15 @@ impl TetMeltdown {
         for _ in 0..self.warmup {
             gadget.measure(machine, 0);
         }
+        let mut memo = ProbeMemo::new(machine, gadget.match_hint(machine));
         let mut cycles = 0u64;
         let mut votes = vec![0u32; 256];
         for _batch in 0..self.batches.max(confidence) {
             let decoder = ArgmaxDecoder::new(1, Polarity::MaxWins);
             let out = decoder.decode(|test, _| {
-                let (tote, c) = gadget.measure_detailed(machine, test as u64)?;
+                let (tote, c) = memo.probe(machine, test as u64, |m| {
+                    gadget.measure_detailed(m, test as u64)
+                })?;
                 cycles += c;
                 Some(tote)
             });

@@ -12,6 +12,7 @@ use tet_uarch::Machine;
 
 use crate::analysis::{ArgmaxDecoder, Polarity};
 use crate::attacks::{LeakReport, LeakedByte};
+use crate::batch::ProbeMemo;
 use crate::gadget::RsbGadget;
 use crate::scenario::STACK_TOP;
 
@@ -46,10 +47,13 @@ impl TetSpectreRsb {
         for _ in 0..4 {
             gadget.measure(machine, 0);
         }
+        let mut memo = ProbeMemo::new(machine, gadget.match_hint(machine));
         let mut cycles = 0u64;
         let decoder = ArgmaxDecoder::new(self.batches, Polarity::MinWins);
         let out = decoder.decode(|test, _| {
-            let (tote, c) = gadget.measure_detailed(machine, test as u64)?;
+            let (tote, c) = memo.probe(machine, test as u64, |m| {
+                gadget.measure_detailed(m, test as u64)
+            })?;
             cycles += c;
             Some(tote)
         });

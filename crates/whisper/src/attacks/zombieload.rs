@@ -9,8 +9,9 @@
 
 use crate::analysis::{ArgmaxDecoder, Polarity};
 use crate::attacks::{LeakReport, LeakedByte};
+use crate::batch::ProbeMemo;
 use crate::gadget::{TetGadget, TetGadgetSpec};
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, VICTIM_PAGE};
 
 /// An unmapped attacker address whose faulting loads trigger the assist.
 /// The line offset of the probe selects which stale byte is sampled.
@@ -41,11 +42,27 @@ impl TetZombieload {
         for _ in 0..3 {
             gadget.measure(&mut sc.machine, 0);
         }
+        // The hint must predict the stale fill-buffer byte at *probe*
+        // time — right after each iteration's victim touch — not the
+        // clobbered LFB state the warm-up runs leave behind, so it is
+        // read architecturally from the victim page (no machine state
+        // touched). MDS-fixed cores forward zero instead. Only the
+        // measured run is memoized — the victim's touch stays live
+        // every iteration so the cache hierarchy (and its DRAM jitter
+        // stream position) advances exactly as in the unbatched loop.
+        let hint = if sc.machine.config().vuln.lfb_forward {
+            sc.machine.read_virt_u8(VICTIM_PAGE + offset) as u64
+        } else {
+            0
+        };
+        let mut memo = ProbeMemo::new(&sc.machine, Some(hint));
         let mut cycles = 0u64;
         let decoder = ArgmaxDecoder::new(self.batches, Polarity::MinWins);
         let out = decoder.decode(|test, _| {
             sc.victim_touch(offset);
-            let (tote, c) = gadget.measure_detailed(&mut sc.machine, test as u64)?;
+            let (tote, c) = memo.probe(&mut sc.machine, test as u64, |m| {
+                gadget.measure_detailed(m, test as u64)
+            })?;
             cycles += c;
             Some(tote)
         });

@@ -5,10 +5,18 @@
 //! the shared byte) and decodes by batched argmax. The paper reports
 //! 500 B/s at < 5 % error on the i7-7700 for 1 KiB of random payload.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::analysis::{bytes_per_second, error_rate, ArgmaxDecoder, Polarity};
+use crate::batch::{FixedRec, ProbeMemo};
 use crate::gadget::{TetGadget, TetGadgetSpec};
 use crate::scenario::{Scenario, SHARED_PAGE};
 use tet_uarch::{Machine, MachineSnapshot};
+
+/// The fixed record a decode sweep's probes establish: the probe
+/// closure returns `Option<(ToTE, cycles)>`, so that is the result
+/// type the memo memoizes.
+type SweepFixedRec = FixedRec<Option<(u64, u64)>>;
 
 /// Process-wide default for snapshot-forked trials: `TET_SNAPSHOT=0`
 /// turns them off (every trial then replays warm-up sequentially).
@@ -111,9 +119,15 @@ impl TetCovertChannel {
         if let Some((_, c)) = gadget.measure_detailed(&mut sc.machine, 0) {
             cycles += c;
         }
+        // Divergence-aware batching: the shared byte predicts the one
+        // test value that takes the in-window branch; proven-fixed
+        // non-matching probes replay instead of simulating.
+        let mut memo = ProbeMemo::new(&sc.machine, gadget.match_hint(&sc.machine));
         let decoder = ArgmaxDecoder::new(self.batches, Polarity::MaxWins);
         let out = decoder.decode(|test, _| {
-            let (tote, c) = gadget.measure_detailed(&mut sc.machine, test as u64)?;
+            let (tote, c) = memo.probe(&mut sc.machine, test as u64, |m| {
+                gadget.measure_detailed(m, test as u64)
+            })?;
             cycles += c;
             Some(tote)
         });
@@ -149,6 +163,13 @@ impl TetCovertChannel {
         }
         let snap: MachineSnapshot = warm.snapshot();
         let decoder = ArgmaxDecoder::new(self.batches, Polarity::MaxWins);
+        // All trials fork from one snapshot, so their non-matching
+        // probes share one fixed point: whichever clone establishes it
+        // first publishes the record, and every later clone fast-forwards
+        // from it after a one-probe confirmation. The record is a pure
+        // function of the snapshot (racing writers store identical
+        // values), so decoding stays identical at any thread count.
+        let fixed: Arc<OnceLock<SweepFixedRec>> = Arc::new(OnceLock::new());
         let per_byte: Vec<(u8, u64)> = tet_par::run_indexed_with(
             threads,
             payload.len(),
@@ -161,12 +182,19 @@ impl TetCovertChannel {
                     .translate(SHARED_PAGE)
                     .expect("shared page is mapped");
                 m.phys_mut().write_u8(pa, payload[i]);
+                // The hint is this trial's own payload byte (read back
+                // through the forwarding oracle, after the write above).
+                let mut memo = ProbeMemo::seeded(m, gadget.match_hint(m), fixed.get().cloned());
                 let mut cyc = 0u64;
                 let out = decoder.decode(|test, _| {
-                    let (tote, c) = gadget.measure_detailed(m, test as u64)?;
+                    let (tote, c) =
+                        memo.probe(m, test as u64, |m| gadget.measure_detailed(m, test as u64))?;
                     cyc += c;
                     Some(tote)
                 });
+                if let Some(rec) = memo.fixed() {
+                    let _ = fixed.set(rec.clone());
+                }
                 (out.value, cyc)
             },
         );

@@ -174,6 +174,30 @@ impl TetGadget {
         self.spec
     }
 
+    /// The test value expected to take this gadget's in-window branch
+    /// on `machine` right now — the divergence oracle for trial
+    /// batching ([`crate::batch::ProbeMemo`]). `None` when no single
+    /// test value is predictable (a non-equality compare, or an
+    /// always-taken branch), which disables batching for this gadget.
+    ///
+    /// The prediction reads the same forwarding semantics the core's
+    /// load path applies ([`Machine::peek_transient_byte`]), so it is
+    /// exact whenever the gadget's compare operand is stable across
+    /// the sweep — the warmed-up steady state every decode loop runs
+    /// in.
+    pub fn match_hint(&self, machine: &Machine) -> Option<u64> {
+        if self.spec.jcc != Cond::E {
+            return None;
+        }
+        match self.spec.compare {
+            CompareSource::TransientLoad => {
+                Some(machine.peek_transient_byte(self.spec.probe_addr) as u64)
+            }
+            CompareSource::UserByte(addr) => Some(machine.peek_transient_byte(addr) as u64),
+            CompareSource::AlwaysTaken => None,
+        }
+    }
+
     /// Measures one ToTE sample with test value `test` in `rbx`.
     ///
     /// Returns `None` when the gadget did not complete (e.g. the fault
@@ -263,6 +287,13 @@ impl RsbGadget {
     /// The in-process secret address this gadget reads.
     pub fn secret_addr(&self) -> u64 {
         self.secret_addr
+    }
+
+    /// The test value expected to take the transient Jcc — the secret
+    /// byte itself, architecturally readable in the Spectre threat
+    /// model (see [`TetGadget::match_hint`]).
+    pub fn match_hint(&self, machine: &Machine) -> Option<u64> {
+        Some(machine.peek_transient_byte(self.secret_addr) as u64)
     }
 
     /// Measures one ToTE sample with test value `test`.

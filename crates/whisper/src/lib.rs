@@ -56,6 +56,7 @@
 pub mod analysis;
 pub mod attacks;
 pub mod baseline;
+pub mod batch;
 pub mod channel;
 pub mod eval;
 pub mod gadget;
@@ -64,5 +65,6 @@ pub mod smt;
 pub mod stealth;
 
 pub use analysis::{ArgmaxDecoder, Histogram, Polarity};
+pub use batch::{FixedRec, ProbeMemo};
 pub use gadget::{CompareSource, TetGadget, TetGadgetSpec, TransientBegin};
 pub use scenario::{Scenario, ScenarioOptions};

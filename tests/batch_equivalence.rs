@@ -1,0 +1,202 @@
+//! Property tests: batched (memoized/replayed) trials are byte-and-cycle
+//! identical to unbatched (all-live) trials, serially and under the
+//! thread pool at 1 and 8 workers (DESIGN.md §13).
+//!
+//! `TET_BATCH` is a process-wide switch, so the unbatched arm inside one
+//! process is a hintless [`ProbeMemo`] — by construction it never skips,
+//! which is exactly the `TET_BATCH=0` behaviour per probe. (The
+//! cross-*process* check — diffing experiment stdout across
+//! `TET_PREDECODE=0/1` × `TET_BATCH=0/1` — lives in CI.)
+//!
+//! "Byte-and-cycle identical" is asserted on the strongest observable
+//! surface the machine exposes: every per-probe `(ToTE, cycles)` result,
+//! plus the full [`tet_uarch::RunDelta`] over the sweep — run count,
+//! cycle total, fast-forward stats, snapshot restores, DRAM-jitter draw
+//! count/sum and all PMU lifetime counters.
+
+use tet_uarch::{CpuConfig, Machine, RunDelta};
+use whisper::batch::{batch_enabled, ProbeMemo};
+use whisper::gadget::{RsbGadget, TetGadget, TetGadgetSpec};
+use whisper::scenario::{Scenario, ScenarioOptions, STACK_TOP};
+
+/// What one probe reports: `Some((ToTE, cycles))`, `None` on a run
+/// that did not complete.
+type ProbeResult = Option<(u64, u64)>;
+
+/// One trial's observable surface: every probe result plus the
+/// machine's counter movement over the whole sweep.
+type TrialOutcome = (Vec<ProbeResult>, RunDelta);
+
+/// One full 0..=255 sweep (×`batches`) through a probe memo. Returns
+/// every probe result, the machine's counter movement over the sweep,
+/// how many probes ran live, and whether a fixed point was established.
+fn sweep<F>(
+    machine: &mut Machine,
+    hint: Option<u64>,
+    batches: u32,
+    f: F,
+) -> (Vec<ProbeResult>, RunDelta, u32, bool)
+where
+    F: Fn(&mut Machine, u64) -> ProbeResult,
+{
+    let marker = machine.delta_marker();
+    let mut memo = ProbeMemo::new(machine, hint);
+    let mut live = 0u32;
+    let mut out = Vec::with_capacity(256 * batches as usize);
+    for _ in 0..batches {
+        for test in 0..=255u64 {
+            out.push(memo.probe(machine, test, |m| {
+                live += 1;
+                f(m, test)
+            }));
+        }
+    }
+    let delta = machine.delta_since(&marker);
+    let established = memo.fixed().is_some();
+    (out, delta, live, established)
+}
+
+/// Runs the batched-vs-unbatched comparison for one gadget closure on
+/// twin warmed machines. `hint` must be the gadget's match hint on the
+/// (shared) warmed state.
+fn assert_batched_equals_unbatched<F>(
+    label: &str,
+    batched_machine: &mut Machine,
+    live_machine: &mut Machine,
+    hint: Option<u64>,
+    f: F,
+) where
+    F: Fn(&mut Machine, u64) -> Option<(u64, u64)>,
+{
+    assert!(hint.is_some(), "{label}: gadget must predict a match hint");
+    let total = 2 * 256u32;
+    let (fast, fast_delta, fast_live, established) = sweep(batched_machine, hint, 2, &f);
+    let (slow, slow_delta, slow_live, _) = sweep(live_machine, None, 2, &f);
+    assert_eq!(slow_live, total, "{label}: hintless memo must never skip");
+    assert_eq!(fast, slow, "{label}: per-probe results must be identical");
+    assert_eq!(
+        fast_delta, slow_delta,
+        "{label}: cycle/ff/jitter/PMU movement must be identical"
+    );
+    assert_eq!(
+        batched_machine.stats(),
+        live_machine.stats(),
+        "{label}: lifetime machine stats must be identical"
+    );
+    assert_eq!(
+        batched_machine.pmu_lifetime(),
+        live_machine.pmu_lifetime(),
+        "{label}: lifetime PMU counters must be identical"
+    );
+    if batch_enabled(batched_machine) {
+        assert!(established, "{label}: fixed point must establish");
+        assert!(
+            fast_live < total / 2,
+            "{label}: batching must actually skip — {fast_live}/{total} ran live"
+        );
+    }
+}
+
+/// Twin scenarios: identical config, options and seed, so the two
+/// machines are bit-for-bit the same starting state.
+fn twins(cfg: CpuConfig) -> (Scenario, Scenario) {
+    let opts = ScenarioOptions::default();
+    (Scenario::new(cfg.clone(), &opts), Scenario::new(cfg, &opts))
+}
+
+/// TET-MD shape: jitter-free fixed point (the probed line is cache
+/// resident after warm-up, so non-matching probes replay verbatim).
+#[test]
+fn meltdown_sweep_batched_equals_unbatched() {
+    for cfg in [
+        CpuConfig::kaby_lake_i7_7700(),
+        CpuConfig::raptor_lake_i9_13900k(),
+    ] {
+        let label = format!("md/{}", cfg.name);
+        let (mut a, mut b) = twins(cfg.clone());
+        let gadget = TetGadget::build(TetGadgetSpec::meltdown(a.kernel_secret_va, &cfg));
+        for _ in 0..4 {
+            gadget.measure(&mut a.machine, 0);
+            gadget.measure(&mut b.machine, 0);
+        }
+        let hint = gadget.match_hint(&a.machine);
+        assert_eq!(hint, gadget.match_hint(&b.machine), "{label}: twin hints");
+        assert_batched_equals_unbatched(&label, &mut a.machine, &mut b.machine, hint, |m, t| {
+            gadget.measure_detailed(m, t)
+        });
+    }
+}
+
+/// TET-RSB shape: the clflushed return slot costs one DRAM-jitter draw
+/// per probe, so replays go through the jitter-normalised path (draw
+/// from the live stream, shift every responsive counter) — the arm that
+/// must still be cycle-exact against all-live simulation.
+#[test]
+fn rsb_sweep_batched_equals_unbatched() {
+    for cfg in [
+        CpuConfig::kaby_lake_i7_7700(),
+        CpuConfig::raptor_lake_i9_13900k(),
+    ] {
+        let label = format!("rsb/{}", cfg.name);
+        let (mut a, mut b) = twins(cfg);
+        let gadget = RsbGadget::build(a.user_secret_va, STACK_TOP, 96);
+        for _ in 0..4 {
+            gadget.measure(&mut a.machine, 0);
+            gadget.measure(&mut b.machine, 0);
+        }
+        let hint = gadget.match_hint(&a.machine);
+        assert_eq!(hint, gadget.match_hint(&b.machine), "{label}: twin hints");
+        assert_batched_equals_unbatched(&label, &mut a.machine, &mut b.machine, hint, |m, t| {
+            gadget.measure_detailed(m, t)
+        });
+    }
+}
+
+/// The fan-out case: every (batched, threads) × (unbatched, threads)
+/// combination at 1 and 8 workers produces identical per-trial results
+/// and identical per-trial counter movement. Each trial restores one
+/// shared warmed snapshot (the `transmit_chunked` decomposition), so
+/// worker assignment must not matter either.
+#[test]
+fn batched_fanout_equals_unbatched_at_threads_1_and_8() {
+    const TRIALS: usize = 6;
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+    let gadget = TetGadget::build(TetGadgetSpec::meltdown(sc.kernel_secret_va, &cfg));
+    let mut warm = sc.machine.clone();
+    for _ in 0..4 {
+        gadget.measure(&mut warm, 0);
+    }
+    let hint = gadget.match_hint(&warm);
+    assert!(hint.is_some(), "warmed gadget must predict a hint");
+    let snap = warm.snapshot();
+
+    let run = |threads: usize, batched: bool| -> Vec<TrialOutcome> {
+        tet_par::run_indexed_with(
+            threads,
+            TRIALS,
+            || Machine::from_snapshot(&snap),
+            |m, _i| {
+                m.restore(&snap);
+                let (out, delta, live, _) =
+                    sweep(m, if batched { hint } else { None }, 1, |m, t| {
+                        gadget.measure_detailed(m, t)
+                    });
+                if !batched {
+                    assert_eq!(live, 256, "hintless trial must run fully live");
+                }
+                (out, delta)
+            },
+        )
+    };
+
+    let reference = run(1, false);
+    for (threads, batched) in [(1, true), (8, false), (8, true)] {
+        let got = run(threads, batched);
+        assert_eq!(
+            got, reference,
+            "threads={threads} batched={batched}: per-trial results and \
+             counter movement must match the serial unbatched reference"
+        );
+    }
+}

@@ -98,9 +98,16 @@ fn matrix_with_telemetry_identical_to_plain_serial_matrix() {
         stats.runs,
         "observer saw every cell's trials exactly once"
     );
+    // Divergence-aware batching replays proven-fixed trials instead of
+    // simulating them, and replays are (by design) not host-timed — so
+    // the profiler sees the live runs only: at least one, never more
+    // than the run count the stats report (live + replayed).
+    let run_hits = prof.hits(tet_metrics::Stage::Run);
+    assert!(run_hits > 0, "profiler timed the live runs");
     assert!(
-        prof.hits(tet_metrics::Stage::Run) >= stats.runs,
-        "profiler timed every run"
+        run_hits <= stats.runs,
+        "profiler cannot time more runs than the stats report ({run_hits} vs {})",
+        stats.runs
     );
 }
 
