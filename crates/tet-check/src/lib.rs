@@ -44,11 +44,11 @@ pub fn enable() {
 }
 
 /// Whether check mode is on for this process: [`enable`] was called or
-/// the `TET_CHECK` environment variable is set to anything but `0`/empty.
+/// the `TET_CHECK` environment variable is enabled (anything but
+/// `0`/`false`/`off`/empty; see [`tet_obs::env_flag`]).
 pub fn enabled() -> bool {
     FORCED.load(Ordering::Relaxed)
-        || *FROM_ENV
-            .get_or_init(|| std::env::var("TET_CHECK").is_ok_and(|v| !v.is_empty() && v != "0"))
+        || *FROM_ENV.get_or_init(|| tet_obs::env_flag("TET_CHECK", false))
 }
 
 #[cfg(test)]

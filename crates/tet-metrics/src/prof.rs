@@ -126,12 +126,10 @@ impl HostProfiler {
         }
     }
 
-    /// Creates a profiler only when `TET_PROF=1` is set, honoring
-    /// `TET_PROF_SAMPLE`.
+    /// Creates a profiler only when `TET_PROF` is enabled (see
+    /// [`tet_obs::env_flag`]), honoring `TET_PROF_SAMPLE`.
     pub fn from_env() -> Option<HostProfiler> {
-        std::env::var_os("TET_PROF")
-            .is_some_and(|v| v == "1")
-            .then(|| HostProfiler::new(sample_every_from_env()))
+        tet_obs::env_flag("TET_PROF", false).then(|| HostProfiler::new(sample_every_from_env()))
     }
 
     /// A write handle for one producer (all handles share the totals).

@@ -55,11 +55,10 @@ impl Registry {
         }
     }
 
-    /// Creates a registry only when `TET_METRICS=1` is set.
+    /// Creates a registry only when `TET_METRICS` is enabled (any value
+    /// but `0`/`false`/`off`/empty; see [`tet_obs::env_flag`]).
     pub fn from_env() -> Option<Registry> {
-        std::env::var_os("TET_METRICS")
-            .is_some_and(|v| v == "1")
-            .then(Registry::new)
+        tet_obs::env_flag("TET_METRICS", false).then(Registry::new)
     }
 
     /// Registers a new shard and returns the handle that writes to it.

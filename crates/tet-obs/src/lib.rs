@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod env;
 pub mod event;
 pub mod json;
 pub mod progress;
@@ -32,6 +33,7 @@ pub mod report;
 pub mod sink;
 
 pub use chrome::ChromeTrace;
+pub use env::{env_flag, parse_flag_value};
 pub use event::{DeliveryRoute, EventKind, FaultClass, MemLevel, SquashCause, TlbKind, TraceEvent};
 pub use progress::{quiet, Progress};
 pub use report::{Histogram, HistogramSummary, MetricsSection, RunReport, REPORT_SCHEMA_VERSION};

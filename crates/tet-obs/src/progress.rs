@@ -8,11 +8,12 @@
 
 use std::time::Instant;
 
-/// Whether `TET_QUIET=1` is set: the process-wide "suppress all progress
-/// and status output on stderr" switch. Binaries consult this before any
-/// unconditional `eprintln!`; failure diagnostics are exempt.
+/// Whether `TET_QUIET` is enabled (see [`crate::env_flag`]): the
+/// process-wide "suppress all progress and status output on stderr"
+/// switch. Binaries consult this before any unconditional `eprintln!`;
+/// failure diagnostics are exempt.
 pub fn quiet() -> bool {
-    std::env::var_os("TET_QUIET").is_some_and(|v| v == "1")
+    crate::env_flag("TET_QUIET", false)
 }
 
 /// A progress reporter for one named experiment or phase.

@@ -562,12 +562,21 @@ impl RunReport {
     /// The directory can be overridden with the `TET_REPORT_DIR`
     /// environment variable (used by `scripts/repro_all.sh --json`).
     pub fn write_default(&self) -> std::io::Result<std::path::PathBuf> {
+        // Errors carry the offending path: callers surface them as
+        // one-line diagnostics (a server answering live requests must
+        // be able to say *which* directory was unwritable).
         let dir = std::env::var_os("TET_REPORT_DIR")
             .map(std::path::PathBuf::from)
             .unwrap_or_else(|| std::path::PathBuf::from("target/reports"));
-        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("create report dir {}: {e}", dir.display()),
+            )
+        })?;
         let path = dir.join(format!("{}.json", self.name));
-        std::fs::write(&path, self.to_json())?;
+        std::fs::write(&path, self.to_json())
+            .map_err(|e| std::io::Error::new(e.kind(), format!("write {}: {e}", path.display())))?;
         Ok(path)
     }
 }

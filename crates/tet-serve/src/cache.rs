@@ -1,0 +1,226 @@
+//! Disk-backed, content-addressed RunReport cache.
+//!
+//! One file per cache key under `target/serve-cache/` (overridable with
+//! `TET_SERVE_CACHE`), named `<hex-sha256>.json`, holding the serialized
+//! [`tet_obs::RunReport`] exactly as it is served — a hit returns the
+//! stored bytes untouched, so a cached response is byte-identical to the
+//! cold response that populated it. An in-memory index (key → size)
+//! avoids touching the filesystem to answer "is this cached?"; bodies
+//! stay on disk so a long-lived server's memory does not grow with its
+//! history.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Cache hit/miss/size counters, served by `GET /v1/cache/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed and went to the scheduler.
+    pub misses: u64,
+    /// Entries currently indexed.
+    pub entries: u64,
+    /// Total stored bytes across entries.
+    pub bytes: u64,
+}
+
+/// The content-addressed result store.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// key → stored size in bytes.
+    index: HashMap<String, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The default cache directory, honoring `TET_SERVE_CACHE`.
+pub fn default_dir() -> PathBuf {
+    std::env::var_os("TET_SERVE_CACHE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/serve-cache"))
+}
+
+impl ResultCache {
+    /// Opens (and creates if needed) the cache at `dir`, indexing any
+    /// entries a previous server left behind. Errors are one-line
+    /// diagnostics naming the offending path.
+    pub fn open(dir: &Path) -> Result<ResultCache, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create cache dir {}: {e}", dir.display()))?;
+        let mut index = HashMap::new();
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("read cache dir {}: {e}", dir.display()))?;
+        for entry in entries.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.extension().is_none_or(|x| x != "json") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            // Only well-formed keys (64 hex chars) are re-indexed;
+            // anything else in the directory is ignored, not trusted.
+            if stem.len() == 64 && stem.bytes().all(|b| b.is_ascii_hexdigit()) {
+                let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                index.insert(stem.to_string(), size);
+            }
+        }
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(CacheInner {
+                index,
+                ..CacheInner::default()
+            }),
+        })
+    }
+
+    /// The file path of a key's entry.
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Looks `key` up, counting a hit or miss. A hit returns the stored
+    /// bytes exactly as written.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let indexed = {
+            let mut inner = self.inner.lock().unwrap();
+            let indexed = inner.index.contains_key(key);
+            if indexed {
+                inner.hits += 1;
+            } else {
+                inner.misses += 1;
+            }
+            indexed
+        };
+        if !indexed {
+            return None;
+        }
+        match std::fs::read_to_string(self.path_of(key)) {
+            Ok(body) => Some(body),
+            Err(e) => {
+                // Index said yes but the file is gone (external cleanup):
+                // heal the index and treat as a miss.
+                eprintln!(
+                    "warning: cache entry {} unreadable: {e} (dropping from index)",
+                    self.path_of(key).display()
+                );
+                let mut inner = self.inner.lock().unwrap();
+                inner.index.remove(key);
+                inner.hits -= 1;
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is cached, without counting a lookup.
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.lock().unwrap().index.contains_key(key)
+    }
+
+    /// Reads `key`'s entry without counting a hit or miss — for report
+    /// fetches of an already-resolved job, where the cache decision was
+    /// made (and counted) at submit time.
+    pub fn peek(&self, key: &str) -> Option<String> {
+        if !self.contains(key) {
+            return None;
+        }
+        std::fs::read_to_string(self.path_of(key)).ok()
+    }
+
+    /// Stores `body` under `key` (write-to-temp + rename, so a reader
+    /// never sees a half-written entry) and indexes it.
+    pub fn put(&self, key: &str, body: &str) -> Result<(), String> {
+        let path = self.path_of(key);
+        let tmp = self.dir.join(format!("{key}.tmp"));
+        std::fs::write(&tmp, body).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))?;
+        let mut inner = self.inner.lock().unwrap();
+        inner.index.insert(key.to_string(), body.len() as u64);
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.index.len() as u64,
+            bytes: inner.index.values().sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tet_serve_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const KEY: &str = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef";
+
+    #[test]
+    fn round_trips_and_counts() {
+        let dir = tmpdir("rt");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.get(KEY), None);
+        cache.put(KEY, "{\"x\":1}").unwrap();
+        assert_eq!(cache.get(KEY).as_deref(), Some("{\"x\":1}"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.bytes, 7);
+
+        // A fresh instance over the same directory re-indexes the entry.
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert!(reopened.contains(KEY));
+        assert_eq!(reopened.get(KEY).as_deref(), Some("{\"x\":1}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn junk_files_are_not_indexed() {
+        let dir = tmpdir("junk");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("notakey.json"), "{}").unwrap();
+        std::fs::write(dir.join("README.txt"), "hi").unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.stats().entries, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_heals_the_index() {
+        let dir = tmpdir("heal");
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.put(KEY, "{}").unwrap();
+        std::fs::remove_file(dir.join(format!("{KEY}.json"))).unwrap();
+        assert_eq!(cache.get(KEY), None);
+        assert_eq!(cache.stats().entries, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_reports_unusable_dir() {
+        // A file where the directory should be.
+        let path = std::env::temp_dir().join(format!("tet_serve_notadir_{}", std::process::id()));
+        std::fs::write(&path, "x").unwrap();
+        let err = ResultCache::open(&path).unwrap_err();
+        assert!(err.contains("cache dir"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

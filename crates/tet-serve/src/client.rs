@@ -1,0 +1,169 @@
+//! A small blocking client for the campaign server — what the load
+//! generator and the `table2_matrix --server` thin-client mode use.
+//!
+//! One request per connection, mirroring the server's
+//! `Connection: close` discipline. All methods return one-line `String`
+//! errors naming the endpoint, so callers can print them and move on.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tet_obs::json::{self, Value};
+
+/// A server endpoint, e.g. `http://127.0.0.1:8044` or `127.0.0.1:8044`.
+#[derive(Debug, Clone)]
+pub struct Client {
+    host_port: String,
+}
+
+/// One response: status code and body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (entire, for non-streaming endpoints).
+    pub body: String,
+}
+
+impl Response {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Value, String> {
+        json::parse(&self.body).map_err(|e| format!("parse response JSON: {e}"))
+    }
+}
+
+impl Client {
+    /// Builds a client for `base` (with or without an `http://` prefix,
+    /// trailing slashes ignored).
+    pub fn new(base: &str) -> Client {
+        let host_port = base
+            .trim()
+            .trim_start_matches("http://")
+            .trim_end_matches('/')
+            .to_string();
+        Client { host_port }
+    }
+
+    /// One round trip. `body` is sent with a `Content-Length`; the
+    /// response body is read to EOF.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, String> {
+        let mut stream = TcpStream::connect(&self.host_port)
+            .map_err(|e| format!("connect {}: {e}", self.host_port))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(600)))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.host_port,
+            body.len()
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .map_err(|e| format!("send {method} {path}: {e}"))?;
+        let mut raw = String::new();
+        stream
+            .read_to_string(&mut raw)
+            .map_err(|e| format!("read {method} {path}: {e}"))?;
+        Self::parse_response(&raw, method, path)
+    }
+
+    fn parse_response(raw: &str, method: &str, path: &str) -> Result<Response, String> {
+        let (head, body) = raw
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| format!("{method} {path}: malformed response"))?;
+        let status_line = head.lines().next().unwrap_or_default();
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| format!("{method} {path}: bad status line {status_line:?}"))?;
+        Ok(Response {
+            status,
+            body: body.to_string(),
+        })
+    }
+
+    /// `GET /v1/health`.
+    pub fn health(&self) -> Result<Value, String> {
+        self.expect_json("GET", "/v1/health", "")
+    }
+
+    /// `POST /v1/jobs` with a raw spec body. Returns the submit
+    /// response (`job`, `key`, `state`, `cached`, `deduped`).
+    pub fn submit(&self, spec_json: &str) -> Result<Value, String> {
+        let resp = self.request("POST", "/v1/jobs", spec_json)?;
+        if resp.status != 200 && resp.status != 202 {
+            return Err(format!("submit rejected ({}): {}", resp.status, resp.body));
+        }
+        resp.json()
+    }
+
+    /// `GET /v1/jobs/<id>` once.
+    pub fn status(&self, job: u64) -> Result<Value, String> {
+        self.expect_json("GET", &format!("/v1/jobs/{job}"), "")
+    }
+
+    /// Polls until the job is `done` (returning its final status) or
+    /// `failed` (returning an error).
+    pub fn wait(&self, job: u64) -> Result<Value, String> {
+        loop {
+            let st = self.status(job)?;
+            match st.get("state").and_then(|s| s.as_str()) {
+                Some("done") => return Ok(st),
+                Some("failed") => {
+                    let msg = st
+                        .get("error")
+                        .and_then(|e| e.as_str())
+                        .unwrap_or("job failed")
+                        .to_string();
+                    return Err(msg);
+                }
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// `GET /v1/jobs/<id>/report` — the raw report bytes (so callers
+    /// can compare byte-identity across hits).
+    pub fn report(&self, job: u64) -> Result<String, String> {
+        let resp = self.request("GET", &format!("/v1/jobs/{job}/report"), "")?;
+        if resp.status != 200 {
+            return Err(format!("report ({}): {}", resp.status, resp.body));
+        }
+        Ok(resp.body)
+    }
+
+    /// Submit + wait + fetch, returning `(report_bytes, was_cached)`.
+    pub fn run_to_report(&self, spec_json: &str) -> Result<(String, bool), String> {
+        let sub = self.submit(spec_json)?;
+        let job = sub
+            .get("job")
+            .and_then(|j| j.as_u64())
+            .ok_or("submit response missing job id")?;
+        let cached = sub.get("cached").and_then(|c| c.as_bool()).unwrap_or(false);
+        if sub.get("state").and_then(|s| s.as_str()) != Some("done") {
+            self.wait(job)?;
+        }
+        Ok((self.report(job)?, cached))
+    }
+
+    /// `GET /v1/cache/stats`.
+    pub fn cache_stats(&self) -> Result<Value, String> {
+        self.expect_json("GET", "/v1/cache/stats", "")
+    }
+
+    /// `POST /v1/shutdown`.
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.request("POST", "/v1/shutdown", "").map(|_| ())
+    }
+
+    fn expect_json(&self, method: &str, path: &str, body: &str) -> Result<Value, String> {
+        let resp = self.request(method, path, body)?;
+        if resp.status != 200 {
+            return Err(format!("{method} {path} ({}): {}", resp.status, resp.body));
+        }
+        resp.json()
+    }
+}

@@ -1,0 +1,194 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! The build environment is offline and the workspace vendors its
+//! dependencies, so the server speaks just enough HTTP for its own
+//! clients, `curl`, and CI: one request per connection
+//! (`Connection: close`), `Content-Length` bodies on requests, and
+//! responses that either carry a `Content-Length` or stream until EOF
+//! (the job-events endpoint). No keep-alive, no chunked encoding, no
+//! TLS — it serves deterministic simulator campaigns on localhost, not
+//! the open internet.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on a request body, so a stray client cannot balloon the
+/// server's memory.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The request target, e.g. `/v1/jobs/3`.
+    pub path: String,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// A header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Reads one request from the stream. Errors are one-line protocol
+    /// diagnostics (the connection is answered 400 and closed).
+    pub fn read_from(stream: &mut TcpStream) -> Result<Request, String> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read request line: {e}"))?;
+        let mut parts = line.split_whitespace();
+        let method = parts.next().ok_or("empty request line")?.to_string();
+        let path = parts
+            .next()
+            .ok_or("request line missing target")?
+            .to_string();
+        let version = parts.next().ok_or("request line missing version")?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(format!("unsupported version {version:?}"));
+        }
+
+        let mut headers = Vec::new();
+        loop {
+            let mut hline = String::new();
+            reader
+                .read_line(&mut hline)
+                .map_err(|e| format!("read header: {e}"))?;
+            let hline = hline.trim_end();
+            if hline.is_empty() {
+                break;
+            }
+            let (name, value) = hline
+                .split_once(':')
+                .ok_or_else(|| format!("malformed header {hline:?}"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let mut body = String::new();
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse::<usize>())
+            .transpose()
+            .map_err(|e| format!("bad content-length: {e}"))?
+            .unwrap_or(0);
+        if content_length > MAX_BODY_BYTES {
+            return Err(format!(
+                "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            ));
+        }
+        if content_length > 0 {
+            let mut buf = vec![0u8; content_length];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| format!("read body: {e}"))?;
+            body = String::from_utf8(buf).map_err(|_| "body is not UTF-8".to_string())?;
+        }
+        Ok(Request {
+            method,
+            path,
+            headers,
+            body,
+        })
+    }
+}
+
+/// The reason phrase for the handful of statuses the server uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with a `Content-Length` body and closes
+/// the exchange (`Connection: close`).
+pub fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    // The client may already be gone; that is its problem, not ours.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Writes a JSON response.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) {
+    respond(stream, status, "application/json", body);
+}
+
+/// Writes the head of an EOF-delimited streaming response (no
+/// `Content-Length`; the body ends when the server closes the
+/// connection). Returns whether the head was accepted.
+pub fn start_stream(stream: &mut TcpStream, content_type: &str) -> bool {
+    let head =
+        format!("HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\nconnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes()).is_ok() && stream.flush().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips one raw request through a real socket pair.
+    fn parse_raw(raw: &str) -> Result<Request, String> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(raw.as_bytes()).unwrap();
+            c.flush().unwrap();
+            c
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = Request::read_from(&mut server_side);
+        drop(writer.join().unwrap());
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse_raw("POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, "{\"a\": 1}\n");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_raw("GET /v1/health HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_raw("NOT-HTTP\r\n\r\n").is_err());
+        assert!(parse_raw("GET / SPDY/9\r\n\r\n").is_err());
+        assert!(parse_raw("GET / HTTP/1.1\r\nContent-Length: nine\r\n\r\n").is_err());
+        let oversized = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 30);
+        assert!(parse_raw(&oversized).is_err());
+    }
+}

@@ -1,0 +1,534 @@
+//! The campaign server: job store, worker pool, HTTP endpoint routing.
+//!
+//! Life of a request: `POST /v1/jobs` parses the body into a
+//! [`CampaignSpec`], canonicalizes it into a content-addressed cache
+//! key, and either answers from the [`ResultCache`] (hit: the job is
+//! born `done`, its report the stored bytes), joins an in-flight job
+//! computing the same key (single-flight dedup — two clients asking for
+//! the same campaign cost one simulation), or enqueues a new job for
+//! the worker pool. Workers fan each campaign's trials out via
+//! `tet_par` (byte-identical results at any thread count) and stream
+//! per-unit progress through a shared [`FlightRecorder`], which the
+//! status and events endpoints read.
+//!
+//! | Endpoint                  | Method | Purpose                          |
+//! |---------------------------|--------|----------------------------------|
+//! | `/v1/health`              | GET    | liveness + version               |
+//! | `/v1/jobs`                | POST   | submit a campaign spec           |
+//! | `/v1/jobs/<id>`           | GET    | job status + progress            |
+//! | `/v1/jobs/<id>/report`    | GET    | the RunReport (when done)        |
+//! | `/v1/jobs/<id>/events`    | GET    | JSONL flight samples until done  |
+//! | `/v1/cache/stats`         | GET    | cache hit/miss/size counters     |
+//! | `/v1/shutdown`            | POST   | graceful stop                    |
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use tet_metrics::FlightRecorder;
+use tet_obs::json::Value;
+use tet_obs::Progress;
+
+use crate::cache::ResultCache;
+use crate::http::{self, Request};
+use crate::scheduler;
+use crate::spec::{CampaignSpec, KEY_FORMAT};
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (tests, CI).
+    pub addr: String,
+    /// Campaign worker threads: how many jobs run concurrently.
+    pub workers: usize,
+    /// Simulator threads per campaign (`tet_par` fan-out width).
+    pub threads: usize,
+    /// Result-cache directory.
+    pub cache_dir: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            threads: tet_par::default_threads(),
+            cache_dir: crate::cache::default_dir(),
+        }
+    }
+}
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobState {
+    fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// Progress shared between the running worker and the status/events
+/// endpoints, without touching the job-store lock per trial.
+struct JobProgress {
+    done: AtomicUsize,
+    total: usize,
+    flight: FlightRecorder,
+}
+
+/// One job entry in the store.
+struct JobEntry {
+    id: u64,
+    key: String,
+    label: String,
+    state: JobState,
+    /// Whether the submit was answered from the cache.
+    cached: bool,
+    error: Option<String>,
+    spec: CampaignSpec,
+    progress: Arc<JobProgress>,
+}
+
+#[derive(Default)]
+struct Jobs {
+    entries: HashMap<u64, JobEntry>,
+    queue: VecDeque<u64>,
+    /// key → job id currently computing it (single-flight dedup).
+    inflight: HashMap<String, u64>,
+    next_id: u64,
+}
+
+/// Shared server state.
+struct Inner {
+    jobs: Mutex<Jobs>,
+    work_ready: Condvar,
+    cache: ResultCache,
+    threads: usize,
+    shutdown: AtomicBool,
+    progress: Progress,
+}
+
+/// A started server: its bound address plus the thread handles needed
+/// to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_ready.notify_all();
+        // Poke the blocking accept loop awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Blocks until the server stops on its own (`POST /v1/shutdown`).
+    pub fn wait(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds, spawns the worker pool and the accept loop, and returns.
+pub fn start(cfg: ServerConfig) -> Result<ServerHandle, String> {
+    let cache = ResultCache::open(&cfg.cache_dir)?;
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let inner = Arc::new(Inner {
+        jobs: Mutex::new(Jobs::default()),
+        work_ready: Condvar::new(),
+        cache,
+        threads: cfg.threads.max(1),
+        shutdown: AtomicBool::new(false),
+        progress: Progress::new("whisper-serve"),
+    });
+    inner.progress.note(&format!(
+        "listening on {addr} ({} workers × {} sim threads, cache {})",
+        cfg.workers.max(1),
+        inner.threads,
+        cfg.cache_dir.display()
+    ));
+
+    let workers = (0..cfg.workers.max(1))
+        .map(|_| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || worker_loop(&inner))
+        })
+        .collect();
+
+    let acceptor = {
+        let inner = Arc::clone(&inner);
+        std::thread::spawn(move || accept_loop(&listener, &inner))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        inner,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        let conn = listener.accept();
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(inner);
+                std::thread::spawn(move || handle_connection(stream, &inner));
+            }
+            Err(e) => {
+                eprintln!("warning: accept: {e}");
+            }
+        }
+    }
+    // Unblock any workers still waiting for jobs.
+    inner.work_ready.notify_all();
+}
+
+/// The campaign worker: pop a queued job, run it, cache the report.
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job_id = {
+            let mut jobs = inner.jobs.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = jobs.queue.pop_front() {
+                    break id;
+                }
+                let (guard, _) = inner
+                    .work_ready
+                    .wait_timeout(jobs, Duration::from_millis(200))
+                    .unwrap();
+                jobs = guard;
+            }
+        };
+        run_job(inner, job_id);
+    }
+}
+
+fn run_job(inner: &Arc<Inner>, job_id: u64) {
+    let (spec, progress, label) = {
+        let mut jobs = inner.jobs.lock().unwrap();
+        let Some(entry) = jobs.entries.get_mut(&job_id) else {
+            return;
+        };
+        entry.state = JobState::Running;
+        (
+            entry.spec.clone(),
+            Arc::clone(&entry.progress),
+            entry.label.clone(),
+        )
+    };
+    inner
+        .progress
+        .note(&format!("job {job_id}: running {label}"));
+
+    let result = scheduler::run_campaign(&spec, inner.threads, |done| {
+        progress.done.store(done, Ordering::Relaxed);
+        progress.flight.record_work(1, 0, 0);
+        progress.flight.maybe_sample();
+    });
+
+    let mut jobs = inner.jobs.lock().unwrap();
+    let jobs = &mut *jobs; // one deref, so field borrows can split
+    let Some(entry) = jobs.entries.get_mut(&job_id) else {
+        return;
+    };
+    match result {
+        Ok(report) => {
+            let body = report.to_json();
+            if let Err(e) = inner.cache.put(&entry.key, &body) {
+                // The result is still served from the job entry's key
+                // lookup failing softly; losing the disk copy only
+                // costs a future re-run.
+                eprintln!("warning: job {job_id}: {e}");
+            }
+            entry.state = JobState::Done;
+            inner
+                .progress
+                .note(&format!("job {job_id}: done ({label})"));
+        }
+        Err(e) => {
+            entry.state = JobState::Failed;
+            entry.error = Some(e.clone());
+            inner.progress.note(&format!("job {job_id}: FAILED: {e}"));
+        }
+    }
+    jobs.inflight.remove(&entry.key);
+    progress.flight.finish();
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
+    let req = match Request::read_from(&mut stream) {
+        Ok(req) => req,
+        Err(e) => {
+            http::respond_json(&mut stream, 400, &error_body(&e));
+            return;
+        }
+    };
+    route(&mut stream, &req, inner);
+}
+
+fn error_body(msg: &str) -> String {
+    let mut v = Value::obj();
+    v.set("error", msg.into());
+    v.to_json()
+}
+
+fn route(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
+    let path = req.path.as_str();
+    match (req.method.as_str(), path) {
+        ("GET", "/v1/health") => {
+            let mut v = Value::obj();
+            v.set("ok", true.into());
+            v.set("version", KEY_FORMAT.into());
+            http::respond_json(stream, 200, &v.to_json());
+        }
+        ("POST", "/v1/jobs") => submit(stream, req, inner),
+        ("GET", "/v1/cache/stats") => {
+            let s = inner.cache.stats();
+            let mut v = Value::obj();
+            v.set("hits", s.hits.into());
+            v.set("misses", s.misses.into());
+            v.set("entries", s.entries.into());
+            v.set("bytes", s.bytes.into());
+            http::respond_json(stream, 200, &v.to_json());
+        }
+        ("POST", "/v1/shutdown") => {
+            http::respond_json(stream, 200, "{\"ok\": true}");
+            inner.shutdown.store(true, Ordering::SeqCst);
+            inner.work_ready.notify_all();
+            // Poke the accept loop so it observes the flag.
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+        }
+        ("GET", _) if path.starts_with("/v1/jobs/") => job_endpoints(stream, path, inner),
+        (_, "/v1/jobs") | (_, "/v1/health") | (_, "/v1/cache/stats") | (_, "/v1/shutdown") => {
+            http::respond_json(stream, 405, &error_body("method not allowed"));
+        }
+        _ => http::respond_json(stream, 404, &error_body("no such endpoint")),
+    }
+}
+
+/// `POST /v1/jobs`: cache hit → born-done job; in-flight twin → join
+/// it; otherwise enqueue.
+fn submit(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
+    let spec = match CampaignSpec::from_json(&req.body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            http::respond_json(stream, 400, &error_body(&e));
+            return;
+        }
+    };
+    let key = spec.cache_key();
+    let cached = inner.cache.get(&key).is_some();
+    let total = spec.total_units();
+
+    let mut jobs = inner.jobs.lock().unwrap();
+    if !cached {
+        if let Some(&twin) = jobs.inflight.get(&key) {
+            let entry = &jobs.entries[&twin];
+            let body = submit_body(entry, true);
+            drop(jobs);
+            http::respond_json(stream, 202, &body);
+            return;
+        }
+    }
+    let id = jobs.next_id;
+    jobs.next_id += 1;
+    let entry = JobEntry {
+        id,
+        key: key.clone(),
+        label: spec.label(),
+        state: if cached {
+            JobState::Done
+        } else {
+            JobState::Queued
+        },
+        cached,
+        error: None,
+        spec,
+        progress: Arc::new(JobProgress {
+            done: AtomicUsize::new(if cached { total } else { 0 }),
+            total,
+            flight: FlightRecorder::new(total as u64),
+        }),
+    };
+    let body = submit_body(&entry, false);
+    jobs.entries.insert(id, entry);
+    if !cached {
+        jobs.inflight.insert(key, id);
+        jobs.queue.push_back(id);
+        inner.work_ready.notify_one();
+    }
+    drop(jobs);
+    http::respond_json(stream, if cached { 200 } else { 202 }, &body);
+}
+
+fn submit_body(entry: &JobEntry, deduped: bool) -> String {
+    let mut v = Value::obj();
+    v.set("job", entry.id.into());
+    v.set("key", entry.key.as_str().into());
+    v.set("state", entry.state.name().into());
+    v.set("cached", entry.cached.into());
+    v.set("deduped", deduped.into());
+    v.to_json()
+}
+
+fn status_body(entry: &JobEntry) -> String {
+    let done = entry.progress.done.load(Ordering::Relaxed);
+    let mut v = Value::obj();
+    v.set("job", entry.id.into());
+    v.set("key", entry.key.as_str().into());
+    v.set("label", entry.label.as_str().into());
+    v.set("state", entry.state.name().into());
+    v.set("cached", entry.cached.into());
+    v.set("done", done.into());
+    v.set("total", entry.progress.total.into());
+    if entry.state == JobState::Running {
+        let sample = entry.progress.flight.sample_now();
+        v.set("trials_per_sec", sample.trials_per_sec.into());
+        v.set("eta_s", sample.eta_s.into());
+    }
+    if let Some(e) = &entry.error {
+        v.set("error", e.as_str().into());
+    }
+    v.to_json()
+}
+
+/// `GET /v1/jobs/<id>[/report|/events]`.
+fn job_endpoints(stream: &mut TcpStream, path: &str, inner: &Arc<Inner>) {
+    let rest = &path["/v1/jobs/".len()..];
+    let (id_str, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, Some(tail)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_str.parse::<u64>() else {
+        http::respond_json(stream, 400, &error_body("job id must be an integer"));
+        return;
+    };
+    match tail {
+        None => {
+            let jobs = inner.jobs.lock().unwrap();
+            match jobs.entries.get(&id) {
+                Some(entry) => {
+                    let body = status_body(entry);
+                    drop(jobs);
+                    http::respond_json(stream, 200, &body);
+                }
+                None => http::respond_json(stream, 404, &error_body("no such job")),
+            }
+        }
+        Some("report") => {
+            let (state, key, error) = {
+                let jobs = inner.jobs.lock().unwrap();
+                match jobs.entries.get(&id) {
+                    Some(e) => (e.state, e.key.clone(), e.error.clone()),
+                    None => {
+                        http::respond_json(stream, 404, &error_body("no such job"));
+                        return;
+                    }
+                }
+            };
+            match state {
+                JobState::Done => match inner.cache.peek(&key) {
+                    Some(body) => http::respond_json(stream, 200, &body),
+                    None => http::respond_json(
+                        stream,
+                        500,
+                        &error_body("report missing from cache (evicted externally?)"),
+                    ),
+                },
+                JobState::Failed => http::respond_json(
+                    stream,
+                    500,
+                    &error_body(&error.unwrap_or_else(|| "job failed".to_string())),
+                ),
+                _ => http::respond_json(stream, 404, &error_body("job not finished")),
+            }
+        }
+        Some("events") => stream_events(stream, id, inner),
+        Some(_) => http::respond_json(stream, 404, &error_body("no such endpoint")),
+    }
+}
+
+/// `GET /v1/jobs/<id>/events`: JSONL flight samples every poll tick
+/// until the job leaves the running/queued states, then one final
+/// status line. EOF-delimited (the connection closes at the end).
+fn stream_events(stream: &mut TcpStream, id: u64, inner: &Arc<Inner>) {
+    use std::io::Write;
+    let exists = inner.jobs.lock().unwrap().entries.contains_key(&id);
+    if !exists {
+        http::respond_json(stream, 404, &error_body("no such job"));
+        return;
+    }
+    if !http::start_stream(stream, "application/jsonl") {
+        return;
+    }
+    loop {
+        let (running, line) = {
+            let jobs = inner.jobs.lock().unwrap();
+            let Some(entry) = jobs.entries.get(&id) else {
+                return;
+            };
+            let running = matches!(entry.state, JobState::Queued | JobState::Running);
+            let line = if running {
+                entry.progress.flight.sample_now().to_jsonl()
+            } else {
+                status_body(entry)
+            };
+            (running, line)
+        };
+        if stream.write_all(line.as_bytes()).is_err()
+            || stream.write_all(b"\n").is_err()
+            || stream.flush().is_err()
+        {
+            return; // client went away
+        }
+        if !running {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

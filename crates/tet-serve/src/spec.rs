@@ -1,0 +1,230 @@
+//! Campaign specifications and their content-addressed cache keys.
+//!
+//! The simulator is fully deterministic: `(preset, scenario options,
+//! seed)` uniquely determines every output byte, so a campaign's result
+//! is addressed by the *content* of its request. A [`CampaignSpec`] is
+//! parsed from request JSON (unknown fields rejected — a typo like
+//! `"sead"` must not silently hash to a different campaign than the
+//! caller intended), canonicalized to a fixed field order with every
+//! default materialized, and hashed into the cache key.
+//!
+//! Canonicalization rules:
+//!
+//! * fields are emitted in one fixed order, so two requests that differ
+//!   only in JSON field order hash identically;
+//! * every omitted field is materialized with its default, so a request
+//!   that spells `"kpti": false` out and one that omits it hash
+//!   identically;
+//! * only fields *relevant to the campaign kind* are emitted (a matrix
+//!   ignores `preset`/`attack`/`trials` knobs it does not read), so
+//!   irrelevant noise cannot split the cache;
+//! * preset names are normalized to their slug (`"Intel Core i7-7700"`
+//!   and `"intel-core-i7-7700"` are the same machine).
+
+use tet_obs::json::{self, Value};
+use tet_uarch::CpuConfig;
+use whisper::eval::TABLE2_ATTACKS;
+
+use crate::sha;
+
+/// Bumped whenever canonicalization or report content changes shape;
+/// part of every cache key, so stale on-disk entries from older builds
+/// can never be served as current results.
+pub const KEY_FORMAT: &str = "tet-serve/v1";
+
+/// What kind of campaign to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignKind {
+    /// One Table 2 cell (one attack on one preset), `trials` seeds.
+    Table2Cell,
+    /// The full Table 2 matrix (every preset × every attack), one seed.
+    Table2Matrix,
+}
+
+impl CampaignKind {
+    /// The canonical wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CampaignKind::Table2Cell => "table2_cell",
+            CampaignKind::Table2Matrix => "table2_matrix",
+        }
+    }
+}
+
+/// One validated campaign request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Campaign kind.
+    pub kind: CampaignKind,
+    /// Canonical preset name (cell campaigns only).
+    pub preset: String,
+    /// Attack column, one of [`TABLE2_ATTACKS`] (cell campaigns only).
+    pub attack: String,
+    /// Base seed.
+    pub seed: u64,
+    /// Cell campaigns run seeds `seed .. seed + trials`.
+    pub trials: u32,
+    /// Enable KPTI in the scenario (cell campaigns only).
+    pub kpti: bool,
+    /// Enable FLARE in the scenario (cell campaigns only).
+    pub flare: bool,
+    /// OS timer-interrupt noise period in cycles, `0` = off (cell
+    /// campaigns only).
+    pub interrupt_period: u64,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            kind: CampaignKind::Table2Cell,
+            preset: "Intel Core i7-7700".to_string(),
+            attack: "cc".to_string(),
+            seed: 1,
+            trials: 1,
+            kpti: false,
+            flare: false,
+            interrupt_period: 0,
+        }
+    }
+}
+
+/// The fields a request may carry. Anything else is a hard error.
+const KNOWN_FIELDS: [&str; 8] = [
+    "kind",
+    "preset",
+    "attack",
+    "seed",
+    "trials",
+    "kpti",
+    "flare",
+    "interrupt_period",
+];
+
+/// Upper bound on `trials` per request, so one malformed client cannot
+/// wedge the worker pool for hours.
+pub const MAX_TRIALS: u32 = 10_000;
+
+impl CampaignSpec {
+    /// Parses and validates a request body. Unknown fields, unknown
+    /// presets/attacks/kinds and out-of-range trial counts are errors
+    /// with one-line messages (they become HTTP 400 bodies).
+    pub fn from_json(body: &str) -> Result<CampaignSpec, String> {
+        let v = json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        let obj = match &v {
+            Value::Obj(pairs) => pairs,
+            _ => return Err("request body must be a JSON object".to_string()),
+        };
+        for (k, _) in obj {
+            if !KNOWN_FIELDS.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown field {k:?} (known: {})",
+                    KNOWN_FIELDS.join(", ")
+                ));
+            }
+        }
+        let mut spec = CampaignSpec::default();
+        if let Some(kind) = v.get("kind") {
+            let kind = kind.as_str().ok_or("kind must be a string")?;
+            spec.kind = match kind {
+                "table2_cell" => CampaignKind::Table2Cell,
+                "table2_matrix" => CampaignKind::Table2Matrix,
+                other => return Err(format!("unknown kind {other:?}")),
+            };
+        }
+        if let Some(p) = v.get("preset") {
+            let name = p.as_str().ok_or("preset must be a string")?;
+            let cfg = CpuConfig::by_name(name).ok_or_else(|| {
+                let known: Vec<String> = CpuConfig::table2_presets()
+                    .iter()
+                    .map(|c| CpuConfig::slug_of(c.name))
+                    .collect();
+                format!("unknown preset {name:?} (known: {})", known.join(", "))
+            })?;
+            spec.preset = cfg.name.to_string();
+        }
+        if let Some(a) = v.get("attack") {
+            let a = a.as_str().ok_or("attack must be a string")?;
+            if !TABLE2_ATTACKS.contains(&a) {
+                return Err(format!(
+                    "unknown attack {a:?} (known: {})",
+                    TABLE2_ATTACKS.join(", ")
+                ));
+            }
+            spec.attack = a.to_string();
+        }
+        if let Some(s) = v.get("seed") {
+            spec.seed = s.as_u64().ok_or("seed must be a non-negative integer")?;
+        }
+        if let Some(t) = v.get("trials") {
+            let t = t.as_u64().ok_or("trials must be a positive integer")?;
+            if t == 0 || t > MAX_TRIALS as u64 {
+                return Err(format!("trials must be in 1..={MAX_TRIALS}, got {t}"));
+            }
+            spec.trials = t as u32;
+        }
+        if let Some(b) = v.get("kpti") {
+            spec.kpti = b.as_bool().ok_or("kpti must be a boolean")?;
+        }
+        if let Some(b) = v.get("flare") {
+            spec.flare = b.as_bool().ok_or("flare must be a boolean")?;
+        }
+        if let Some(n) = v.get("interrupt_period") {
+            spec.interrupt_period = n
+                .as_u64()
+                .ok_or("interrupt_period must be a non-negative integer")?;
+        }
+        Ok(spec)
+    }
+
+    /// The canonical form: fixed field order, defaults materialized,
+    /// only kind-relevant fields. Two semantically identical requests
+    /// produce the same string; any semantic change produces a
+    /// different one.
+    pub fn canonical_json(&self) -> String {
+        let mut v = Value::obj();
+        v.set("kind", self.kind.name().into());
+        if self.kind == CampaignKind::Table2Cell {
+            v.set("preset", CpuConfig::slug_of(&self.preset).into());
+            v.set("attack", self.attack.as_str().into());
+        }
+        v.set("seed", self.seed.into());
+        if self.kind == CampaignKind::Table2Cell {
+            v.set("trials", self.trials.into());
+            v.set("kpti", self.kpti.into());
+            v.set("flare", self.flare.into());
+            v.set("interrupt_period", self.interrupt_period.into());
+        }
+        v.to_json()
+    }
+
+    /// The content-addressed cache key: hex SHA-256 over the key-format
+    /// tag and the canonical form.
+    pub fn cache_key(&self) -> String {
+        let material = format!("{KEY_FORMAT}\n{}", self.canonical_json());
+        sha::sha256_hex(material.as_bytes())
+    }
+
+    /// Total number of simulator campaigns units this spec fans out
+    /// (the progress denominator): trials for a cell, presets × attacks
+    /// for the matrix.
+    pub fn total_units(&self) -> usize {
+        match self.kind {
+            CampaignKind::Table2Cell => self.trials as usize,
+            CampaignKind::Table2Matrix => CpuConfig::table2_presets().len() * TABLE2_ATTACKS.len(),
+        }
+    }
+
+    /// A short human label for logs and progress lines.
+    pub fn label(&self) -> String {
+        match self.kind {
+            CampaignKind::Table2Cell => format!(
+                "{}/{} seed={} trials={}",
+                CpuConfig::slug_of(&self.preset),
+                self.attack,
+                self.seed,
+                self.trials
+            ),
+            CampaignKind::Table2Matrix => format!("table2-matrix seed={}", self.seed),
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Cache-key correctness: the content address must be insensitive to
+//! everything that does not change the campaign (field order, spelled-
+//! out defaults, preset spelling) and sensitive to everything that does
+//! (seed, preset, attack, trial count, scenario knobs, kind).
+
+use tet_serve::spec::MAX_TRIALS;
+use tet_serve::{CampaignKind, CampaignSpec};
+
+fn key(body: &str) -> String {
+    CampaignSpec::from_json(body)
+        .unwrap_or_else(|e| panic!("spec {body:?} must parse: {e}"))
+        .cache_key()
+}
+
+#[test]
+fn field_order_does_not_change_the_key() {
+    let a = key(
+        "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
+                  \"attack\": \"md\", \"seed\": 42, \"trials\": 3}",
+    );
+    let b = key("{\"trials\": 3, \"seed\": 42, \"attack\": \"md\", \
+                  \"preset\": \"intel-core-i7-7700\", \"kind\": \"table2_cell\"}");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn spelled_out_defaults_hash_like_omitted_defaults() {
+    // kpti/flare/interrupt_period default to false/false/0; kind
+    // defaults to table2_cell; seed to 1; trials to 1.
+    let omitted = key("{\"preset\": \"intel-core-i7-7700\", \"attack\": \"cc\"}");
+    let spelled = key(
+        "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
+                        \"attack\": \"cc\", \"seed\": 1, \"trials\": 1, \"kpti\": false, \
+                        \"flare\": false, \"interrupt_period\": 0}",
+    );
+    assert_eq!(omitted, spelled);
+}
+
+#[test]
+fn preset_spellings_normalize() {
+    let slug = key("{\"preset\": \"intel-core-i7-7700\", \"attack\": \"cc\"}");
+    let name = key("{\"preset\": \"Intel Core i7-7700\", \"attack\": \"cc\"}");
+    assert_eq!(slug, name);
+}
+
+#[test]
+fn every_semantic_field_changes_the_key() {
+    let base = "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
+                 \"attack\": \"cc\", \"seed\": 1, \"trials\": 2}";
+    let variants = [
+        // seed
+        "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
+          \"attack\": \"cc\", \"seed\": 2, \"trials\": 2}",
+        // trials
+        "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
+          \"attack\": \"cc\", \"seed\": 1, \"trials\": 3}",
+        // preset
+        "{\"kind\": \"table2_cell\", \"preset\": \"amd-ryzen-5-5600g\", \
+          \"attack\": \"cc\", \"seed\": 1, \"trials\": 2}",
+        // attack
+        "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
+          \"attack\": \"md\", \"seed\": 1, \"trials\": 2}",
+        // scenario knobs
+        "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
+          \"attack\": \"cc\", \"seed\": 1, \"trials\": 2, \"kpti\": true}",
+        "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
+          \"attack\": \"cc\", \"seed\": 1, \"trials\": 2, \"flare\": true}",
+        "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
+          \"attack\": \"cc\", \"seed\": 1, \"trials\": 2, \"interrupt_period\": 5000}",
+        // kind
+        "{\"kind\": \"table2_matrix\", \"seed\": 1}",
+    ];
+    let base_key = key(base);
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(base_key.clone());
+    for v in variants {
+        let k = key(v);
+        assert_ne!(k, base_key, "variant must rekey: {v}");
+        assert!(seen.insert(k), "two distinct variants collided: {v}");
+    }
+}
+
+#[test]
+fn matrix_ignores_cell_only_fields() {
+    // A matrix does not read preset/attack/trials/kpti/flare/
+    // interrupt_period, so they must not split the cache.
+    let plain = key("{\"kind\": \"table2_matrix\", \"seed\": 9}");
+    let noisy = key("{\"kind\": \"table2_matrix\", \"seed\": 9, \
+                      \"preset\": \"amd-ryzen-5-5600g\", \"attack\": \"md\", \
+                      \"trials\": 7, \"kpti\": true}");
+    assert_eq!(plain, noisy);
+}
+
+#[test]
+fn keys_are_hex_sha256() {
+    let k = CampaignSpec::default().cache_key();
+    assert_eq!(k.len(), 64);
+    assert!(k.bytes().all(|b| b.is_ascii_hexdigit()));
+}
+
+#[test]
+fn rejects_malformed_requests() {
+    for bad in [
+        "not json",
+        "[1, 2]",
+        "{\"sead\": 1}",                                // typo'd field
+        "{\"kind\": \"table3\"}",                       // unknown kind
+        "{\"preset\": \"pentium-iii\"}",                // unknown preset
+        "{\"attack\": \"rowhammer\"}",                  // unknown attack
+        "{\"trials\": 0}",                              // zero trials
+        &format!("{{\"trials\": {}}}", MAX_TRIALS + 1), // over the cap
+        "{\"seed\": \"one\"}",                          // wrong type
+        "{\"kpti\": 1}",                                // wrong type
+    ] {
+        assert!(CampaignSpec::from_json(bad).is_err(), "must reject: {bad}");
+    }
+}
+
+#[test]
+fn defaults_round_trip() {
+    let spec = CampaignSpec::from_json("{}").unwrap();
+    assert_eq!(spec, CampaignSpec::default());
+    assert_eq!(spec.kind, CampaignKind::Table2Cell);
+    // The canonical form itself re-parses to the same spec and key.
+    let reparsed = CampaignSpec::from_json(&spec.canonical_json()).unwrap();
+    assert_eq!(reparsed.cache_key(), spec.cache_key());
+}

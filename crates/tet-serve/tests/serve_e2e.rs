@@ -1,0 +1,149 @@
+//! End-to-end: a real server on an ephemeral port, driven over real
+//! sockets by the blocking client — cold run, cache hit byte-identity,
+//! single-flight dedup, status/report/error surfaces.
+
+use std::path::PathBuf;
+
+use tet_obs::RunReport;
+use tet_serve::{Client, ServerConfig};
+
+/// Starts a server with an isolated cache dir; returns (handle, client,
+/// cache dir for cleanup).
+fn start_server(tag: &str) -> (tet_serve::ServerHandle, Client, PathBuf) {
+    let cache_dir =
+        std::env::temp_dir().join(format!("tet_serve_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let handle = tet_serve::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        threads: 2,
+        cache_dir: cache_dir.clone(),
+    })
+    .expect("server must start");
+    let client = Client::new(&handle.addr().to_string());
+    (handle, client, cache_dir)
+}
+
+const SPEC: &str = "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
+                    \"attack\": \"cc\", \"seed\": 5, \"trials\": 2}";
+
+#[test]
+fn cold_then_cached_round_trip() {
+    let (handle, client, dir) = start_server("round_trip");
+
+    let health = client.health().unwrap();
+    assert_eq!(health.get("ok").and_then(|v| v.as_bool()), Some(true));
+
+    // Cold: miss, runs through the scheduler.
+    let (cold, was_cached) = client.run_to_report(SPEC).unwrap();
+    assert!(!was_cached, "first submit must miss");
+    let report = RunReport::from_json(&cold).expect("report must parse");
+    assert_eq!(report.counters["trials"], 2);
+    assert!(
+        report.wall_time_ms.is_none(),
+        "served reports must carry no host timing"
+    );
+
+    // Warm: hit, byte-identical body.
+    let (warm, was_cached) = client.run_to_report(SPEC).unwrap();
+    assert!(was_cached, "second submit must hit");
+    assert_eq!(cold, warm, "cached report must be byte-identical");
+
+    // Same campaign spelled differently (field order + spelled-out
+    // defaults): still a hit.
+    let reordered = "{\"trials\": 2, \"attack\": \"cc\", \"seed\": 5, \"kpti\": false, \
+                     \"preset\": \"Intel Core i7-7700\", \"kind\": \"table2_cell\"}";
+    let (again, was_cached) = client.run_to_report(reordered).unwrap();
+    assert!(was_cached, "reordered spelling must hit the same key");
+    assert_eq!(cold, again);
+
+    let stats = client.cache_stats().unwrap();
+    assert_eq!(stats.get("misses").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(stats.get("hits").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(stats.get("entries").and_then(|v| v.as_u64()), Some(1));
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_survives_server_restart() {
+    let (handle, client, dir) = start_server("restart");
+    let (cold, _) = client.run_to_report(SPEC).unwrap();
+    handle.shutdown();
+
+    // A new server over the same cache dir serves the old result.
+    let handle = tet_serve::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        threads: 1,
+        cache_dir: dir.clone(),
+    })
+    .unwrap();
+    let client = Client::new(&handle.addr().to_string());
+    let (warm, was_cached) = client.run_to_report(SPEC).unwrap();
+    assert!(was_cached, "restarted server must hit the disk cache");
+    assert_eq!(cold, warm);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_requests_get_400_not_a_wedged_job() {
+    let (handle, client, dir) = start_server("bad_req");
+    for bad in ["not json", "{\"attack\": \"rowhammer\"}", "{\"sead\": 3}"] {
+        let resp = client.request("POST", "/v1/jobs", bad).unwrap();
+        assert_eq!(resp.status, 400, "{bad}: {}", resp.body);
+        assert!(resp.body.contains("error"), "{}", resp.body);
+    }
+    let resp = client.request("GET", "/v1/jobs/999", "").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client.request("GET", "/v1/nope", "").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client.request("PUT", "/v1/jobs", "").unwrap();
+    assert_eq!(resp.status, 405);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn status_and_events_follow_a_job() {
+    let (handle, client, dir) = start_server("status");
+    let sub = client.submit(SPEC).unwrap();
+    let job = sub.get("job").and_then(|v| v.as_u64()).unwrap();
+    let st = client.wait(job).unwrap();
+    assert_eq!(st.get("state").and_then(|v| v.as_str()), Some("done"));
+    assert_eq!(st.get("done").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(st.get("total").and_then(|v| v.as_u64()), Some(2));
+
+    // The events stream of a finished job: one final status line.
+    let resp = client
+        .request("GET", &format!("/v1/jobs/{job}/events"), "")
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let last = resp.body.lines().last().unwrap();
+    assert!(last.contains("\"state\":\"done\""), "{last}");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn matrix_campaign_runs_as_a_service() {
+    let (handle, client, dir) = start_server("matrix");
+    let spec = "{\"kind\": \"table2_matrix\", \"seed\": 42}";
+    let (body, was_cached) = client.run_to_report(spec).unwrap();
+    assert!(!was_cached);
+    let report = RunReport::from_json(&body).unwrap();
+    assert_eq!(report.counters["rows"], 5);
+    assert_eq!(
+        report.counters["all_match"], 1,
+        "the served matrix must reproduce Table 2"
+    );
+    assert!(report.meta.contains_key("row.intel-core-i7-7700"));
+    // Served again: identical bytes.
+    let (again, was_cached) = client.run_to_report(spec).unwrap();
+    assert!(was_cached);
+    assert_eq!(body, again);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -294,6 +294,30 @@ impl CpuConfig {
         ]
     }
 
+    /// Looks a preset up by marketing name (`"Intel Core i7-7700"`) or
+    /// by slug (`"intel-core-i7-7700"` — lowercase, runs of non-
+    /// alphanumerics collapsed to `-`). Covers every named preset,
+    /// including `zen3_ryzen9_5900` (not a Table 2 row of its own).
+    pub fn by_name(name: &str) -> Option<CpuConfig> {
+        let mut all = Self::table2_presets();
+        all.push(Self::zen3_ryzen9_5900());
+        let want = Self::slug_of(name);
+        all.into_iter().find(|p| Self::slug_of(p.name) == want)
+    }
+
+    /// The canonical slug of a preset name (see [`CpuConfig::by_name`]).
+    pub fn slug_of(name: &str) -> String {
+        let mut out = String::with_capacity(name.len());
+        for c in name.chars() {
+            if c.is_ascii_alphanumeric() {
+                out.push(c.to_ascii_lowercase());
+            } else if !out.ends_with('-') {
+                out.push('-');
+            }
+        }
+        out.trim_matches('-').to_string()
+    }
+
     /// Converts a cycle count to seconds at this model's frequency.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.freq_ghz * 1e9)
@@ -303,6 +327,20 @@ impl CpuConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn by_name_accepts_names_and_slugs() {
+        for p in CpuConfig::table2_presets() {
+            assert_eq!(CpuConfig::by_name(p.name).unwrap().name, p.name);
+            let slug = CpuConfig::slug_of(p.name);
+            assert_eq!(CpuConfig::by_name(&slug).unwrap().name, p.name);
+        }
+        assert_eq!(
+            CpuConfig::slug_of("Intel Core i7-7700"),
+            "intel-core-i7-7700"
+        );
+        assert!(CpuConfig::by_name("Pentium III").is_none());
+    }
 
     #[test]
     fn presets_have_distinct_names() {

@@ -346,10 +346,11 @@ pub struct RunDelta {
     pub pmu: PmuSnapshot,
 }
 
-/// Process-wide fast-forward default: `TET_FF=0` turns it off.
+/// Process-wide fast-forward default: `TET_FF=0` (or `false`/`off`; see
+/// [`tet_obs::env_flag`]) turns it off.
 fn ff_default() -> bool {
     static FF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *FF.get_or_init(|| std::env::var("TET_FF").map(|v| v != "0").unwrap_or(true))
+    *FF.get_or_init(|| tet_obs::env_flag("TET_FF", true))
 }
 
 /// Process-wide µop-template *caching* default: `TET_PREDECODE=0` turns
@@ -358,11 +359,7 @@ fn ff_default() -> bool {
 /// construction; only the build work repeats).
 fn predecode_default() -> bool {
     static PD: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *PD.get_or_init(|| {
-        std::env::var("TET_PREDECODE")
-            .map(|v| v != "0")
-            .unwrap_or(true)
-    })
+    *PD.get_or_init(|| tet_obs::env_flag("TET_PREDECODE", true))
 }
 
 /// Reusable per-run scratch state: everything [`Machine::run`] would

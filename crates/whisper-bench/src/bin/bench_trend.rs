@@ -44,21 +44,45 @@ fn main() {
 
     let mut paths: Vec<std::path::PathBuf> = args.iter().map(std::path::PathBuf::from).collect();
     if let Some(dir) = &reports_dir {
-        let mut extra: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
-            .unwrap_or_else(|e| panic!("read --reports dir {dir}: {e}"))
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|x| x == "json"))
-            .collect();
-        extra.sort();
-        paths.extend(extra);
+        // A missing or unreadable --reports dir is an empty contribution,
+        // not a crash: on a fresh checkout `target/reports/` does not
+        // exist until the first bench run, and the gate must still pass.
+        match std::fs::read_dir(dir) {
+            Ok(entries) => {
+                let mut extra: Vec<std::path::PathBuf> = entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                    .collect();
+                extra.sort();
+                paths.extend(extra);
+            }
+            Err(e) => eprintln!("bench_trend: --reports {dir}: {e} (treating as empty)"),
+        }
     }
-    if paths.is_empty() {
+    if paths.is_empty() && !gate {
         eprintln!("usage: bench_trend [--gate] [--band PCT] [--reports DIR] FILE...");
         std::process::exit(2);
     }
 
-    let reports = trend::load_reports(&paths).unwrap_or_else(|e| panic!("{e}"));
+    let reports = trend::load_reports(&paths).unwrap_or_else(|e| {
+        eprintln!("bench_trend: {e}");
+        std::process::exit(2);
+    });
+    if reports.len() < 2 {
+        // Empty or single-entry lineage: there are no priors to delta
+        // against, so there is nothing to gate — trivially pass.
+        println!(
+            "bench-trend: no priors ({} report(s) in lineage) — nothing to gate",
+            reports.len()
+        );
+        let mut rep = RunReport::new("bench_trend");
+        rep.set_meta("gate", if gate { "on" } else { "off" });
+        rep.set_meta("no_priors", "true");
+        rep.counter("reports", reports.len() as u64);
+        write_report(&rep);
+        return;
+    }
     section("bench-trend: metric deltas across the report lineage");
     println!(
         "  lineage ({} reports, band floor ±{band:.1}%):",

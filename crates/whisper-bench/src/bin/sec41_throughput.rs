@@ -185,7 +185,7 @@ fn main() {
         let runs: Vec<_> = detailed.iter().map(|(r, _)| r.clone()).collect();
         let mut flight = MetricsSection::default();
         campaign.finish(&mut flight);
-        if std::env::var_os("TET_METRICS").is_some_and(|v| v == "1") {
+        if tet_obs::env_flag("TET_METRICS", false) {
             report.set_metrics(flight);
         }
         let mut times = Vec::new();

@@ -164,17 +164,25 @@ pub fn analyze(series: &TrendSeries, band_floor_pct: f64) -> TrendRow {
     let mut prior: Vec<f64> = series.points[..n - 1].iter().map(|p| p.1).collect();
     prior.sort_by(f64::total_cmp);
     let baseline = median(&prior);
-    let delta_pct = if baseline.abs() > f64::EPSILON {
+    // Guard every ratio: a zero or non-finite baseline (a report written
+    // by an older schema, a 0-trial smoke run) must yield a zero delta
+    // and the floor band, never NaN/inf rows or a NaN-poisoned verdict.
+    let delta_pct = if baseline.is_finite() && current.is_finite() && baseline.abs() > f64::EPSILON
+    {
         (current / baseline - 1.0) * 100.0
     } else {
         0.0
     };
-    let spread_pct = if baseline.abs() > f64::EPSILON {
+    let spread_pct = if baseline.is_finite() && baseline.abs() > f64::EPSILON {
         (prior[prior.len() - 1] - prior[0]) / 2.0 / baseline.abs() * 100.0
     } else {
         0.0
     };
-    let band_pct = spread_pct.max(band_floor_pct);
+    let band_pct = if spread_pct.is_finite() {
+        spread_pct.max(band_floor_pct)
+    } else {
+        band_floor_pct
+    };
     let verdict = match direction {
         None => TrendVerdict::Info,
         Some(dir) => {
@@ -309,6 +317,26 @@ mod tests {
         let row = analyze(&series("x.ns_per_iter", &[80.0, 120.0, 100.0, 115.0]), 5.0);
         assert!((row.band_pct - 20.0).abs() < 1e-9, "band {}", row.band_pct);
         assert_eq!(row.verdict, TrendVerdict::Steady);
+    }
+
+    #[test]
+    fn degenerate_lineages_never_produce_nan_bands() {
+        // Empty series, single point, zero baseline, NaN/inf points: all
+        // must come back with finite fields and never regress.
+        for s in [
+            series("x.ns_per_trial", &[]),
+            series("x.ns_per_trial", &[42.0]),
+            series("x.ns_per_trial", &[0.0, 10.0]),
+            series("x.ns_per_trial", &[f64::NAN, 10.0]),
+            series("x.ns_per_trial", &[10.0, f64::INFINITY]),
+            series("sim_cycles_per_sec", &[0.0, 0.0]),
+        ] {
+            let row = analyze(&s, 10.0);
+            assert!(row.delta_pct.is_finite(), "{}: delta NaN", s.key);
+            assert!(row.band_pct.is_finite(), "{}: band NaN", s.key);
+            assert_ne!(row.verdict, TrendVerdict::Regressed, "{}", s.key);
+            assert!(!any_regressed(&[row]));
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ use tet_uarch::{DeltaMarker, Machine, RunDelta};
 /// (every probe then simulates live).
 pub fn batch_default() -> bool {
     static BATCH: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *BATCH.get_or_init(|| std::env::var("TET_BATCH").map(|v| v != "0").unwrap_or(true))
+    *BATCH.get_or_init(|| tet_obs::env_flag("TET_BATCH", true))
 }
 
 /// Whether trial batching may be used on `machine` right now: the

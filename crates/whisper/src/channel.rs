@@ -22,11 +22,7 @@ type SweepFixedRec = FixedRec<Option<(u64, u64)>>;
 /// turns them off (every trial then replays warm-up sequentially).
 fn snapshot_default() -> bool {
     static SNAP: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *SNAP.get_or_init(|| {
-        std::env::var("TET_SNAPSHOT")
-            .map(|v| v != "0")
-            .unwrap_or(true)
-    })
+    *SNAP.get_or_init(|| tet_obs::env_flag("TET_SNAPSHOT", true))
 }
 
 /// Quality/throughput report of a covert-channel transmission.
@@ -356,7 +352,9 @@ mod tests {
         // hand on the clone, keeping the warm-up cost separate.
         let cfg = replay.machine.config().clone();
         let gadget = TetGadget::build(TetGadgetSpec::covert_channel(replay.shared_page(), &cfg));
-        let (_, warmup) = gadget.measure_detailed(&mut replay.machine, 0).unwrap();
+        let (_, warmup) = gadget
+            .measure_detailed(&mut replay.machine, 0)
+            .expect("warm-up probe must complete");
         let mut probes = 0u64;
         for test in 0..=255u8 {
             if let Some((_, c)) = gadget.measure_detailed(&mut replay.machine, test as u64) {

@@ -159,7 +159,20 @@ pub fn run_table2_cell_instrumented(
         seed,
         ..ScenarioOptions::default()
     };
-    let mut sc = Scenario::new(cfg.clone(), &opts);
+    run_table2_cell_opts(cfg, &opts, attack, prof)
+}
+
+/// The fully-general cell entry point: one attack on one preset with an
+/// arbitrary [`ScenarioOptions`] (KPTI, FLARE, timer-interrupt noise,
+/// container environment). This is what a campaign scheduler calls —
+/// every other `run_table2_cell*` variant is a specialization.
+pub fn run_table2_cell_opts(
+    cfg: &CpuConfig,
+    opts: &ScenarioOptions,
+    attack: usize,
+    prof: &ProfHandle,
+) -> (AttackStatus, CellStats) {
+    let mut sc = Scenario::new(cfg.clone(), opts);
     if prof.enabled() {
         sc.machine.set_profiler(prof.clone());
     }

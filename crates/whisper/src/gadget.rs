@@ -467,8 +467,12 @@ mod tests {
         for _ in 0..4 {
             g.measure(&mut m, 0);
         }
-        let baseline = g.measure(&mut m, 0).unwrap();
-        let hit = g.measure(&mut m, 0x5a).unwrap();
+        let baseline = g
+            .measure(&mut m, 0)
+            .expect("warmed meltdown probe must complete");
+        let hit = g
+            .measure(&mut m, 0x5a)
+            .expect("warmed meltdown probe must complete");
         assert!(
             hit > baseline,
             "match must lengthen ToTE ({hit} vs {baseline})"
@@ -486,8 +490,12 @@ mod tests {
         for _ in 0..4 {
             g.measure(&mut m, 0);
         }
-        let miss = g.measure(&mut m, 0x11).unwrap();
-        let hit = g.measure(&mut m, 0x33).unwrap();
+        let miss = g
+            .measure(&mut m, 0x11)
+            .expect("warmed covert-channel probe must complete");
+        let hit = g
+            .measure(&mut m, 0x33)
+            .expect("warmed covert-channel probe must complete");
         assert!(
             hit > miss,
             "sender byte match must lengthen ToTE ({hit} vs {miss})"
@@ -513,9 +521,13 @@ mod tests {
         let mapped = PrefetchProbe::build(KSECRET, false);
         let unmapped = PrefetchProbe::build(0xffff_ffff_a000_0000, false);
         m.flush_tlbs();
-        let t_mapped = mapped.measure(&mut m).unwrap();
+        let t_mapped = mapped
+            .measure(&mut m)
+            .expect("prefetch probe of mapped VA must complete");
         m.flush_tlbs();
-        let t_unmapped = unmapped.measure(&mut m).unwrap();
+        let t_unmapped = unmapped
+            .measure(&mut m)
+            .expect("prefetch probe of unmapped VA must complete");
         assert_ne!(
             t_mapped, t_unmapped,
             "walk depth must show in prefetch time"

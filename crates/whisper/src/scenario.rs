@@ -178,9 +178,17 @@ mod tests {
     #[test]
     fn scenario_plants_secrets() {
         let sc = Scenario::new(CpuConfig::kaby_lake_i7_7700(), &ScenarioOptions::default());
-        let pa = sc.machine.aspace().translate(sc.kernel_secret_va).unwrap();
+        let pa = sc
+            .machine
+            .aspace()
+            .translate(sc.kernel_secret_va)
+            .expect("kernel secret VA must be mapped");
         assert_eq!(sc.machine.phys().read_bytes(pa, 8), b"WHISPER!");
-        let upa = sc.machine.aspace().translate(sc.user_secret_va).unwrap();
+        let upa = sc
+            .machine
+            .aspace()
+            .translate(sc.user_secret_va)
+            .expect("user secret VA must be mapped");
         assert_eq!(sc.machine.phys().read_bytes(upa, 10), b"rsb-secret");
     }
 

@@ -14,8 +14,10 @@
 //! cycle total, fast-forward stats, snapshot restores, DRAM-jitter draw
 //! count/sum and all PMU lifetime counters.
 
+use std::sync::{Arc, OnceLock};
+
 use tet_uarch::{CpuConfig, Machine, RunDelta};
-use whisper::batch::{batch_enabled, ProbeMemo};
+use whisper::batch::{batch_enabled, FixedRec, ProbeMemo, VERIFY_EVERY};
 use whisper::gadget::{RsbGadget, TetGadget, TetGadgetSpec};
 use whisper::scenario::{Scenario, ScenarioOptions, STACK_TOP};
 
@@ -197,6 +199,95 @@ fn batched_fanout_equals_unbatched_at_threads_1_and_8() {
             got, reference,
             "threads={threads} batched={batched}: per-trial results and \
              counter movement must match the serial unbatched reference"
+        );
+    }
+}
+
+/// The seeded-sibling fan-out (the `transmit_from_snapshot`
+/// decomposition): trials share one established `FixedRec` through an
+/// `Arc<OnceLock<..>>` and seed their memos from it. The every-16th
+/// live-verification counter ([`VERIFY_EVERY`]) is per-memo state — each
+/// trial constructs its own [`ProbeMemo::seeded`] with `skips = 0` — so
+/// the sampled-verification cadence must not depend on how `tet_par`
+/// interleaves trials across workers. Pinned by byte-equality of every
+/// per-probe result and every per-trial counter delta at threads 1 vs 8
+/// against the all-live serial reference.
+#[test]
+fn seeded_sibling_fanout_equals_unbatched_at_threads_1_and_8() {
+    const TRIALS: usize = 8;
+    // 3 × 256 probes per trial: enough would-be skips that each trial
+    // crosses several sampled-verification boundaries on its own.
+    const BATCHES: u32 = 3;
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+    let gadget = TetGadget::build(TetGadgetSpec::meltdown(sc.kernel_secret_va, &cfg));
+    let mut warm = sc.machine.clone();
+    for _ in 0..4 {
+        gadget.measure(&mut warm, 0);
+    }
+    let hint = gadget.match_hint(&warm);
+    assert!(hint.is_some(), "warmed gadget must predict a hint");
+    let snap = warm.snapshot();
+
+    type SweepFixedRec = FixedRec<Option<(u64, u64)>>;
+    let run_seeded = |threads: usize| -> Vec<TrialOutcome> {
+        let fixed: Arc<OnceLock<SweepFixedRec>> = Arc::new(OnceLock::new());
+        tet_par::run_indexed_with(
+            threads,
+            TRIALS,
+            || (Machine::from_snapshot(&snap), Arc::clone(&fixed)),
+            |(m, fixed), _i| {
+                m.restore(&snap);
+                let marker = m.delta_marker();
+                let mut memo = ProbeMemo::seeded(m, hint, fixed.get().cloned());
+                let mut out = Vec::with_capacity(256 * BATCHES as usize);
+                let mut live = 0u32;
+                for _ in 0..BATCHES {
+                    for test in 0..=255u64 {
+                        out.push(memo.probe(m, test, |m| {
+                            live += 1;
+                            gadget.measure_detailed(m, test)
+                        }));
+                    }
+                }
+                let delta = m.delta_since(&marker);
+                if batch_enabled(m) {
+                    let rec = memo.fixed().expect("sweep must establish a fixed point");
+                    let _ = fixed.set(rec.clone());
+                    // Sampled verifications still fire inside each trial:
+                    // a seeded memo must not skip everything forever.
+                    let total = 256 * BATCHES;
+                    let floor = (total - 256) / VERIFY_EVERY;
+                    assert!(
+                        live < total && live >= floor.min(1),
+                        "seeded trial live probes out of range: {live}/{total}"
+                    );
+                }
+                (out, delta)
+            },
+        )
+    };
+
+    // Serial all-live reference (hintless memos never skip).
+    let reference: Vec<TrialOutcome> = tet_par::run_indexed_with(
+        1,
+        TRIALS,
+        || Machine::from_snapshot(&snap),
+        |m, _i| {
+            m.restore(&snap);
+            let (out, delta, live, _) =
+                sweep(m, None, BATCHES, |m, t| gadget.measure_detailed(m, t));
+            assert_eq!(live, 256 * BATCHES, "hintless trial must run fully live");
+            (out, delta)
+        },
+    );
+
+    for threads in [1, 8] {
+        let got = run_seeded(threads);
+        assert_eq!(
+            got, reference,
+            "threads={threads}: seeded-sibling trials must be byte-and-cycle \
+             identical to the all-live serial reference"
         );
     }
 }
