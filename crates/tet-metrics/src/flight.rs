@@ -181,12 +181,23 @@ impl FlightRecorder {
             },
             ff_skip_ratio: rate(ff, sim),
             l1_hit_rate: rate(l1h, loads),
+            // The denominator is *retired* loads (MEM_LOAD_RETIRED.*)
+            // while DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK also counts
+            // walks from speculative loads that never retire — in a
+            // transient-execution campaign the attack loads are exactly
+            // those, so walks can exceed retired loads and the naive
+            // `1 - walks/loads` goes negative. A hit *rate* is bounded
+            // by definition; clamp every rate gauge into [0, 1].
             dtlb_hit_rate: if loads == 0 {
                 0.0
             } else {
-                1.0 - rate(walks, loads)
+                (1.0 - rate(walks, loads)).clamp(0.0, 1.0)
             },
-            bpu_hit_rate: if br == 0 { 0.0 } else { 1.0 - rate(brm, br) },
+            bpu_hit_rate: if br == 0 {
+                0.0
+            } else {
+                (1.0 - rate(brm, br)).clamp(0.0, 1.0)
+            },
             eta_s,
         }
     }
@@ -259,6 +270,31 @@ impl FlightRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hit_rate_gauges_stay_in_unit_range() {
+        // Transient-execution campaigns walk the DTLB from speculative
+        // loads that never retire, so walk counts legitimately exceed
+        // retired-load counts. The published gauges must stay rates.
+        let fr = FlightRecorder::new(4);
+        fr.record_work(4, 100, 0);
+        // walks (9000) far above retired loads (90 + 10); mispredicts
+        // above branches for good measure.
+        fr.record_events(90, 10, 9_000, 50, 75);
+        let s = fr.sample_now();
+        for (name, rate) in [
+            ("l1_hit_rate", s.l1_hit_rate),
+            ("dtlb_hit_rate", s.dtlb_hit_rate),
+            ("bpu_hit_rate", s.bpu_hit_rate),
+            ("ff_skip_ratio", s.ff_skip_ratio),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "{name} must stay in [0, 1], got {rate}"
+            );
+        }
+        assert_eq!(s.dtlb_hit_rate, 0.0, "over-counted walks clamp to 0");
+    }
 
     #[test]
     fn rates_and_eta_are_nan_free() {

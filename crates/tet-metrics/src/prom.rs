@@ -59,7 +59,12 @@ pub fn to_prometheus(section: &MetricsSection) -> String {
     for (name, s) in &section.histograms {
         let n = sanitize_name(name);
         out.push_str(&format!("# TYPE {n} summary\n"));
-        for (q, val) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+        for (q, val) in [
+            ("0.5", s.p50),
+            ("0.9", s.p90),
+            ("0.99", s.p99),
+            ("0.999", s.p999),
+        ] {
             out.push_str(&format!("{n}{{quantile=\"{q}\"}} {val}\n"));
         }
         out.push_str(&format!("{n}_sum {}\n", fmt_num(s.mean * s.count as f64)));

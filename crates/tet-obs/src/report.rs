@@ -164,6 +164,7 @@ impl Histogram {
             p50: pct(50.0),
             p90: pct(90.0),
             p99: pct(99.0),
+            p999: pct(99.9),
         }
     }
 }
@@ -185,6 +186,9 @@ pub struct HistogramSummary {
     pub p90: u64,
     /// 99th percentile (nearest rank).
     pub p99: u64,
+    /// 99.9th percentile (nearest rank) — the tail the serve-layer
+    /// latency SLOs watch.
+    pub p999: u64,
 }
 
 impl HistogramSummary {
@@ -197,11 +201,13 @@ impl HistogramSummary {
         o.set("p50", Value::from(self.p50));
         o.set("p90", Value::from(self.p90));
         o.set("p99", Value::from(self.p99));
+        o.set("p999", Value::from(self.p999));
         o
     }
 
     fn from_value(v: &Value) -> Result<HistogramSummary, String> {
         let num = |k: &str| -> Result<u64, String> { field(v, k)?.as_u64().ok_or(bad(k)) };
+        let p99 = num("p99")?;
         Ok(HistogramSummary {
             count: num("count")?,
             min: num("min")?,
@@ -209,7 +215,10 @@ impl HistogramSummary {
             mean: field(v, "mean")?.as_num().ok_or(bad("mean"))?,
             p50: num("p50")?,
             p90: num("p90")?,
-            p99: num("p99")?,
+            p99,
+            // Documents written before p999 existed (the committed
+            // BENCH_* lineage) parse with the best stand-in available.
+            p999: v.get("p999").and_then(|x| x.as_u64()).unwrap_or(p99),
         })
     }
 }
@@ -598,7 +607,19 @@ mod tests {
         assert_eq!(s.p50, 50);
         assert_eq!(s.p90, 90);
         assert_eq!(s.p99, 99);
+        assert_eq!(s.p999, 100);
         assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summaries_without_p999_parse_with_the_p99_stand_in() {
+        // BENCH_* lineage files predate the p999 field; they must keep
+        // parsing for `bench_trend --gate`.
+        let legacy = "{\"count\": 4, \"min\": 1, \"max\": 9, \"mean\": 4.0, \
+                      \"p50\": 3, \"p90\": 8, \"p99\": 9}";
+        let s = HistogramSummary::from_value(&crate::json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(s.p99, 9);
+        assert_eq!(s.p999, 9, "absent p999 falls back to p99");
     }
 
     #[test]
@@ -642,6 +663,7 @@ mod tests {
             (s.p50, exact(50.0)),
             (s.p90, exact(90.0)),
             (s.p99, exact(99.0)),
+            (s.p999, exact(99.9)),
         ] {
             let err = (got as f64 - want as f64).abs() / want as f64;
             assert!(err <= 0.01, "got {got}, exact {want}, err {err}");

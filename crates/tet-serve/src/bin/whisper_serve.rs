@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! whisper-serve [--addr HOST:PORT] [--workers N] [--threads N]
-//!               [--cache DIR] [--self-test]
+//!               [--cache DIR] [--cache-bytes N] [--idle-timeout-ms N]
+//!               [--self-test]
 //! ```
 //!
 //! * `--addr` — bind address (default `127.0.0.1:8044`; port `0` picks
@@ -12,10 +13,14 @@
 //!   `TET_THREADS` or all cores).
 //! * `--cache` — result-cache directory (default `TET_SERVE_CACHE` or
 //!   `target/serve-cache`).
+//! * `--cache-bytes` — disk-cache byte budget, 0 = unlimited (default
+//!   `TET_SERVE_CACHE_BYTES` or 0).
+//! * `--idle-timeout-ms` — keep-alive idle timeout (default 5000).
 //! * `--self-test` — bind an ephemeral port, submit one small campaign
-//!   twice, assert the second submit is a cache hit with a
-//!   byte-identical report, print `self-test ok`, exit 0. The CI
-//!   serve-smoke job runs this before driving the server externally.
+//!   through keep-alive and connection-per-request clients, assert the
+//!   warm legs are cache hits with byte-identical reports, print
+//!   `self-test ok`, exit 0. The CI serve-smoke job runs this before
+//!   driving the server externally.
 //!
 //! Progress goes to stderr (`TET_QUIET=1` silences it); the bound
 //! address line goes to stdout so scripts can scrape it.
@@ -44,11 +49,23 @@ fn main() {
     let workers = take_flag_value(&mut args, "--workers").and_then(|v| v.parse().ok());
     let threads = take_flag_value(&mut args, "--threads").and_then(|v| v.parse().ok());
     let cache = take_flag_value(&mut args, "--cache").map(PathBuf::from);
+    let cache_bytes = take_flag_value(&mut args, "--cache-bytes").map(|v| {
+        v.parse::<u64>().unwrap_or_else(|e| {
+            eprintln!("whisper-serve: --cache-bytes {v:?}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let idle_timeout_ms = take_flag_value(&mut args, "--idle-timeout-ms").map(|v| {
+        v.parse::<u64>().unwrap_or_else(|e| {
+            eprintln!("whisper-serve: --idle-timeout-ms {v:?}: {e}");
+            std::process::exit(2);
+        })
+    });
     if let Some(stray) = args.first() {
         eprintln!("whisper-serve: unknown argument {stray:?}");
         eprintln!(
             "usage: whisper-serve [--addr HOST:PORT] [--workers N] [--threads N] \
-             [--cache DIR] [--self-test]"
+             [--cache DIR] [--cache-bytes N] [--idle-timeout-ms N] [--self-test]"
         );
         std::process::exit(2);
     }
@@ -65,6 +82,9 @@ fn main() {
         workers: workers.unwrap_or(defaults.workers),
         threads: threads.unwrap_or(defaults.threads),
         cache_dir: cache.unwrap_or(defaults.cache_dir),
+        cache_bytes: cache_bytes.unwrap_or(defaults.cache_bytes),
+        hot_bytes: defaults.hot_bytes,
+        idle_timeout_ms: idle_timeout_ms.unwrap_or(defaults.idle_timeout_ms),
     };
     if self_test {
         // An isolated cache, so a pre-populated entry cannot fake the
@@ -84,7 +104,7 @@ fn main() {
     println!("whisper-serve listening on {}", handle.addr());
 
     if self_test {
-        let ok = run_self_test(&Client::new(&handle.addr().to_string()));
+        let ok = run_self_test(&handle.addr().to_string());
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&cfg.cache_dir);
         if ok {
@@ -99,31 +119,59 @@ fn main() {
     handle.wait();
 }
 
-/// Cold submit, cached resubmit, byte-identity and counter checks.
-fn run_self_test(client: &Client) -> bool {
+/// Cold submit, cached resubmits over keep-alive *and*
+/// connection-per-request clients, byte-identity, counter and hot-tier
+/// checks.
+fn run_self_test(addr: &str) -> bool {
     let spec = "{\"kind\": \"table2_cell\", \"preset\": \"intel-core-i7-7700\", \
                 \"attack\": \"cc\", \"seed\": 11, \"trials\": 2}";
+    let keep_alive = Client::new(addr).with_keep_alive(true);
+    let one_shot = Client::new(addr).with_keep_alive(false);
     let checks: Result<(), String> = (|| {
-        let health = client.health()?;
+        let health = keep_alive.health()?;
         if health.get("ok").and_then(|v| v.as_bool()) != Some(true) {
             return Err("health check failed".to_string());
         }
-        let (cold, was_cached) = client.run_to_report(spec)?;
+        let (cold, was_cached) = keep_alive.run_to_report(spec)?;
         if was_cached {
             return Err("first submit must be a cold miss".to_string());
         }
-        let (warm, was_cached) = client.run_to_report(spec)?;
+        let (warm, was_cached) = keep_alive.run_to_report(spec)?;
         if !was_cached {
             return Err("second submit must be a cache hit".to_string());
         }
         if cold != warm {
             return Err("cached report must be byte-identical to the cold run".to_string());
         }
-        let stats = client.cache_stats()?;
+        // The same campaign through a Connection: close client: still a
+        // hit, still the same bytes — the hot-cache fast path and the
+        // plain path must be indistinguishable on the wire.
+        let (one_shot_warm, was_cached) = one_shot.run_to_report(spec)?;
+        if !was_cached {
+            return Err("connection-per-request submit must be a cache hit".to_string());
+        }
+        if cold != one_shot_warm {
+            return Err("keep-alive and per-request responses must be byte-identical".to_string());
+        }
+        let stats = keep_alive.cache_stats()?;
         let hits = stats.get("hits").and_then(|v| v.as_u64()).unwrap_or(0);
         let misses = stats.get("misses").and_then(|v| v.as_u64()).unwrap_or(0);
-        if hits != 1 || misses != 1 {
-            return Err(format!("expected 1 hit / 1 miss, got {hits}/{misses}"));
+        if hits != 2 || misses != 1 {
+            return Err(format!("expected 2 hits / 1 miss, got {hits}/{misses}"));
+        }
+        let hot_hits = stats.get("hot_hits").and_then(|v| v.as_u64()).unwrap_or(0);
+        if hot_hits == 0 {
+            return Err("warm submits must touch the hot cache".to_string());
+        }
+        // The metrics endpoint renders well-formed Prometheus text with
+        // both latency paths populated.
+        let prom = keep_alive.metrics()?;
+        let samples =
+            tet_metrics::parse_prometheus(&prom).map_err(|e| format!("/v1/metrics: {e}"))?;
+        for name in ["serve_cached_request_us", "serve_cold_request_us"] {
+            if !samples.iter().any(|s| s.name == format!("{name}_count")) {
+                return Err(format!("/v1/metrics missing {name}"));
+            }
         }
         Ok(())
     })();

@@ -1,22 +1,33 @@
-//! Disk-backed, content-addressed RunReport cache.
+//! Disk-backed, content-addressed RunReport cache with size-capped
+//! stamp-LRU eviction.
 //!
 //! One file per cache key under `target/serve-cache/` (overridable with
 //! `TET_SERVE_CACHE`), named `<hex-sha256>.json`, holding the serialized
 //! [`tet_obs::RunReport`] exactly as it is served — a hit returns the
 //! stored bytes untouched, so a cached response is byte-identical to the
-//! cold response that populated it. An in-memory index (key → size)
-//! avoids touching the filesystem to answer "is this cached?"; bodies
-//! stay on disk so a long-lived server's memory does not grow with its
-//! history.
+//! cold response that populated it. An in-memory index (key → size +
+//! recency stamp) avoids touching the filesystem to answer "is this
+//! cached?"; bodies stay on disk so a long-lived server's memory does
+//! not grow with its history.
+//!
+//! Eviction: an optional byte budget (`TET_SERVE_CACHE_BYTES`, or
+//! [`ResultCache::open_capped`]) bounds the store. Every entry carries a
+//! monotonic logical-clock stamp refreshed on each hit — the same
+//! stamp-LRU idiom tet-mem's replacement arrays use — and inserts that
+//! push the store over budget evict minimum-stamp entries (file deleted,
+//! index dropped, counters bumped) until it fits. The entry just written
+//! is never its own victim, so one oversized report is stored rather
+//! than thrashed.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-/// Cache hit/miss/size counters, served by `GET /v1/cache/stats`.
+/// Cache hit/miss/size/eviction counters, served by `GET /v1/cache/stats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (disk reads plus hot-cache hits
+    /// recorded via [`ResultCache::record_external_hit`]).
     pub hits: u64,
     /// Lookups that missed and went to the scheduler.
     pub misses: u64,
@@ -24,21 +35,51 @@ pub struct CacheStats {
     pub entries: u64,
     /// Total stored bytes across entries.
     pub bytes: u64,
+    /// Byte budget (0 = unlimited).
+    pub max_bytes: u64,
+    /// Entries evicted to stay under the budget.
+    pub evictions: u64,
+    /// Bytes released by eviction.
+    pub evicted_bytes: u64,
 }
 
 /// The content-addressed result store.
 #[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
+    /// Byte budget; 0 = unlimited.
+    max_bytes: u64,
     inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    size: u64,
+    /// Logical-clock stamp of the most recent touch.
+    stamp: u64,
 }
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    /// key → stored size in bytes.
-    index: HashMap<String, u64>,
+    index: HashMap<String, Entry>,
+    /// Sum of indexed entry sizes (kept incrementally).
+    bytes: u64,
+    /// Monotonic logical clock feeding the LRU stamps.
+    clock: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    evicted_bytes: u64,
+}
+
+impl CacheInner {
+    fn touch(&mut self, key: &str) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(e) = self.index.get_mut(key) {
+            e.stamp = stamp;
+        }
+    }
 }
 
 /// The default cache directory, honoring `TET_SERVE_CACHE`.
@@ -48,16 +89,38 @@ pub fn default_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target/serve-cache"))
 }
 
+/// The default byte budget, honoring `TET_SERVE_CACHE_BYTES`
+/// (0 or unset = unlimited; unparsable values are refused loudly).
+pub fn default_max_bytes() -> Result<u64, String> {
+    match std::env::var("TET_SERVE_CACHE_BYTES") {
+        Ok(v) if !v.trim().is_empty() => v
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| format!("TET_SERVE_CACHE_BYTES={v:?}: {e}")),
+        _ => Ok(0),
+    }
+}
+
 impl ResultCache {
-    /// Opens (and creates if needed) the cache at `dir`, indexing any
-    /// entries a previous server left behind. Errors are one-line
-    /// diagnostics naming the offending path.
+    /// Opens (and creates if needed) an *unlimited* cache at `dir` —
+    /// see [`ResultCache::open_capped`] for the budgeted form.
     pub fn open(dir: &Path) -> Result<ResultCache, String> {
+        ResultCache::open_capped(dir, 0)
+    }
+
+    /// Opens (and creates if needed) the cache at `dir`, indexing any
+    /// entries a previous server left behind and evicting immediately
+    /// if they already exceed `max_bytes` (0 = unlimited). Errors are
+    /// one-line diagnostics naming the offending path.
+    pub fn open_capped(dir: &Path, max_bytes: u64) -> Result<ResultCache, String> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("create cache dir {}: {e}", dir.display()))?;
-        let mut index = HashMap::new();
+        let mut inner = CacheInner::default();
         let entries =
             std::fs::read_dir(dir).map_err(|e| format!("read cache dir {}: {e}", dir.display()))?;
+        // Re-index leftovers in (name, mtime) order so their stamps
+        // approximate last-use recency across a restart.
+        let mut found: Vec<(String, u64, std::time::SystemTime)> = Vec::new();
         for entry in entries.filter_map(|e| e.ok()) {
             let path = entry.path();
             if path.extension().is_none_or(|x| x != "json") {
@@ -69,17 +132,29 @@ impl ResultCache {
             // Only well-formed keys (64 hex chars) are re-indexed;
             // anything else in the directory is ignored, not trusted.
             if stem.len() == 64 && stem.bytes().all(|b| b.is_ascii_hexdigit()) {
-                let size = entry.metadata().map(|m| m.len()).unwrap_or(0);
-                index.insert(stem.to_string(), size);
+                let meta = entry.metadata().ok();
+                let size = meta.as_ref().map(|m| m.len()).unwrap_or(0);
+                let mtime = meta
+                    .and_then(|m| m.modified().ok())
+                    .unwrap_or(std::time::UNIX_EPOCH);
+                found.push((stem.to_string(), size, mtime));
             }
         }
-        Ok(ResultCache {
+        found.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
+        for (key, size, _) in found {
+            inner.clock += 1;
+            let stamp = inner.clock;
+            inner.bytes += size;
+            inner.index.insert(key, Entry { size, stamp });
+        }
+        let cache = ResultCache {
             dir: dir.to_path_buf(),
-            inner: Mutex::new(CacheInner {
-                index,
-                ..CacheInner::default()
-            }),
-        })
+            max_bytes,
+            inner: Mutex::new(inner),
+        };
+        // A shrunken budget applies to leftovers too.
+        cache.enforce_budget(&mut cache.inner.lock().unwrap(), None);
+        Ok(cache)
     }
 
     /// The file path of a key's entry.
@@ -87,14 +162,40 @@ impl ResultCache {
         self.dir.join(format!("{key}.json"))
     }
 
-    /// Looks `key` up, counting a hit or miss. A hit returns the stored
-    /// bytes exactly as written.
+    /// Evicts minimum-stamp entries (skipping `keep`) until the store
+    /// fits the budget. Call with the lock held.
+    fn enforce_budget(&self, inner: &mut CacheInner, keep: Option<&str>) {
+        while self.max_bytes != 0 && inner.bytes > self.max_bytes && inner.index.len() > 1 {
+            let victim = inner
+                .index
+                .iter()
+                .filter(|(k, _)| Some(k.as_str()) != keep)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(entry) = inner.index.remove(&victim) {
+                inner.bytes -= entry.size;
+                inner.evictions += 1;
+                inner.evicted_bytes += entry.size;
+            }
+            if let Err(e) = std::fs::remove_file(self.path_of(&victim)) {
+                eprintln!(
+                    "warning: evicting cache entry {}: {e}",
+                    self.path_of(&victim).display()
+                );
+            }
+        }
+    }
+
+    /// Looks `key` up, counting a hit or miss and refreshing its LRU
+    /// stamp. A hit returns the stored bytes exactly as written.
     pub fn get(&self, key: &str) -> Option<String> {
         let indexed = {
             let mut inner = self.inner.lock().unwrap();
             let indexed = inner.index.contains_key(key);
             if indexed {
                 inner.hits += 1;
+                inner.touch(key);
             } else {
                 inner.misses += 1;
             }
@@ -113,12 +214,26 @@ impl ResultCache {
                     self.path_of(key).display()
                 );
                 let mut inner = self.inner.lock().unwrap();
-                inner.index.remove(key);
+                if let Some(entry) = inner.index.remove(key) {
+                    inner.bytes -= entry.size;
+                }
                 inner.hits -= 1;
                 inner.misses += 1;
                 None
             }
         }
+    }
+
+    /// Counts a hit that was answered upstream (the in-memory hot
+    /// cache) without reading the disk copy, and refreshes the entry's
+    /// LRU stamp so eviction sees hot keys as recently used. The hot
+    /// entry may legitimately outlive an evicted disk entry — keys are
+    /// content-addressed, so the bytes are still correct — in which
+    /// case only the counter moves.
+    pub fn record_external_hit(&self, key: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.hits += 1;
+        inner.touch(key);
     }
 
     /// Whether `key` is cached, without counting a lookup.
@@ -128,16 +243,22 @@ impl ResultCache {
 
     /// Reads `key`'s entry without counting a hit or miss — for report
     /// fetches of an already-resolved job, where the cache decision was
-    /// made (and counted) at submit time.
+    /// made (and counted) at submit time. Still refreshes the LRU stamp:
+    /// a fetched report is a used report.
     pub fn peek(&self, key: &str) -> Option<String> {
-        if !self.contains(key) {
-            return None;
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if !inner.index.contains_key(key) {
+                return None;
+            }
+            inner.touch(key);
         }
         std::fs::read_to_string(self.path_of(key)).ok()
     }
 
     /// Stores `body` under `key` (write-to-temp + rename, so a reader
-    /// never sees a half-written entry) and indexes it.
+    /// never sees a half-written entry), indexes it, and evicts LRU
+    /// entries if the budget is now exceeded.
     pub fn put(&self, key: &str, body: &str) -> Result<(), String> {
         let path = self.path_of(key);
         let tmp = self.dir.join(format!("{key}.tmp"));
@@ -145,7 +266,14 @@ impl ResultCache {
         std::fs::rename(&tmp, &path)
             .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))?;
         let mut inner = self.inner.lock().unwrap();
-        inner.index.insert(key.to_string(), body.len() as u64);
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let size = body.len() as u64;
+        if let Some(old) = inner.index.insert(key.to_string(), Entry { size, stamp }) {
+            inner.bytes -= old.size;
+        }
+        inner.bytes += size;
+        self.enforce_budget(&mut inner, Some(key));
         Ok(())
     }
 
@@ -156,7 +284,10 @@ impl ResultCache {
             hits: inner.hits,
             misses: inner.misses,
             entries: inner.index.len() as u64,
-            bytes: inner.index.values().sum(),
+            bytes: inner.bytes,
+            max_bytes: self.max_bytes,
+            evictions: inner.evictions,
+            evicted_bytes: inner.evicted_bytes,
         }
     }
 }
@@ -174,6 +305,11 @@ mod tests {
 
     const KEY: &str = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef";
 
+    /// Distinct well-formed keys for eviction tests.
+    fn key_n(n: u8) -> String {
+        format!("{:064x}", n as u128 + 1)
+    }
+
     #[test]
     fn round_trips_and_counts() {
         let dir = tmpdir("rt");
@@ -184,6 +320,8 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert_eq!(stats.bytes, 7);
+        assert_eq!(stats.max_bytes, 0);
+        assert_eq!(stats.evictions, 0);
 
         // A fresh instance over the same directory re-indexes the entry.
         let reopened = ResultCache::open(&dir).unwrap();
@@ -210,7 +348,9 @@ mod tests {
         cache.put(KEY, "{}").unwrap();
         std::fs::remove_file(dir.join(format!("{KEY}.json"))).unwrap();
         assert_eq!(cache.get(KEY), None);
-        assert_eq!(cache.stats().entries, 0);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -222,5 +362,87 @@ mod tests {
         let err = ResultCache::open(&path).unwrap_err();
         assert!(err.contains("cache dir"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn budget_evicts_the_least_recently_used_entry() {
+        let dir = tmpdir("evict");
+        // Budget fits two 8-byte bodies, not three.
+        let cache = ResultCache::open_capped(&dir, 20).unwrap();
+        cache.put(&key_n(1), "{\"n\": 1}").unwrap();
+        cache.put(&key_n(2), "{\"n\": 2}").unwrap();
+        // Touch entry 1 so entry 2 is the LRU victim.
+        assert!(cache.get(&key_n(1)).is_some());
+        cache.put(&key_n(3), "{\"n\": 3}").unwrap();
+
+        assert!(cache.contains(&key_n(1)), "recently used entry survives");
+        assert!(!cache.contains(&key_n(2)), "LRU entry evicted");
+        assert!(cache.contains(&key_n(3)), "new entry kept");
+        assert!(
+            !dir.join(format!("{}.json", key_n(2))).exists(),
+            "eviction deletes the file"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.evicted_bytes, 8);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn external_hits_refresh_recency() {
+        let dir = tmpdir("exthit");
+        let cache = ResultCache::open_capped(&dir, 20).unwrap();
+        cache.put(&key_n(1), "{\"n\": 1}").unwrap();
+        cache.put(&key_n(2), "{\"n\": 2}").unwrap();
+        // A hot-cache hit on entry 1 must protect it from eviction.
+        cache.record_external_hit(&key_n(1));
+        cache.put(&key_n(3), "{\"n\": 3}").unwrap();
+        assert!(cache.contains(&key_n(1)));
+        assert!(!cache.contains(&key_n(2)));
+        assert_eq!(cache.stats().hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn an_oversized_entry_is_stored_not_thrashed() {
+        let dir = tmpdir("oversize");
+        let cache = ResultCache::open_capped(&dir, 4).unwrap();
+        cache.put(&key_n(1), "{\"big\": \"entry\"}").unwrap();
+        assert!(cache.contains(&key_n(1)));
+        assert_eq!(cache.stats().evictions, 0);
+        // The next put displaces it: now there is a newer entry to keep.
+        cache.put(&key_n(2), "{\"n\": 2}").unwrap();
+        assert!(!cache.contains(&key_n(1)));
+        assert!(cache.contains(&key_n(2)));
+        assert_eq!(cache.stats().evictions, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopening_under_a_smaller_budget_trims_leftovers() {
+        let dir = tmpdir("reopen_trim");
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            cache.put(&key_n(1), "{\"n\": 1}").unwrap();
+            cache.put(&key_n(2), "{\"n\": 2}").unwrap();
+            cache.put(&key_n(3), "{\"n\": 3}").unwrap();
+        }
+        let cache = ResultCache::open_capped(&dir, 20).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= 20);
+        assert_eq!(stats.evictions, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_max_bytes_parses_the_env_contract() {
+        // Only the unset path is asserted (the set path would race other
+        // tests through the process-global environment).
+        if std::env::var_os("TET_SERVE_CACHE_BYTES").is_none() {
+            assert_eq!(default_max_bytes().unwrap(), 0);
+        }
     }
 }

@@ -1,20 +1,45 @@
 //! A small blocking client for the campaign server — what the load
 //! generator and the `table2_matrix --server` thin-client mode use.
 //!
-//! One request per connection, mirroring the server's
-//! `Connection: close` discipline. All methods return one-line `String`
-//! errors naming the endpoint, so callers can print them and move on.
+//! By default the client keeps one connection alive and reuses it for
+//! every request (HTTP/1.1 keep-alive), parsing responses by their
+//! `Content-Length` instead of reading to EOF. A request on a reused
+//! connection that fails before a full response arrives is retried once
+//! on a fresh connection — safe here because every endpoint is
+//! idempotent (submits are content-addressed and single-flight deduped
+//! server-side). `TET_SERVE_KEEPALIVE=0` (or
+//! [`Client::with_keep_alive`]`(false)`) restores the PR-8
+//! connection-per-request behavior for A/B measurements. All methods
+//! return one-line `String` errors naming the endpoint, so callers can
+//! print them and move on.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use tet_obs::json::{self, Value};
 
 /// A server endpoint, e.g. `http://127.0.0.1:8044` or `127.0.0.1:8044`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Client {
     host_port: String,
+    keep_alive: bool,
+    /// The cached keep-alive connection (buffered on the read side),
+    /// absent until the first request or after a close.
+    conn: Mutex<Option<BufReader<TcpStream>>>,
+}
+
+impl Clone for Client {
+    /// A clone targets the same server but starts with its own (empty)
+    /// connection slot — connections are never shared across clones.
+    fn clone(&self) -> Client {
+        Client {
+            host_port: self.host_port.clone(),
+            keep_alive: self.keep_alive,
+            conn: Mutex::new(None),
+        }
+    }
 }
 
 /// One response: status code and body.
@@ -33,56 +58,193 @@ impl Response {
     }
 }
 
+/// Whether the connection can serve another request after a response.
+struct Parsed {
+    response: Response,
+    reusable: bool,
+}
+
 impl Client {
     /// Builds a client for `base` (with or without an `http://` prefix,
-    /// trailing slashes ignored).
+    /// trailing slashes ignored). Keep-alive defaults on; the
+    /// `TET_SERVE_KEEPALIVE` environment switch (`0`/`false`/`off`
+    /// disables) applies here.
     pub fn new(base: &str) -> Client {
         let host_port = base
             .trim()
             .trim_start_matches("http://")
             .trim_end_matches('/')
             .to_string();
-        Client { host_port }
+        Client {
+            host_port,
+            keep_alive: tet_obs::env_flag("TET_SERVE_KEEPALIVE", true),
+            conn: Mutex::new(None),
+        }
     }
 
-    /// One round trip. `body` is sent with a `Content-Length`; the
-    /// response body is read to EOF.
-    pub fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, String> {
-        let mut stream = TcpStream::connect(&self.host_port)
+    /// Overrides the keep-alive default (and drops any cached
+    /// connection when turning it off).
+    pub fn with_keep_alive(mut self, keep_alive: bool) -> Client {
+        self.keep_alive = keep_alive;
+        if !keep_alive {
+            *self.conn.lock().unwrap() = None;
+        }
+        self
+    }
+
+    /// Whether this client reuses its connection.
+    pub fn keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+
+    fn connect(&self) -> Result<BufReader<TcpStream>, String> {
+        let stream = TcpStream::connect(&self.host_port)
             .map_err(|e| format!("connect {}: {e}", self.host_port))?;
         stream
             .set_read_timeout(Some(Duration::from_secs(600)))
             .map_err(|e| format!("set timeout: {e}"))?;
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-            self.host_port,
-            body.len()
-        );
-        stream
-            .write_all(head.as_bytes())
-            .and_then(|()| stream.write_all(body.as_bytes()))
-            .map_err(|e| format!("send {method} {path}: {e}"))?;
-        let mut raw = String::new();
-        stream
-            .read_to_string(&mut raw)
-            .map_err(|e| format!("read {method} {path}: {e}"))?;
-        Self::parse_response(&raw, method, path)
+        let _ = stream.set_nodelay(true);
+        Ok(BufReader::new(stream))
     }
 
-    fn parse_response(raw: &str, method: &str, path: &str) -> Result<Response, String> {
-        let (head, body) = raw
-            .split_once("\r\n\r\n")
-            .ok_or_else(|| format!("{method} {path}: malformed response"))?;
-        let status_line = head.lines().next().unwrap_or_default();
+    fn send(
+        conn: &mut BufReader<TcpStream>,
+        method: &str,
+        path: &str,
+        body: &str,
+        host: &str,
+        close: bool,
+    ) -> std::io::Result<()> {
+        // One buffer, one write syscall, one packet: on a NODELAY
+        // socket a separate head write would go out as its own segment
+        // and cost the server an extra read wakeup per request.
+        let mut msg = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        msg.push_str(body);
+        let stream = conn.get_mut();
+        stream.write_all(msg.as_bytes())?;
+        stream.flush()
+    }
+
+    /// Reads one response off the connection: status line + headers,
+    /// then a `Content-Length` body — or to EOF for streaming
+    /// responses (which are never reusable).
+    fn read_response(
+        conn: &mut BufReader<TcpStream>,
+        method: &str,
+        path: &str,
+    ) -> Result<Parsed, String> {
+        let err = |what: &str| format!("{method} {path}: {what}");
+        let mut status_line = String::new();
+        conn.read_line(&mut status_line)
+            .map_err(|e| err(&format!("read status: {e}")))?;
+        if status_line.is_empty() {
+            return Err(err("connection closed before a response"));
+        }
         let status = status_line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse::<u16>().ok())
-            .ok_or_else(|| format!("{method} {path}: bad status line {status_line:?}"))?;
-        Ok(Response {
-            status,
-            body: body.to_string(),
+            .ok_or_else(|| err(&format!("bad status line {status_line:?}")))?;
+        let mut content_length: Option<usize> = None;
+        let mut server_closes = false;
+        loop {
+            let mut line = String::new();
+            let n = conn
+                .read_line(&mut line)
+                .map_err(|e| err(&format!("read headers: {e}")))?;
+            if n == 0 {
+                return Err(err("connection closed mid-headers"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = Some(
+                        value
+                            .parse()
+                            .map_err(|e| err(&format!("bad content-length: {e}")))?,
+                    );
+                } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                    server_closes = true;
+                }
+            }
+        }
+        let body = match content_length {
+            Some(len) => {
+                let mut buf = vec![0u8; len];
+                conn.read_exact(&mut buf)
+                    .map_err(|e| err(&format!("read body: {e}")))?;
+                String::from_utf8(buf).map_err(|_| err("body is not UTF-8"))?
+            }
+            None => {
+                // EOF-delimited (the events stream): drain it; the
+                // server closes the connection afterwards.
+                server_closes = true;
+                let mut buf = String::new();
+                conn.read_to_string(&mut buf)
+                    .map_err(|e| err(&format!("read streaming body: {e}")))?;
+                buf
+            }
+        };
+        Ok(Parsed {
+            response: Response { status, body },
+            reusable: !server_closes,
         })
+    }
+
+    /// One round trip. `body` is sent with a `Content-Length`.
+    ///
+    /// With keep-alive the cached connection is reused; if a *reused*
+    /// connection fails before a complete response (the server's idle
+    /// timeout may have closed it between our requests), the request is
+    /// retried once on a fresh connection. A failure on a fresh
+    /// connection is reported, not retried.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, String> {
+        if !self.keep_alive {
+            let mut conn = self.connect()?;
+            Self::send(&mut conn, method, path, body, &self.host_port, true)
+                .map_err(|e| format!("send {method} {path}: {e}"))?;
+            return Self::read_response(&mut conn, method, path).map(|p| p.response);
+        }
+
+        let mut slot = self.conn.lock().unwrap();
+        let (conn, reused) = match slot.take() {
+            Some(conn) => (conn, true),
+            None => (self.connect()?, false),
+        };
+        let mut conn = conn;
+        let attempt = Self::send(&mut conn, method, path, body, &self.host_port, false)
+            .map_err(|e| format!("send {method} {path}: {e}"))
+            .and_then(|()| Self::read_response(&mut conn, method, path));
+        let parsed = match attempt {
+            Ok(parsed) => parsed,
+            Err(first) if reused => {
+                // The reused connection went stale under us; one fresh
+                // retry. Safe: every endpoint is idempotent.
+                drop(conn);
+                let mut conn = self.connect()?;
+                Self::send(&mut conn, method, path, body, &self.host_port, false)
+                    .map_err(|e| format!("send {method} {path} (retry after {first}): {e}"))?;
+                let parsed = Self::read_response(&mut conn, method, path)?;
+                if parsed.reusable {
+                    *slot = Some(conn);
+                }
+                return Ok(parsed.response);
+            }
+            Err(e) => return Err(e),
+        };
+        if parsed.reusable {
+            *slot = Some(conn);
+        }
+        Ok(parsed.response)
     }
 
     /// `GET /v1/health`.
@@ -136,7 +298,18 @@ impl Client {
     }
 
     /// Submit + wait + fetch, returning `(report_bytes, was_cached)`.
+    ///
+    /// Tries the one-round-trip `POST /v1/reports` fast path first: on
+    /// a cache hit the response is the report itself, so a warm fetch
+    /// costs a single round trip instead of submit-then-fetch. A 404
+    /// miss falls back to the submit flow.
     pub fn run_to_report(&self, spec_json: &str) -> Result<(String, bool), String> {
+        let probe = self.request("POST", "/v1/reports", spec_json)?;
+        match probe.status {
+            200 => return Ok((probe.body, true)),
+            404 => {}
+            s => return Err(format!("POST /v1/reports ({s}): {}", probe.body)),
+        }
         let sub = self.submit(spec_json)?;
         let job = sub
             .get("job")
@@ -152,6 +325,15 @@ impl Client {
     /// `GET /v1/cache/stats`.
     pub fn cache_stats(&self) -> Result<Value, String> {
         self.expect_json("GET", "/v1/cache/stats", "")
+    }
+
+    /// `GET /v1/metrics` — raw Prometheus text.
+    pub fn metrics(&self) -> Result<String, String> {
+        let resp = self.request("GET", "/v1/metrics", "")?;
+        if resp.status != 200 {
+            return Err(format!("GET /v1/metrics ({}): {}", resp.status, resp.body));
+        }
+        Ok(resp.body)
     }
 
     /// `POST /v1/shutdown`.

@@ -2,15 +2,18 @@
 //!
 //! The build environment is offline and the workspace vendors its
 //! dependencies, so the server speaks just enough HTTP for its own
-//! clients, `curl`, and CI: one request per connection
-//! (`Connection: close`), `Content-Length` bodies on requests, and
-//! responses that either carry a `Content-Length` or stream until EOF
-//! (the job-events endpoint). No keep-alive, no chunked encoding, no
-//! TLS — it serves deterministic simulator campaigns on localhost, not
-//! the open internet.
+//! clients, `curl`, and CI: persistent connections with
+//! `Connection: keep-alive` semantics (the HTTP/1.1 default),
+//! `Content-Length` bodies on requests and responses, and streaming
+//! responses that end when the connection closes (the job-events
+//! endpoint). Because requests are parsed from a per-connection
+//! [`BufRead`], request **pipelining** works for free: a client may
+//! write several requests back to back and the server answers them in
+//! order from the same buffer. No chunked encoding, no TLS — it serves
+//! deterministic simulator campaigns on localhost, not the open
+//! internet.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, Write};
 
 /// Upper bound on a request body, so a stray client cannot balloon the
 /// server's memory.
@@ -27,6 +30,29 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length`).
     pub body: String,
+    /// Whether the request line spoke HTTP/1.0 (default close) rather
+    /// than HTTP/1.1 (default keep-alive).
+    pub http10: bool,
+}
+
+/// What reading from a persistent connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// One complete request.
+    Request(Request),
+    /// Clean close: EOF arrived *between* requests — the client is done
+    /// with the connection. Not an error.
+    Closed,
+    /// The read timed out while waiting for the *start* of the next
+    /// request — the keep-alive connection went idle. Not an error.
+    IdleTimeout,
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 impl Request {
@@ -38,14 +64,36 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Reads one request from the stream. Errors are one-line protocol
-    /// diagnostics (the connection is answered 400 and closed).
-    pub fn read_from(stream: &mut TcpStream) -> Result<Request, String> {
-        let mut reader = BufReader::new(stream);
+    /// Whether the client asked for this exchange to be the
+    /// connection's last (`Connection: close`, or HTTP/1.0 without an
+    /// explicit keep-alive).
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => self.http10,
+        }
+    }
+
+    /// Reads one request from a (possibly reused) connection.
+    ///
+    /// A clean EOF or a timeout *before the first request byte* is a
+    /// normal end of a keep-alive connection ([`ReadOutcome::Closed`] /
+    /// [`ReadOutcome::IdleTimeout`]); EOF or timeout *mid-request* is a
+    /// truncated request and comes back as an error — the caller must
+    /// close without serving a response body it cannot trust. Other
+    /// errors are one-line protocol diagnostics (answered 400).
+    pub fn read_from(reader: &mut impl BufRead) -> Result<ReadOutcome, String> {
         let mut line = String::new();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| format!("read request line: {e}"))?;
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            Ok(_) if !line.ends_with('\n') => {
+                return Err("truncated request line (EOF mid-line)".to_string());
+            }
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) && line.is_empty() => return Ok(ReadOutcome::IdleTimeout),
+            Err(e) => return Err(format!("read request line: {e}")),
+        }
         let mut parts = line.split_whitespace();
         let method = parts.next().ok_or("empty request line")?.to_string();
         let path = parts
@@ -56,13 +104,19 @@ impl Request {
         if !version.starts_with("HTTP/1.") {
             return Err(format!("unsupported version {version:?}"));
         }
+        let http10 = version == "HTTP/1.0";
 
         let mut headers = Vec::new();
         loop {
             let mut hline = String::new();
-            reader
-                .read_line(&mut hline)
-                .map_err(|e| format!("read header: {e}"))?;
+            match reader.read_line(&mut hline) {
+                Ok(0) => return Err("truncated headers (EOF before blank line)".to_string()),
+                Ok(_) if !hline.ends_with('\n') => {
+                    return Err("truncated header line (EOF mid-line)".to_string());
+                }
+                Ok(_) => {}
+                Err(e) => return Err(format!("read header: {e}")),
+            }
             let hline = hline.trim_end();
             if hline.is_empty() {
                 break;
@@ -93,12 +147,13 @@ impl Request {
                 .map_err(|e| format!("read body: {e}"))?;
             body = String::from_utf8(buf).map_err(|_| "body is not UTF-8".to_string())?;
         }
-        Ok(Request {
+        Ok(ReadOutcome::Request(Request {
             method,
             path,
             headers,
             body,
-        })
+            http10,
+        }))
     }
 }
 
@@ -115,37 +170,59 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete response with a `Content-Length` body and closes
-/// the exchange (`Connection: close`).
-pub fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+/// Builds a complete response head (through the blank line) for a
+/// `Content-Length` body. Pure string assembly — the hot cache
+/// precomputes these once per entry so a cache hit writes bytes it
+/// never has to format again.
+pub fn response_head(status: u16, content_type: &str, body_len: usize, close: bool) -> String {
+    format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {body_len}\r\nconnection: {}\r\n\r\n",
         reason(status),
-        body.len()
-    );
+        if close { "close" } else { "keep-alive" },
+    )
+}
+
+/// Writes a complete response with a `Content-Length` body. `close`
+/// selects the `Connection:` header; the caller owns actually closing
+/// (or keeping) the connection to match.
+pub fn respond_bytes(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) {
+    let head = response_head(status, content_type, body.len(), close);
     // The client may already be gone; that is its problem, not ours.
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
+    let _ = w.write_all(head.as_bytes());
+    let _ = w.write_all(body);
+    let _ = w.flush();
+}
+
+/// Writes a complete response with a `Content-Length` body.
+pub fn respond(w: &mut impl Write, status: u16, content_type: &str, body: &str, close: bool) {
+    respond_bytes(w, status, content_type, body.as_bytes(), close);
 }
 
 /// Writes a JSON response.
-pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) {
-    respond(stream, status, "application/json", body);
+pub fn respond_json(w: &mut impl Write, status: u16, body: &str, close: bool) {
+    respond(w, status, "application/json", body, close);
 }
 
 /// Writes the head of an EOF-delimited streaming response (no
 /// `Content-Length`; the body ends when the server closes the
-/// connection). Returns whether the head was accepted.
-pub fn start_stream(stream: &mut TcpStream, content_type: &str) -> bool {
+/// connection — streaming therefore always ends the keep-alive
+/// session). Returns whether the head was accepted.
+pub fn start_stream(w: &mut impl Write, content_type: &str) -> bool {
     let head =
         format!("HTTP/1.1 200 OK\r\ncontent-type: {content_type}\r\nconnection: close\r\n\r\n");
-    stream.write_all(head.as_bytes()).is_ok() && stream.flush().is_ok()
+    w.write_all(head.as_bytes()).is_ok() && w.flush().is_ok()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
     use std::net::{TcpListener, TcpStream};
 
     /// Round-trips one raw request through a real socket pair.
@@ -157,12 +234,19 @@ mod tests {
             let mut c = TcpStream::connect(addr).unwrap();
             c.write_all(raw.as_bytes()).unwrap();
             c.flush().unwrap();
+            // Half-close so the reader sees EOF after the payload — a
+            // truncated request must end in EOF, not a hung read.
+            c.shutdown(std::net::Shutdown::Write).unwrap();
             c
         });
-        let (mut server_side, _) = listener.accept().unwrap();
-        let req = Request::read_from(&mut server_side);
+        let (server_side, _) = listener.accept().unwrap();
+        let mut reader = std::io::BufReader::new(server_side);
+        let req = Request::read_from(&mut reader);
         drop(writer.join().unwrap());
-        req
+        match req? {
+            ReadOutcome::Request(r) => Ok(r),
+            other => Err(format!("expected a request, got {other:?}")),
+        }
     }
 
     #[test]
@@ -174,6 +258,7 @@ mod tests {
         assert_eq!(req.path, "/v1/jobs");
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, "{\"a\": 1}\n");
+        assert!(!req.wants_close(), "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -184,11 +269,73 @@ mod tests {
     }
 
     #[test]
+    fn connection_semantics_follow_the_version_and_header() {
+        let req = parse_raw("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        let req = parse_raw("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.wants_close(), "HTTP/1.0 defaults to close");
+        let req = parse_raw("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+        let req = parse_raw("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(req.wants_close(), "header matching is case-insensitive");
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(parse_raw("NOT-HTTP\r\n\r\n").is_err());
         assert!(parse_raw("GET / SPDY/9\r\n\r\n").is_err());
         assert!(parse_raw("GET / HTTP/1.1\r\nContent-Length: nine\r\n\r\n").is_err());
         let oversized = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 30);
         assert!(parse_raw(&oversized).is_err());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_request() {
+        // EOF mid-request-line, mid-headers, and mid-body must all be
+        // hard errors — a reused connection must never yield a request
+        // assembled from a partial write.
+        assert!(parse_raw("GET /v1/heal").is_err());
+        assert!(parse_raw("GET / HTTP/1.1\r\nHost: x\r\n").is_err());
+        assert!(parse_raw("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n{\"a\"").is_err());
+    }
+
+    #[test]
+    fn eof_between_requests_is_a_clean_close() {
+        let mut empty: &[u8] = b"";
+        match Request::read_from(&mut empty).unwrap() {
+            ReadOutcome::Closed => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let mut two: &[u8] =
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
+        let a = match Request::read_from(&mut two).unwrap() {
+            ReadOutcome::Request(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a.path, "/a");
+        let b = match Request::read_from(&mut two).unwrap() {
+            ReadOutcome::Request(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!((b.path.as_str(), b.body.as_str()), ("/b", "hi"));
+        assert!(matches!(
+            Request::read_from(&mut two).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn response_head_spells_the_connection_state() {
+        let keep = response_head(200, "application/json", 2, false);
+        assert!(keep.contains("connection: keep-alive\r\n"), "{keep}");
+        assert!(keep.contains("content-length: 2\r\n"));
+        let close = response_head(404, "application/json", 0, true);
+        assert!(close.contains("connection: close\r\n"), "{close}");
+        assert!(close.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(close.ends_with("\r\n\r\n"));
     }
 }

@@ -7,9 +7,12 @@
 //! canonicalized ([`spec`]), hashed ([`sha`]), and either computed once
 //! through the worker-pool scheduler ([`scheduler`]) or served from the
 //! disk-backed result cache ([`cache`]) byte-identically to the cold
-//! run. Transport is a hand-rolled minimal HTTP/1.1 + JSON layer
-//! ([`http`], reusing `tet_obs::json`) — the build environment is
-//! offline and the workspace vendors its dependencies.
+//! run. A sharded in-memory hot cache ([`hotcache`]) fronts the disk
+//! store with fully rendered responses, so repeat hits are zero-copy
+//! writes of prebuilt bytes. Transport is a hand-rolled minimal
+//! HTTP/1.1 + JSON layer ([`http`], reusing `tet_obs::json`) with
+//! keep-alive and pipelining — the build environment is offline and
+//! the workspace vendors its dependencies.
 //!
 //! Binaries: `whisper-serve` (this crate) runs the server;
 //! `serve_load` (in `whisper-bench`) drives it with closed-loop
@@ -20,6 +23,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod hotcache;
 pub mod http;
 pub mod scheduler;
 pub mod server;
@@ -28,5 +32,6 @@ pub mod spec;
 
 pub use cache::{CacheStats, ResultCache};
 pub use client::Client;
+pub use hotcache::{HotCache, HotCacheStats, HotEntry};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use spec::{CampaignKind, CampaignSpec, KEY_FORMAT};

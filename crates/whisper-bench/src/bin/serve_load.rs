@@ -18,10 +18,12 @@
 //! an isolated temp cache (removed afterwards); `--server URL` targets
 //! an external `whisper-serve` instead — then the cold/cached split
 //! relies on that server's cache being empty for the probe seeds.
+//! Clients reuse one keep-alive connection each; `--no-keep-alive`
+//! restores the PR-8 connection-per-request behavior for A/B runs.
 //!
 //! Run: `cargo run --release -p whisper-bench --bin serve_load
 //!       [--server URL] [--clients N] [--duration-ms MS] [--hit-pct P]
-//!       [--workers N] [--threads N] [--out PATH]`
+//!       [--workers N] [--threads N] [--no-keep-alive] [--out PATH]`
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -99,7 +101,13 @@ struct LoadTotals {
 
 /// The closed-loop phase: each client thread alternates cache hits and
 /// misses on a fixed `i % 100 < hit_pct` schedule.
-fn run_load(base: &str, clients: usize, duration: Duration, hit_pct: u64) -> LoadTotals {
+fn run_load(
+    base: &str,
+    clients: usize,
+    duration: Duration,
+    hit_pct: u64,
+    keep_alive: bool,
+) -> LoadTotals {
     let stop = AtomicBool::new(false);
     let cold_seed = AtomicU64::new(1 << 20);
     let totals = std::sync::Mutex::new(LoadTotals {
@@ -111,7 +119,7 @@ fn run_load(base: &str, clients: usize, duration: Duration, hit_pct: u64) -> Loa
     std::thread::scope(|scope| {
         for _ in 0..clients {
             scope.spawn(|| {
-                let client = Client::new(base);
+                let client = Client::new(base).with_keep_alive(keep_alive);
                 let mut cold_us = Vec::new();
                 let mut cached_us = Vec::new();
                 let mut errors = 0u64;
@@ -148,6 +156,9 @@ fn run_load(base: &str, clients: usize, duration: Duration, hit_pct: u64) -> Loa
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let no_keep_alive = args.iter().any(|a| a == "--no-keep-alive");
+    args.retain(|a| a != "--no-keep-alive");
+    let keep_alive = !no_keep_alive;
     let server = take_flag_value(&mut args, "--server");
     let clients: usize =
         take_flag_value(&mut args, "--clients").map_or(4, |v| parse_or_exit("--clients", v));
@@ -164,7 +175,7 @@ fn main() {
         eprintln!("serve_load: unknown argument {stray:?}");
         eprintln!(
             "usage: serve_load [--server URL] [--clients N] [--duration-ms MS] \
-             [--hit-pct P] [--workers N] [--threads N] [--out PATH]"
+             [--hit-pct P] [--workers N] [--threads N] [--no-keep-alive] [--out PATH]"
         );
         std::process::exit(2);
     }
@@ -182,6 +193,7 @@ fn main() {
                 workers,
                 threads,
                 cache_dir: dir.clone(),
+                ..ServerConfig::default()
             })
             .unwrap_or_else(|e| {
                 eprintln!("serve_load: start server: {e}");
@@ -203,9 +215,17 @@ fn main() {
             "in-process"
         }
     );
-    println!("  clients: {clients}  duration: {duration_ms} ms  hit ratio: {hit_pct}%");
+    println!(
+        "  clients: {clients}  duration: {duration_ms} ms  hit ratio: {hit_pct}%  \
+         connections: {}",
+        if keep_alive {
+            "keep-alive"
+        } else {
+            "per-request"
+        }
+    );
 
-    let client = Client::new(&base);
+    let client = Client::new(&base).with_keep_alive(keep_alive);
     if let Err(e) = client.health() {
         eprintln!("serve_load: health check failed: {e}");
         std::process::exit(1);
@@ -260,7 +280,13 @@ fn main() {
 
     // Phase 2 — closed-loop load.
     let started = Instant::now();
-    let mut totals = run_load(&base, clients, Duration::from_millis(duration_ms), hit_pct);
+    let mut totals = run_load(
+        &base,
+        clients,
+        Duration::from_millis(duration_ms),
+        hit_pct,
+        keep_alive,
+    );
     let wall = started.elapsed();
     totals.cold_us.sort_unstable();
     totals.cached_us.sort_unstable();
@@ -296,6 +322,14 @@ fn main() {
         },
     );
     rep.set_meta("warm_spec", WARM_SPEC);
+    rep.set_meta(
+        "client_mode",
+        if keep_alive {
+            "keep-alive"
+        } else {
+            "connection-per-request"
+        },
+    );
     rep.counter("clients", clients as u64);
     rep.counter("duration_ms", duration_ms);
     rep.counter("hit_pct", hit_pct);
@@ -321,6 +355,14 @@ fn main() {
         "load_cached_p99_us",
         percentile(&totals.cached_us, 99.0) as f64,
     );
+    rep.scalar(
+        "load_cold_p999_us",
+        percentile(&totals.cold_us, 99.9) as f64,
+    );
+    rep.scalar(
+        "load_cached_p999_us",
+        percentile(&totals.cached_us, 99.9) as f64,
+    );
     let mut cold_hist = Histogram::new();
     for &us in cold_probe_us.iter().chain(&totals.cold_us) {
         cold_hist.record(us);
@@ -331,6 +373,19 @@ fn main() {
     }
     rep.histogram("cold_latency_us", &cold_hist);
     rep.histogram("cached_latency_us", &cached_hist);
+    // Mirror the client-side latencies into the report's metrics section
+    // so BENCH_serve.json carries p50/p99/p999 summaries in the same
+    // place (and the same Prometheus export path) as the server's own
+    // serve.{cached,cold}_request_us histograms.
+    let registry = tet_metrics::Registry::new();
+    let mh = registry.handle();
+    for &us in cold_probe_us.iter().chain(&totals.cold_us) {
+        mh.observe("client.cold_latency_us", us);
+    }
+    for &us in cached_probe_us.iter().chain(&totals.cached_us) {
+        mh.observe("client.cached_latency_us", us);
+    }
+    rep.set_metrics(registry.snapshot());
     rep.set_throughput(wall, clients, None);
     write_report(&rep);
     match std::fs::write(&out, rep.to_json()) {
