@@ -17,6 +17,19 @@
 //! the repeated-line case that dominates warm gadget loops: the filter
 //! line necessarily holds its set's maximum stamp, so re-touching it can
 //! skip even the stamp update without reordering any set.
+//!
+//! # Delta restore and O(1) flush (DESIGN.md §16)
+//!
+//! Snapshot restore used to memcpy every tag/stamp array (2 MiB for a
+//! skylake-class LLC) per forked trial. [`Cache::seal`] starts a journal
+//! epoch: every slot write records its index once per epoch (deduplicated
+//! by a per-slot journal stamp), so [`Cache::restore_delta`] repairs only
+//! the slots touched since the seal. A slot is *valid* iff its LRU stamp
+//! is non-zero **and** its validity epoch matches the cache-wide flush
+//! epoch, which turns [`Cache::flush_all`] into a single counter bump with
+//! lazy revalidation on next access instead of an O(slots) `fill(0)`.
+
+use std::sync::Arc;
 
 use crate::{line_addr, LINE_SIZE};
 
@@ -98,6 +111,24 @@ pub struct Cache {
     mru: Option<u64>,
     hits: u64,
     misses: u64,
+    /// Per-slot validity epoch: a slot is live iff `stamps[w] != 0` and
+    /// `vepoch[w] == flush_epoch`. `flush_all` bumps `flush_epoch`, lazily
+    /// invalidating every slot in O(1).
+    vepoch: Vec<u32>,
+    flush_epoch: u32,
+    /// Identity of the seal this cache (and any clone of it) derives
+    /// from; `restore_delta` only trusts journals across a shared seal.
+    seal: Option<Arc<()>>,
+    /// Journal epoch: 0 = journaling off (never sealed). A slot is
+    /// already journaled this epoch iff `jepoch[w] == epoch`.
+    epoch: u32,
+    /// Per-slot journal stamps, deduplicating `journal`.
+    jepoch: Vec<u32>,
+    /// Slots written since the last seal/restore.
+    journal: Vec<u32>,
+    /// Set when a rare event (epoch counter wrap) mutated slots without
+    /// journaling; forces the next restore down the exhaustive path.
+    full_dirty: bool,
 }
 
 impl Cache {
@@ -108,9 +139,16 @@ impl Cache {
             stamps: vec![0; cfg.sets * cfg.ways],
             tick: 0,
             mru: None,
-            cfg,
             hits: 0,
             misses: 0,
+            vepoch: vec![0; cfg.sets * cfg.ways],
+            flush_epoch: 0,
+            seal: None,
+            epoch: 0,
+            jepoch: vec![0; cfg.sets * cfg.ways],
+            journal: Vec::new(),
+            full_dirty: false,
+            cfg,
         }
     }
 
@@ -132,6 +170,32 @@ impl Cache {
         self.tick
     }
 
+    /// Whether slot `w` holds a live line (non-empty and not lazily
+    /// invalidated by a later `flush_all`).
+    #[inline]
+    fn valid(&self, w: usize) -> bool {
+        self.stamps[w] != 0 && self.vepoch[w] == self.flush_epoch
+    }
+
+    /// Records slot `w` in the journal (once per epoch) ahead of a write.
+    #[inline]
+    fn touch(&mut self, w: usize) {
+        if self.epoch != 0 && self.jepoch[w] != self.epoch {
+            self.jepoch[w] = self.epoch;
+            self.journal.push(w as u32);
+        }
+    }
+
+    /// Starts a new journal epoch; wraps reset the per-slot stamps so a
+    /// recycled epoch value can never alias a stale journal mark.
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.jepoch.fill(0);
+            self.epoch = 1;
+        }
+    }
+
     /// Looks up the line containing `addr`, updating LRU and hit/miss
     /// statistics. Returns `true` on hit.
     pub fn lookup(&mut self, addr: u64) -> bool {
@@ -144,7 +208,8 @@ impl Cache {
         }
         let range = self.set_range(line);
         for w in range {
-            if self.stamps[w] != 0 && self.tags[w] == line {
+            if self.valid(w) && self.tags[w] == line {
+                self.touch(w);
                 self.stamps[w] = self.next_stamp();
                 self.mru = Some(line);
                 self.hits += 1;
@@ -159,7 +224,7 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> bool {
         let line = line_addr(addr);
         self.set_range(line)
-            .any(|w| self.stamps[w] != 0 && self.tags[w] == line)
+            .any(|w| self.valid(w) && self.tags[w] == line)
     }
 
     /// Installs the line containing `addr`, evicting the LRU way if the
@@ -169,7 +234,8 @@ impl Cache {
         let range = self.set_range(line);
         // Present: refresh recency only.
         for w in range.clone() {
-            if self.stamps[w] != 0 && self.tags[w] == line {
+            if self.valid(w) && self.tags[w] == line {
+                self.touch(w);
                 self.stamps[w] = self.next_stamp();
                 self.mru = Some(line);
                 return None;
@@ -180,7 +246,7 @@ impl Cache {
         let mut victim_stamp = u64::MAX;
         let mut evicted = None;
         for w in range {
-            if self.stamps[w] == 0 {
+            if !self.valid(w) {
                 victim = w;
                 evicted = None;
                 break;
@@ -191,8 +257,10 @@ impl Cache {
                 evicted = Some(self.tags[w]);
             }
         }
+        self.touch(victim);
         self.tags[victim] = line;
         self.stamps[victim] = self.next_stamp();
+        self.vepoch[victim] = self.flush_epoch;
         self.mru = Some(line);
         evicted
     }
@@ -205,7 +273,8 @@ impl Cache {
             self.mru = None;
         }
         for w in self.set_range(line) {
-            if self.stamps[w] != 0 && self.tags[w] == line {
+            if self.valid(w) && self.tags[w] == line {
+                self.touch(w);
                 self.stamps[w] = 0;
                 return true;
             }
@@ -213,27 +282,33 @@ impl Cache {
         false
     }
 
-    /// Empties the cache.
+    /// Empties the cache: a single flush-epoch bump — every slot's
+    /// validity epoch goes stale and the slot reads as empty until the
+    /// next fill revalidates it (DESIGN.md §16).
     pub fn flush_all(&mut self) {
-        self.stamps.fill(0);
         self.mru = None;
+        self.flush_epoch = self.flush_epoch.wrapping_add(1);
+        if self.flush_epoch == 0 {
+            // Counter wrap (once per 2^32 flushes): materialize emptiness
+            // eagerly; the unjournaled bulk write forces a full restore.
+            self.stamps.fill(0);
+            self.vepoch.fill(0);
+            self.full_dirty = true;
+        }
     }
 
     /// Number of resident lines (stealth experiments diff this across an
     /// attack to show TET leaves no footprint — Table 1's *stateless*).
     pub fn resident_lines(&self) -> usize {
-        self.stamps.iter().filter(|&&s| s != 0).count()
+        (0..self.stamps.len()).filter(|&w| self.valid(w)).count()
     }
 
     /// A stable fingerprint of cache contents: the sorted list of resident
     /// line addresses. Two fingerprints differ iff the cache state differs.
     pub fn fingerprint(&self) -> Vec<u64> {
-        let mut lines: Vec<u64> = self
-            .stamps
-            .iter()
-            .zip(&self.tags)
-            .filter(|&(&s, _)| s != 0)
-            .map(|(_, &t)| t)
+        let mut lines: Vec<u64> = (0..self.tags.len())
+            .filter(|&w| self.valid(w))
+            .map(|w| self.tags[w])
             .collect();
         lines.sort_unstable();
         lines
@@ -244,30 +319,78 @@ impl Cache {
         (self.hits, self.misses)
     }
 
+    /// Number of slots journaled since the last seal/restore.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Marks the current state as a snapshot point: clones taken now
+    /// share this seal, and every later slot write journals itself so
+    /// [`Cache::restore_delta`] can repair in O(slots touched).
+    pub fn seal(&mut self) {
+        self.seal = Some(Arc::new(()));
+        self.journal.clear();
+        self.full_dirty = false;
+        self.bump_epoch();
+    }
+
+    /// Rolls back to the sealed state shared with `src`, repairing only
+    /// journaled slots. Returns `false` (self untouched) when the two
+    /// sides do not share a seal — the caller falls back to
+    /// [`Cache::restore_from`].
+    pub fn restore_delta(&mut self, src: &Cache) -> bool {
+        let shared = match (&self.seal, &src.seal) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        if !shared || self.full_dirty {
+            return false;
+        }
+        debug_assert!(
+            src.journal.is_empty() && !src.full_dirty,
+            "restore source must be a sealed, unmutated snapshot"
+        );
+        for i in 0..self.journal.len() {
+            let w = self.journal[i] as usize;
+            self.tags[w] = src.tags[w];
+            self.stamps[w] = src.stamps[w];
+            self.vepoch[w] = src.vepoch[w];
+        }
+        self.journal.clear();
+        self.bump_epoch();
+        self.tick = src.tick;
+        self.mru = src.mru;
+        self.hits = src.hits;
+        self.misses = src.misses;
+        self.flush_epoch = src.flush_epoch;
+        true
+    }
+
     /// Overwrites this cache with the state of `src`, reusing the flat
     /// tag/stamp allocations. Both caches must share a geometry (they do
     /// in the snapshot/restore use: restore targets a machine built from
-    /// the same config the snapshot came from).
+    /// the same config the snapshot came from). Adopts the source's seal,
+    /// so subsequent [`Cache::restore_delta`] calls succeed.
     pub fn restore_from(&mut self, src: &Cache) {
         debug_assert_eq!(self.cfg, src.cfg, "restore across cache geometries");
-        let Cache {
-            cfg,
-            tags,
-            stamps,
-            tick,
-            mru,
-            hits,
-            misses,
-        } = src;
-        self.cfg = *cfg;
+        self.cfg = src.cfg;
         self.tags.clear();
-        self.tags.extend_from_slice(tags);
+        self.tags.extend_from_slice(&src.tags);
         self.stamps.clear();
-        self.stamps.extend_from_slice(stamps);
-        self.tick = *tick;
-        self.mru = *mru;
-        self.hits = *hits;
-        self.misses = *misses;
+        self.stamps.extend_from_slice(&src.stamps);
+        self.vepoch.clear();
+        self.vepoch.extend_from_slice(&src.vepoch);
+        self.flush_epoch = src.flush_epoch;
+        self.tick = src.tick;
+        self.mru = src.mru;
+        self.hits = src.hits;
+        self.misses = src.misses;
+        // Now byte-identical to the sealed source: adopt its seal and
+        // restart journaling so the next restore can go delta.
+        self.seal.clone_from(&src.seal);
+        self.journal.clear();
+        self.full_dirty = false;
+        self.bump_epoch();
     }
 }
 
@@ -496,5 +619,111 @@ mod tests {
             assert_eq!(cache.fingerprint(), reference.fingerprint());
             assert_eq!(cache.stats(), (reference.hits, reference.misses));
         }
+    }
+
+    /// Delta restore must leave the cache indistinguishable from an
+    /// exhaustive restore: same fingerprint, stats, and future behavior.
+    #[test]
+    fn delta_restore_matches_exhaustive_restore() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (sets, ways) in [(2usize, 2usize), (8, 4), (16, 16)] {
+            let cfg = CacheConfig::new(sets, ways, 1);
+            let mut warm = Cache::new(cfg);
+            for _ in 0..500 {
+                let r = rng();
+                let addr = (r >> 16) % (sets as u64 * ways as u64 * 2 * LINE_SIZE);
+                if r % 2 == 0 {
+                    warm.fill(addr);
+                } else {
+                    warm.lookup(addr);
+                }
+            }
+            warm.seal();
+            let snap = warm.clone();
+            let mut delta = warm.clone();
+            let mut full = warm;
+            // Identical churn on both, including whole-cache flushes.
+            for step in 0..2_000 {
+                let r = rng();
+                let addr = (r >> 16) % (sets as u64 * ways as u64 * 2 * LINE_SIZE);
+                match r % 8 {
+                    0..=3 => {
+                        assert_eq!(delta.fill(addr), full.fill(addr), "step {step}");
+                    }
+                    4..=5 => {
+                        assert_eq!(delta.lookup(addr), full.lookup(addr), "step {step}");
+                    }
+                    6 => {
+                        assert_eq!(delta.flush_line(addr), full.flush_line(addr));
+                    }
+                    _ => {
+                        delta.flush_all();
+                        full.flush_all();
+                    }
+                }
+            }
+            assert_eq!(delta.fingerprint(), full.fingerprint());
+            assert!(delta.restore_delta(&snap), "shared seal must go delta");
+            full.restore_from(&snap);
+            assert_eq!(delta.fingerprint(), full.fingerprint(), "{sets}x{ways}");
+            assert_eq!(delta.fingerprint(), snap.fingerprint());
+            assert_eq!(delta.stats(), full.stats());
+            assert_eq!(delta.tick, full.tick);
+            // Future behavior must also agree (LRU order fully restored).
+            for step in 0..500 {
+                let r = rng();
+                let addr = (r >> 16) % (sets as u64 * ways as u64 * 2 * LINE_SIZE);
+                assert_eq!(delta.fill(addr), full.fill(addr), "post step {step}");
+                assert_eq!(delta.lookup(addr), full.lookup(addr), "post step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn flush_all_is_an_epoch_bump_and_stays_journal_bounded() {
+        let mut c = Cache::new(CacheConfig::new(64, 8, 1));
+        for i in 0..512u64 {
+            c.fill(i * LINE_SIZE);
+        }
+        c.seal();
+        let snap = c.clone();
+        let journaled_before = c.journal_len();
+        c.flush_all();
+        assert_eq!(c.resident_lines(), 0, "flush must read as empty");
+        assert_eq!(
+            c.journal_len(),
+            journaled_before,
+            "flush_all must not journal any slot"
+        );
+        c.fill(3 * LINE_SIZE);
+        assert_eq!(c.resident_lines(), 1);
+        assert!(c.journal_len() <= 2);
+        assert!(c.restore_delta(&snap));
+        assert_eq!(c.fingerprint(), snap.fingerprint());
+        assert_eq!(c.resident_lines(), 512);
+    }
+
+    #[test]
+    fn delta_restore_refuses_foreign_seals() {
+        let cfg = CacheConfig::new(2, 2, 1);
+        let mut a = Cache::new(cfg);
+        a.fill(0);
+        a.seal();
+        let mut b = Cache::new(cfg);
+        b.fill(64);
+        b.seal();
+        let before = a.fingerprint();
+        assert!(!a.restore_delta(&b), "foreign seal must be refused");
+        assert_eq!(a.fingerprint(), before, "failed delta must not mutate");
+        a.restore_from(&b);
+        a.fill(128);
+        assert!(a.restore_delta(&b), "full restore adopts the seal");
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

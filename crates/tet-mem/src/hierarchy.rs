@@ -334,6 +334,41 @@ impl MemorySystem {
         self.l1d.stats()
     }
 
+    /// Seals every cache level for delta restore (DESIGN.md §16): later
+    /// slot writes journal themselves so [`MemorySystem::restore_delta`]
+    /// against a clone of this seal repairs only touched slots.
+    pub fn seal(&mut self) {
+        self.l1d.seal();
+        self.l1i.seal();
+        self.l2.seal();
+        self.llc.seal();
+    }
+
+    /// Journal-driven rollback to the sealed state shared with `src`.
+    /// Cache levels repair O(slots touched); the LFB (10 entries), RNG
+    /// stream position and sink are small and restored eagerly. Falls
+    /// back per level when a seal is not shared, so this never fails —
+    /// it is only ever slower.
+    pub fn restore_delta(&mut self, src: &MemorySystem) {
+        debug_assert_eq!(self.cfg, src.cfg, "restore across memory configs");
+        self.cfg = src.cfg;
+        if !self.l1d.restore_delta(&src.l1d) {
+            self.l1d.restore_from(&src.l1d);
+        }
+        if !self.l1i.restore_delta(&src.l1i) {
+            self.l1i.restore_from(&src.l1i);
+        }
+        if !self.l2.restore_delta(&src.l2) {
+            self.l2.restore_from(&src.l2);
+        }
+        if !self.llc.restore_delta(&src.llc) {
+            self.llc.restore_from(&src.llc);
+        }
+        self.lfb.restore_from(&src.lfb);
+        self.rng = src.rng.clone();
+        self.sink = src.sink.clone();
+    }
+
     /// Overwrites this hierarchy with the state of `src` — tags, stamps,
     /// fill buffers and the DRAM jitter stream position — reusing every
     /// flat allocation (snapshot restore). The trace sink is taken from

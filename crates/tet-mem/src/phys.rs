@@ -1,12 +1,42 @@
-//! Sparse simulated physical memory.
+//! Sparse simulated physical memory with copy-on-write snapshot forks.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::PAGE_SIZE;
+
+/// One 4 KiB physical page.
+pub type Page = [u8; PAGE_SIZE as usize];
+
+/// A resident page: either shared with the sealed snapshot image
+/// (clean) or privately owned (dirtied since the seal).
+#[derive(Debug, Clone)]
+enum PageSlot {
+    /// Clean — still the snapshot's copy. Any write COW-forks it.
+    Shared(Arc<Page>),
+    /// Dirtied (or allocated) since the last seal.
+    Owned(Box<Page>),
+}
+
+impl PageSlot {
+    fn bytes(&self) -> &Page {
+        match self {
+            PageSlot::Shared(p) => p,
+            PageSlot::Owned(p) => p,
+        }
+    }
+}
 
 /// Sparse physical memory, allocated page-by-page on first write.
 ///
 /// Reads of never-written memory return zero, like freshly-zeroed DRAM.
+///
+/// Snapshot forks are O(touched): [`PhysMem::seal`] freezes the current
+/// contents into an `Arc`-shared base image, after which every resident
+/// page is [`PageSlot::Shared`] and writes COW-fork individual pages
+/// into the `dirty` journal. [`PhysMem::restore_delta`] walks only that
+/// journal, re-pointing dirtied pages at the base image and dropping
+/// pages allocated since the seal.
 ///
 /// # Examples
 ///
@@ -18,10 +48,33 @@ use crate::PAGE_SIZE;
 /// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
 /// assert_eq!(m.read_u8(0x9_0000), 0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct PhysMem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: HashMap<u64, PageSlot>,
+    /// The sealed snapshot image this memory forked from, if any.
+    base: Option<Arc<HashMap<u64, Arc<Page>>>>,
+    /// Page numbers touched since the last seal/restore. Deduplicated by
+    /// construction: a page COW-forks (or is inserted) at most once per
+    /// epoch, exactly when it journals itself.
+    dirty: Vec<u64>,
+    /// Recycled page boxes, so the restore → re-dirty cycle of a trial
+    /// loop does not hit the allocator. Not cloned.
+    spare: Vec<Box<Page>>,
 }
+
+impl Clone for PhysMem {
+    fn clone(&self) -> Self {
+        PhysMem {
+            pages: self.pages.clone(),
+            base: self.base.clone(),
+            dirty: self.dirty.clone(),
+            spare: Vec::new(),
+        }
+    }
+}
+
+/// Cap on recycled page boxes kept across restores.
+const SPARE_PAGES: usize = 64;
 
 impl PhysMem {
     /// Creates empty (all-zero) physical memory.
@@ -29,14 +82,46 @@ impl PhysMem {
         Self::default()
     }
 
-    fn page(&self, pa: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
-        self.pages.get(&(pa / PAGE_SIZE)).map(|b| &**b)
+    fn page(&self, pa: u64) -> Option<&Page> {
+        self.pages.get(&(pa / PAGE_SIZE)).map(PageSlot::bytes)
     }
 
-    fn page_mut(&mut self, pa: u64) -> &mut [u8; PAGE_SIZE as usize] {
-        self.pages
-            .entry(pa / PAGE_SIZE)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+    fn blank_page(&mut self) -> Box<Page> {
+        match self.spare.pop() {
+            Some(mut p) => {
+                p.fill(0);
+                p
+            }
+            None => Box::new([0; PAGE_SIZE as usize]),
+        }
+    }
+
+    fn page_mut(&mut self, pa: u64) -> &mut Page {
+        let vpn = pa / PAGE_SIZE;
+        if !matches!(self.pages.get(&vpn), Some(PageSlot::Owned(_))) {
+            let slot = match self.pages.remove(&vpn) {
+                // COW fork: first write to a clean page this epoch.
+                Some(PageSlot::Shared(arc)) => {
+                    let mut owned = match self.spare.pop() {
+                        Some(p) => p,
+                        None => Box::new([0; PAGE_SIZE as usize]),
+                    };
+                    owned.copy_from_slice(&arc[..]);
+                    PageSlot::Owned(owned)
+                }
+                Some(owned @ PageSlot::Owned(_)) => owned,
+                // Fresh allocation.
+                None => PageSlot::Owned(self.blank_page()),
+            };
+            if self.base.is_some() {
+                self.dirty.push(vpn);
+            }
+            self.pages.insert(vpn, slot);
+        }
+        match self.pages.get_mut(&vpn) {
+            Some(PageSlot::Owned(p)) => p,
+            _ => unreachable!("page was just made Owned"),
+        }
     }
 
     /// Reads one byte.
@@ -85,22 +170,76 @@ impl PhysMem {
         self.pages.len()
     }
 
-    /// Overwrites this memory with the contents of `src`, reusing page
-    /// allocations already present on both sides (snapshot restore).
-    /// Pages only the destination holds are dropped; pages only the
-    /// source holds are cloned in; shared pages are copied in place.
-    pub fn restore_from(&mut self, src: &PhysMem) {
-        self.pages.retain(|k, _| src.pages.contains_key(k));
-        for (k, page) in &src.pages {
-            match self.pages.entry(*k) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().copy_from_slice(&page[..]);
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(page.clone());
+    /// Number of pages dirtied (written or allocated) since the last
+    /// seal or delta restore. Zero for never-sealed memory.
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Freezes the current contents into an `Arc`-shared base image.
+    /// Clones of a sealed `PhysMem` share every page; their writes
+    /// COW-fork pages individually, and [`PhysMem::restore_delta`]
+    /// against a clone of the same seal is O(pages dirtied).
+    pub fn seal(&mut self) {
+        let pages = std::mem::take(&mut self.pages);
+        let mut base = HashMap::with_capacity(pages.len());
+        self.pages.reserve(pages.len());
+        for (vpn, slot) in pages {
+            let arc = match slot {
+                PageSlot::Shared(arc) => arc,
+                PageSlot::Owned(owned) => Arc::from(owned),
+            };
+            base.insert(vpn, Arc::clone(&arc));
+            self.pages.insert(vpn, PageSlot::Shared(arc));
+        }
+        self.base = Some(Arc::new(base));
+        self.dirty.clear();
+    }
+
+    /// Rolls back to the sealed image shared with `src`, touching only
+    /// pages dirtied since the seal. Returns `false` (self unchanged)
+    /// when the two sides do not share a base image, in which case the
+    /// caller must fall back to [`PhysMem::restore_from`].
+    pub fn restore_delta(&mut self, src: &PhysMem) -> bool {
+        let shared = match (&self.base, &src.base) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        if !shared {
+            return false;
+        }
+        debug_assert!(
+            src.dirty.is_empty(),
+            "restore source must be a sealed, unmutated snapshot"
+        );
+        let base = self.base.clone().expect("checked above");
+        for i in 0..self.dirty.len() {
+            let vpn = self.dirty[i];
+            let old = match base.get(&vpn) {
+                Some(arc) => self.pages.insert(vpn, PageSlot::Shared(Arc::clone(arc))),
+                None => self.pages.remove(&vpn),
+            };
+            if let Some(PageSlot::Owned(p)) = old {
+                if self.spare.len() < SPARE_PAGES {
+                    self.spare.push(p);
                 }
             }
         }
+        self.dirty.clear();
+        true
+    }
+
+    /// Overwrites this memory with the contents of `src`, reusing the
+    /// source's shared pages where it is sealed (an `Arc` bump per page)
+    /// and deep-copying otherwise. Also adopts the source's base image
+    /// so subsequent [`PhysMem::restore_delta`] calls succeed.
+    pub fn restore_from(&mut self, src: &PhysMem) {
+        self.pages.clear();
+        for (k, slot) in &src.pages {
+            self.pages.insert(*k, slot.clone());
+        }
+        self.base.clone_from(&src.base);
+        self.dirty.clear();
     }
 }
 
@@ -137,5 +276,67 @@ mod tests {
         let mut m = PhysMem::new();
         m.write_bytes(0x3000, b"whisper");
         assert_eq!(m.read_bytes(0x3000, 7), b"whisper");
+    }
+
+    #[test]
+    fn delta_restore_walks_only_the_dirty_set() {
+        let mut m = PhysMem::new();
+        m.write_u64(0x1000, 0x1111);
+        m.write_u64(0x5000, 0x5555);
+        m.seal();
+        let snap = m.clone();
+        assert_eq!(m.dirty_pages(), 0);
+
+        // Dirty one existing page, allocate one new page.
+        m.write_u8(0x1004, 0xff);
+        m.write_u8(0x9000, 0xee);
+        assert_eq!(m.dirty_pages(), 2);
+        assert_eq!(m.resident_pages(), 3);
+
+        assert!(m.restore_delta(&snap));
+        assert_eq!(m.dirty_pages(), 0);
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.read_u64(0x1000), 0x1111);
+        assert_eq!(m.read_u8(0x9000), 0);
+        assert_eq!(m.read_u64(0x5000), 0x5555);
+    }
+
+    #[test]
+    fn delta_restore_refuses_mismatched_seals() {
+        let mut a = PhysMem::new();
+        a.write_u8(0x1000, 1);
+        a.seal();
+        let mut b = PhysMem::new();
+        b.write_u8(0x1000, 2);
+        b.seal();
+        assert!(!a.restore_delta(&b));
+        assert_eq!(a.read_u8(0x1000), 1, "failed delta must not mutate");
+        a.restore_from(&b);
+        assert_eq!(a.read_u8(0x1000), 2);
+        a.write_u8(0x1000, 9);
+        assert!(a.restore_delta(&b), "full restore adopts the seal");
+        assert_eq!(a.read_u8(0x1000), 2);
+    }
+
+    #[test]
+    fn restore_matches_exhaustive_copy_after_random_churn() {
+        let mut m = PhysMem::new();
+        for i in 0..16u64 {
+            m.write_u64(0x1000 * i, i * 0x0101);
+        }
+        m.seal();
+        let snap = m.clone();
+        let mut full = m.clone();
+        for i in 0..32u64 {
+            m.write_u8(0x800 * i + 7, i as u8);
+            full.write_u8(0x800 * i + 7, i as u8);
+        }
+        assert!(m.restore_delta(&snap));
+        full.restore_from(&snap);
+        assert_eq!(m.resident_pages(), full.resident_pages());
+        for i in 0..32u64 {
+            let pa = 0x800 * i + 7;
+            assert_eq!(m.read_u8(pa), full.read_u8(pa), "pa {pa:#x}");
+        }
     }
 }

@@ -13,6 +13,15 @@
 //! DTLB is consulted on every demand access and the same page dominates
 //! warm loops. Observationally identical to the original per-set
 //! MRU-first `Vec` lists (see the equivalence property test).
+//!
+//! Snapshot restore and `flush_all(false)` use the same journal/epoch
+//! layer as [`Cache`](crate::Cache) (DESIGN.md §16): slot writes journal
+//! themselves once per epoch, restore repairs O(slots touched), and a
+//! full non-global flush is a single flush-epoch bump. The
+//! `keep_global` flush stays an eager (journaled) scan — it must read
+//! every entry's global bit, and TLBs are small.
+
+use std::sync::Arc;
 
 use crate::{vpn, Pte};
 
@@ -81,6 +90,21 @@ pub struct Tlb {
     mru: Option<(u64, usize)>,
     hits: u64,
     misses: u64,
+    /// Per-slot validity epoch: live iff `stamps[w] != 0` and
+    /// `vepoch[w] == flush_epoch` (see [`Cache`](crate::Cache)).
+    vepoch: Vec<u32>,
+    flush_epoch: u32,
+    /// Seal identity shared with clones; journals are only trusted
+    /// across a shared seal.
+    seal: Option<Arc<()>>,
+    /// Journal epoch (0 = journaling off until first seal).
+    epoch: u32,
+    /// Per-slot journal stamps, deduplicating `journal`.
+    jepoch: Vec<u32>,
+    /// Slots written since the last seal/restore.
+    journal: Vec<u32>,
+    /// Rare-event escape hatch (epoch wrap): forces a full restore.
+    full_dirty: bool,
 }
 
 const EMPTY: TlbEntry = TlbEntry {
@@ -104,9 +128,16 @@ impl Tlb {
             stamps: vec![0; cfg.entries()],
             tick: 0,
             mru: None,
-            cfg,
             hits: 0,
             misses: 0,
+            vepoch: vec![0; cfg.entries()],
+            flush_epoch: 0,
+            seal: None,
+            epoch: 0,
+            jepoch: vec![0; cfg.entries()],
+            journal: Vec::new(),
+            full_dirty: false,
+            cfg,
         }
     }
 
@@ -128,6 +159,31 @@ impl Tlb {
         self.tick
     }
 
+    /// Whether slot `w` holds a live entry (non-empty and not lazily
+    /// invalidated by a later full flush).
+    #[inline]
+    fn valid(&self, w: usize) -> bool {
+        self.stamps[w] != 0 && self.vepoch[w] == self.flush_epoch
+    }
+
+    /// Records slot `w` in the journal (once per epoch) ahead of a write.
+    #[inline]
+    fn touch(&mut self, w: usize) {
+        if self.epoch != 0 && self.jepoch[w] != self.epoch {
+            self.jepoch[w] = self.epoch;
+            self.journal.push(w as u32);
+        }
+    }
+
+    /// Starts a new journal epoch (wrap-safe, as in `Cache`).
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.jepoch.fill(0);
+            self.epoch = 1;
+        }
+    }
+
     /// Looks up the translation for `vaddr`, updating LRU and statistics.
     pub fn lookup(&mut self, vaddr: u64) -> Option<TlbEntry> {
         let page = vpn(vaddr);
@@ -141,7 +197,8 @@ impl Tlb {
         }
         let range = self.set_range(page);
         for w in range {
-            if self.stamps[w] != 0 && self.entries[w].vpn == page {
+            if self.valid(w) && self.entries[w].vpn == page {
+                self.touch(w);
                 self.stamps[w] = self.next_stamp();
                 self.mru = Some((page, w));
                 self.hits += 1;
@@ -156,7 +213,7 @@ impl Tlb {
     pub fn probe(&self, vaddr: u64) -> bool {
         let page = vpn(vaddr);
         self.set_range(page)
-            .any(|w| self.stamps[w] != 0 && self.entries[w].vpn == page)
+            .any(|w| self.valid(w) && self.entries[w].vpn == page)
     }
 
     /// Installs a translation, evicting the set's LRU entry when full.
@@ -165,7 +222,8 @@ impl Tlb {
         let range = self.set_range(page);
         // Present: refresh the PTE and the recency in place.
         for w in range.clone() {
-            if self.stamps[w] != 0 && self.entries[w].vpn == page {
+            if self.valid(w) && self.entries[w].vpn == page {
+                self.touch(w);
                 self.entries[w].pte = pte;
                 self.stamps[w] = self.next_stamp();
                 self.mru = Some((page, w));
@@ -176,7 +234,7 @@ impl Tlb {
         let mut victim = range.start;
         let mut victim_stamp = u64::MAX;
         for w in range {
-            if self.stamps[w] == 0 {
+            if !self.valid(w) {
                 victim = w;
                 break;
             }
@@ -187,8 +245,10 @@ impl Tlb {
         }
         // The victim may be the filter entry; re-arming on the filled
         // page covers both cases.
+        self.touch(victim);
         self.entries[victim] = TlbEntry { vpn: page, pte };
         self.stamps[victim] = self.next_stamp();
+        self.vepoch[victim] = self.flush_epoch;
         self.mru = Some((page, victim));
     }
 
@@ -199,7 +259,8 @@ impl Tlb {
             self.mru = None;
         }
         for w in self.set_range(page) {
-            if self.stamps[w] != 0 && self.entries[w].vpn == page {
+            if self.valid(w) && self.entries[w].vpn == page {
+                self.touch(w);
                 self.stamps[w] = 0;
                 return true;
             }
@@ -212,29 +273,35 @@ impl Tlb {
     pub fn flush_all(&mut self, keep_global: bool) {
         self.mru = None;
         if keep_global {
+            // Must inspect every entry's global bit: stays an eager
+            // (journaled) scan. TLBs are tens of entries, not thousands.
             for w in 0..self.stamps.len() {
-                if !self.entries[w].pte.global {
+                if self.valid(w) && !self.entries[w].pte.global {
+                    self.touch(w);
                     self.stamps[w] = 0;
                 }
             }
         } else {
-            self.stamps.fill(0);
+            // O(1) lazy invalidation, as in `Cache::flush_all`.
+            self.flush_epoch = self.flush_epoch.wrapping_add(1);
+            if self.flush_epoch == 0 {
+                self.stamps.fill(0);
+                self.vepoch.fill(0);
+                self.full_dirty = true;
+            }
         }
     }
 
     /// Number of live entries.
     pub fn resident_entries(&self) -> usize {
-        self.stamps.iter().filter(|&&s| s != 0).count()
+        (0..self.stamps.len()).filter(|&w| self.valid(w)).count()
     }
 
     /// Sorted VPNs of live entries (stealth fingerprinting).
     pub fn fingerprint(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self
-            .stamps
-            .iter()
-            .zip(&self.entries)
-            .filter(|&(&s, _)| s != 0)
-            .map(|(_, e)| e.vpn)
+        let mut v: Vec<u64> = (0..self.entries.len())
+            .filter(|&w| self.valid(w))
+            .map(|w| self.entries[w].vpn)
             .collect();
         v.sort_unstable();
         v
@@ -245,29 +312,73 @@ impl Tlb {
         (self.hits, self.misses)
     }
 
+    /// Number of slots journaled since the last seal/restore.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Marks the current state as a snapshot point (see
+    /// [`Cache::seal`](crate::Cache::seal)).
+    pub fn seal(&mut self) {
+        self.seal = Some(Arc::new(()));
+        self.journal.clear();
+        self.full_dirty = false;
+        self.bump_epoch();
+    }
+
+    /// Rolls back to the sealed state shared with `src`, repairing only
+    /// journaled slots. Returns `false` (self untouched) when the two
+    /// sides do not share a seal.
+    pub fn restore_delta(&mut self, src: &Tlb) -> bool {
+        let shared = match (&self.seal, &src.seal) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        if !shared || self.full_dirty {
+            return false;
+        }
+        debug_assert!(
+            src.journal.is_empty() && !src.full_dirty,
+            "restore source must be a sealed, unmutated snapshot"
+        );
+        for i in 0..self.journal.len() {
+            let w = self.journal[i] as usize;
+            self.entries[w] = src.entries[w];
+            self.stamps[w] = src.stamps[w];
+            self.vepoch[w] = src.vepoch[w];
+        }
+        self.journal.clear();
+        self.bump_epoch();
+        self.tick = src.tick;
+        self.mru = src.mru;
+        self.hits = src.hits;
+        self.misses = src.misses;
+        self.flush_epoch = src.flush_epoch;
+        true
+    }
+
     /// Overwrites this TLB with the state of `src`, reusing the flat
     /// entry/stamp allocations (same-geometry restore, as with
-    /// [`Cache::restore_from`](crate::Cache::restore_from)).
+    /// [`Cache::restore_from`](crate::Cache::restore_from)). Adopts the
+    /// source's seal, so subsequent [`Tlb::restore_delta`] calls succeed.
     pub fn restore_from(&mut self, src: &Tlb) {
         debug_assert_eq!(self.cfg, src.cfg, "restore across TLB geometries");
-        let Tlb {
-            cfg,
-            entries,
-            stamps,
-            tick,
-            mru,
-            hits,
-            misses,
-        } = src;
-        self.cfg = *cfg;
+        self.cfg = src.cfg;
         self.entries.clear();
-        self.entries.extend_from_slice(entries);
+        self.entries.extend_from_slice(&src.entries);
         self.stamps.clear();
-        self.stamps.extend_from_slice(stamps);
-        self.tick = *tick;
-        self.mru = *mru;
-        self.hits = *hits;
-        self.misses = *misses;
+        self.stamps.extend_from_slice(&src.stamps);
+        self.vepoch.clear();
+        self.vepoch.extend_from_slice(&src.vepoch);
+        self.flush_epoch = src.flush_epoch;
+        self.tick = src.tick;
+        self.mru = src.mru;
+        self.hits = src.hits;
+        self.misses = src.misses;
+        self.seal.clone_from(&src.seal);
+        self.journal.clear();
+        self.full_dirty = false;
+        self.bump_epoch();
     }
 }
 
@@ -499,5 +610,89 @@ mod tests {
             assert_eq!(tlb.fingerprint(), reference.fingerprint());
             assert_eq!(tlb.stats(), (reference.hits, reference.misses));
         }
+    }
+
+    /// Delta restore must be indistinguishable from an exhaustive
+    /// restore, including across keep-global and full flushes.
+    #[test]
+    fn delta_restore_matches_exhaustive_restore() {
+        let mut state = 0xd1b54a32d192ed03u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (sets, ways) in [(1usize, 4usize), (4, 4), (16, 4)] {
+            let cfg = TlbConfig::new(sets, ways);
+            let mut warm = Tlb::new(cfg);
+            let pages = (cfg.entries() * 2) as u64;
+            for _ in 0..500 {
+                let r = rng();
+                let vaddr = ((r >> 16) % pages) * 4096;
+                let mut pte = Pte::user_data(r >> 32);
+                pte.global = r & 0x1000 != 0;
+                warm.fill(vaddr, pte);
+            }
+            warm.seal();
+            let snap = warm.clone();
+            let mut delta = warm.clone();
+            let mut full = warm;
+            for step in 0..2_000 {
+                let r = rng();
+                let vaddr = ((r >> 16) % pages) * 4096 + (r & 0xfff);
+                match r % 8 {
+                    0..=3 => {
+                        let mut pte = Pte::user_data(r >> 32);
+                        pte.global = r & 0x1000 != 0;
+                        delta.fill(vaddr, pte);
+                        full.fill(vaddr, pte);
+                    }
+                    4..=5 => {
+                        assert_eq!(delta.lookup(vaddr), full.lookup(vaddr), "step {step}");
+                    }
+                    6 => {
+                        assert_eq!(delta.flush_page(vaddr), full.flush_page(vaddr));
+                    }
+                    _ => {
+                        let keep = r & 1 == 0;
+                        delta.flush_all(keep);
+                        full.flush_all(keep);
+                    }
+                }
+            }
+            assert!(delta.restore_delta(&snap), "shared seal must go delta");
+            full.restore_from(&snap);
+            assert_eq!(delta.fingerprint(), full.fingerprint(), "{sets}x{ways}");
+            assert_eq!(delta.fingerprint(), snap.fingerprint());
+            assert_eq!(delta.stats(), full.stats());
+            for step in 0..500 {
+                let r = rng();
+                let vaddr = ((r >> 16) % pages) * 4096 + (r & 0xfff);
+                assert_eq!(delta.lookup(vaddr), full.lookup(vaddr), "post step {step}");
+                let pte = Pte::user_data(r >> 32);
+                delta.fill(vaddr, pte);
+                full.fill(vaddr, pte);
+            }
+            assert_eq!(delta.fingerprint(), full.fingerprint());
+        }
+    }
+
+    #[test]
+    fn delta_restore_refuses_foreign_seals() {
+        let cfg = TlbConfig::new(1, 4);
+        let mut a = Tlb::new(cfg);
+        a.fill(0x1000, Pte::user_data(1));
+        a.seal();
+        let mut b = Tlb::new(cfg);
+        b.fill(0x2000, Pte::user_data(2));
+        b.seal();
+        let before = a.fingerprint();
+        assert!(!a.restore_delta(&b));
+        assert_eq!(a.fingerprint(), before);
+        a.restore_from(&b);
+        a.fill(0x3000, Pte::user_data(3));
+        assert!(a.restore_delta(&b), "full restore adopts the seal");
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -78,6 +78,15 @@ pub struct Bpu {
     /// original `VecDeque` list (see the equivalence property test).
     btb: LruIndex<usize>,
     rsb: Vec<usize>,
+    /// PHT indices written since the last seal/restore, duplicate-capped:
+    /// once the journal outgrows the PHT itself, `pht_full_dirty` flips
+    /// and the restore falls back to one 4 KiB memcpy (DESIGN.md §16).
+    /// Duplicates are harmless — repairing an index twice is idempotent —
+    /// so no per-index dedup stamp is needed for a table this small.
+    pht_journal: Vec<u32>,
+    /// Whether PHT journaling is live (set by the first seal).
+    pht_sealed: bool,
+    pht_full_dirty: bool,
 }
 
 impl Bpu {
@@ -88,6 +97,9 @@ impl Bpu {
             ghr: 0,
             btb: LruIndex::new(cfg.btb_entries),
             rsb: Vec::with_capacity(cfg.rsb_entries),
+            pht_journal: Vec::new(),
+            pht_sealed: false,
+            pht_full_dirty: false,
             cfg,
         }
     }
@@ -198,9 +210,23 @@ impl Bpu {
     // the structures too — matching real cores, and required for the BTB
     // to ever learn the in-window Jcc of the TET gadget.
 
+    /// Records a PHT write in the duplicate-capped journal.
+    #[inline]
+    fn pht_touch(&mut self, idx: usize) {
+        if self.pht_sealed && !self.pht_full_dirty {
+            if self.pht_journal.len() >= self.pht.len() {
+                self.pht_full_dirty = true;
+                self.pht_journal.clear();
+            } else {
+                self.pht_journal.push(idx as u32);
+            }
+        }
+    }
+
     /// Updates predictor state after a conditional branch resolves.
     pub fn resolve_cond(&mut self, pc: usize, taken: bool, target: usize) {
         let idx = self.pht_index(pc);
+        self.pht_touch(idx);
         let c = &mut self.pht[idx];
         if taken {
             *c = (*c + 1).min(3);
@@ -217,23 +243,55 @@ impl Bpu {
         self.ghr = (self.ghr << 1) | 1;
     }
 
-    /// Overwrites this predictor with the state of `src`, reusing the
-    /// PHT/BTB/RSB allocations (snapshot restore).
-    pub fn restore_from(&mut self, src: &Bpu) {
-        let Bpu {
-            cfg,
-            pht,
-            ghr,
-            btb,
-            rsb,
-        } = src;
-        self.cfg = *cfg;
-        self.pht.clear();
-        self.pht.extend_from_slice(pht);
-        self.ghr = *ghr;
-        self.btb.restore_from(btb);
+    /// Seals the current state for delta restore (DESIGN.md §16).
+    pub fn seal(&mut self) {
+        self.btb.seal();
+        self.pht_journal.clear();
+        self.pht_sealed = true;
+        self.pht_full_dirty = false;
+    }
+
+    /// Journal-driven rollback to the sealed state shared with `src`:
+    /// journaled PHT counters are repaired individually (or the whole
+    /// 4 KiB table on journal overflow), the BTB repairs through its own
+    /// journal, and the GHR/RSB (a scalar and ≤16 entries) restore
+    /// eagerly. Returns `false` (self untouched) when the BTB seals do
+    /// not match — the trust anchor for the PHT journal too, since both
+    /// are sealed together.
+    pub fn restore_delta(&mut self, src: &Bpu) -> bool {
+        if !self.pht_sealed || !self.btb.restore_delta(&src.btb) {
+            return false;
+        }
+        if self.pht_full_dirty {
+            self.pht.copy_from_slice(&src.pht);
+            self.pht_full_dirty = false;
+        } else {
+            for i in 0..self.pht_journal.len() {
+                let idx = self.pht_journal[i] as usize;
+                self.pht[idx] = src.pht[idx];
+            }
+        }
+        self.pht_journal.clear();
+        self.ghr = src.ghr;
         self.rsb.clear();
-        self.rsb.extend_from_slice(rsb);
+        self.rsb.extend_from_slice(&src.rsb);
+        true
+    }
+
+    /// Overwrites this predictor with the state of `src`, reusing the
+    /// PHT/BTB/RSB allocations (snapshot restore). Adopts the source's
+    /// seal so subsequent [`Bpu::restore_delta`] calls succeed.
+    pub fn restore_from(&mut self, src: &Bpu) {
+        self.cfg = src.cfg;
+        self.pht.clear();
+        self.pht.extend_from_slice(&src.pht);
+        self.ghr = src.ghr;
+        self.btb.restore_from(&src.btb);
+        self.rsb.clear();
+        self.rsb.extend_from_slice(&src.rsb);
+        self.pht_journal.clear();
+        self.pht_sealed = src.pht_sealed;
+        self.pht_full_dirty = false;
     }
 }
 
@@ -440,5 +498,90 @@ mod tests {
             };
             assert_eq!(b.btb_fingerprint(), want, "cap {capacity}");
         }
+    }
+
+    /// Delta restore must reproduce the predictor state (PHT counters,
+    /// BTB order, GHR, RSB) of an exhaustive restore exactly.
+    #[test]
+    fn delta_restore_matches_exhaustive_restore() {
+        let mut state = 0xaf63bd4c8601b7efu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut warm = Bpu::new(BpuConfig {
+            pht_bits: 6,
+            ghr_bits: 6,
+            btb_entries: 8,
+            rsb_entries: 4,
+        });
+        for _ in 0..200 {
+            let r = rng();
+            warm.resolve_cond((r >> 8) as usize % 64, r & 1 == 0, (r >> 16) as usize % 64);
+        }
+        warm.seal();
+        let snap = warm.clone();
+        let mut delta = warm.clone();
+        let mut full = warm;
+        let churn = |b: &mut Bpu, r: u64| match r % 6 {
+            0 => {
+                b.resolve_cond((r >> 8) as usize % 64, r & 2 == 0, (r >> 16) as usize % 64);
+            }
+            1 => b.resolve_indirect((r >> 8) as usize % 64, (r >> 16) as usize % 64),
+            2 => {
+                b.predict_cond((r >> 8) as usize % 64, 1, 2);
+            }
+            3 => {
+                b.predict_indirect((r >> 8) as usize % 64, 1);
+            }
+            4 => {
+                b.predict_call((r >> 8) as usize % 64, (r >> 16) as usize % 64);
+            }
+            _ => {
+                b.predict_ret(7);
+            }
+        };
+        // Long enough that the PHT journal accumulates duplicates and
+        // (at 64 PHT entries) overflows into the full-dirty fallback.
+        for _ in 0..2_000 {
+            let r = rng();
+            churn(&mut delta, r);
+            churn(&mut full, r);
+        }
+        assert!(delta.restore_delta(&snap), "shared seal must go delta");
+        full.restore_from(&snap);
+        assert_eq!(delta.pht, full.pht);
+        assert_eq!(delta.ghr, full.ghr);
+        assert_eq!(delta.rsb, full.rsb);
+        assert_eq!(delta.btb_fingerprint(), full.btb_fingerprint());
+        assert_eq!(delta.btb_fingerprint(), snap.btb_fingerprint());
+        // Future behavior must agree (recency order fully restored).
+        for _ in 0..500 {
+            let r = rng();
+            let pc = (r >> 8) as usize % 64;
+            assert_eq!(delta.predict_cond(pc, 1, 2), full.predict_cond(pc, 1, 2));
+            churn(&mut delta, r);
+            churn(&mut full, r);
+        }
+        assert_eq!(delta.pht, full.pht);
+        assert_eq!(delta.btb_fingerprint(), full.btb_fingerprint());
+    }
+
+    #[test]
+    fn delta_restore_refuses_foreign_seals() {
+        let mut a = Bpu::new(BpuConfig::default());
+        a.resolve_cond(1, true, 2);
+        a.seal();
+        let mut b = Bpu::new(BpuConfig::default());
+        b.resolve_cond(3, true, 4);
+        b.seal();
+        assert!(!a.restore_delta(&b), "foreign seal must be refused");
+        assert!(a.btb_probe(1), "failed delta must not mutate");
+        a.restore_from(&b);
+        a.resolve_cond(5, true, 6);
+        assert!(a.restore_delta(&b), "full restore adopts the seal");
+        assert_eq!(a.btb_fingerprint(), b.btb_fingerprint());
     }
 }

@@ -450,6 +450,29 @@ impl Cpu {
     /// a workload forking many trials from one snapshot accumulates its
     /// totals across restores.
     pub fn restore_from(&mut self, src: &Cpu) {
+        self.restore_impl(src, false);
+    }
+
+    /// Seals the journaled core structures (branch predictor, µop cache,
+    /// both TLBs) so later [`Cpu::restore_delta`] calls against clones of
+    /// this state repair only journaled slots (DESIGN.md §16).
+    pub fn seal(&mut self) {
+        self.bpu.seal();
+        self.dsb.seal();
+        self.itlb.seal();
+        self.dtlb.seal();
+    }
+
+    /// Like [`Cpu::restore_from`], but rolls the journaled structures
+    /// back via their touched-set journals when they share a seal with
+    /// `src`, falling back to the exhaustive copy per structure when
+    /// they do not. All scalar and queue state restores identically to
+    /// the full path; only the repair strategy differs.
+    pub fn restore_delta(&mut self, src: &Cpu) {
+        self.restore_impl(src, true);
+    }
+
+    fn restore_impl(&mut self, src: &Cpu, delta: bool) {
         let Cpu {
             cfg,
             pmu,
@@ -513,17 +536,28 @@ impl Cpu {
             self.cfg.ports, cfg.ports,
             "snapshot restore across core configurations"
         );
-        self.cfg = cfg.clone();
+        if !delta {
+            // The config never mutates between a snapshot and its
+            // restores, so the delta path skips re-cloning it (it may
+            // own heap state, e.g. strings).
+            self.cfg = cfg.clone();
+        }
         self.pmu.copy_from(pmu);
-        self.bpu.restore_from(bpu);
-        self.dsb.restore_from(dsb);
+        if !delta || !self.bpu.restore_delta(bpu) {
+            self.bpu.restore_from(bpu);
+        }
+        if !delta || !self.dsb.restore_delta(dsb) {
+            self.dsb.restore_from(dsb);
+        }
         self.idq.clone_from(idq);
         self.fetch_pc = *fetch_pc;
         self.fetch_stall_until = *fetch_stall_until;
         self.fetch_enabled = *fetch_enabled;
         self.last_fetch_page = *last_fetch_page;
         self.last_fetch_from_dsb = *last_fetch_from_dsb;
-        self.itlb.restore_from(itlb);
+        if !delta || !self.itlb.restore_delta(itlb) {
+            self.itlb.restore_from(itlb);
+        }
         self.rob.clone_from(rob);
         self.next_uop_id = *next_uop_id;
         self.rat = *rat;
@@ -545,7 +579,9 @@ impl Cpu {
         self.exec_unresolved_branches = *exec_unresolved_branches;
         self.exec_max_done = *exec_max_done;
         self.mem_max_done = *mem_max_done;
-        self.dtlb.restore_from(dtlb);
+        if !delta || !self.dtlb.restore_delta(dtlb) {
+            self.dtlb.restore_from(dtlb);
+        }
         self.walker = *walker;
         self.syscall_pages.clear();
         self.syscall_pages.extend_from_slice(syscall_pages);

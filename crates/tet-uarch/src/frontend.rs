@@ -55,8 +55,19 @@ impl Dsb {
         self.lru.len() == 0
     }
 
+    /// Seals the current state for delta restore (DESIGN.md §16).
+    pub fn seal(&mut self) {
+        self.lru.seal();
+    }
+
+    /// Journal-driven rollback to the sealed state shared with `src`.
+    /// Returns `false` (self untouched) when no seal is shared.
+    pub fn restore_delta(&mut self, src: &Dsb) -> bool {
+        self.lru.restore_delta(&src.lru)
+    }
+
     /// Overwrites this DSB with the state of `src`, reusing the index
-    /// allocations (snapshot restore).
+    /// allocations (snapshot restore). Adopts the source's seal.
     pub fn restore_from(&mut self, src: &Dsb) {
         self.lru.restore_from(&src.lru);
     }

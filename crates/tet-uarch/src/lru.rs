@@ -12,6 +12,13 @@
 //! predicted target and every DSB-vs-MITE fetch — are identical to the
 //! linear version; the equivalence property tests in `frontend.rs` and
 //! `bpu.rs` drive both representations with the same traces.
+//!
+//! For snapshot forks the index carries the same journal/epoch layer as
+//! the caches (DESIGN.md §16): every slot or direct-map write journals
+//! its position once per epoch, so [`LruIndex::restore_delta`] repairs
+//! O(entries touched) instead of re-cloning the arena.
+
+use std::sync::Arc;
 
 /// Sentinel for "no slot" in the intrusive list links.
 const NIL: u32 = u32::MAX;
@@ -39,6 +46,18 @@ pub(crate) struct LruIndex<V> {
     tail: u32,
     len: usize,
     capacity: usize,
+    /// Seal identity shared with clones (delta restore trust anchor).
+    seal: Option<Arc<()>>,
+    /// Journal epoch: 0 = journaling off (never sealed).
+    epoch: u32,
+    /// Per-arena-slot journal stamps, parallel to `slots`.
+    jslot: Vec<u32>,
+    /// Per-key journal stamps, parallel to `index`.
+    jkey: Vec<u32>,
+    /// Arena slots written since the last seal/restore.
+    journal_slots: Vec<u32>,
+    /// Direct-map keys written since the last seal/restore.
+    journal_keys: Vec<u32>,
 }
 
 impl<V: Copy> LruIndex<V> {
@@ -52,6 +71,40 @@ impl<V: Copy> LruIndex<V> {
             tail: NIL,
             len: 0,
             capacity,
+            seal: None,
+            epoch: 0,
+            jslot: Vec::with_capacity(capacity),
+            jkey: Vec::new(),
+            journal_slots: Vec::new(),
+            journal_keys: Vec::new(),
+        }
+    }
+
+    /// Records arena slot `s` in the journal (once per epoch).
+    #[inline]
+    fn touch_slot(&mut self, s: u32) {
+        if self.epoch != 0 && self.jslot[s as usize] != self.epoch {
+            self.jslot[s as usize] = self.epoch;
+            self.journal_slots.push(s);
+        }
+    }
+
+    /// Records direct-map key `k` in the journal (once per epoch).
+    #[inline]
+    fn touch_key(&mut self, k: usize) {
+        if self.epoch != 0 && self.jkey[k] != self.epoch {
+            self.jkey[k] = self.epoch;
+            self.journal_keys.push(k as u32);
+        }
+    }
+
+    /// Starts a new journal epoch (wrap-safe).
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.jslot.fill(0);
+            self.jkey.fill(0);
+            self.epoch = 1;
         }
     }
 
@@ -77,20 +130,24 @@ impl<V: Copy> LruIndex<V> {
         if prev == NIL {
             self.head = next;
         } else {
+            self.touch_slot(prev);
             self.slots[prev as usize].next = next;
         }
         if next == NIL {
             self.tail = prev;
         } else {
+            self.touch_slot(next);
             self.slots[next as usize].prev = prev;
         }
     }
 
     #[inline]
     fn link_front(&mut self, s: u32) {
+        self.touch_slot(s);
         self.slots[s as usize].prev = NIL;
         self.slots[s as usize].next = self.head;
         if self.head != NIL {
+            self.touch_slot(self.head);
             self.slots[self.head as usize].prev = s;
         }
         self.head = s;
@@ -120,6 +177,7 @@ impl<V: Copy> LruIndex<V> {
     /// exactly the dedup-then-evict order of the `VecDeque` versions.
     pub(crate) fn insert(&mut self, key: usize, val: V) {
         if let Some(s) = self.slot_of(key) {
+            self.touch_slot(s);
             self.slots[s as usize].val = val;
             if self.head != s {
                 self.unlink(s);
@@ -132,12 +190,14 @@ impl<V: Copy> LruIndex<V> {
             debug_assert_ne!(back, NIL, "non-zero capacity");
             self.unlink(back);
             let old_key = self.slots[back as usize].key;
+            self.touch_key(old_key);
             self.index[old_key] = 0;
             self.free.push(back);
             self.len -= 1;
         }
         let s = match self.free.pop() {
             Some(s) => {
+                self.touch_slot(s);
                 self.slots[s as usize] = LruSlot {
                     key,
                     val,
@@ -154,12 +214,16 @@ impl<V: Copy> LruIndex<V> {
                     prev: NIL,
                     next: NIL,
                 });
+                self.jslot.push(0);
+                self.touch_slot(s);
                 s
             }
         };
         if key >= self.index.len() {
             self.index.resize(key + 1, 0);
+            self.jkey.resize(key + 1, 0);
         }
+        self.touch_key(key);
         self.index[key] = s + 1;
         self.link_front(s);
         self.len += 1;
@@ -174,27 +238,80 @@ impl<V: Copy> LruIndex<V> {
         }
     }
 
-    /// Overwrites this index with the state of `src`, reusing the slot
-    /// arena and direct-map allocations (snapshot restore).
-    pub(crate) fn restore_from(&mut self, src: &LruIndex<V>) {
-        let LruIndex {
-            slots,
-            index,
-            free,
-            head,
-            tail,
-            len,
-            capacity,
-        } = src;
-        self.slots.clone_from(slots);
-        self.index.clear();
-        self.index.extend_from_slice(index);
+    /// Marks the current state as a snapshot point: clones share this
+    /// seal and later writes journal themselves (DESIGN.md §16).
+    pub(crate) fn seal(&mut self) {
+        self.seal = Some(Arc::new(()));
+        self.journal_slots.clear();
+        self.journal_keys.clear();
+        self.bump_epoch();
+    }
+
+    /// Journal-driven rollback to the sealed state shared with `src`.
+    /// The arena and direct map only grow within an epoch, so restore
+    /// truncates them back to the source's lengths and repairs the
+    /// journaled positions below that boundary. Returns `false` (self
+    /// untouched) when the two sides do not share a seal.
+    pub(crate) fn restore_delta(&mut self, src: &LruIndex<V>) -> bool {
+        let shared = match (&self.seal, &src.seal) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        if !shared {
+            return false;
+        }
+        debug_assert!(
+            src.journal_slots.is_empty() && src.journal_keys.is_empty(),
+            "restore source must be a sealed, unmutated snapshot"
+        );
+        debug_assert!(self.slots.len() >= src.slots.len(), "arena never shrinks");
+        self.slots.truncate(src.slots.len());
+        self.jslot.truncate(src.slots.len());
+        for i in 0..self.journal_slots.len() {
+            let s = self.journal_slots[i] as usize;
+            if s < src.slots.len() {
+                self.slots[s] = src.slots[s].clone();
+            }
+        }
+        self.index.truncate(src.index.len());
+        self.jkey.truncate(src.index.len());
+        for i in 0..self.journal_keys.len() {
+            let k = self.journal_keys[i] as usize;
+            if k < src.index.len() {
+                self.index[k] = src.index[k];
+            }
+        }
         self.free.clear();
-        self.free.extend_from_slice(free);
-        self.head = *head;
-        self.tail = *tail;
-        self.len = *len;
-        self.capacity = *capacity;
+        self.free.extend_from_slice(&src.free);
+        self.head = src.head;
+        self.tail = src.tail;
+        self.len = src.len;
+        debug_assert_eq!(self.capacity, src.capacity);
+        self.journal_slots.clear();
+        self.journal_keys.clear();
+        self.bump_epoch();
+        true
+    }
+
+    /// Overwrites this index with the state of `src`, reusing the slot
+    /// arena and direct-map allocations (snapshot restore). Adopts the
+    /// source's seal so subsequent delta restores succeed.
+    pub(crate) fn restore_from(&mut self, src: &LruIndex<V>) {
+        self.slots.clone_from(&src.slots);
+        self.index.clear();
+        self.index.extend_from_slice(&src.index);
+        self.free.clear();
+        self.free.extend_from_slice(&src.free);
+        self.head = src.head;
+        self.tail = src.tail;
+        self.len = src.len;
+        self.capacity = src.capacity;
+        self.seal.clone_from(&src.seal);
+        self.jslot.resize(self.slots.len(), 0);
+        self.jkey.resize(self.index.len(), 0);
+        self.journal_slots.clear();
+        self.journal_keys.clear();
+        self.bump_epoch();
     }
 }
 
@@ -288,6 +405,89 @@ mod tests {
             let want: Vec<(usize, u64)> = reference.list.iter().copied().collect();
             assert_eq!(got, want, "final order, cap {capacity}");
         }
+    }
+
+    /// Delta restore must reproduce the exact recency order and future
+    /// behavior of an exhaustive restore.
+    #[test]
+    fn delta_restore_matches_exhaustive_restore() {
+        let mut state = 0xc3a5c85c97cb3127u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for capacity in [1usize, 2, 7, 32] {
+            let mut warm = LruIndex::new(capacity);
+            for _ in 0..200 {
+                let r = rng();
+                warm.insert((r >> 8) as usize % 48, r >> 32);
+            }
+            warm.seal();
+            let snap = warm.clone();
+            let mut delta = warm.clone();
+            let mut full = warm;
+            for step in 0..3_000 {
+                let r = rng();
+                let key = (r >> 8) as usize % 48;
+                match r % 3 {
+                    0 => assert_eq!(
+                        delta.get_refresh(key),
+                        full.get_refresh(key),
+                        "step {step} cap {capacity}"
+                    ),
+                    1 => {
+                        delta.insert(key, r >> 32);
+                        full.insert(key, r >> 32);
+                    }
+                    _ => assert_eq!(delta.probe(key), full.probe(key)),
+                }
+            }
+            assert!(delta.restore_delta(&snap), "shared seal must go delta");
+            full.restore_from(&snap);
+            let d: Vec<(usize, u64)> = delta.iter().collect();
+            let f: Vec<(usize, u64)> = full.iter().collect();
+            let s: Vec<(usize, u64)> = snap.iter().collect();
+            assert_eq!(d, f, "cap {capacity}");
+            assert_eq!(d, s, "cap {capacity}");
+            assert_eq!(delta.len(), snap.len());
+            // Future behavior must agree too (free list, arena reuse).
+            for step in 0..1_000 {
+                let r = rng();
+                let key = (r >> 8) as usize % 48;
+                if r % 2 == 0 {
+                    delta.insert(key, r >> 32);
+                    full.insert(key, r >> 32);
+                } else {
+                    assert_eq!(
+                        delta.get_refresh(key),
+                        full.get_refresh(key),
+                        "post step {step}"
+                    );
+                }
+            }
+            let d: Vec<(usize, u64)> = delta.iter().collect();
+            let f: Vec<(usize, u64)> = full.iter().collect();
+            assert_eq!(d, f, "post churn, cap {capacity}");
+        }
+    }
+
+    #[test]
+    fn delta_restore_refuses_foreign_seals() {
+        let mut a = LruIndex::new(4);
+        a.insert(1, 10u64);
+        a.seal();
+        let mut b = LruIndex::new(4);
+        b.insert(2, 20u64);
+        b.seal();
+        assert!(!a.restore_delta(&b));
+        assert_eq!(a.get_refresh(1), Some(10), "failed delta must not mutate");
+        a.restore_from(&b);
+        a.insert(3, 30);
+        assert!(a.restore_delta(&b), "full restore adopts the seal");
+        let got: Vec<(usize, u64)> = a.iter().collect();
+        assert_eq!(got, vec![(2, 20)]);
     }
 
     #[test]

@@ -231,10 +231,18 @@ pub struct Machine {
     cpu: Cpu,
     mem: MemorySystem,
     phys: PhysMem,
-    aspace: AddressSpace,
+    /// The address space, behind an `Arc` so snapshot restores of an
+    /// unmodified mapping tree are a pointer bump instead of a deep
+    /// radix-tree clone. Mutations go through `Arc::make_mut`, which
+    /// COW-forks only when the tree is actually shared.
+    aspace: Arc<AddressSpace>,
     frames: FrameAlloc,
     code_pages_mapped: usize,
     check_mode: bool,
+    /// Journal-driven delta restore (DESIGN.md §16). Defaults from
+    /// `TET_DELTA` (`0` disables); restored state is identical either
+    /// way — the exhaustive path is kept as the differential reference.
+    delta_enabled: bool,
     /// Event-driven fast-forward across idle cycles (DESIGN.md §11).
     /// Defaults from `TET_FF` (`0` disables); cycle counts and PMU
     /// values are identical either way. Automatically bypassed for runs
@@ -362,6 +370,14 @@ fn predecode_default() -> bool {
     *PD.get_or_init(|| tet_obs::env_flag("TET_PREDECODE", true))
 }
 
+/// Process-wide delta-restore default: `TET_DELTA=0` keeps snapshot
+/// restores on the exhaustive field-by-field copy (the differential
+/// reference for the journal-driven path; see DESIGN.md §16).
+fn delta_default() -> bool {
+    static DR: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DR.get_or_init(|| tet_obs::env_flag("TET_DELTA", true))
+}
+
 /// Reusable per-run scratch state: everything [`Machine::run`] would
 /// otherwise allocate afresh on every call. Attack loops call `run`
 /// hundreds of thousands of times on the same machine, so the PMU
@@ -447,10 +463,11 @@ impl Machine {
             cpu: Cpu::new(cfg),
             mem,
             phys: PhysMem::new(),
-            aspace: AddressSpace::new(),
+            aspace: Arc::new(AddressSpace::new()),
             frames: FrameAlloc::starting_at(0x1000),
             code_pages_mapped: 0,
             check_mode: false,
+            delta_enabled: delta_default(),
             ff_enabled: ff_default(),
             runs: 0,
             cycles_total: 0,
@@ -484,9 +501,36 @@ impl Machine {
         self.ff_enabled
     }
 
+    /// Forces journal-driven delta restore on or off for this machine,
+    /// overriding the `TET_DELTA` process default — the hook the
+    /// differential tests use to prove both restore paths rebuild
+    /// byte-identical state.
+    pub fn set_delta_restore(&mut self, on: bool) {
+        self.delta_enabled = on;
+    }
+
+    /// Whether this machine restores snapshots via touched-set journals.
+    pub fn delta_restore(&self) -> bool {
+        self.delta_enabled
+    }
+
+    /// Seals every journaled structure (predictor tables, µop cache,
+    /// TLBs, the four cache levels, physical memory) so clones of this
+    /// state restore by journal replay (DESIGN.md §16).
+    fn seal(&mut self) {
+        self.cpu.seal();
+        self.mem.seal();
+        self.phys.seal();
+    }
+
     /// Captures the machine's complete state. Only valid between runs
-    /// (`run` is synchronous, so any quiescent `&self` qualifies).
-    pub fn snapshot(&self) -> MachineSnapshot {
+    /// (`run` is synchronous, so any quiescent machine qualifies).
+    ///
+    /// Sealing for O(touched) delta restore happens here: the machine
+    /// and the snapshot share a sealed image, and later
+    /// [`Machine::restore`] calls repair only what the trial dirtied.
+    pub fn snapshot(&mut self) -> MachineSnapshot {
+        self.seal();
         MachineSnapshot {
             state: self.clone(),
         }
@@ -510,6 +554,7 @@ impl Machine {
             frames,
             code_pages_mapped,
             check_mode,
+            delta_enabled: _,
             ff_enabled: _,
             runs: _,
             cycles_total: _,
@@ -522,9 +567,23 @@ impl Machine {
         // Restores are rare relative to steps and bracket real work, so
         // they are always timed exactly (never sampled).
         let t = self.prof.enabled().then(std::time::Instant::now);
-        self.cpu.restore_from(cpu);
-        self.mem.restore_from(mem);
-        self.phys.restore_from(phys);
+        if self.delta_enabled {
+            // Journal-driven: each structure repairs only the slots it
+            // journaled since the shared seal, falling back to the
+            // exhaustive copy when no seal is shared (e.g. the first
+            // restore from a foreign snapshot, which adopts its seal).
+            self.cpu.restore_delta(cpu);
+            self.mem.restore_delta(mem);
+            if !self.phys.restore_delta(phys) {
+                self.phys.restore_from(phys);
+            }
+        } else {
+            self.cpu.restore_from(cpu);
+            self.mem.restore_from(mem);
+            self.phys.restore_from(phys);
+        }
+        // `Arc` bump when the mapping tree is unchanged since the
+        // snapshot; a deep clone only when this machine COW-forked it.
         self.aspace.clone_from(aspace);
         self.frames = *frames;
         self.code_pages_mapped = *code_pages_mapped;
@@ -730,9 +789,11 @@ impl Machine {
         &self.aspace
     }
 
-    /// Mutable address space (the OS model edits mappings here).
+    /// Mutable address space (the OS model edits mappings here). When
+    /// the mapping tree is still shared with a snapshot this COW-forks
+    /// it, so the snapshot's view never changes.
     pub fn aspace_mut(&mut self) -> &mut AddressSpace {
-        &mut self.aspace
+        Arc::make_mut(&mut self.aspace)
     }
 
     /// Allocates a fresh physical frame.
@@ -744,7 +805,7 @@ impl Machine {
     /// by a fresh frame; returns the page's physical base address.
     pub fn map_user_page(&mut self, vaddr: u64) -> u64 {
         let frame = self.frames.alloc();
-        self.aspace.map_page(vaddr, Pte::user_data(frame));
+        Arc::make_mut(&mut self.aspace).map_page(vaddr, Pte::user_data(frame));
         frame * PAGE_SIZE
     }
 
@@ -752,7 +813,7 @@ impl Machine {
     /// page's physical base address.
     pub fn map_kernel_page(&mut self, vaddr: u64) -> u64 {
         let frame = self.frames.alloc();
-        self.aspace.map_page(vaddr, Pte::kernel(frame));
+        Arc::make_mut(&mut self.aspace).map_page(vaddr, Pte::kernel(frame));
         frame * PAGE_SIZE
     }
 
@@ -807,7 +868,7 @@ impl Machine {
         while self.code_pages_mapped < pages {
             let vaddr = code_vaddr(0) + self.code_pages_mapped as u64 * PAGE_SIZE;
             let frame = self.frames.alloc();
-            self.aspace.map_page(vaddr, Pte::user_data(frame));
+            Arc::make_mut(&mut self.aspace).map_page(vaddr, Pte::user_data(frame));
             self.code_pages_mapped += 1;
         }
     }

@@ -115,6 +115,90 @@ fn snapshot_restore_run_matches_live_run() {
     }
 }
 
+/// **delta ≡ full ≡ fresh**: a journal-driven delta restore
+/// ([`Machine::set_delta_restore`] on, DESIGN.md §16), an exhaustive
+/// field-by-field restore (delta off — the differential reference), and
+/// a fresh [`Machine::from_snapshot`] must all rebuild the same state,
+/// pinned by bit-identical re-runs of the snapshotted program. The
+/// delta machine restores *twice* per case — the first restore from a
+/// foreign snapshot falls back per structure and adopts the seal, the
+/// second exercises the journal-replay path proper.
+#[test]
+fn delta_full_and_fresh_restores_are_equivalent() {
+    let gen_cfg = GenConfig::default();
+    let cases = cases_per_preset();
+    for (pi, preset) in preset_variants().into_iter().enumerate() {
+        let mut rng = TestRng::deterministic(&format!("delta-three-way-{pi}"));
+        // Long-lived machines, like a trial loop: every restore lands on
+        // the previous case's leftover state and journals.
+        let mut via_delta = machine_for(preset.clone(), 0xde17a + pi as u64);
+        via_delta.set_delta_restore(true);
+        let mut via_full = machine_for(preset.clone(), 0xf011 + pi as u64);
+        via_full.set_delta_restore(false);
+        for case in 0..cases {
+            let insts = gen::gen_program(&mut rng, &gen_cfg);
+            let program = gen::to_program(&insts);
+            let seed = (pi as u64) << 32 | case as u64;
+
+            let mut live = machine_for(preset.clone(), seed);
+            live.run(&program, &run_cfg());
+            let snap = live.snapshot();
+            let want = fingerprint(&live.run(&program, &run_cfg()));
+
+            via_delta.restore(&snap);
+            // Dirty-set spot checks: a restore leaves physical memory
+            // clean relative to the seal, and the run's dirtying is
+            // fully undone by the next restore (same resident set).
+            assert_eq!(
+                via_delta.phys().dirty_pages(),
+                0,
+                "restore must clear the dirty set (preset {pi} case {case})"
+            );
+            let resident = via_delta.phys().resident_pages();
+            let got = fingerprint(&via_delta.run(&program, &run_cfg()));
+            assert_eq!(
+                got,
+                want,
+                "first delta restore diverged (preset {pi} case {case}):\n{}",
+                gen::render(&insts)
+            );
+            via_delta.restore(&snap); // journal-replay path proper
+            assert_eq!(via_delta.phys().dirty_pages(), 0);
+            assert_eq!(
+                via_delta.phys().resident_pages(),
+                resident,
+                "delta restore must drop pages allocated since the seal \
+                 (preset {pi} case {case})"
+            );
+            let got = fingerprint(&via_delta.run(&program, &run_cfg()));
+            assert_eq!(
+                got,
+                want,
+                "journaled delta restore diverged (preset {pi} case {case}):\n{}",
+                gen::render(&insts)
+            );
+
+            via_full.restore(&snap);
+            let got = fingerprint(&via_full.run(&program, &run_cfg()));
+            assert_eq!(
+                got,
+                want,
+                "exhaustive restore diverged (preset {pi} case {case}):\n{}",
+                gen::render(&insts)
+            );
+
+            if case % 16 == 0 {
+                let mut fresh = Machine::from_snapshot(&snap);
+                let got = fingerprint(&fresh.run(&program, &run_cfg()));
+                assert_eq!(
+                    got, want,
+                    "from_snapshot run diverged (preset {pi} case {case})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn fast_forward_is_cycle_exact() {
     let gen_cfg = GenConfig::default();

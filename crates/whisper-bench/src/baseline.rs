@@ -58,6 +58,19 @@ pub fn bench_core_gates() -> Vec<Gate> {
             direction: Direction::LowerIsBetter,
             min_ratio: 0.7,
         },
+        Gate {
+            key: "snapshot_fork.ns_per_trial",
+            direction: Direction::LowerIsBetter,
+            min_ratio: 0.7,
+        },
+        // The restore leg on its own: delta restore makes it a small
+        // slice of a trial, so a restore-path regression could hide
+        // inside `ns_per_trial` noise without this gate.
+        Gate {
+            key: "snapshot_fork.restore_ns",
+            direction: Direction::LowerIsBetter,
+            min_ratio: 0.7,
+        },
     ]
 }
 
@@ -181,10 +194,13 @@ mod tests {
         r.sim_cycles_per_sec = rate;
         if let Some(ns) = ns_per_trial {
             r.scalar("table2.ns_per_trial", ns);
-            // The decode-sweep gates scale with the same latency figure
-            // so one knob drives all LowerIsBetter gates in tests.
+            // The decode-sweep and snapshot-fork gates scale with the
+            // same latency figure so one knob drives all LowerIsBetter
+            // gates in tests.
             r.scalar("decode_sweep.ns_per_iter", ns * 100.0);
             r.scalar("decode_sweep.ns_per_uop", ns / 10.0);
+            r.scalar("snapshot_fork.ns_per_trial", ns * 50.0);
+            r.scalar("snapshot_fork.restore_ns", ns * 5.0);
         }
         r
     }

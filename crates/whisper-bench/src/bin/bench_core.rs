@@ -156,20 +156,53 @@ fn main() {
         gadget.measure(&mut sc.machine, 0); // warm, then freeze the warm state
         let snap = sc.machine.snapshot();
         let mut m = Machine::from_snapshot(&snap);
+        // The combined restore+probe loop stays untouched for lineage
+        // comparability: `ns_per_trial` means the same thing it meant in
+        // every committed report.
         let ns = median_ns(samples, trial_iters, || {
             m.restore(&snap);
             gadget.measure(&mut m, 0xa5);
         });
+        // Paired timers split the same trial into its two legs, so a
+        // restore-path regression cannot hide behind simulation time
+        // (restore is a small slice of a trial once restores are
+        // O(touched)). Medians over the same sample windows.
+        let (restore_ns, simulate_ns) = {
+            let mut restore_meds = Vec::with_capacity(samples);
+            let mut simulate_meds = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let (mut rest, mut sim) = (0u64, 0u64);
+                for _ in 0..trial_iters {
+                    let t = Instant::now();
+                    m.restore(&snap);
+                    rest += t.elapsed().as_nanos() as u64;
+                    let t = Instant::now();
+                    gadget.measure(&mut m, 0xa5);
+                    sim += t.elapsed().as_nanos() as u64;
+                }
+                restore_meds.push(rest as f64 / trial_iters as f64);
+                simulate_meds.push(sim as f64 / trial_iters as f64);
+            }
+            restore_meds.sort_by(f64::total_cmp);
+            simulate_meds.sort_by(f64::total_cmp);
+            (
+                restore_meds[restore_meds.len() / 2],
+                simulate_meds[simulate_meds.len() / 2],
+            )
+        };
         let stats = m.stats();
         println!(
             "  {ns:.0} ns/trial (median of {samples} x {trial_iters}), \
              {} restores, {} cycles fast-forwarded",
             stats.snapshot_restores, stats.ff_skipped_cycles
         );
+        println!("  {restore_ns:.0} ns restore + {simulate_ns:.0} ns simulate (split legs)");
         println!(
             "  {warmup_ns:.0} ns warm-up (cold measure + snapshot, median of {warmup_samples})"
         );
         rep.scalar("snapshot_fork.ns_per_trial", ns);
+        rep.scalar("snapshot_fork.restore_ns", restore_ns);
+        rep.scalar("snapshot_fork.simulate_ns", simulate_ns);
         rep.scalar("snapshot_fork.warmup_ns", warmup_ns);
         rep.counter("snapshot_fork.restores", stats.snapshot_restores);
         rep.counter("snapshot_fork.ff_skipped_cycles", stats.ff_skipped_cycles);
@@ -190,21 +223,35 @@ fn main() {
         let t1 = Instant::now();
         let (serial, stats) = run_table2_matrix_detailed(42, 1);
         let serial_s = t1.elapsed().as_secs_f64();
-        let tn = Instant::now();
-        let (parallel, _) = run_table2_matrix_detailed(42, effective);
-        let parallel_s = tn.elapsed().as_secs_f64();
-        assert_eq!(serial, parallel, "matrix must be thread-count invariant");
         let ns_per_trial = serial_s * 1e9 / stats.runs.max(1) as f64;
-        println!(
-            "  threads=1: {serial_s:.3} s   threads={effective}: {parallel_s:.3} s   \
-             speedup {:.2}x   {:.0} ns/trial over {} trials",
-            serial_s / parallel_s,
-            ns_per_trial,
-            stats.runs
-        );
+        if host == 1 {
+            // A 1-CPU host reruns the exact same serial matrix on the
+            // "parallel" leg: the 0.88x "speedup" that measures is
+            // scheduler noise, not parallel scaling. Skip the leg and
+            // leave `table2.speedup`/`threadsN_seconds` absent — gates
+            // and trend rows skip missing metrics instead of gating on
+            // a misleading number.
+            println!(
+                "  threads=1: {serial_s:.3} s   {ns_per_trial:.0} ns/trial over {} trials \
+                 (single-CPU host: parallel leg skipped, speedup not measured)",
+                stats.runs
+            );
+        } else {
+            let tn = Instant::now();
+            let (parallel, _) = run_table2_matrix_detailed(42, effective);
+            let parallel_s = tn.elapsed().as_secs_f64();
+            assert_eq!(serial, parallel, "matrix must be thread-count invariant");
+            println!(
+                "  threads=1: {serial_s:.3} s   threads={effective}: {parallel_s:.3} s   \
+                 speedup {:.2}x   {:.0} ns/trial over {} trials",
+                serial_s / parallel_s,
+                ns_per_trial,
+                stats.runs
+            );
+            rep.scalar("table2.threadsN_seconds", parallel_s);
+            rep.scalar("table2.speedup", serial_s / parallel_s);
+        }
         rep.scalar("table2.threads1_seconds", serial_s);
-        rep.scalar("table2.threadsN_seconds", parallel_s);
-        rep.scalar("table2.speedup", serial_s / parallel_s);
         rep.scalar("table2.ns_per_trial", ns_per_trial);
         rep.counter("table2.threads_n", effective as u64);
         rep.counter("table2.threads_requested", requested as u64);

@@ -12,6 +12,9 @@
 //!          [--gate] [--band PCT] [--reports DIR] FILE...`
 //!
 //! * `FILE...` — reports in lineage order (oldest first).
+//! * `--lineage a.json,b.json,...` — comma-separated reports prepended
+//!   before the positional files, in exactly the given order (file
+//!   mtimes are never consulted; a fresh checkout has arbitrary ones).
 //! * `--reports DIR` — append every `*.json` in `DIR` (sorted by name)
 //!   after the explicit files.
 //! * `--band PCT` — noise-band floor in percent (default 10).
@@ -41,8 +44,13 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(10.0);
     let reports_dir = take_flag_value(&mut args, "--reports");
+    let lineage = take_flag_value(&mut args, "--lineage");
 
-    let mut paths: Vec<std::path::PathBuf> = args.iter().map(std::path::PathBuf::from).collect();
+    let mut paths: Vec<std::path::PathBuf> = lineage
+        .as_deref()
+        .map(trend::parse_lineage)
+        .unwrap_or_default();
+    paths.extend(args.iter().map(std::path::PathBuf::from));
     if let Some(dir) = &reports_dir {
         // A missing or unreadable --reports dir is an empty contribution,
         // not a crash: on a fresh checkout `target/reports/` does not
@@ -61,7 +69,9 @@ fn main() {
         }
     }
     if paths.is_empty() && !gate {
-        eprintln!("usage: bench_trend [--gate] [--band PCT] [--reports DIR] FILE...");
+        eprintln!(
+            "usage: bench_trend [--gate] [--band PCT] [--lineage A,B,...] [--reports DIR] FILE..."
+        );
         std::process::exit(2);
     }
 

@@ -55,6 +55,13 @@ pub fn direction_for(key: &str) -> Option<Direction> {
     if key.ends_with("threads1_seconds") || key.ends_with("threadsN_seconds") {
         return Some(Direction::LowerIsBetter);
     }
+    // The split snapshot-fork legs. Deliberately *not* a generic `_ns`
+    // rule: `snapshot_fork.warmup_ns` must stay undirected — sealing
+    // for delta restore grows the snapshot clone, and warm-up is paid
+    // once per campaign, not per trial.
+    if key.ends_with("restore_ns") || key.ends_with("simulate_ns") {
+        return Some(Direction::LowerIsBetter);
+    }
     if key.ends_with("_per_sec") || key == "sim_cycles_per_sec" || key.ends_with("speedup") {
         // `tet_cc.bytes_per_sec` and friends are *simulated* throughput
         // (deterministic), but a deterministic series has zero spread
@@ -63,6 +70,18 @@ pub fn direction_for(key: &str) -> Option<Direction> {
         return Some(Direction::HigherIsBetter);
     }
     None
+}
+
+/// Splits a `--lineage a.json,b.json,...` value into paths, preserving
+/// the given order exactly. The explicit order *is* the lineage: file
+/// mtimes are irrelevant (a rebased or freshly checked-out repo has
+/// arbitrary mtimes), and empty segments from stray commas are dropped.
+pub fn parse_lineage(spec: &str) -> Vec<std::path::PathBuf> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(std::path::PathBuf::from)
+        .collect()
 }
 
 /// One metric's points across the lineage.
@@ -285,9 +304,53 @@ mod tests {
             direction_for("table2.speedup"),
             Some(Direction::HigherIsBetter)
         );
+        assert_eq!(
+            direction_for("snapshot_fork.restore_ns"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            direction_for("snapshot_fork.simulate_ns"),
+            Some(Direction::LowerIsBetter)
+        );
+        // Warm-up is amortized once per campaign; it must never gate.
+        assert_eq!(direction_for("snapshot_fork.warmup_ns"), None);
         assert_eq!(direction_for("tet_cc.error_rate"), None);
         assert_eq!(direction_for("tet_kaslr.mean_seconds"), None);
         assert_eq!(direction_for("all_match"), None);
+    }
+
+    #[test]
+    fn explicit_lineage_order_beats_file_mtimes() {
+        // --lineage order is authoritative. Write the *newest* lineage
+        // entry first so its mtime is the oldest on disk; the loaded
+        // order (and thus the trend verdict) must still follow the flag.
+        let dir = std::env::temp_dir().join(format!("tet_lineage_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut newest = RunReport::new("bench_core");
+        newest.scalar("table2.ns_per_trial", 300.0);
+        let mut oldest = RunReport::new("bench_core");
+        oldest.scalar("table2.ns_per_trial", 100.0);
+        let p_new = dir.join("BENCH_core.json");
+        let p_old = dir.join("BENCH_core_pr9.json");
+        std::fs::write(&p_new, newest.to_json()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        std::fs::write(&p_old, oldest.to_json()).unwrap(); // newer mtime
+
+        let spec = format!("{}, {},", p_old.display(), p_new.display());
+        let lineage = parse_lineage(&spec);
+        assert_eq!(lineage, vec![p_old.clone(), p_new.clone()]);
+        let reports = load_reports(&lineage).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(reports[0].0, "BENCH_core_pr9.json");
+        assert_eq!(reports[1].0, "BENCH_core.json");
+        let rows = analyze_all(&collect(&reports), 10.0);
+        let row = rows
+            .iter()
+            .find(|r| r.key == "table2.ns_per_trial")
+            .unwrap();
+        // 100 → 300 in lineage order: a regression. Mtime order would
+        // have read it backwards as a 3x improvement.
+        assert_eq!(row.verdict, TrendVerdict::Regressed);
     }
 
     #[test]

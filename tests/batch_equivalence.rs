@@ -291,3 +291,68 @@ fn seeded_sibling_fanout_equals_unbatched_at_threads_1_and_8() {
         );
     }
 }
+
+/// The `TET_DELTA` differential on the seeded-sibling fan-out: worker
+/// machines restoring the shared snapshot through the journal-driven
+/// delta path (DESIGN.md §16) must produce byte-and-cycle identical
+/// per-probe results and counter movement to workers using the
+/// exhaustive field-by-field restore, at 1 and 8 threads. Restores are
+/// the hot edge of this decomposition — every trial forks from the
+/// snapshot — so this is where a delta-restore state leak would show.
+#[test]
+fn seeded_sibling_fanout_is_delta_restore_invariant() {
+    const TRIALS: usize = 8;
+    const BATCHES: u32 = 2;
+    let cfg = CpuConfig::kaby_lake_i7_7700();
+    let sc = Scenario::new(cfg.clone(), &ScenarioOptions::default());
+    let gadget = TetGadget::build(TetGadgetSpec::meltdown(sc.kernel_secret_va, &cfg));
+    let mut warm = sc.machine.clone();
+    for _ in 0..4 {
+        gadget.measure(&mut warm, 0);
+    }
+    let hint = gadget.match_hint(&warm);
+    assert!(hint.is_some(), "warmed gadget must predict a hint");
+    let snap = warm.snapshot();
+
+    type SweepFixedRec = FixedRec<Option<(u64, u64)>>;
+    let run_seeded = |threads: usize, delta_on: bool| -> Vec<TrialOutcome> {
+        let fixed: Arc<OnceLock<SweepFixedRec>> = Arc::new(OnceLock::new());
+        tet_par::run_indexed_with(
+            threads,
+            TRIALS,
+            || {
+                let mut m = Machine::from_snapshot(&snap);
+                m.set_delta_restore(delta_on);
+                (m, Arc::clone(&fixed))
+            },
+            |(m, fixed), _i| {
+                m.restore(&snap);
+                let marker = m.delta_marker();
+                let mut memo = ProbeMemo::seeded(m, hint, fixed.get().cloned());
+                let mut out = Vec::with_capacity(256 * BATCHES as usize);
+                for _ in 0..BATCHES {
+                    for test in 0..=255u64 {
+                        out.push(memo.probe(m, test, |m| gadget.measure_detailed(m, test)));
+                    }
+                }
+                let delta = m.delta_since(&marker);
+                if batch_enabled(m) {
+                    if let Some(rec) = memo.fixed() {
+                        let _ = fixed.set(rec.clone());
+                    }
+                }
+                (out, delta)
+            },
+        )
+    };
+
+    let reference = run_seeded(1, false);
+    for (threads, delta_on) in [(1, true), (8, false), (8, true)] {
+        let got = run_seeded(threads, delta_on);
+        assert_eq!(
+            got, reference,
+            "threads={threads} delta={delta_on}: delta and exhaustive \
+             restores must be byte-and-cycle identical"
+        );
+    }
+}
